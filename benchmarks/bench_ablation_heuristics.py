@@ -1,0 +1,114 @@
+"""Ablation: the Section 5.2 priority ordering.
+
+The paper: "the current ordering of the heuristic functions is tuned
+towards a machine with a small number of resources. This is the reason for
+always preferring to schedule a useful instruction before a speculative
+one ... experimentation and tuning are needed for better results."
+
+We compare four decision orders over the minmax loop and the SPEC-like
+kernels:
+
+* ``paper``      -- class, D, CP, original order (the shipped order);
+* ``no-class``   -- D, CP, order (speculative may beat useful);
+* ``cp-first``   -- class, CP, D, order;
+* ``order-only`` -- original order only (no heuristics at all).
+"""
+
+import random
+
+from repro import ScheduleLevel, rs6k
+from repro.bench import WORKLOADS
+from repro.compiler import compile_c
+from repro.ir import parse_function
+from repro.sched import global_schedule
+from repro.sim import simulate_path_iterations
+from repro.xform import PipelineConfig
+
+from conftest import FIGURE2, MINMAX_PATHS
+
+
+def paper_key(ins, *, useful, priorities):
+    d, cp = priorities.get(id(ins), (0, 1))
+    return (0 if useful else 1, -d, -cp, ins.uid)
+
+
+def no_class_key(ins, *, useful, priorities):
+    d, cp = priorities.get(id(ins), (0, 1))
+    return (-d, -cp, ins.uid)
+
+
+def cp_first_key(ins, *, useful, priorities):
+    d, cp = priorities.get(id(ins), (0, 1))
+    return (0 if useful else 1, -cp, -d, ins.uid)
+
+
+def order_only_key(ins, *, useful, priorities):
+    return (ins.uid,)
+
+
+ORDERS = {
+    "paper": paper_key,
+    "no-class": no_class_key,
+    "cp-first": cp_first_key,
+    "order-only": order_only_key,
+}
+
+
+def minmax_cycles(priority_fn):
+    func = parse_function(FIGURE2)
+    global_schedule(func, rs6k(), ScheduleLevel.SPECULATIVE,
+                    priority_fn=priority_fn)
+    return {u: simulate_path_iterations(func, p, rs6k())
+            for u, p in MINMAX_PATHS.items()}
+
+
+def test_heuristic_ordering_on_minmax(report, benchmark):
+    rows = [f"{'order':<12} cycles/iter (0/1/2 updates)"]
+    results = {}
+    for name, fn in ORDERS.items():
+        cycles = minmax_cycles(fn)
+        results[name] = cycles
+        rows.append(f"{name:<12} {cycles[0]}/{cycles[1]}/{cycles[2]}")
+    report("Ablation: Section 5.2 priority orderings on the minmax loop",
+           "\n".join(rows))
+    # the paper's order is never worse than ignoring the heuristics
+    for updates in MINMAX_PATHS:
+        assert results["paper"][updates] <= results["order-only"][updates]
+    benchmark(minmax_cycles, paper_key)
+
+
+def test_heuristic_ordering_on_kernels(report):
+    rng_args = {}
+    rows = [f"{'workload':<14}" + "".join(f"{n:>12}" for n in ORDERS)]
+    totals = {name: 0 for name in ORDERS}
+    for workload in WORKLOADS[:2]:  # the two winners: LI, EQNTOTT
+        args = workload.make_args(random.Random(7))
+        cells = []
+        for name, fn in ORDERS.items():
+            result = compile_c(workload.source,
+                               level=ScheduleLevel.SPECULATIVE,
+                               config=PipelineConfig(
+                                   level=ScheduleLevel.SPECULATIVE))
+            # re-schedule with the ablated order
+            from repro.lang import compile_c_functions
+            units = compile_c_functions(workload.source)
+            cf = units[workload.entry]
+            global_schedule(cf.func, rs6k(), ScheduleLevel.SPECULATIVE,
+                            live_at_exit=cf.live_at_exit, priority_fn=fn)
+            from repro.sched import schedule_function_blocks
+            schedule_function_blocks(cf.func, rs6k())
+            from repro.compiler import CompiledUnit
+            from repro.xform import PipelineReport
+            unit = CompiledUnit(cf, rs6k(),
+                                PipelineReport(ScheduleLevel.SPECULATIVE))
+            call_args = tuple(list(a) if isinstance(a, list) else a
+                              for a in args)
+            run = unit.run(*call_args, call_handlers=workload.call_handlers)
+            cells.append(run.cycles)
+            totals[name] += run.cycles
+        rows.append(f"{workload.name:<14}" + "".join(f"{c:>12}"
+                                                     for c in cells))
+    rows.append(f"{'TOTAL':<14}" + "".join(f"{totals[n]:>12}"
+                                           for n in ORDERS))
+    report("Ablation: priority orderings on the LI/EQNTOTT kernels "
+           "(simulated cycles, lower is better)", "\n".join(rows))

@@ -1,0 +1,79 @@
+"""Ablation: profile-guided speculation (Section 1's probability hook).
+
+The paper's prototype speculates blindly (original-order tie-breaks); it
+notes that global scheduling "is capable of taking advantage of the branch
+probabilities, whenever available (e.g. computed by profiling)".  This
+bench runs a skewed dispatch loop -- one opcode dominates -- and compares
+blind speculation against profile-guided speculation trained on a
+representative input.
+"""
+
+import random
+
+from repro import ScheduleLevel, compile_c
+from repro.sched import BranchProfile
+from repro.xform import PipelineConfig
+
+#: dispatch loop where the *last* tested opcode dominates the input mix --
+#: the worst case for original-order speculation, which hoists the first
+#: dispatch compares into the scarce delay slots
+SOURCE = """
+int dispatch(int code[], int n) {
+    int pc = 0;
+    int acc = 0;
+    while (pc < n) {
+        int op = code[pc];
+        if (op == 0) { int t0 = op * 5;  acc = acc + (t0 ^ 1); }
+        else { if (op == 1) { int t1 = op * 7;  acc = acc - (t1 ^ 2); }
+        else { if (op == 2) { int t2 = op * 11; acc = acc ^ (t2 + 3); }
+        else { int t3 = op * 13; acc = acc + (t3 ^ 4); } } }
+        pc = pc + 1;
+    }
+    return acc;
+}
+"""
+
+
+def skewed_code(rng: random.Random, n: int = 400) -> list[int]:
+    # 85% opcode 3 (the final else), the rest uniform
+    return [3 if rng.random() < 0.85 else rng.randrange(3)
+            for _ in range(n)]
+
+
+def run_with(profile: BranchProfile | None, code: list[int]):
+    config = PipelineConfig(level=ScheduleLevel.SPECULATIVE, profile=profile)
+    result = compile_c(SOURCE, level=ScheduleLevel.SPECULATIVE,
+                       config=config)
+    return result["dispatch"].run(list(code), len(code))
+
+
+def train_profile(code: list[int]) -> BranchProfile:
+    # compile without scheduling, run once, collect block counts
+    result = compile_c(SOURCE, level=ScheduleLevel.NONE)
+    run = result["dispatch"].run(list(code), len(code))
+    profile = BranchProfile()
+    profile.record(run.execution)
+    return profile
+
+
+def test_profile_guided_speculation(report, benchmark):
+    rng = random.Random(17)
+    training = skewed_code(rng)
+    evaluation = skewed_code(rng)
+
+    profile = train_profile(training)
+    blind = run_with(None, evaluation)
+    guided = run_with(profile, evaluation)
+    assert blind.return_value == guided.return_value
+
+    delta = 100.0 * (blind.cycles - guided.cycles) / blind.cycles
+    rows = [
+        f"{'configuration':<18} {'cycles':>8}",
+        f"{'blind (paper)':<18} {blind.cycles:>8}",
+        f"{'profile-guided':<18} {guided.cycles:>8}",
+        f"improvement: {delta:.1f}% on an 85%-skewed opcode mix",
+    ]
+    report("Ablation: profile-guided vs blind speculation "
+           "(Section 1's branch-probability hook)", "\n".join(rows))
+    assert guided.cycles <= blind.cycles
+    benchmark(run_with, profile, evaluation)

@@ -1,0 +1,72 @@
+"""Ablation: speculation depth (Definition 7 beyond the paper's limit).
+
+The prototype supports "only 1-branch speculative instructions"; deeper
+speculation is listed as future work.  The ``max_speculation`` knob
+explores it: n-branch speculative candidates gamble on n branches, so
+returns should diminish (and can reverse) as n grows on a narrow machine.
+"""
+
+import random
+
+from repro import ScheduleLevel, rs6k
+from repro.bench import WORKLOADS
+from repro.ir import parse_function
+from repro.lang import compile_c_functions
+from repro.sched import global_schedule, schedule_function_blocks
+from repro.sim import simulate_path_iterations
+
+from conftest import FIGURE2, MINMAX_PATHS
+
+DEPTHS = [0, 1, 2, 3]
+
+
+def minmax_at_depth(depth):
+    func = parse_function(FIGURE2)
+    level = ScheduleLevel.USEFUL if depth == 0 else ScheduleLevel.SPECULATIVE
+    report = global_schedule(func, rs6k(), level, max_speculation=depth or 1)
+    total = sum(simulate_path_iterations(func, p, rs6k())
+                for p in MINMAX_PATHS.values())
+    return total, len(report.speculative_motions)
+
+
+def test_speculation_depth_minmax(report, benchmark):
+    rows = [f"{'depth':>5} {'cycles(3 paths)':>16} {'spec motions':>13}"]
+    results = {}
+    for depth in DEPTHS:
+        total, motions = minmax_at_depth(depth)
+        results[depth] = total
+        rows.append(f"{depth:>5} {total:>16} {motions:>13}")
+    report("Ablation: n-branch speculation depth on the minmax loop "
+           "(paper ships n=1; n>1 is its future work)", "\n".join(rows))
+    assert results[1] <= results[0]  # speculation must help here (Fig. 6)
+    benchmark(minmax_at_depth, 1)
+
+
+def test_speculation_depth_li_kernel(report):
+    workload = WORKLOADS[0]  # LI-like: the speculation-hungry workload
+    args = workload.make_args(random.Random(5))
+    rows = [f"{'depth':>5} {'cycles':>9}"]
+    cycles_at = {}
+    for depth in DEPTHS:
+        units = compile_c_functions(workload.source)
+        cf = units[workload.entry]
+        level = (ScheduleLevel.USEFUL if depth == 0
+                 else ScheduleLevel.SPECULATIVE)
+        global_schedule(cf.func, rs6k(), level,
+                        live_at_exit=cf.live_at_exit,
+                        max_speculation=depth or 1)
+        schedule_function_blocks(cf.func, rs6k())
+        from repro.compiler import CompiledUnit
+        from repro.xform import PipelineReport
+        unit = CompiledUnit(cf, rs6k(), PipelineReport(level))
+        call_args = tuple(list(a) if isinstance(a, list) else a
+                          for a in args)
+        run = unit.run(*call_args, call_handlers=workload.call_handlers)
+        expected = workload.reference(
+            *[list(a) if isinstance(a, list) else a for a in args])
+        assert run.return_value == expected, f"depth {depth} broke semantics"
+        cycles_at[depth] = run.cycles
+        rows.append(f"{depth:>5} {run.cycles:>9}")
+    report("Ablation: speculation depth on the LI-like kernel",
+           "\n".join(rows))
+    assert cycles_at[1] < cycles_at[0]

@@ -1,0 +1,33 @@
+"""Figure 2: the BASE compiler's minmax loop and its 20-22 cycles/iteration.
+
+Paper claim: "we estimate that the code executes in 20, 21 or 22 cycles,
+depending on if 0, 1 or 2 updates of max and min variables (LR
+instructions) are done, respectively."
+"""
+
+from repro import ScheduleLevel, compile_c, rs6k
+from repro.bench import MINMAX_C
+from repro.sim import simulate_path_iterations
+
+from conftest import MINMAX_PATHS
+
+
+def test_fig2_cycle_table(figure2, report, benchmark):
+    rows = ["updates  paper  measured"]
+    for updates, path in MINMAX_PATHS.items():
+        measured = simulate_path_iterations(figure2, path, rs6k())
+        rows.append(f"{updates:>7}  {20 + updates:>5}  {measured:>8}")
+        assert measured == 20 + updates
+    report("Figure 2: minmax loop, BASE schedule (cycles per iteration)",
+           "\n".join(rows))
+    benchmark(simulate_path_iterations, figure2, MINMAX_PATHS[2], rs6k(),
+              iterations=8)
+
+
+def test_fig2_base_compilation(report, benchmark):
+    """Benchmark the BASE compiler over the Figure 1 source."""
+    result = benchmark(compile_c, MINMAX_C, level=ScheduleLevel.NONE)
+    func = result["minmax"].func
+    report("Figure 2: BASE compilation of the Figure 1 program",
+           f"{len(func.blocks)} blocks, {func.size()} instructions "
+           f"(paper's loop: 10 blocks, 20 instructions)")

@@ -1,0 +1,58 @@
+"""Figure 3: the control flow graph of the minmax loop.
+
+Regenerates the edge list of the 10-block loop (plus ENTRY/EXIT) and
+benchmarks CFG + dominator construction.
+"""
+
+from repro.cfg import ControlFlowGraph, ENTRY, EXIT, dominator_tree, postdominator_tree
+
+
+#: Figure 3's edges, in paper block numbering (BL1..BL10)
+PAPER_EDGES = {
+    ("BL1", "BL2"), ("BL1", "BL6"),
+    ("BL2", "BL3"), ("BL2", "BL4"),
+    ("BL3", "BL4"),
+    ("BL4", "BL5"), ("BL4", "BL10"),
+    ("BL5", "BL10"),
+    ("BL6", "BL7"), ("BL6", "BL8"),
+    ("BL7", "BL8"),
+    ("BL8", "BL9"), ("BL8", "BL10"),
+    ("BL9", "BL10"),
+    ("BL10", "BL1"),
+}
+
+LABEL_TO_PAPER = {
+    "CL.0": "BL1", "BL2": "BL2", "BL3": "BL3", "CL.6": "BL4", "BL5": "BL5",
+    "CL.4": "BL6", "BL7": "BL7", "CL.11": "BL8", "BL9": "BL9", "CL.9": "BL10",
+}
+
+
+def test_fig3_edge_list(figure2, report, benchmark):
+    cfg = benchmark(ControlFlowGraph, figure2)
+    edges = {
+        (LABEL_TO_PAPER[src], LABEL_TO_PAPER[dst])
+        for src, dst in cfg.graph.edges()
+        if src in LABEL_TO_PAPER and dst in LABEL_TO_PAPER
+    }
+    assert edges == PAPER_EDGES
+    lines = [f"{a} -> {b}" for a, b in sorted(edges)]
+    lines.append(f"ENTRY -> BL1; BL10 -> EXIT (as in the paper)")
+    report("Figure 3: control flow graph of the loop (15 edges, exact)",
+           "\n".join(lines))
+
+
+def test_fig3_dominators(figure2, report, benchmark):
+    cfg = ControlFlowGraph(figure2)
+
+    def build():
+        dom = dominator_tree(cfg.graph, ENTRY)
+        pdom = postdominator_tree(cfg.graph, EXIT)
+        return dom, pdom
+
+    dom, pdom = benchmark(build)
+    rows = ["block  idom   ipdom"]
+    for label, paper in LABEL_TO_PAPER.items():
+        rows.append(f"{paper:>5}  {LABEL_TO_PAPER.get(dom.idom(label), dom.idom(label)):>5}"
+                    f"  {LABEL_TO_PAPER.get(pdom.idom(label), pdom.idom(label)):>6}")
+    report("Figure 3 (analysis): dominator / postdominator parents",
+           "\n".join(rows))

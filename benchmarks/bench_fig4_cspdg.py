@@ -1,0 +1,60 @@
+"""Figure 4: the control subgraph of the PDG, with equivalence edges.
+
+Regenerates the solid (control dependence) and dashed (equivalence) edges
+of Figure 4 and benchmarks PDG construction.
+"""
+
+from repro.machine import rs6k
+from repro.pdg import RegionPDG
+
+from bench_fig3_cfg import LABEL_TO_PAPER
+
+
+def paper(name):
+    return LABEL_TO_PAPER.get(name, name)
+
+
+def test_fig4_cspdg(figure2, report, benchmark):
+    pdg = benchmark(RegionPDG, figure2, rs6k(), list(figure2.blocks), "CL.0")
+
+    # solid edges
+    solid = sorted({(paper(a), paper(b)) for a, b, _c in pdg.cspdg.edges()})
+    expected_solid = sorted({
+        ("BL1", "BL2"), ("BL1", "BL4"), ("BL1", "BL6"), ("BL1", "BL8"),
+        ("BL2", "BL3"), ("BL4", "BL5"), ("BL6", "BL7"), ("BL8", "BL9"),
+    })
+    assert solid == expected_solid
+
+    # dashed (equivalence) edges, directed by dominance
+    dashed = sorted(
+        (paper(a), paper(b))
+        for cls in pdg.cspdg.equivalence_classes
+        for a, b in zip(cls, cls[1:])
+    )
+    assert dashed == [("BL1", "BL10"), ("BL2", "BL4"), ("BL6", "BL8")]
+
+    lines = ["solid (control dependence):"]
+    lines += [f"  {a} -> {b}" for a, b in solid]
+    lines.append("dashed (equivalent, dominance-directed):")
+    lines += [f"  {a} ~~> {b}" for a, b in dashed]
+    report("Figure 4: CSPDG of the loop (exact match)", "\n".join(lines))
+
+
+def test_fig4_speculation_degrees(figure2, report, benchmark):
+    pdg = RegionPDG(figure2, rs6k(), list(figure2.blocks), "CL.0")
+
+    def degrees():
+        return {
+            (paper(a), paper(b)): pdg.cspdg.speculation_degree(a, b)
+            for a in ("CL.0", "BL2")
+            for b in ("CL.9", "CL.11", "BL5", "BL3")
+        }
+
+    table = benchmark(degrees)
+    # the paper's two worked examples
+    assert table[("BL1", "BL8")] == 1
+    assert table[("BL1", "BL5")] == 2
+    rows = [f"{a} -> {b}: {n}-branch speculative"
+            for (a, b), n in sorted(table.items()) if n is not None]
+    report("Definition 7: speculation degrees from the CSPDG",
+           "\n".join(rows))

@@ -1,0 +1,37 @@
+"""Figure 5: useful-only global scheduling of the minmax loop.
+
+Paper claims: I18/I19 move into BL1, I8 into BL2, I15 into BL6; the loop
+drops from 20-22 to 12-13 cycles per iteration.
+"""
+
+from repro import ScheduleLevel, rs6k
+from repro.ir import format_function, parse_function
+from repro.sched import global_schedule
+from repro.sim import simulate_path_iterations
+
+from conftest import FIGURE2, MINMAX_PATHS
+
+FIGURE5_BL1 = [1, 2, 18, 3, 19, 4]
+
+
+def test_fig5_schedule(report, benchmark):
+    def schedule():
+        func = parse_function(FIGURE2)
+        global_schedule(func, rs6k(), ScheduleLevel.USEFUL)
+        return func
+
+    func = benchmark(schedule)
+    assert [i.uid for i in func.block("CL.0").instrs] == FIGURE5_BL1
+    report("Figure 5: useful-only schedule (exact instruction placement)",
+           format_function(func))
+
+
+def test_fig5_cycles(report):
+    func = parse_function(FIGURE2)
+    global_schedule(func, rs6k(), ScheduleLevel.USEFUL)
+    rows = ["path (updates)  paper   measured"]
+    for updates, path in MINMAX_PATHS.items():
+        measured = simulate_path_iterations(func, path, rs6k())
+        assert 12 <= measured <= 13
+        rows.append(f"{updates:>14}  12-13  {measured:>9}")
+    report("Figure 5: cycles per iteration (paper: 12-13)", "\n".join(rows))

@@ -1,0 +1,109 @@
+"""The reproduction scorecard: every paper claim, checked in one place.
+
+Run ``pytest benchmarks/bench_summary.py`` for a one-screen verdict on
+the whole reproduction; the per-figure benches hold the detailed tables.
+"""
+
+from repro import ScheduleLevel, rs6k
+from repro.bench import figure8_table
+from repro.ir import cr, parse_function
+from repro.machine import superscalar
+from repro.pdg import RegionPDG
+from repro.sched import global_schedule
+from repro.sim import simulate_path_iterations
+
+from conftest import FIGURE2, MINMAX_PATHS
+
+FIGURE5_BL1 = [1, 2, 18, 3, 19, 4]
+FIGURE6_BL1 = [1, 2, 18, 3, 19, 5, 12, 4]
+
+
+def test_reproduction_scorecard(report, benchmark):
+    checks: list[tuple[str, str, str, bool]] = []
+
+    def add(claim, paper, measured, ok):
+        checks.append((claim, paper, measured, bool(ok)))
+
+    # Figure 2: baseline cycles
+    base = parse_function(FIGURE2)
+    base_cycles = [simulate_path_iterations(base, p, rs6k())
+                   for p in MINMAX_PATHS.values()]
+    add("Fig 2 cycles/iter (0/1/2 updates)", "20/21/22",
+        "/".join(map(str, base_cycles)), base_cycles == [20, 21, 22])
+
+    # Figure 4: CSPDG equivalence classes
+    pdg = RegionPDG(base, rs6k(), list(base.blocks), "CL.0")
+    classes = {frozenset(c) for c in pdg.cspdg.equivalence_classes}
+    fig4_ok = ({frozenset({"CL.0", "CL.9"}), frozenset({"BL2", "CL.6"}),
+                frozenset({"CL.4", "CL.11"})} <= classes)
+    add("Fig 4 equivalence classes", "BL1~BL10, BL2~BL4, BL6~BL8",
+        "exact" if fig4_ok else "MISMATCH", fig4_ok)
+    add("Fig 4 speculation degrees", "BL8:1, BL5:2",
+        f"BL8:{pdg.cspdg.speculation_degree('CL.0', 'CL.11')}, "
+        f"BL5:{pdg.cspdg.speculation_degree('CL.0', 'BL5')}",
+        pdg.cspdg.speculation_degree("CL.0", "CL.11") == 1
+        and pdg.cspdg.speculation_degree("CL.0", "BL5") == 2)
+
+    # Figure 5
+    useful = parse_function(FIGURE2)
+    global_schedule(useful, rs6k(), ScheduleLevel.USEFUL)
+    u_bl1 = [i.uid for i in useful.block("CL.0").instrs]
+    u_cycles = max(simulate_path_iterations(useful, p, rs6k())
+                   for p in MINMAX_PATHS.values())
+    add("Fig 5 BL1 placement", "I1 I2 I18 I3 I19 I4",
+        " ".join(f"I{u}" for u in u_bl1), u_bl1 == FIGURE5_BL1)
+    add("Fig 5 cycles/iter", "12-13", str(u_cycles), 12 <= u_cycles <= 13)
+
+    # Figure 6
+    spec = parse_function(FIGURE2)
+    global_schedule(spec, rs6k(), ScheduleLevel.SPECULATIVE)
+    s_bl1 = [i.uid for i in spec.block("CL.0").instrs]
+    s_cycles = max(simulate_path_iterations(spec, p, rs6k())
+                   for p in MINMAX_PATHS.values())
+    by_uid = {i.uid: i for i in spec.instructions()}
+    renamed = by_uid[12].defs[0] != cr(6)
+    add("Fig 6 BL1 placement", "I1 I2 I18 I3 I19 I5 I12 I4",
+        " ".join(f"I{u}" for u in s_bl1), s_bl1 == FIGURE6_BL1)
+    add("Fig 6 I12 renamed (cr6->cr5)", "renamed",
+        "renamed" if renamed else "not renamed", renamed)
+    add("Fig 6 cycles/iter", "11-12 (1 better than Fig 5)",
+        str(s_cycles), 11 <= s_cycles <= 12 and s_cycles < u_cycles)
+
+    # Figure 8 shape
+    rows = {r.paper_name: r for r in figure8_table()}
+    add("Fig 8 LI: speculative dominant", "2.0% < 6.9%",
+        f"{rows['LI'].rti_useful:.1f}% < {rows['LI'].rti_speculative:.1f}%",
+        rows["LI"].rti_speculative > rows["LI"].rti_useful + 5)
+    add("Fig 8 EQNTOTT: useful carries it", "7.1% of 7.3%",
+        f"{rows['EQNTOTT'].rti_useful:.1f}% of "
+        f"{rows['EQNTOTT'].rti_speculative:.1f}%",
+        rows["EQNTOTT"].rti_speculative - rows["EQNTOTT"].rti_useful < 5)
+    add("Fig 8 ESPRESSO/GCC: flat", "~0%",
+        f"{rows['ESPRESSO'].rti_speculative:.1f}% / "
+        f"{rows['GCC'].rti_speculative:.1f}%",
+        abs(rows["ESPRESSO"].rti_speculative) < 5
+        and abs(rows["GCC"].rti_speculative) < 5)
+
+    # Section 7: wider machines
+    wide_base = parse_function(FIGURE2)
+    wide_sched = parse_function(FIGURE2)
+    global_schedule(wide_sched, superscalar(2), ScheduleLevel.SPECULATIVE)
+    path = MINMAX_PATHS[0]
+    rti_narrow = 1 - s_cycles / 21
+    b = simulate_path_iterations(wide_base, path, superscalar(2))
+    s = simulate_path_iterations(wide_sched, path, superscalar(2))
+    add("S7 wider machine, bigger payoff", "expected",
+        f"ss2: {100 * (b - s) / b:.0f}% vs rs6k: {100 * rti_narrow:.0f}%",
+        (b - s) / b >= rti_narrow - 0.02)
+
+    width = max(len(c[0]) for c in checks)
+    lines = [f"{'claim':<{width}}  {'paper':<28} {'measured':<28} verdict"]
+    for claim, paper, measured, ok in checks:
+        lines.append(f"{claim:<{width}}  {paper:<28} {measured:<28} "
+                     f"{'PASS' if ok else 'FAIL'}")
+    passed = sum(1 for c in checks if c[3])
+    lines.append(f"{passed}/{len(checks)} claims reproduced")
+    report("REPRODUCTION SCORECARD — Bernstein & Rodeh, PLDI 1991",
+           "\n".join(lines))
+    assert all(c[3] for c in checks), [c[0] for c in checks if not c[3]]
+    benchmark(simulate_path_iterations, spec, MINMAX_PATHS[0], rs6k())

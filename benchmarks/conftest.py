@@ -1,0 +1,76 @@
+"""Shared fixtures for the benchmark harness.
+
+Every ``bench_fig*.py`` file regenerates one figure/table of the paper:
+it prints a paper-vs-measured comparison (through the ``report`` fixture,
+which bypasses pytest's capture so the table lands in ``bench_output.txt``)
+and benchmarks the computation that produces it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir import Function, parse_function
+
+#: The paper's Figure 2 (see tests/conftest.py for the annotated version).
+FIGURE2 = """
+function minmax_loop
+CL.0:
+    (I1)  L     r12=a(r31,4)
+    (I2)  LU    r0,r31=a(r31,8)
+    (I3)  C     cr7=r12,r0
+    (I4)  BF    CL.4,cr7,0x2/gt
+BL2:
+    (I5)  C     cr6=r12,r30
+    (I6)  BF    CL.6,cr6,0x2/gt
+BL3:
+    (I7)  LR    r30=r12
+CL.6:
+    (I8)  C     cr7=r0,r28
+    (I9)  BF    CL.9,cr7,0x1/lt
+BL5:
+    (I10) LR    r28=r0
+    (I11) B     CL.9
+CL.4:
+    (I12) C     cr6=r0,r30
+    (I13) BF    CL.11,cr6,0x2/gt
+BL7:
+    (I14) LR    r30=r0
+CL.11:
+    (I15) C     cr7=r12,r28
+    (I16) BF    CL.9,cr7,0x1/lt
+BL9:
+    (I17) LR    r28=r12
+CL.9:
+    (I18) AI    r29=r29,2
+    (I19) C     cr4=r29,r27
+    (I20) BT    CL.0,cr4,0x1/lt
+"""
+
+#: the acyclic paths through the loop, keyed by LR-update count
+MINMAX_PATHS = {
+    0: ["CL.0", "BL2", "CL.6", "CL.9"],
+    1: ["CL.0", "BL2", "BL3", "CL.6", "CL.9"],
+    2: ["CL.0", "BL2", "BL3", "CL.6", "BL5", "CL.9"],
+}
+
+
+@pytest.fixture
+def figure2() -> Function:
+    return parse_function(FIGURE2)
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a figure table through pytest's capture."""
+
+    def _print(title: str, body: str) -> None:
+        with capsys.disabled():
+            print()
+            print("=" * 72)
+            print(title)
+            print("-" * 72)
+            print(body)
+            print("=" * 72)
+
+    return _print

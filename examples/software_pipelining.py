@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""The Section 6 software-pipelining story, made visible.
+
+"[S]uch regions that represent loops with up to 4 basic blocks are
+rotated, by copying their first basic block after the end of the loop.
+By applying the global scheduling the second time to the rotated inner
+loops, we achieve the partial effect of the software pipelining, i.e.,
+some of the instructions of the next iteration of the loop are executed
+within the body of the previous iteration."
+
+This example compiles a dot-product loop four ways -- no unroll/rotate,
+unroll only, rotate only, and the full paper pipeline -- prints the loop
+bodies and per-cycle issue timelines, and shows the next-iteration load
+sliding into the previous iteration's delay slots.
+
+Run:  python examples/software_pipelining.py
+"""
+
+from repro import ScheduleLevel, compile_c, rs6k
+from repro.sim import TraceSimulator, format_timeline, stall_cycles
+from repro.xform import PipelineConfig
+
+SOURCE = """
+int dot(int a[], int b[], int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) {
+        s = s + a[i] * b[i];
+    }
+    return s;
+}
+"""
+
+VARIANTS = {
+    "no unroll/rotate": dict(unroll_max_blocks=0, rotate_max_blocks=0),
+    "unroll only": dict(unroll_max_blocks=4, rotate_max_blocks=0),
+    "rotate only": dict(unroll_max_blocks=0, rotate_max_blocks=4),
+    "paper pipeline": dict(unroll_max_blocks=4, rotate_max_blocks=4),
+}
+
+
+def main() -> None:
+    a = list(range(1, 65))
+    b = [3 * x ^ 5 for x in a]
+    expected = sum(x * y for x, y in zip(a, b))
+
+    summary = []
+    for name, knobs in VARIANTS.items():
+        config = PipelineConfig(level=ScheduleLevel.SPECULATIVE, **knobs)
+        result = compile_c(SOURCE, level=ScheduleLevel.SPECULATIVE,
+                           config=config)
+        unit = result["dot"]
+        run = unit.run(list(a), list(b), len(a))
+        assert run.return_value == expected
+        summary.append((name, run.cycles, run.timing.ipc))
+
+        if name == "paper pipeline":
+            print("=" * 70)
+            print(f"{name}: the scheduled function")
+            print("=" * 70)
+            print(unit.assembly())
+            # timeline of one steady-state iteration trace
+            print("Issue timeline of the first ~40 executed instructions")
+            print("(X = issue cycle, = = result latency draining):")
+            instrs = run.execution.instr_trace[:40]
+            sim = TraceSimulator(rs6k())
+            from repro.sim import SimulationResult
+            cycles = [sim.issue(i) for i in instrs]
+            result_obj = SimulationResult(
+                cycles=max(cycles) + 1, instructions=len(instrs),
+                issue_cycles=cycles)
+            print(format_timeline(instrs, result_obj, rs6k(),
+                                  max_cycles=60))
+
+    print("=" * 70)
+    print(f"{'variant':<20} {'cycles':>8} {'IPC':>6}")
+    for name, cycles, ipc in summary:
+        print(f"{name:<20} {cycles:>8} {ipc:>6.2f}")
+    base = summary[0][1]
+    best = summary[-1][1]
+    print(f"\nunroll+rotate+reschedule: "
+          f"{100.0 * (base - best) / base:.1f}% fewer cycles than "
+          f"global scheduling alone")
+
+
+if __name__ == "__main__":
+    main()

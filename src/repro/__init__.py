@@ -1,0 +1,61 @@
+"""repro -- a reproduction of Bernstein & Rodeh, "Global Instruction
+Scheduling for Superscalar Machines" (PLDI 1991).
+
+The package implements the paper's full stack from scratch:
+
+* :mod:`repro.ir` -- an RS/6000-flavoured IR with a Figure-2-style
+  textual format;
+* :mod:`repro.lang` -- a mini-C front end producing that IR;
+* :mod:`repro.cfg`, :mod:`repro.dataflow` -- dominators, loops, liveness;
+* :mod:`repro.pdg` -- the Program Dependence Graph (forward control
+  dependences, equivalence classes, data dependences with delays);
+* :mod:`repro.machine` -- the parametric superscalar machine description
+  and the RS/6K instance (Section 2);
+* :mod:`repro.sched` -- the global scheduler (useful + 1-branch
+  speculative) and the basic-block list scheduler (Section 5);
+* :mod:`repro.xform` -- renaming, unrolling, rotation, and the Section 6
+  compilation flow;
+* :mod:`repro.sim` -- a functional interpreter and a cycle-level
+  simulator calibrated to the paper's cycle counts;
+* :mod:`repro.bench` -- SPEC-like workloads and the harness regenerating
+  the paper's Figures 7 and 8.
+
+Quickstart::
+
+    from repro import compile_c, ScheduleLevel
+
+    result = compile_c(source, level=ScheduleLevel.SPECULATIVE)
+    print(result["minmax"].assembly())
+    print(result["minmax"].run([5, 2, 9, 4], 4).cycles)
+"""
+
+from .compiler import CompileResult, CompiledUnit, RunResult, compile_c
+from .machine.configs import CONFIGS, superscalar, vliw_like
+from .machine.model import DelayModel, MachineModel
+from .machine.rs6k import RS6K, rs6k
+from .sched.candidates import ScheduleLevel
+from .sched.driver import GlobalScheduleReport, global_schedule
+from .xform.pipeline import PipelineConfig, PipelineReport, optimize
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CONFIGS",
+    "CompileResult",
+    "CompiledUnit",
+    "DelayModel",
+    "GlobalScheduleReport",
+    "MachineModel",
+    "PipelineConfig",
+    "PipelineReport",
+    "RS6K",
+    "RunResult",
+    "ScheduleLevel",
+    "compile_c",
+    "global_schedule",
+    "optimize",
+    "rs6k",
+    "superscalar",
+    "vliw_like",
+    "__version__",
+]

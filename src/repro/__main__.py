@@ -1,0 +1,188 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``compile FILE.c`` -- compile mini-C and print the scheduled assembly;
+* ``run FILE.c FUNC ARGS...`` -- compile, execute on the simulator, and
+  report results and cycle counts (array arguments as ``1,2,3`` lists);
+* ``schedule FILE.ir`` -- globally schedule a textual-IR function;
+* ``dot FILE.c --graph cfg|cspdg|ddg`` -- emit Graphviz for the graphs of
+  the paper's Figures 3 and 4;
+* ``figures`` -- regenerate the paper's Figure 7/8 tables.
+
+Examples::
+
+    python -m repro compile examples/minmax.c --level speculative
+    python -m repro run tests.c minmax 5,3,9,1 3 0,0
+    python -m repro figures
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .compiler import compile_c
+from .machine.configs import CONFIGS
+from .sched.candidates import ScheduleLevel
+from .xform.pipeline import PipelineConfig
+
+_LEVELS = {level.value: level for level in ScheduleLevel}
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--level", choices=sorted(_LEVELS),
+                        default="speculative",
+                        help="scheduling level (default: speculative)")
+    parser.add_argument("--machine", choices=sorted(CONFIGS),
+                        default="rs6k",
+                        help="machine configuration (default: rs6k)")
+
+
+def _compile(path: str, level: str, machine: str, **config_kwargs):
+    with open(path) as handle:
+        source = handle.read()
+    config = PipelineConfig(level=_LEVELS[level], **config_kwargs)
+    return compile_c(source, machine=CONFIGS[machine](),
+                     level=_LEVELS[level], config=config)
+
+
+def cmd_compile(args) -> int:
+    result = _compile(args.file, args.level, args.machine,
+                      use_counter_register=args.ctr)
+    for unit in result:
+        if args.function and unit.name != args.function:
+            continue
+        print(unit.assembly())
+        report = unit.report
+        motions = report.motions
+        useful = sum(1 for m in motions if not m.speculative)
+        spec = len(motions) - useful
+        print(f"; {unit.name}: {useful} useful + {spec} speculative "
+              f"motions, compiled in {report.elapsed_seconds * 1e3:.1f} ms")
+        print()
+    return 0
+
+
+def _parse_arg(text: str):
+    if "," in text or text.startswith("["):
+        items = text.strip("[]").split(",")
+        return [int(i) for i in items if i.strip() != ""]
+    return int(text)
+
+
+def cmd_run(args) -> int:
+    result = _compile(args.file, args.level, args.machine)
+    unit = result[args.function]
+    call_args = [_parse_arg(a) for a in args.args]
+    run = unit.run(*call_args)
+    print(f"return value: {run.return_value}")
+    for i, array in enumerate(run.arrays):
+        print(f"array arg {i}: {array}")
+    print(f"cycles: {run.cycles}  instructions: {run.instructions}  "
+          f"IPC: {run.timing.ipc:.2f}")
+    return 0
+
+
+def cmd_schedule(args) -> int:
+    from .ir.parser import parse_function
+    from .ir.printer import format_function
+    from .machine.configs import CONFIGS as MACHINES
+    from .sched.driver import global_schedule
+
+    with open(args.file) as handle:
+        func = parse_function(handle.read())
+    report = global_schedule(func, MACHINES[args.machine](),
+                             _LEVELS[args.level])
+    print(format_function(func))
+    for motion in report.motions:
+        print(f"; {motion!r}")
+    return 0
+
+
+def cmd_dot(args) -> int:
+    from .sched.regions import build_region_pdg, find_regions
+    from .viz import cfg_to_dot, cspdg_to_dot, ddg_to_dot
+
+    result = _compile(args.file, args.level, args.machine)
+    unit = result[args.function] if args.function else next(iter(result))
+    func = unit.func
+    if args.graph == "cfg":
+        print(cfg_to_dot(func, instructions=args.instructions), end="")
+        return 0
+    # PDG graphs are per region: pick the first loop (or the body region)
+    regions = find_regions(func)
+    spec = next((r for r in regions if r.kind == "loop"), regions[-1])
+    pdg = build_region_pdg(func, unit.machine, spec)
+    if args.graph == "cspdg":
+        print(cspdg_to_dot(pdg), end="")
+    else:
+        print(ddg_to_dot(pdg.ddg, name=func.name), end="")
+    return 0
+
+
+def cmd_figures(args) -> int:
+    from .bench.harness import (figure7_table, figure8_table,
+                                format_figure7, format_figure8)
+
+    print(format_figure8(figure8_table()))
+    print()
+    print(format_figure7(figure7_table(repeats=args.repeats)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PDG-based global instruction scheduling "
+                    "(Bernstein & Rodeh, PLDI 1991)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="compile mini-C, print assembly")
+    p.add_argument("file")
+    p.add_argument("--function", help="print only this function")
+    p.add_argument("--ctr", action="store_true",
+                   help="enable counter-register loops (footnote 3)")
+    _add_common(p)
+    p.set_defaults(fn=cmd_compile)
+
+    p = sub.add_parser("run", help="compile and execute on the simulator")
+    p.add_argument("file")
+    p.add_argument("function")
+    p.add_argument("args", nargs="*",
+                   help="ints for scalars, comma lists for arrays")
+    _add_common(p)
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("schedule",
+                       help="globally schedule a textual-IR function")
+    p.add_argument("file")
+    _add_common(p)
+    p.set_defaults(fn=cmd_schedule)
+
+    p = sub.add_parser("dot", help="emit Graphviz for CFG/CSPDG/DDG")
+    p.add_argument("file")
+    p.add_argument("--graph", choices=["cfg", "cspdg", "ddg"],
+                   default="cfg")
+    p.add_argument("--function")
+    p.add_argument("--instructions", action="store_true",
+                   help="include instruction listings in CFG nodes")
+    _add_common(p)
+    p.set_defaults(fn=cmd_dot)
+
+    p = sub.add_parser("figures",
+                       help="regenerate the paper's Figure 7/8 tables")
+    p.add_argument("--repeats", type=int, default=3)
+    p.set_defaults(fn=cmd_figures)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

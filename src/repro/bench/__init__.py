@@ -1,0 +1,41 @@
+"""Benchmark workloads and the Figures 7/8 evaluation harness."""
+
+from .harness import (
+    CTORow,
+    RTIRow,
+    figure7_table,
+    figure8_table,
+    format_figure7,
+    format_figure8,
+    measure_cto,
+    measure_rti,
+)
+from .programs import (
+    EQNTOTT_LIKE_C,
+    ESPRESSO_LIKE_C,
+    GCC_LIKE_C,
+    LI_LIKE_C,
+    MINMAX_C,
+    MINMAX_WORKLOAD,
+    WORKLOADS,
+    Workload,
+)
+
+__all__ = [
+    "CTORow",
+    "EQNTOTT_LIKE_C",
+    "ESPRESSO_LIKE_C",
+    "GCC_LIKE_C",
+    "LI_LIKE_C",
+    "MINMAX_C",
+    "MINMAX_WORKLOAD",
+    "RTIRow",
+    "WORKLOADS",
+    "Workload",
+    "figure7_table",
+    "figure8_table",
+    "format_figure7",
+    "format_figure8",
+    "measure_cto",
+    "measure_rti",
+]

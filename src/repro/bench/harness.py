@@ -1,0 +1,177 @@
+"""The evaluation harness regenerating Figures 7 and 8.
+
+* **Figure 8** (run-time improvement, RTI): each workload is compiled at
+  the paper's three levels -- BASE (``ScheduleLevel.NONE``: basic-block
+  scheduling only), USEFUL, and USEFUL+SPECULATIVE -- run on identical
+  inputs through the cycle simulator, and reported as the percentage
+  improvement in simulated cycles over BASE.  The harness also verifies
+  all three levels against the workload's Python oracle.
+
+* **Figure 7** (compile-time overhead, CTO): wall-clock compilation time
+  with the global scheduling pipeline enabled, as a percentage increase
+  over the BASE compiler, measured over repeated compilations.
+
+Absolute numbers differ from the paper's (1990 hardware, real SPEC
+sources); the *shape* -- which workload class benefits from which level --
+is the reproduction target and is asserted by the integration tests.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+from ..compiler import compile_c
+from ..machine.model import MachineModel
+from ..machine.rs6k import rs6k
+from ..sched.candidates import ScheduleLevel
+from .programs import WORKLOADS, Workload
+
+_LEVELS = (ScheduleLevel.NONE, ScheduleLevel.USEFUL, ScheduleLevel.SPECULATIVE)
+
+
+@dataclass
+class RTIRow:
+    """One row of the Figure 8 table."""
+
+    workload: str
+    paper_name: str
+    base_cycles: int
+    useful_cycles: int
+    speculative_cycles: int
+
+    @property
+    def rti_useful(self) -> float:
+        """% improvement of USEFUL over BASE (positive = faster)."""
+        return 100.0 * (self.base_cycles - self.useful_cycles) / self.base_cycles
+
+    @property
+    def rti_speculative(self) -> float:
+        return 100.0 * (self.base_cycles
+                        - self.speculative_cycles) / self.base_cycles
+
+
+@dataclass
+class CTORow:
+    """One row of the Figure 7 table."""
+
+    workload: str
+    paper_name: str
+    base_seconds: float
+    scheduled_seconds: float
+
+    @property
+    def cto(self) -> float:
+        """% compile-time increase of the global-scheduling pipeline."""
+        if self.base_seconds == 0:
+            return 0.0
+        return 100.0 * (self.scheduled_seconds
+                        - self.base_seconds) / self.base_seconds
+
+
+def _run_at_level(workload: Workload, level: ScheduleLevel,
+                  machine: MachineModel, args: tuple):
+    result = compile_c(workload.source, machine=machine, level=level)
+    unit = result[workload.entry]
+    # deep-copy list arguments: the program may mutate its arrays
+    call_args = tuple(list(a) if isinstance(a, list) else a for a in args)
+    return unit.run(*call_args, call_handlers=workload.call_handlers)
+
+
+def measure_rti(workload: Workload, machine: MachineModel | None = None,
+                *, seed: int = 1991, verify: bool = True) -> RTIRow:
+    """Measure one workload's Figure 8 row."""
+    machine = machine or rs6k()
+    rng = random.Random(seed)
+    args = workload.make_args(rng)
+    cycles: dict[ScheduleLevel, int] = {}
+    outputs = []
+    for level in _LEVELS:
+        run = _run_at_level(workload, level, machine, args)
+        cycles[level] = run.cycles
+        outputs.append((run.return_value, run.arrays))
+    if verify:
+        ref_args = tuple(list(a) if isinstance(a, list) else a for a in args)
+        expected = workload.reference(*ref_args)
+        for level, (value, _arrays) in zip(_LEVELS, outputs):
+            if value != expected:
+                raise AssertionError(
+                    f"{workload.name}@{level.value}: returned {value}, "
+                    f"oracle says {expected}"
+                )
+        first = outputs[0]
+        for level, out in zip(_LEVELS[1:], outputs[1:]):
+            if out != first:
+                raise AssertionError(
+                    f"{workload.name}@{level.value}: output diverged from BASE"
+                )
+    return RTIRow(
+        workload=workload.name,
+        paper_name=workload.paper_name,
+        base_cycles=cycles[ScheduleLevel.NONE],
+        useful_cycles=cycles[ScheduleLevel.USEFUL],
+        speculative_cycles=cycles[ScheduleLevel.SPECULATIVE],
+    )
+
+
+def measure_cto(workload: Workload, machine: MachineModel | None = None,
+                *, repeats: int = 5) -> CTORow:
+    """Measure one workload's Figure 7 row (median of ``repeats``)."""
+    machine = machine or rs6k()
+
+    def time_level(level: ScheduleLevel) -> float:
+        samples = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            compile_c(workload.source, machine=machine, level=level)
+            samples.append(time.perf_counter() - start)
+        samples.sort()
+        return samples[len(samples) // 2]
+
+    return CTORow(
+        workload=workload.name,
+        paper_name=workload.paper_name,
+        base_seconds=time_level(ScheduleLevel.NONE),
+        scheduled_seconds=time_level(ScheduleLevel.SPECULATIVE),
+    )
+
+
+def figure8_table(machine: MachineModel | None = None,
+                  *, seed: int = 1991) -> list[RTIRow]:
+    """All Figure 8 rows (LI, EQNTOTT, ESPRESSO, GCC stand-ins)."""
+    return [measure_rti(w, machine, seed=seed) for w in WORKLOADS]
+
+
+def figure7_table(machine: MachineModel | None = None,
+                  *, repeats: int = 5) -> list[CTORow]:
+    """All Figure 7 rows."""
+    return [measure_cto(w, machine, repeats=repeats) for w in WORKLOADS]
+
+
+def format_figure8(rows: list[RTIRow]) -> str:
+    """Render like the paper's Figure 8 (BASE in cycles, RTI in %)."""
+    lines = [
+        "Figure 8. Run-time improvements for the global scheduling",
+        f"{'PROGRAM':<12} {'BASE(cyc)':>10} {'USEFUL':>8} {'SPECULATIVE':>12}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.paper_name:<12} {row.base_cycles:>10} "
+            f"{row.rti_useful:>7.1f}% {row.rti_speculative:>11.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def format_figure7(rows: list[CTORow]) -> str:
+    """Render like the paper's Figure 7 (BASE in seconds, CTO in %)."""
+    lines = [
+        "Figure 7. Compile-time overheads for the global scheduling",
+        f"{'PROGRAM':<12} {'BASE(s)':>10} {'CTO':>8}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.paper_name:<12} {row.base_seconds:>10.4f} "
+            f"{row.cto:>7.0f}%"
+        )
+    return "\n".join(lines)

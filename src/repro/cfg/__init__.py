@@ -1,0 +1,21 @@
+"""Control-flow-graph analyses: CFG construction, dominators, loops."""
+
+from .digraph import Digraph
+from .dominators import DominatorTree, dominator_tree, postdominator_tree
+from .graph import ENTRY, EXIT, ControlFlowGraph
+from .loops import Loop, LoopNest, back_edges, is_reducible, natural_loop
+
+__all__ = [
+    "ControlFlowGraph",
+    "Digraph",
+    "DominatorTree",
+    "ENTRY",
+    "EXIT",
+    "Loop",
+    "LoopNest",
+    "back_edges",
+    "dominator_tree",
+    "is_reducible",
+    "natural_loop",
+    "postdominator_tree",
+]

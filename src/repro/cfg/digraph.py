@@ -1,0 +1,146 @@
+"""A small generic directed-graph type used by all CFG-level analyses.
+
+Dominators, postdominators, control dependences and loop detection all run
+over plain digraphs; keeping them generic lets the scheduler reuse the exact
+same code on (a) the function CFG augmented with ENTRY/EXIT and (b) the
+*collapsed* region graphs in which nested inner loops appear as single
+abstract nodes (Section 5.1 schedules region by region and never moves
+instructions across region boundaries).
+
+Nodes may be any hashable objects.  Insertion order is preserved everywhere
+so analyses are deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator
+
+Node = Hashable
+
+
+class Digraph:
+    """Directed graph with deterministic iteration order."""
+
+    def __init__(self) -> None:
+        self._succs: dict[Node, list[Node]] = {}
+        self._preds: dict[Node, list[Node]] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def add_node(self, node: Node) -> None:
+        if node not in self._succs:
+            self._succs[node] = []
+            self._preds[node] = []
+
+    def add_edge(self, src: Node, dst: Node) -> None:
+        """Add an edge (parallel edges are collapsed)."""
+        self.add_node(src)
+        self.add_node(dst)
+        if dst not in self._succs[src]:
+            self._succs[src].append(dst)
+            self._preds[dst].append(src)
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def nodes(self) -> list[Node]:
+        return list(self._succs)
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._succs
+
+    def __len__(self) -> int:
+        return len(self._succs)
+
+    def succs(self, node: Node) -> list[Node]:
+        return list(self._succs[node])
+
+    def preds(self, node: Node) -> list[Node]:
+        return list(self._preds[node])
+
+    def edges(self) -> Iterator[tuple[Node, Node]]:
+        for src, dsts in self._succs.items():
+            for dst in dsts:
+                yield (src, dst)
+
+    def reversed(self) -> "Digraph":
+        """A new graph with every edge flipped."""
+        rev = Digraph()
+        for node in self._succs:
+            rev.add_node(node)
+        for src, dst in self.edges():
+            rev.add_edge(dst, src)
+        return rev
+
+    def subgraph(self, nodes: Iterable[Node]) -> "Digraph":
+        """The induced subgraph on ``nodes`` (order preserved)."""
+        keep = set(nodes)
+        sub = Digraph()
+        for node in self._succs:
+            if node in keep:
+                sub.add_node(node)
+        for src, dst in self.edges():
+            if src in keep and dst in keep:
+                sub.add_edge(src, dst)
+        return sub
+
+    # -- traversals -------------------------------------------------------------
+
+    def reachable_from(self, root: Node) -> set[Node]:
+        seen: set[Node] = set()
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self._succs.get(node, ()))
+        return seen
+
+    def postorder(self, root: Node) -> list[Node]:
+        """Iterative DFS postorder from ``root`` (deterministic)."""
+        order: list[Node] = []
+        seen: set[Node] = set()
+        # stack holds (node, iterator over successors)
+        stack: list[tuple[Node, Iterator[Node]]] = []
+        if root in self._succs:
+            seen.add(root)
+            stack.append((root, iter(self._succs[root])))
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for succ in it:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append((succ, iter(self._succs[succ])))
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(node)
+                stack.pop()
+        return order
+
+    def rpo(self, root: Node) -> list[Node]:
+        """Reverse postorder from ``root``."""
+        order = self.postorder(root)
+        order.reverse()
+        return order
+
+    def topological_order(self, root: Node) -> list[Node]:
+        """Topological order of an *acyclic* graph reachable from ``root``.
+
+        Raises ``ValueError`` if a cycle is reachable.  Reverse postorder of
+        a DAG is a topological order; we verify no retreating edge exists.
+        """
+        order = self.rpo(root)
+        position = {node: i for i, node in enumerate(order)}
+        for src in order:
+            for dst in self._succs[src]:
+                if position.get(dst, len(order)) <= position[src]:
+                    raise ValueError(
+                        f"graph has a cycle (retreating edge {src!r}->{dst!r})"
+                    )
+        return order
+
+    def __repr__(self) -> str:
+        return f"<Digraph {len(self)} nodes, {sum(1 for _ in self.edges())} edges>"

@@ -1,0 +1,121 @@
+"""Dominator and postdominator trees.
+
+Definitions 1-3 of the paper:
+
+* ``A`` *dominates* ``B`` iff ``A`` appears on every path from ENTRY to ``B``;
+* ``B`` *postdominates* ``A`` iff ``B`` appears on every path from ``A`` to
+  EXIT;
+* ``A`` and ``B`` are *equivalent* iff ``A`` dominates ``B`` and ``B``
+  postdominates ``A`` (the precondition for *useful* code motion,
+  Definition 4).
+
+The implementation is the Cooper-Harvey-Kennedy iterative algorithm ("A
+Simple, Fast Dominance Algorithm"), which runs in near-linear time on
+reducible CFGs and is correct on arbitrary graphs.  Postdominators are
+dominators of the reverse graph rooted at EXIT.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from .digraph import Digraph
+
+Node = Hashable
+
+
+class DominatorTree:
+    """Immediate-dominator tree of the subgraph reachable from ``root``."""
+
+    def __init__(self, graph: Digraph, root: Node):
+        self.root = root
+        self._rpo = graph.rpo(root)
+        self._index = {node: i for i, node in enumerate(self._rpo)}
+        self._idom: dict[Node, Node] = {root: root}
+        self._compute(graph)
+        self._children: dict[Node, list[Node]] = {n: [] for n in self._rpo}
+        for node in self._rpo:
+            if node != root:
+                self._children[self._idom[node]].append(node)
+        # depth of each node in the dominator tree, for O(depth) queries
+        self._depth: dict[Node, int] = {root: 0}
+        for node in self._rpo[1:]:
+            self._depth[node] = self._depth[self._idom[node]] + 1
+
+    def _compute(self, graph: Digraph) -> None:
+        index = self._index
+        idom = self._idom
+
+        def intersect(a: Node, b: Node) -> Node:
+            while a != b:
+                while index[a] > index[b]:
+                    a = idom[a]
+                while index[b] > index[a]:
+                    b = idom[b]
+            return a
+
+        changed = True
+        while changed:
+            changed = False
+            for node in self._rpo[1:]:
+                processed = [p for p in graph.preds(node)
+                             if p in idom and p in index]
+                if not processed:
+                    continue
+                new_idom = processed[0]
+                for pred in processed[1:]:
+                    new_idom = intersect(pred, new_idom)
+                if idom.get(node) != new_idom:
+                    idom[node] = new_idom
+                    changed = True
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def nodes(self) -> list[Node]:
+        """All nodes reachable from the root, in reverse postorder."""
+        return list(self._rpo)
+
+    def idom(self, node: Node) -> Node | None:
+        """Immediate dominator (``None`` for the root)."""
+        if node == self.root:
+            return None
+        return self._idom[node]
+
+    def children(self, node: Node) -> list[Node]:
+        return list(self._children[node])
+
+    def depth(self, node: Node) -> int:
+        return self._depth[node]
+
+    def dominates(self, a: Node, b: Node) -> bool:
+        """Does ``a`` dominate ``b``?  (Reflexive: a node dominates itself.)"""
+        if a not in self._depth or b not in self._depth:
+            return False
+        while self._depth[b] > self._depth[a]:
+            b = self._idom[b]
+        return a == b
+
+    def strictly_dominates(self, a: Node, b: Node) -> bool:
+        return a != b and self.dominates(a, b)
+
+    def dominators_of(self, node: Node) -> list[Node]:
+        """All dominators of ``node``, from the node up to the root."""
+        out = [node]
+        while node != self.root:
+            node = self._idom[node]
+            out.append(node)
+        return out
+
+
+def dominator_tree(graph: Digraph, entry: Node) -> DominatorTree:
+    """Dominator tree of ``graph`` rooted at ``entry``."""
+    return DominatorTree(graph, entry)
+
+
+def postdominator_tree(graph: Digraph, exit_node: Node) -> DominatorTree:
+    """Postdominator tree: dominators of the reversed graph from EXIT.
+
+    ``tree.dominates(b, a)`` then answers "``b`` postdominates ``a``".
+    """
+    return DominatorTree(graph.reversed(), exit_node)

@@ -1,0 +1,66 @@
+"""The control flow graph of a function, with virtual ENTRY and EXIT nodes.
+
+Following Section 4.1 of the paper, the CFG is augmented with unique ENTRY
+and EXIT nodes: ENTRY has an edge to the single entry block, and every block
+from which control can leave the function (or the region) has an edge to
+EXIT.  Nodes are block *labels*; the virtual nodes use reserved names.
+"""
+
+from __future__ import annotations
+
+from ..ir.function import Function
+from .digraph import Digraph
+
+#: Reserved virtual node names (never legal block labels -- labels cannot
+#: contain spaces).
+ENTRY = "<entry>"
+EXIT = "<exit>"
+
+
+class ControlFlowGraph:
+    """A function's CFG over block labels, plus ENTRY/EXIT."""
+
+    def __init__(self, func: Function):
+        self.func = func
+        self.graph = Digraph()
+        self.graph.add_node(ENTRY)
+        self.graph.add_node(EXIT)
+        for block in func.blocks:
+            self.graph.add_node(block.label)
+        self.graph.add_edge(ENTRY, func.entry.label)
+        for block in func.blocks:
+            for succ in func.successors(block):
+                self.graph.add_edge(block.label, succ.label)
+            term = block.terminator
+            if term is not None and term.opcode.mnemonic == "RET":
+                self.graph.add_edge(block.label, EXIT)
+            elif func.falls_off_end(block):
+                self.graph.add_edge(block.label, EXIT)
+
+    # -- delegation ---------------------------------------------------------
+
+    @property
+    def entry(self) -> str:
+        return ENTRY
+
+    @property
+    def exit(self) -> str:
+        return EXIT
+
+    def block_labels(self) -> list[str]:
+        return [b.label for b in self.func.blocks]
+
+    def succs(self, label: str) -> list[str]:
+        return self.graph.succs(label)
+
+    def preds(self, label: str) -> list[str]:
+        return self.graph.preds(label)
+
+    def reachable_blocks(self) -> set[str]:
+        reached = self.graph.reachable_from(ENTRY)
+        reached.discard(ENTRY)
+        reached.discard(EXIT)
+        return reached
+
+    def __repr__(self) -> str:
+        return f"<ControlFlowGraph of {self.func.name}: {self.graph!r}>"

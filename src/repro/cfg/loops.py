@@ -1,0 +1,165 @@
+"""Back edges, natural loops, the loop nesting forest, and reducibility.
+
+The paper schedules *regions*: "a region represents either a strongly
+connected component that corresponds to a loop (which has at least one back
+edge) or a body of a subroutine without the enclosed loops" (Section 5.1),
+and assumes reducible control flow ("the assumption of a control flow graph
+having a single entry corresponds to the assumption that the control flow
+graph is reducible", Section 4.1).
+
+A *back edge* is an edge ``u -> h`` whose target dominates its source; the
+*natural loop* of the back edge is ``h`` plus every node that can reach ``u``
+without passing through ``h``.  Loops sharing a header are merged.  The CFG
+is reducible iff deleting all back edges leaves an acyclic graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from .digraph import Digraph
+from .dominators import DominatorTree
+
+Node = Hashable
+
+
+@dataclass
+class Loop:
+    """A natural loop: single-entry strongly connected region."""
+
+    header: Node
+    #: all nodes in the loop, header included
+    body: set[Node]
+    #: sources of the back edges targeting the header
+    latches: list[Node]
+    parent: "Loop | None" = None
+    children: list["Loop"] = field(default_factory=list)
+
+    @property
+    def depth(self) -> int:
+        """Nesting depth; 1 for an outermost loop."""
+        depth, loop = 1, self
+        while loop.parent is not None:
+            depth += 1
+            loop = loop.parent
+        return depth
+
+    @property
+    def is_innermost(self) -> bool:
+        return not self.children
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self.body
+
+    def __repr__(self) -> str:
+        return (f"<Loop header={self.header!r} |body|={len(self.body)} "
+                f"depth={self.depth}>")
+
+
+def back_edges(graph: Digraph, dom: DominatorTree) -> list[tuple[Node, Node]]:
+    """All edges whose target dominates their source."""
+    result = []
+    for src, dst in graph.edges():
+        if dom.dominates(dst, src):
+            result.append((src, dst))
+    return result
+
+
+def natural_loop(graph: Digraph, latch: Node, header: Node) -> set[Node]:
+    """Body of the natural loop of back edge ``latch -> header``."""
+    body = {header, latch}
+    stack = [latch] if latch != header else []
+    while stack:
+        node = stack.pop()
+        for pred in graph.preds(node):
+            if pred not in body:
+                body.add(pred)
+                stack.append(pred)
+    return body
+
+
+def is_reducible(graph: Digraph, dom: DominatorTree) -> bool:
+    """Is the graph reducible (all cycles entered through their headers)?"""
+    backs = set(back_edges(graph, dom))
+    forward = Digraph()
+    for node in graph.nodes:
+        forward.add_node(node)
+    for edge in graph.edges():
+        if edge not in backs:
+            forward.add_edge(*edge)
+    try:
+        forward.topological_order(dom.root)
+    except ValueError:
+        return False
+    return True
+
+
+class LoopNest:
+    """The loop nesting forest of a CFG."""
+
+    def __init__(self, graph: Digraph, dom: DominatorTree):
+        self.graph = graph
+        self.dom = dom
+        self.loops: list[Loop] = []
+        self._loop_of_header: dict[Node, Loop] = {}
+        self._build()
+
+    def _build(self) -> None:
+        by_header: dict[Node, Loop] = {}
+        # the backward body walk can pull in forward-unreachable
+        # predecessors; clamp to nodes the dominator tree knows about
+        reachable = set(self.dom.nodes)
+        for latch, header in back_edges(self.graph, self.dom):
+            body = natural_loop(self.graph, latch, header) & reachable
+            if header in by_header:
+                by_header[header].body |= body
+                by_header[header].latches.append(latch)
+            else:
+                by_header[header] = Loop(header, body, [latch])
+        self.loops = sorted(by_header.values(), key=lambda l: len(l.body))
+        self._loop_of_header = by_header
+        # nest: each loop's parent is the smallest strictly-containing loop
+        for i, inner in enumerate(self.loops):
+            for outer in self.loops[i + 1:]:
+                if inner.header in outer.body and inner is not outer:
+                    inner.parent = outer
+                    outer.children.append(inner)
+                    break
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def top_level(self) -> list[Loop]:
+        return [l for l in self.loops if l.parent is None]
+
+    def loop_with_header(self, header: Node) -> Loop | None:
+        return self._loop_of_header.get(header)
+
+    def innermost_containing(self, node: Node) -> Loop | None:
+        """The smallest loop whose body contains ``node``."""
+        best: Loop | None = None
+        for loop in self.loops:  # sorted by body size ascending
+            if node in loop.body:
+                best = loop
+                break
+        return best
+
+    def loops_innermost_first(self) -> list[Loop]:
+        """All loops ordered so every loop precedes its ancestors."""
+        order: list[Loop] = []
+        seen: set[int] = set()
+
+        def visit(loop: Loop) -> None:
+            for child in loop.children:
+                visit(child)
+            if id(loop) not in seen:
+                seen.add(id(loop))
+                order.append(loop)
+
+        for loop in self.top_level:
+            visit(loop)
+        return order
+
+    def __repr__(self) -> str:
+        return f"<LoopNest {len(self.loops)} loops>"

@@ -1,0 +1,15 @@
+"""Dataflow analyses: liveness (live-on-exit) and reaching definitions."""
+
+from .engine import solve_backward, solve_forward
+from .liveness import LivenessInfo, block_use_def, compute_liveness
+from .reaching import Definition, ReachingDefinitions
+
+__all__ = [
+    "Definition",
+    "LivenessInfo",
+    "ReachingDefinitions",
+    "block_use_def",
+    "compute_liveness",
+    "solve_backward",
+    "solve_forward",
+]

@@ -1,0 +1,93 @@
+"""A generic worklist solver for forward/backward set-based dataflow.
+
+Both liveness (backward, may) and reaching definitions (forward, may) are
+instances; writing the fixed-point loop once keeps the two analyses small
+and obviously correct.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Hashable, Iterable, TypeVar
+
+from ..cfg.digraph import Digraph
+
+Node = Hashable
+T = TypeVar("T")
+
+#: A transfer function mapping (node, in_set) -> out_set.
+Transfer = Callable[[Node, frozenset], frozenset]
+
+
+def solve_backward(
+    graph: Digraph,
+    nodes: Iterable[Node],
+    transfer: Transfer,
+    boundary: frozenset = frozenset(),
+) -> dict[Node, frozenset]:
+    """Solve a backward may-analysis to a fixed point.
+
+    Returns the *out* set of every node (the meet over successors' *in*
+    sets is recomputed on demand inside the loop; ``transfer`` maps a node's
+    out set to its in set).  ``boundary`` seeds nodes with no successors.
+    """
+    nodes = list(nodes)
+    out_sets: dict[Node, frozenset] = {n: frozenset() for n in nodes}
+    in_sets: dict[Node, frozenset] = {n: frozenset() for n in nodes}
+    work = deque(nodes)
+    in_work = set(nodes)
+    while work:
+        node = work.popleft()
+        in_work.discard(node)
+        succs = [s for s in graph.succs(node) if s in in_sets]
+        if succs:
+            new_out = frozenset().union(*(in_sets[s] for s in succs))
+        else:
+            new_out = boundary
+        out_sets[node] = new_out
+        new_in = transfer(node, new_out)
+        if new_in != in_sets[node]:
+            in_sets[node] = new_in
+            for pred in graph.preds(node):
+                if pred in out_sets and pred not in in_work:
+                    work.append(pred)
+                    in_work.add(pred)
+    return out_sets
+
+
+def solve_forward(
+    graph: Digraph,
+    nodes: Iterable[Node],
+    transfer: Transfer,
+    entry: Node,
+    boundary: frozenset = frozenset(),
+) -> dict[Node, frozenset]:
+    """Solve a forward may-analysis; returns the *in* set of every node."""
+    nodes = list(nodes)
+    in_sets: dict[Node, frozenset] = {n: frozenset() for n in nodes}
+    out_sets: dict[Node, frozenset] = {n: frozenset() for n in nodes}
+    if entry in in_sets:
+        in_sets[entry] = boundary
+    work = deque(nodes)
+    in_work = set(nodes)
+    while work:
+        node = work.popleft()
+        in_work.discard(node)
+        preds = [p for p in graph.preds(node) if p in out_sets]
+        if preds:
+            new_in = frozenset().union(*(out_sets[p] for p in preds))
+            if node == entry:
+                new_in |= boundary
+        elif node == entry:
+            new_in = boundary
+        else:
+            new_in = frozenset()
+        in_sets[node] = new_in
+        new_out = transfer(node, new_in)
+        if new_out != out_sets[node]:
+            out_sets[node] = new_out
+            for succ in graph.succs(node):
+                if succ in in_sets and succ not in in_work:
+                    work.append(succ)
+                    in_work.add(succ)
+    return in_sets

@@ -1,0 +1,94 @@
+"""Register liveness: live-in / live-out (= *live on exit*) sets per block.
+
+Section 5.3 of the paper drives speculative-motion legality with "the
+(symbolic) registers that are *live on exit* from a basic block": an
+instruction may not be moved speculatively into a block ``B`` if it defines
+a register live on exit from ``B``.  The scheduler takes an initial solution
+from here and updates it dynamically after each speculative motion.
+
+Liveness at function exit is configurable: registers holding results the
+caller observes (e.g. ``min``/``max`` in the running example, or everything a
+trailing RET uses) can be declared live-out of the function.
+"""
+
+from __future__ import annotations
+
+from ..cfg.graph import EXIT, ControlFlowGraph
+from ..ir.basic_block import BasicBlock
+from ..ir.function import Function
+from ..ir.operand import Reg
+from .engine import solve_backward
+
+
+def block_use_def(block: BasicBlock) -> tuple[set[Reg], set[Reg]]:
+    """(upward-exposed uses, defs) of a block."""
+    uses: set[Reg] = set()
+    defs: set[Reg] = set()
+    for ins in block.instrs:
+        for reg in ins.reg_uses():
+            if reg not in defs:
+                uses.add(reg)
+        defs.update(ins.reg_defs())
+    return uses, defs
+
+
+class LivenessInfo:
+    """Solved liveness for one function."""
+
+    def __init__(self, func: Function, cfg: ControlFlowGraph,
+                 live_at_exit: frozenset[Reg] = frozenset()):
+        self.func = func
+        self.cfg = cfg
+        self.live_at_exit = live_at_exit
+        self._use: dict[str, frozenset[Reg]] = {}
+        self._def: dict[str, frozenset[Reg]] = {}
+        for block in func.blocks:
+            uses, defs = block_use_def(block)
+            self._use[block.label] = frozenset(uses)
+            self._def[block.label] = frozenset(defs)
+        self._live_out = self._solve()
+
+    def _solve(self) -> dict[str, frozenset[Reg]]:
+        labels = [b.label for b in self.func.blocks]
+
+        def transfer(label: str, out_set: frozenset) -> frozenset:
+            if label in (EXIT,):
+                return out_set
+            return self._use[label] | (out_set - self._def[label])
+
+        graph = self.cfg.graph
+        # Solve over block labels only; EXIT acts as the boundary: blocks
+        # with an edge to EXIT receive ``live_at_exit`` through it.
+        out_sets: dict[str, frozenset[Reg]] = {}
+        sets = solve_backward(
+            graph.subgraph([*labels, EXIT]),
+            [*labels, EXIT],
+            lambda n, out: out if n == EXIT else transfer(n, out),
+            boundary=self.live_at_exit,
+        )
+        # EXIT itself has no successors -> gets boundary; blocks see it.
+        for label in labels:
+            out_sets[label] = sets[label]
+        return out_sets
+
+    # -- queries ----------------------------------------------------------
+
+    def live_out(self, block: BasicBlock | str) -> frozenset[Reg]:
+        """Registers live on exit from ``block``."""
+        label = block if isinstance(block, str) else block.label
+        return self._live_out[label]
+
+    def live_in(self, block: BasicBlock | str) -> frozenset[Reg]:
+        label = block if isinstance(block, str) else block.label
+        return self._use[label] | (self._live_out[label] - self._def[label])
+
+    def live_out_map(self) -> dict[str, set[Reg]]:
+        """A mutable copy for the scheduler's dynamic updates."""
+        return {label: set(regs) for label, regs in self._live_out.items()}
+
+
+def compute_liveness(func: Function,
+                     live_at_exit: frozenset[Reg] = frozenset(),
+                     cfg: ControlFlowGraph | None = None) -> LivenessInfo:
+    """Convenience constructor."""
+    return LivenessInfo(func, cfg or ControlFlowGraph(func), live_at_exit)

@@ -1,0 +1,85 @@
+"""Reaching definitions, at basic-block granularity.
+
+A *definition* is a (instruction, register) pair.  The solved ``in`` set of
+a block contains every definition that may reach the block's entry.  The
+register-renaming transformation uses this to prove that a def's live range
+is confined to one block (a precondition for safe local renaming), and the
+test suite uses it to cross-check liveness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cfg.graph import ControlFlowGraph
+from ..ir.function import Function
+from ..ir.instruction import Instruction
+from ..ir.operand import Reg
+from .engine import solve_forward
+
+
+@dataclass(frozen=True)
+class Definition:
+    """One register definition site (identified by instruction uid)."""
+
+    uid: int
+    reg: Reg
+
+    def __repr__(self) -> str:
+        return f"Def(I{self.uid}:{self.reg})"
+
+
+class ReachingDefinitions:
+    """Solved reaching definitions for one function."""
+
+    def __init__(self, func: Function, cfg: ControlFlowGraph | None = None):
+        self.func = func
+        self.cfg = cfg or ControlFlowGraph(func)
+        self._gen: dict[str, frozenset[Definition]] = {}
+        self._kill_regs: dict[str, frozenset[Reg]] = {}
+        self._all_defs: dict[Reg, set[Definition]] = {}
+        for block in func.blocks:
+            last_def: dict[Reg, Definition] = {}
+            for ins in block.instrs:
+                for reg in ins.reg_defs():
+                    d = Definition(ins.uid, reg)
+                    last_def[reg] = d
+                    self._all_defs.setdefault(reg, set()).add(d)
+            self._gen[block.label] = frozenset(last_def.values())
+            self._kill_regs[block.label] = frozenset(last_def)
+        self._in_sets = self._solve()
+
+    def _solve(self) -> dict[str, frozenset[Definition]]:
+        labels = [b.label for b in self.func.blocks]
+
+        def transfer(label: str, in_set: frozenset) -> frozenset:
+            killed = self._kill_regs[label]
+            surviving = frozenset(d for d in in_set if d.reg not in killed)
+            return surviving | self._gen[label]
+
+        graph = self.cfg.graph.subgraph(labels)
+        return solve_forward(graph, labels, transfer,
+                             entry=self.func.entry.label)
+
+    # -- queries ------------------------------------------------------------
+
+    def reaching_in(self, label: str) -> frozenset[Definition]:
+        """Definitions that may reach the entry of block ``label``."""
+        return self._in_sets[label]
+
+    def defs_of(self, reg: Reg) -> frozenset[Definition]:
+        """All definition sites of ``reg`` in the function."""
+        return frozenset(self._all_defs.get(reg, ()))
+
+    def reaching_before(self, label: str, ins: Instruction) -> frozenset[Definition]:
+        """Definitions that may reach the program point just before ``ins``."""
+        block = self.func.block(label)
+        live: dict[Reg, set[Definition]] = {}
+        for d in self._in_sets[label]:
+            live.setdefault(d.reg, set()).add(d)
+        for candidate in block.instrs:
+            if candidate is ins:
+                break
+            for reg in candidate.reg_defs():
+                live[reg] = {Definition(candidate.uid, reg)}
+        return frozenset(d for defs in live.values() for d in defs)

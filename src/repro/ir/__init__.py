@@ -1,0 +1,68 @@
+"""The RS/6K-flavoured intermediate representation.
+
+Public surface::
+
+    from repro.ir import (
+        Function, BasicBlock, Instruction, Builder,
+        Opcode, UnitType, Reg, RegClass, MemRef,
+        gpr, fpr, cr, CTR, CR_LT, CR_GT, CR_EQ,
+        parse_function, format_function, verify_function,
+    )
+"""
+
+from .basic_block import BasicBlock
+from .builder import Builder
+from .function import Function
+from .instruction import Instruction, defs_and_uses, make_nop
+from .opcodes import MNEMONIC_TO_OPCODE, Opcode, OpcodeInfo, UnitType
+from .operand import (
+    CR_BIT_NAMES,
+    CR_EQ,
+    CR_GT,
+    CR_LT,
+    CTR,
+    MemRef,
+    Reg,
+    RegClass,
+    cr,
+    fpr,
+    gpr,
+    parse_reg,
+)
+from .parser import ParseError, parse_function
+from .printer import format_block, format_function, format_instruction, print_function
+from .verify import VerificationError, verify_function, verify_reachable
+
+__all__ = [
+    "BasicBlock",
+    "Builder",
+    "CR_BIT_NAMES",
+    "CR_EQ",
+    "CR_GT",
+    "CR_LT",
+    "CTR",
+    "Function",
+    "Instruction",
+    "MNEMONIC_TO_OPCODE",
+    "MemRef",
+    "Opcode",
+    "OpcodeInfo",
+    "ParseError",
+    "Reg",
+    "RegClass",
+    "UnitType",
+    "VerificationError",
+    "cr",
+    "defs_and_uses",
+    "format_block",
+    "format_function",
+    "format_instruction",
+    "fpr",
+    "gpr",
+    "make_nop",
+    "parse_function",
+    "parse_reg",
+    "print_function",
+    "verify_function",
+    "verify_reachable",
+]

@@ -1,0 +1,206 @@
+"""A convenience builder for constructing IR functions.
+
+The builder tracks a *current block* and provides one well-typed method per
+opcode family, assigning instruction uids in emission order (which therefore
+becomes the "original program order" the scheduler's final tie-breaker
+refers to).
+
+Example -- the paper's BL10::
+
+    fb = Builder(Function("minmax"))
+    bl10 = fb.set_block(fb.new_block("CL.9"))
+    fb.ai(r29, r29, 2, comment="i = i+2")
+    fb.cmp(cr4, r29, r27, comment="i < n")
+    fb.bt("CL.0", cr4, CR_LT)
+"""
+
+from __future__ import annotations
+
+from .function import Function
+from .basic_block import BasicBlock
+from .instruction import Instruction
+from .opcodes import Opcode
+from .operand import CR_EQ, CR_GT, CR_LT, MemRef, Reg
+
+
+class Builder:
+    """Incremental construction of a :class:`Function`."""
+
+    def __init__(self, func: Function):
+        self.func = func
+        self.block: BasicBlock | None = None
+
+    # -- block plumbing ---------------------------------------------------
+
+    def new_block(self, label: str | None = None) -> BasicBlock:
+        return self.func.add_block(label)
+
+    def set_block(self, block: BasicBlock) -> BasicBlock:
+        self.block = block
+        return block
+
+    def start_block(self, label: str | None = None) -> BasicBlock:
+        """Create a new block and make it current."""
+        return self.set_block(self.new_block(label))
+
+    def emit(self, ins: Instruction) -> Instruction:
+        if self.block is None:
+            raise ValueError("no current block; call start_block() first")
+        return self.func.emit(self.block, ins)
+
+    # -- loads / stores ---------------------------------------------------
+
+    def load(self, rd: Reg, base: Reg, disp: int = 0, *, symbol: str = "",
+             width: int = 4, comment: str = "") -> Instruction:
+        mem = MemRef(base, disp, width, symbol)
+        return self.emit(Instruction(Opcode.L, defs=(rd,), uses=(base,),
+                                     mem=mem, comment=comment))
+
+    def load_update(self, rd: Reg, base: Reg, disp: int, *, symbol: str = "",
+                    width: int = 4, comment: str = "") -> Instruction:
+        """``LU rd,base = sym(base,disp)``: load from base+disp, then
+        ``base += disp`` (the post-increment form used by I2 of Figure 2)."""
+        mem = MemRef(base, disp, width, symbol)
+        return self.emit(Instruction(Opcode.LU, defs=(rd, base), uses=(base,),
+                                     mem=mem, comment=comment))
+
+    def store(self, rs: Reg, base: Reg, disp: int = 0, *, symbol: str = "",
+              width: int = 4, comment: str = "") -> Instruction:
+        mem = MemRef(base, disp, width, symbol)
+        return self.emit(Instruction(Opcode.ST, uses=(rs, base), mem=mem,
+                                     comment=comment))
+
+    def store_update(self, rs: Reg, base: Reg, disp: int, *, symbol: str = "",
+                     width: int = 4, comment: str = "") -> Instruction:
+        mem = MemRef(base, disp, width, symbol)
+        return self.emit(Instruction(Opcode.STU, defs=(base,),
+                                     uses=(rs, base), mem=mem, comment=comment))
+
+    # -- moves / immediates -----------------------------------------------
+
+    def li(self, rd: Reg, value: int, *, comment: str = "") -> Instruction:
+        return self.emit(Instruction(Opcode.LI, defs=(rd,), imm=value,
+                                     comment=comment))
+
+    def lr(self, rd: Reg, rs: Reg, *, comment: str = "") -> Instruction:
+        return self.emit(Instruction(Opcode.LR, defs=(rd,), uses=(rs,),
+                                     comment=comment))
+
+    # -- arithmetic / logical ----------------------------------------------
+
+    def _binary(self, op: Opcode, rd: Reg, ra: Reg, rb: Reg,
+                comment: str) -> Instruction:
+        return self.emit(Instruction(op, defs=(rd,), uses=(ra, rb),
+                                     comment=comment))
+
+    def _binary_imm(self, op: Opcode, rd: Reg, ra: Reg, imm: int,
+                    comment: str) -> Instruction:
+        return self.emit(Instruction(op, defs=(rd,), uses=(ra,), imm=imm,
+                                     comment=comment))
+
+    def add(self, rd, ra, rb, *, comment=""):
+        return self._binary(Opcode.A, rd, ra, rb, comment)
+
+    def ai(self, rd, ra, imm, *, comment=""):
+        return self._binary_imm(Opcode.AI, rd, ra, imm, comment)
+
+    def sub(self, rd, ra, rb, *, comment=""):
+        return self._binary(Opcode.S, rd, ra, rb, comment)
+
+    def si(self, rd, ra, imm, *, comment=""):
+        return self._binary_imm(Opcode.SI, rd, ra, imm, comment)
+
+    def mul(self, rd, ra, rb, *, comment=""):
+        return self._binary(Opcode.MUL, rd, ra, rb, comment)
+
+    def div(self, rd, ra, rb, *, comment=""):
+        return self._binary(Opcode.DIV, rd, ra, rb, comment)
+
+    def rem(self, rd, ra, rb, *, comment=""):
+        return self._binary(Opcode.REM, rd, ra, rb, comment)
+
+    def and_(self, rd, ra, rb, *, comment=""):
+        return self._binary(Opcode.AND, rd, ra, rb, comment)
+
+    def andi(self, rd, ra, imm, *, comment=""):
+        return self._binary_imm(Opcode.ANDI, rd, ra, imm, comment)
+
+    def or_(self, rd, ra, rb, *, comment=""):
+        return self._binary(Opcode.OR, rd, ra, rb, comment)
+
+    def ori(self, rd, ra, imm, *, comment=""):
+        return self._binary_imm(Opcode.ORI, rd, ra, imm, comment)
+
+    def xor(self, rd, ra, rb, *, comment=""):
+        return self._binary(Opcode.XOR, rd, ra, rb, comment)
+
+    def xori(self, rd, ra, imm, *, comment=""):
+        return self._binary_imm(Opcode.XORI, rd, ra, imm, comment)
+
+    def sl(self, rd, ra, imm, *, comment=""):
+        return self._binary_imm(Opcode.SL, rd, ra, imm, comment)
+
+    def sr(self, rd, ra, imm, *, comment=""):
+        return self._binary_imm(Opcode.SR, rd, ra, imm, comment)
+
+    def sra(self, rd, ra, imm, *, comment=""):
+        return self._binary_imm(Opcode.SRA, rd, ra, imm, comment)
+
+    def neg(self, rd, ra, *, comment=""):
+        return self.emit(Instruction(Opcode.NEG, defs=(rd,), uses=(ra,),
+                                     comment=comment))
+
+    def not_(self, rd, ra, *, comment=""):
+        return self.emit(Instruction(Opcode.NOT, defs=(rd,), uses=(ra,),
+                                     comment=comment))
+
+    # -- compares -----------------------------------------------------------
+
+    def cmp(self, crd: Reg, ra: Reg, rb: Reg, *, comment="") -> Instruction:
+        """Fixed point compare: sets the LT/GT/EQ bits of ``crd``."""
+        return self.emit(Instruction(Opcode.C, defs=(crd,), uses=(ra, rb),
+                                     comment=comment))
+
+    def cmpi(self, crd: Reg, ra: Reg, imm: int, *, comment="") -> Instruction:
+        return self.emit(Instruction(Opcode.CI, defs=(crd,), uses=(ra,),
+                                     imm=imm, comment=comment))
+
+    # -- branches -------------------------------------------------------------
+
+    def b(self, target: str, *, comment="") -> Instruction:
+        return self.emit(Instruction(Opcode.B, target=target, comment=comment))
+
+    def bt(self, target: str, crs: Reg, mask: int, *, comment="") -> Instruction:
+        """Branch to ``target`` if the ``mask`` bit of ``crs`` is set."""
+        return self.emit(Instruction(Opcode.BT, uses=(crs,), target=target,
+                                     mask=mask, comment=comment))
+
+    def bf(self, target: str, crs: Reg, mask: int, *, comment="") -> Instruction:
+        """Branch to ``target`` if the ``mask`` bit of ``crs`` is clear."""
+        return self.emit(Instruction(Opcode.BF, uses=(crs,), target=target,
+                                     mask=mask, comment=comment))
+
+    def call(self, name: str, args: tuple[Reg, ...] = (),
+             rets: tuple[Reg, ...] = (), *, comment="") -> Instruction:
+        return self.emit(Instruction(Opcode.CALL, defs=rets, uses=args,
+                                     target=name, comment=comment))
+
+    def ret(self, value: Reg | None = None, *, comment="") -> Instruction:
+        uses = (value,) if value is not None else ()
+        return self.emit(Instruction(Opcode.RET, uses=uses, comment=comment))
+
+    def nop(self, *, comment="") -> Instruction:
+        return self.emit(Instruction(Opcode.NOP, comment=comment))
+
+    # -- counter register ------------------------------------------------------
+
+    def mtctr(self, ctr: Reg, rs: Reg, *, comment="") -> Instruction:
+        return self.emit(Instruction(Opcode.MTCTR, defs=(ctr,), uses=(rs,),
+                                     comment=comment))
+
+    def bdnz(self, target: str, ctr: Reg, *, comment="") -> Instruction:
+        return self.emit(Instruction(Opcode.BDNZ, defs=(ctr,), uses=(ctr,),
+                                     target=target, comment=comment))
+
+
+__all__ = ["Builder", "CR_LT", "CR_GT", "CR_EQ"]

@@ -1,0 +1,218 @@
+"""IR instructions.
+
+An :class:`Instruction` is a mutable object identified by identity (so it can
+sit in dependence-graph dictionaries while the scheduler moves it between
+blocks) plus a stable ``uid`` recording *original program order* -- the
+paper's final tie-breaking heuristic ("pick an instruction that occurred in
+the code first", Section 5.2) and the printer's ``(I<n>)`` annotation both
+use it.
+
+Operand conventions by opcode family (checked by :mod:`repro.ir.verify`):
+
+=========  =======================  =========================================
+opcode     operands                 meaning
+=========  =======================  =========================================
+L          defs=(rd,) mem           ``rd = load mem``
+LU         defs=(rd, rb) mem        ``rd = load mem; rb += disp`` (update)
+ST         uses=(rs, rb) mem        ``store rs -> mem``
+STU        defs=(rb,) uses=(rs,rb)  ``store rs -> mem; rb += disp``
+LI         defs=(rd,) imm           ``rd = imm``
+LR         defs=(rd,) uses=(rs,)    ``rd = rs``
+A,S,...    defs=(rd,) uses=(ra,rb)  three-address register arithmetic
+AI,SI,...  defs=(rd,) uses=(ra,) imm  register-immediate arithmetic
+NEG,NOT    defs=(rd,) uses=(ra,)    unary
+C          defs=(crd,) uses=(ra,rb) compare, sets LT/GT/EQ bits of ``crd``
+CI         defs=(crd,) uses=(ra,) imm  compare against immediate
+B          target                   unconditional branch
+BT/BF      uses=(cr,) target mask   branch if CR bit (mask) true/false
+CALL       defs=(rets...) uses=(args...) target=name  opaque call
+RET        uses=() or (rv,)         return
+MTCTR      defs=(ctr,) uses=(rs,)   move to counter register
+BDNZ       defs=uses=(ctr,) target  decrement CTR, branch if non-zero
+NOP        --                       no operation
+=========  =======================  =========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, Mapping
+
+from .opcodes import Opcode, UnitType
+from .operand import CR_BIT_NAMES, MemRef, Reg
+
+
+@dataclass(eq=False, slots=True)
+class Instruction:
+    """One IR instruction.  Compares by identity; ``uid`` is program order."""
+
+    opcode: Opcode
+    defs: tuple[Reg, ...] = ()
+    uses: tuple[Reg, ...] = ()
+    imm: int | None = None
+    mem: MemRef | None = None
+    target: str | None = None
+    mask: int | None = None
+    comment: str = ""
+    #: original program order; assigned when added to a Function.
+    uid: int = -1
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def unit(self) -> UnitType:
+        return self.opcode.unit
+
+    @property
+    def is_branch(self) -> bool:
+        return self.opcode.is_branch
+
+    @property
+    def is_conditional_branch(self) -> bool:
+        return self.opcode.is_conditional
+
+    @property
+    def is_call(self) -> bool:
+        return self.opcode.is_call
+
+    @property
+    def is_load(self) -> bool:
+        return self.opcode.is_load
+
+    @property
+    def is_store(self) -> bool:
+        return self.opcode.is_store
+
+    @property
+    def is_compare(self) -> bool:
+        return self.opcode.is_compare
+
+    @property
+    def touches_memory(self) -> bool:
+        return self.opcode.touches_memory
+
+    @property
+    def writes_memory(self) -> bool:
+        """Stores and calls may modify memory."""
+        return self.opcode.is_store or self.opcode.is_call
+
+    @property
+    def is_terminator(self) -> bool:
+        return self.opcode.is_terminator
+
+    def reg_defs(self) -> tuple[Reg, ...]:
+        return self.defs
+
+    def reg_uses(self) -> tuple[Reg, ...]:
+        """All registers read, including the memory base register."""
+        return self.uses
+
+    # -- rewriting -------------------------------------------------------
+
+    def clone(self) -> "Instruction":
+        """A fresh copy (identity-distinct, uid unassigned)."""
+        return Instruction(
+            opcode=self.opcode,
+            defs=self.defs,
+            uses=self.uses,
+            imm=self.imm,
+            mem=self.mem,
+            target=self.target,
+            mask=self.mask,
+            comment=self.comment,
+            uid=-1,
+        )
+
+    def rename_registers(self, mapping: Mapping[Reg, Reg]) -> None:
+        """Substitute registers in place according to ``mapping``.
+
+        Registers not present in the mapping are left alone.  The memory
+        base register is rewritten consistently with ``uses``.
+        """
+        self.defs = tuple(mapping.get(r, r) for r in self.defs)
+        self.uses = tuple(mapping.get(r, r) for r in self.uses)
+        if self.mem is not None and self.mem.base in mapping:
+            self.mem = replace(self.mem, base=mapping[self.mem.base])
+
+    def rename_uses_of(self, old: Reg, new: Reg) -> None:
+        """Substitute ``old`` by ``new`` in the use positions only (the
+        definition positions are left alone).  The memory base register is
+        a use and is rewritten consistently."""
+        self.uses = tuple(new if r == old else r for r in self.uses)
+        if self.mem is not None and self.mem.base == old:
+            self.mem = replace(self.mem, base=new)
+
+    def retarget(self, old_label: str, new_label: str) -> None:
+        """Rewrite a branch target (used by unrolling and rotation)."""
+        if self.target == old_label:
+            self.target = new_label
+
+    # -- rendering -------------------------------------------------------
+
+    def operand_text(self) -> str:
+        """The operand part of the assembly line, Figure-2 style."""
+        op = self.opcode
+        if op in (Opcode.L, Opcode.FL):
+            return f"{self.defs[0]}={self.mem}"
+        if op is Opcode.LU:
+            return f"{self.defs[0]},{self.defs[1]}={self.mem}"
+        if op in (Opcode.ST, Opcode.FST):
+            return f"{self.uses[0]}=>{self.mem}"
+        if op is Opcode.STU:
+            return f"{self.uses[0]},{self.defs[0]}=>{self.mem}"
+        if op is Opcode.LI:
+            return f"{self.defs[0]}={self.imm}"
+        if op in (Opcode.LR, Opcode.FMR, Opcode.NEG, Opcode.NOT, Opcode.MTCTR):
+            return f"{self.defs[0]}={self.uses[0]}"
+        if op in (Opcode.C, Opcode.FC):
+            return f"{self.defs[0]}={self.uses[0]},{self.uses[1]}"
+        if op is Opcode.CI:
+            return f"{self.defs[0]}={self.uses[0]},{self.imm}"
+        if op is Opcode.B:
+            return f"{self.target}"
+        if op in (Opcode.BT, Opcode.BF):
+            bit = CR_BIT_NAMES.get(self.mask or 0, hex(self.mask or 0))
+            return f"{self.target},{self.uses[0]},{self.mask:#x}/{bit}"
+        if op is Opcode.BDNZ:
+            return f"{self.target}"
+        if op is Opcode.CALL:
+            args = ",".join(str(r) for r in self.uses)
+            rets = ",".join(str(r) for r in self.defs)
+            head = f"{rets}=" if rets else ""
+            return f"{head}{self.target}({args})"
+        if op is Opcode.RET:
+            return f"{self.uses[0]}" if self.uses else ""
+        if op is Opcode.NOP:
+            return ""
+        # generic three-address / register-immediate forms
+        if self.imm is not None:
+            return f"{self.defs[0]}={self.uses[0]},{self.imm}"
+        srcs = ",".join(str(r) for r in self.uses)
+        return f"{self.defs[0]}={srcs}"
+
+    def __str__(self) -> str:
+        text = f"{self.opcode.mnemonic:<6}{self.operand_text()}"
+        return text.rstrip()
+
+    def __repr__(self) -> str:
+        tag = f"I{self.uid}" if self.uid >= 0 else "I?"
+        return f"<{tag} {self}>"
+
+
+def make_nop() -> Instruction:
+    """A fresh NOP (handy for tests)."""
+    return Instruction(Opcode.NOP)
+
+
+def defs_and_uses(instrs: Iterable[Instruction]) -> tuple[set[Reg], set[Reg]]:
+    """Union of registers defined and used by ``instrs``.
+
+    Used to summarise nested regions (inner loops) as opaque nodes when
+    scheduling an outer region.
+    """
+    all_defs: set[Reg] = set()
+    all_uses: set[Reg] = set()
+    for ins in instrs:
+        all_defs.update(ins.reg_defs())
+        all_uses.update(ins.reg_uses())
+    return all_defs, all_uses

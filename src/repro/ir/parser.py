@@ -1,0 +1,226 @@
+"""Parser for the textual IR format produced by :mod:`repro.ir.printer`.
+
+This lets tests and examples write programs directly in the paper's
+pseudo-assembly notation (Figure 2) and feed them to the scheduler::
+
+    func = parse_function('''
+    function minmax_loop
+    CL.0:
+        L     r12=a(r31,4)      ; load u
+        LU    r0,r31=a(r31,8)
+        C     cr7=r12,r0
+        BF    CL.4,cr7,0x2/gt
+    ...
+    ''')
+
+Explicit ``(I<n>)`` uids are honoured when present (so round-trips preserve
+original program order); otherwise uids are assigned in textual order.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .function import Function
+from .instruction import Instruction
+from .opcodes import MNEMONIC_TO_OPCODE, Opcode
+from .operand import CR_NAME_BITS, MemRef, Reg, parse_reg
+
+
+class ParseError(ValueError):
+    """Raised for malformed IR text, with a line number."""
+
+    def __init__(self, lineno: int, message: str):
+        super().__init__(f"line {lineno}: {message}")
+        self.lineno = lineno
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):$")
+_INS_RE = re.compile(r"^(?:\(I(\d+)\)\s+)?([A-Z]+)\s*(.*)$")
+_MEM_RE = re.compile(
+    r"^(?:([A-Za-z_][\w]*))?\((\w+),(-?\d+)\)(?::(\d+))?$"
+)
+_CALL_RE = re.compile(r"^(?:(.*)=)?([A-Za-z_][\w.$]*)\((.*)\)$")
+_MASK_RE = re.compile(r"^(0x[0-9a-fA-F]+|\d+)(?:/(\w+))?$")
+
+
+def _parse_mem(text: str, lineno: int) -> MemRef:
+    m = _MEM_RE.match(text.strip())
+    if m is None:
+        raise ParseError(lineno, f"bad memory reference: {text!r}")
+    symbol, base, disp, width = m.groups()
+    return MemRef(parse_reg(base), int(disp),
+                  int(width) if width else 4, symbol or "")
+
+
+def _parse_regs(text: str, lineno: int) -> list[Reg]:
+    regs = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            regs.append(parse_reg(part))
+        except ValueError as exc:
+            raise ParseError(lineno, str(exc)) from None
+    return regs
+
+
+def _parse_mask(text: str, lineno: int) -> int:
+    m = _MASK_RE.match(text.strip())
+    if m is None:
+        raise ParseError(lineno, f"bad condition mask: {text!r}")
+    value = int(m.group(1), 0)
+    name = m.group(2)
+    if name is not None and CR_NAME_BITS.get(name) not in (None, value):
+        raise ParseError(lineno, f"mask {value:#x} does not match /{name}")
+    return value
+
+
+def _split_eq(text: str, lineno: int, arrow: bool = False) -> tuple[str, str]:
+    sep = "=>" if arrow else "="
+    if arrow:
+        idx = text.find("=>")
+    else:
+        # plain '=' that is not part of '=>'
+        idx = -1
+        for i, ch in enumerate(text):
+            if ch == "=" and (i + 1 >= len(text) or text[i + 1] != ">"):
+                idx = i
+                break
+    if idx < 0:
+        raise ParseError(lineno, f"expected {sep!r} in operands: {text!r}")
+    return text[:idx].strip(), text[idx + len(sep):].strip()
+
+
+def _parse_operands(op: Opcode, text: str, lineno: int) -> Instruction:
+    """Build an Instruction from a mnemonic's operand text."""
+    text = text.strip()
+    if op in (Opcode.L, Opcode.FL):
+        lhs, rhs = _split_eq(text, lineno)
+        (rd,) = _parse_regs(lhs, lineno)
+        mem = _parse_mem(rhs, lineno)
+        return Instruction(op, defs=(rd,), uses=(mem.base,), mem=mem)
+    if op is Opcode.LU:
+        lhs, rhs = _split_eq(text, lineno)
+        rd, rb = _parse_regs(lhs, lineno)
+        mem = _parse_mem(rhs, lineno)
+        return Instruction(op, defs=(rd, rb), uses=(mem.base,), mem=mem)
+    if op in (Opcode.ST, Opcode.FST):
+        lhs, rhs = _split_eq(text, lineno, arrow=True)
+        (rs,) = _parse_regs(lhs, lineno)
+        mem = _parse_mem(rhs, lineno)
+        return Instruction(op, uses=(rs, mem.base), mem=mem)
+    if op is Opcode.STU:
+        lhs, rhs = _split_eq(text, lineno, arrow=True)
+        rs, rb = _parse_regs(lhs, lineno)
+        mem = _parse_mem(rhs, lineno)
+        return Instruction(op, defs=(rb,), uses=(rs, mem.base), mem=mem)
+    if op is Opcode.LI:
+        lhs, rhs = _split_eq(text, lineno)
+        (rd,) = _parse_regs(lhs, lineno)
+        return Instruction(op, defs=(rd,), imm=int(rhs, 0))
+    if op in (Opcode.LR, Opcode.FMR, Opcode.NEG, Opcode.NOT, Opcode.MTCTR):
+        lhs, rhs = _split_eq(text, lineno)
+        (rd,) = _parse_regs(lhs, lineno)
+        (rs,) = _parse_regs(rhs, lineno)
+        return Instruction(op, defs=(rd,), uses=(rs,))
+    if op in (Opcode.C, Opcode.FC):
+        lhs, rhs = _split_eq(text, lineno)
+        (crd,) = _parse_regs(lhs, lineno)
+        ra, rb = _parse_regs(rhs, lineno)
+        return Instruction(op, defs=(crd,), uses=(ra, rb))
+    if op is Opcode.CI:
+        lhs, rhs = _split_eq(text, lineno)
+        (crd,) = _parse_regs(lhs, lineno)
+        ra_text, imm_text = [p.strip() for p in rhs.split(",", 1)]
+        return Instruction(op, defs=(crd,), uses=(parse_reg(ra_text),),
+                           imm=int(imm_text, 0))
+    if op is Opcode.B:
+        return Instruction(op, target=text)
+    if op is Opcode.BDNZ:
+        from .operand import CTR
+        return Instruction(op, defs=(CTR,), uses=(CTR,), target=text)
+    if op in (Opcode.BT, Opcode.BF):
+        parts = [p.strip() for p in text.split(",")]
+        if len(parts) != 3:
+            raise ParseError(lineno, f"BT/BF needs target,cr,mask: {text!r}")
+        target, cr_text, mask_text = parts
+        return Instruction(op, uses=(parse_reg(cr_text),), target=target,
+                           mask=_parse_mask(mask_text, lineno))
+    if op is Opcode.CALL:
+        m = _CALL_RE.match(text)
+        if m is None:
+            raise ParseError(lineno, f"bad call: {text!r}")
+        rets_text, name, args_text = m.groups()
+        rets = tuple(_parse_regs(rets_text or "", lineno))
+        args = tuple(_parse_regs(args_text or "", lineno))
+        return Instruction(op, defs=rets, uses=args, target=name)
+    if op is Opcode.RET:
+        uses = tuple(_parse_regs(text, lineno)) if text else ()
+        return Instruction(op, uses=uses)
+    if op is Opcode.NOP:
+        return Instruction(op)
+    # generic binary forms: rd=ra,rb (register) or rd=ra,imm (immediate)
+    lhs, rhs = _split_eq(text, lineno)
+    (rd,) = _parse_regs(lhs, lineno)
+    parts = [p.strip() for p in rhs.split(",")]
+    if len(parts) != 2:
+        raise ParseError(lineno, f"{op.mnemonic} needs two sources: {text!r}")
+    ra = parse_reg(parts[0])
+    try:
+        rb = parse_reg(parts[1])
+    except ValueError:
+        return Instruction(op, defs=(rd,), uses=(ra,), imm=int(parts[1], 0))
+    return Instruction(op, defs=(rd,), uses=(ra, rb))
+
+
+def parse_function(text: str) -> Function:
+    """Parse one function from ``text``.  See module docstring for format."""
+    func: Function | None = None
+    block = None
+    explicit_uids: list[tuple[Instruction, int]] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";", 1)
+        comment = line[1].strip() if len(line) > 1 else ""
+        stripped = line[0].strip()
+        if not stripped:
+            continue
+        if stripped.startswith("function "):
+            if func is not None:
+                raise ParseError(lineno, "second 'function' line")
+            func = Function(stripped[len("function "):].strip())
+            continue
+        if func is None:
+            raise ParseError(lineno, "expected a 'function <name>' line first")
+        label_match = _LABEL_RE.match(stripped)
+        if label_match is not None:
+            block = func.add_block(label_match.group(1))
+            continue
+        ins_match = _INS_RE.match(stripped)
+        if ins_match is None:
+            raise ParseError(lineno, f"unrecognised line: {stripped!r}")
+        uid_text, mnemonic, operands = ins_match.groups()
+        opcode = MNEMONIC_TO_OPCODE.get(mnemonic)
+        if opcode is None:
+            raise ParseError(lineno, f"unknown mnemonic {mnemonic!r}")
+        if block is None:
+            block = func.add_block()
+        ins = _parse_operands(opcode, operands, lineno)
+        ins.comment = comment
+        func.emit(block, ins)
+        if uid_text is not None:
+            explicit_uids.append((ins, int(uid_text)))
+    if func is None:
+        raise ParseError(0, "no 'function' line found")
+    if explicit_uids:
+        if len(explicit_uids) != sum(len(b) for b in func.blocks):
+            raise ParseError(0, "either all or no instructions may carry (I<n>) uids")
+        seen = set()
+        for ins, uid in explicit_uids:
+            if uid in seen:
+                raise ParseError(0, f"duplicate uid I{uid}")
+            seen.add(uid)
+            ins.uid = uid
+        func._next_uid = max(seen) + 1
+    return func

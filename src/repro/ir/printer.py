@@ -1,0 +1,51 @@
+"""Textual rendering of IR functions, in the style of the paper's Figure 2.
+
+The format is round-trippable through :mod:`repro.ir.parser`::
+
+    function minmax
+    CL.0:
+        (I1)    L     r12=a(r31,4)          ; load u
+        (I2)    LU    r0,r31=a(r31,8)       ; load v and increment index
+        (I3)    C     cr7=r12,r0            ; u > v
+        (I4)    BF    CL.4,cr7,0x2/gt
+
+Instruction numbers ``(I<n>)`` are the stable uids (original program order),
+so a schedule that moved I18 into BL1 prints exactly like the paper's
+Figure 5 -- the number travels with the instruction.
+"""
+
+from __future__ import annotations
+
+from io import StringIO
+
+from .basic_block import BasicBlock
+from .function import Function
+
+
+def format_instruction(ins, *, number: bool = True, width: int = 40) -> str:
+    """One assembly line: ``(I3)    C     cr7=r12,r0   ; u > v``."""
+    tag = f"(I{ins.uid})" if number and ins.uid >= 0 else ""
+    line = f"    {tag:<8}{ins.opcode.mnemonic:<6}{ins.operand_text()}"
+    if ins.comment:
+        line = f"{line:<{width + 12}} ; {ins.comment}"
+    return line.rstrip()
+
+
+def format_block(block: BasicBlock, *, number: bool = True) -> str:
+    out = StringIO()
+    out.write(f"{block.label}:\n")
+    for ins in block.instrs:
+        out.write(format_instruction(ins, number=number) + "\n")
+    return out.getvalue()
+
+
+def format_function(func: Function, *, number: bool = True) -> str:
+    out = StringIO()
+    out.write(f"function {func.name}\n")
+    for block in func.blocks:
+        out.write(format_block(block, number=number))
+    return out.getvalue()
+
+
+def print_function(func: Function) -> None:  # pragma: no cover - convenience
+    print(format_function(func), end="")

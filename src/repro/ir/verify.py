@@ -1,0 +1,94 @@
+"""Structural verification of IR functions.
+
+The verifier enforces the invariants the rest of the system relies on; it is
+run by the compiler pipeline after every transformation (front end, renaming,
+unrolling, rotation, global scheduling, basic-block scheduling), so a bug in
+any pass surfaces immediately rather than as a wrong schedule.
+"""
+
+from __future__ import annotations
+
+from .function import Function
+from .opcodes import Opcode
+from .operand import CR_EQ, CR_GT, CR_LT, RegClass
+
+
+class VerificationError(ValueError):
+    """The function violates an IR structural invariant."""
+
+
+def _check(cond: bool, message: str) -> None:
+    if not cond:
+        raise VerificationError(message)
+
+
+def _verify_instruction(ins, where: str) -> None:
+    op = ins.opcode
+    _check((ins.mem is not None) == (op.is_load or op.is_store),
+           f"{where}: {ins!r} memory operand mismatch")
+    if op in (Opcode.BT, Opcode.BF):
+        _check(ins.mask in (CR_LT, CR_GT, CR_EQ),
+               f"{where}: {ins!r} mask must be a single LT/GT/EQ bit")
+        _check(len(ins.uses) == 1 and ins.uses[0].rclass is RegClass.CR,
+               f"{where}: {ins!r} must test a condition register")
+        _check(ins.target is not None, f"{where}: {ins!r} missing target")
+    if op in (Opcode.B, Opcode.BDNZ):
+        _check(ins.target is not None, f"{where}: {ins!r} missing target")
+    if op.is_compare:
+        _check(len(ins.defs) == 1 and ins.defs[0].rclass is RegClass.CR,
+               f"{where}: {ins!r} must define a condition register")
+    if op in (Opcode.L, Opcode.LU, Opcode.ST, Opcode.STU):
+        for reg in ins.defs + ins.uses:
+            _check(reg.rclass is RegClass.GPR,
+                   f"{where}: {ins!r} fixed-point memory op uses {reg}")
+    if op is Opcode.LI:
+        _check(ins.imm is not None, f"{where}: {ins!r} missing immediate")
+    if op in (Opcode.AI, Opcode.SI, Opcode.ANDI, Opcode.ORI, Opcode.XORI,
+              Opcode.SL, Opcode.SR, Opcode.SRA, Opcode.CI):
+        _check(ins.imm is not None, f"{where}: {ins!r} missing immediate")
+    if op.is_load:
+        _check(len(ins.defs) >= 1, f"{where}: {ins!r} load defines nothing")
+    if op is Opcode.CALL:
+        _check(ins.target, f"{where}: {ins!r} call needs a callee name")
+
+
+def verify_function(func: Function) -> None:
+    """Raise :class:`VerificationError` on any broken invariant."""
+    _check(bool(func.blocks), f"{func.name}: function has no blocks")
+
+    seen_uids: set[int] = set()
+    labels = {b.label for b in func.blocks}
+    _check(len(labels) == len(func.blocks), f"{func.name}: duplicate labels")
+
+    for block in func.blocks:
+        where = f"{func.name}/{block.label}"
+        for i, ins in enumerate(block.instrs):
+            _check(ins.uid >= 0, f"{where}: {ins!r} has no uid")
+            _check(ins.uid not in seen_uids,
+                   f"{where}: duplicate uid I{ins.uid}")
+            seen_uids.add(ins.uid)
+            is_last = i == len(block.instrs) - 1
+            _check(not ins.is_branch or is_last,
+                   f"{where}: branch {ins!r} is not the block terminator")
+            _verify_instruction(ins, where)
+            if ins.target is not None and not ins.is_call:
+                _check(ins.target in labels,
+                       f"{where}: branch target {ins.target!r} does not exist")
+        # A conditional branch in the last block is legal: its fall-through
+        # leaves the function (the paper's "... more instructions here ...").
+
+
+def verify_reachable(func: Function) -> None:
+    """Additionally check that every block is reachable from the entry."""
+    verify_function(func)
+    reached: set[str] = set()
+    stack = [func.entry]
+    while stack:
+        block = stack.pop()
+        if block.label in reached:
+            continue
+        reached.add(block.label)
+        stack.extend(func.successors(block))
+    unreachable = [b.label for b in func.blocks if b.label not in reached]
+    _check(not unreachable,
+           f"{func.name}: unreachable blocks: {', '.join(unreachable)}")

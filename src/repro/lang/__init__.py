@@ -1,0 +1,26 @@
+"""The mini-C front end: lexer, parser, AST, lowering to IR."""
+
+from . import cast
+from .lexer import LexError, Token, tokenize
+from .lower import (
+    CompiledFunction,
+    LowerError,
+    compile_c_functions,
+    lower_function,
+    lower_program,
+)
+from .parser import CParseError, parse_c
+
+__all__ = [
+    "CParseError",
+    "CompiledFunction",
+    "LexError",
+    "LowerError",
+    "Token",
+    "cast",
+    "compile_c_functions",
+    "lower_function",
+    "lower_program",
+    "parse_c",
+    "tokenize",
+]

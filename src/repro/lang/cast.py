@@ -1,0 +1,157 @@
+"""Abstract syntax of the mini-C subset (the "C AST", hence the name)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+# -- expressions -----------------------------------------------------------
+
+@dataclass(frozen=True)
+class Expr:
+    pass
+
+
+@dataclass(frozen=True)
+class Num(Expr):
+    value: int
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    name: str
+
+
+@dataclass(frozen=True)
+class ArrayRef(Expr):
+    array: str
+    index: Expr
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    op: str  # "-", "~", "!"
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    """Arithmetic, bitwise, shift and comparison operators."""
+
+    op: str  # + - * / % & | ^ << >> == != < <= > >=
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Logical(Expr):
+    """Short-circuit && / ||."""
+
+    op: str  # "&&" | "||"
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    callee: str
+    args: tuple[Expr, ...]
+
+
+# -- statements ----------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Stmt:
+    pass
+
+
+@dataclass(frozen=True)
+class Decl(Stmt):
+    """``int x;`` or ``int x = e;`` (scalars only)."""
+
+    name: str
+    init: Expr | None
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    """``target = value`` (target is a Var or ArrayRef); compound ops are
+    desugared by the parser (``x += e`` becomes ``x = x + e``)."""
+
+    target: Expr
+    value: Expr
+
+
+@dataclass(frozen=True)
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    cond: Expr
+    then: "Block"
+    orelse: "Block | None"
+
+
+@dataclass(frozen=True)
+class While(Stmt):
+    cond: Expr
+    body: "Block"
+
+
+@dataclass(frozen=True)
+class For(Stmt):
+    init: Stmt | None
+    cond: Expr | None
+    step: Stmt | None
+    body: "Block"
+
+
+@dataclass(frozen=True)
+class Return(Stmt):
+    value: Expr | None
+
+
+@dataclass(frozen=True)
+class Break(Stmt):
+    pass
+
+
+@dataclass(frozen=True)
+class Continue(Stmt):
+    pass
+
+
+@dataclass(frozen=True)
+class Block(Stmt):
+    statements: tuple[Stmt, ...]
+
+
+# -- top level ------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Param:
+    """``int x`` (scalar) or ``int x[]`` / ``int *x`` (array base)."""
+
+    name: str
+    is_array: bool
+
+
+@dataclass(frozen=True)
+class FuncDef:
+    name: str
+    params: tuple[Param, ...]
+    body: Block
+    returns_value: bool  # int f() vs void f()
+
+
+@dataclass(frozen=True)
+class Program:
+    functions: tuple[FuncDef, ...]
+
+    def function(self, name: str) -> FuncDef:
+        for f in self.functions:
+            if f.name == name:
+                return f
+        raise KeyError(f"no function named {name!r}")

@@ -1,0 +1,293 @@
+"""Recursive-descent parser for the mini-C subset.
+
+Grammar (C precedence, short-circuit logicals)::
+
+    program   := funcdef*
+    funcdef   := ("int" | "void") ident "(" params? ")" block
+    params    := param ("," param)*
+    param     := "int" ("*" ident | ident ("[" "]")?)
+    block     := "{" stmt* "}"
+    stmt      := decl | if | while | for | return | break | continue
+               | block | exprstmt
+    decl      := "int" ident ("=" expr)? ";"
+    exprstmt  := assignment-or-call ";"
+
+Compound assignments and ``++``/``--`` are desugared here, so the lowerer
+sees only plain ``Assign``.
+"""
+
+from __future__ import annotations
+
+from . import cast as C
+from .lexer import Token, tokenize
+
+
+class CParseError(ValueError):
+    def __init__(self, token: Token, message: str):
+        super().__init__(f"line {token.line}: {message} (at {token.text!r})")
+        self.token = token
+
+
+_COMPOUND = {"+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%",
+             "&=": "&", "|=": "|", "^=": "^", "<<=": "<<", ">>=": ">>"}
+
+#: binary operator precedence (higher binds tighter)
+_PRECEDENCE = {
+    "||": 1, "&&": 2,
+    "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+
+class Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.cur
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        tok = self.cur
+        if tok.kind == kind and (text is None or tok.text == text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        tok = self.accept(kind, text)
+        if tok is None:
+            want = text if text is not None else kind
+            raise CParseError(self.cur, f"expected {want!r}")
+        return tok
+
+    # -- program / functions ---------------------------------------------------
+
+    def parse_program(self) -> C.Program:
+        functions = []
+        while self.cur.kind != "eof":
+            functions.append(self.parse_funcdef())
+        return C.Program(tuple(functions))
+
+    def parse_funcdef(self) -> C.FuncDef:
+        if self.accept("kw", "void"):
+            returns_value = False
+        else:
+            self.expect("kw", "int")
+            returns_value = True
+        name = self.expect("ident").text
+        self.expect("op", "(")
+        params: list[C.Param] = []
+        if not self.accept("op", ")"):
+            while True:
+                params.append(self.parse_param())
+                if self.accept("op", ")"):
+                    break
+                self.expect("op", ",")
+        body = self.parse_block()
+        return C.FuncDef(name, tuple(params), body, returns_value)
+
+    def parse_param(self) -> C.Param:
+        self.expect("kw", "int")
+        if self.accept("op", "*"):
+            return C.Param(self.expect("ident").text, is_array=True)
+        name = self.expect("ident").text
+        if self.accept("op", "["):
+            self.expect("op", "]")
+            return C.Param(name, is_array=True)
+        return C.Param(name, is_array=False)
+
+    # -- statements -----------------------------------------------------------------
+
+    def parse_block(self) -> C.Block:
+        self.expect("op", "{")
+        statements: list[C.Stmt] = []
+        while not self.accept("op", "}"):
+            statements.append(self.parse_stmt())
+        return C.Block(tuple(statements))
+
+    def parse_stmt(self) -> C.Stmt:
+        tok = self.cur
+        if tok.kind == "op" and tok.text == "{":
+            return self.parse_block()
+        if tok.kind == "kw":
+            if tok.text == "int":
+                return self.parse_decl()
+            if tok.text == "if":
+                return self.parse_if()
+            if tok.text == "while":
+                self.advance()
+                self.expect("op", "(")
+                cond = self.parse_expr()
+                self.expect("op", ")")
+                return C.While(cond, self._stmt_as_block())
+            if tok.text == "for":
+                return self.parse_for()
+            if tok.text == "return":
+                self.advance()
+                value = None
+                if not (self.cur.kind == "op" and self.cur.text == ";"):
+                    value = self.parse_expr()
+                self.expect("op", ";")
+                return C.Return(value)
+            if tok.text == "break":
+                self.advance()
+                self.expect("op", ";")
+                return C.Break()
+            if tok.text == "continue":
+                self.advance()
+                self.expect("op", ";")
+                return C.Continue()
+        stmt = self.parse_simple_stmt()
+        self.expect("op", ";")
+        return stmt
+
+    def _stmt_as_block(self) -> C.Block:
+        stmt = self.parse_stmt()
+        return stmt if isinstance(stmt, C.Block) else C.Block((stmt,))
+
+    def parse_decl(self) -> C.Decl:
+        self.expect("kw", "int")
+        name = self.expect("ident").text
+        init = self.parse_expr() if self.accept("op", "=") else None
+        self.expect("op", ";")
+        return C.Decl(name, init)
+
+    def parse_if(self) -> C.If:
+        self.expect("kw", "if")
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        then = self._stmt_as_block()
+        orelse = None
+        if self.accept("kw", "else"):
+            orelse = self._stmt_as_block()
+        return C.If(cond, then, orelse)
+
+    def parse_for(self) -> C.For:
+        self.expect("kw", "for")
+        self.expect("op", "(")
+        init = None
+        if not (self.cur.kind == "op" and self.cur.text == ";"):
+            if self.cur.kind == "kw" and self.cur.text == "int":
+                self.advance()
+                name = self.expect("ident").text
+                self.expect("op", "=")
+                init = C.Decl(name, self.parse_expr())
+            else:
+                init = self.parse_simple_stmt()
+        self.expect("op", ";")
+        cond = None
+        if not (self.cur.kind == "op" and self.cur.text == ";"):
+            cond = self.parse_expr()
+        self.expect("op", ";")
+        step = None
+        if not (self.cur.kind == "op" and self.cur.text == ")"):
+            step = self.parse_simple_stmt()
+        self.expect("op", ")")
+        return C.For(init, cond, step, self._stmt_as_block())
+
+    def parse_simple_stmt(self) -> C.Stmt:
+        """Assignment, ++/--, or expression statement (call)."""
+        expr = self.parse_expr()
+        tok = self.cur
+        if tok.kind == "op" and tok.text == "=":
+            self.advance()
+            self._check_lvalue(expr, tok)
+            return C.Assign(expr, self.parse_expr())
+        if tok.kind == "op" and tok.text in _COMPOUND:
+            self.advance()
+            self._check_lvalue(expr, tok)
+            return C.Assign(expr, C.Binary(_COMPOUND[tok.text], expr,
+                                           self.parse_expr()))
+        if tok.kind == "op" and tok.text in ("++", "--"):
+            self.advance()
+            self._check_lvalue(expr, tok)
+            op = "+" if tok.text == "++" else "-"
+            return C.Assign(expr, C.Binary(op, expr, C.Num(1)))
+        return C.ExprStmt(expr)
+
+    @staticmethod
+    def _check_lvalue(expr: C.Expr, tok: Token) -> None:
+        if not isinstance(expr, (C.Var, C.ArrayRef)):
+            raise CParseError(tok, "assignment target must be a variable "
+                                   "or array element")
+
+    # -- expressions (precedence climbing) --------------------------------------------
+
+    def parse_expr(self) -> C.Expr:
+        return self._parse_binary(0)
+
+    def _parse_binary(self, min_prec: int) -> C.Expr:
+        left = self.parse_unary()
+        while True:
+            tok = self.cur
+            prec = _PRECEDENCE.get(tok.text) if tok.kind == "op" else None
+            if prec is None or prec < min_prec:
+                return left
+            self.advance()
+            right = self._parse_binary(prec + 1)
+            if tok.text in ("&&", "||"):
+                left = C.Logical(tok.text, left, right)
+            else:
+                left = C.Binary(tok.text, left, right)
+
+    def parse_unary(self) -> C.Expr:
+        tok = self.cur
+        if tok.kind == "op" and tok.text in ("-", "~", "!"):
+            self.advance()
+            return C.Unary(tok.text, self.parse_unary())
+        if tok.kind == "op" and tok.text == "+":
+            self.advance()
+            return self.parse_unary()
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> C.Expr:
+        tok = self.cur
+        if tok.kind == "num":
+            self.advance()
+            return C.Num(int(tok.text, 0))
+        if tok.kind == "str":
+            # String literals only appear as printf-style call arguments;
+            # they lower to the constant 0 (an opaque handle).
+            self.advance()
+            return C.Num(0)
+        if tok.kind == "op" and tok.text == "(":
+            self.advance()
+            inner = self.parse_expr()
+            self.expect("op", ")")
+            return inner
+        if tok.kind == "ident":
+            name = self.advance().text
+            if self.accept("op", "("):
+                args: list[C.Expr] = []
+                if not self.accept("op", ")"):
+                    while True:
+                        args.append(self.parse_expr())
+                        if self.accept("op", ")"):
+                            break
+                        self.expect("op", ",")
+                return C.Call(name, tuple(args))
+            if self.accept("op", "["):
+                index = self.parse_expr()
+                self.expect("op", "]")
+                return C.ArrayRef(name, index)
+            return C.Var(name)
+        raise CParseError(tok, "expected an expression")
+
+
+def parse_c(source: str) -> C.Program:
+    """Parse a mini-C translation unit."""
+    return Parser(tokenize(source)).parse_program()

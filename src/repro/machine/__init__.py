@@ -1,0 +1,18 @@
+"""Parametric machine descriptions (Section 2) and concrete instances."""
+
+from .configs import CONFIGS, ideal_no_delays, scalar_pipelined, superscalar, vliw_like
+from .model import DelayModel, DelayRule, MachineModel
+from .rs6k import RS6K, rs6k
+
+__all__ = [
+    "CONFIGS",
+    "DelayModel",
+    "DelayRule",
+    "MachineModel",
+    "RS6K",
+    "ideal_no_delays",
+    "rs6k",
+    "scalar_pipelined",
+    "superscalar",
+    "vliw_like",
+]

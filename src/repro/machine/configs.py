@@ -1,0 +1,72 @@
+"""A family of machine configurations spanning the paper's design space.
+
+Section 1 positions the framework as "based on the parametric description of
+the machine architecture, which spans a range of superscalar and VLIW
+machines", and Section 6 predicts "even bigger payoffs in machines with a
+larger number of computational units".  These configurations back the
+issue-width ablation bench and the design-space example.
+"""
+
+from __future__ import annotations
+
+from ..ir.opcodes import Opcode, UnitType
+from .model import DelayModel, MachineModel
+from .rs6k import rs6k
+
+
+def scalar_pipelined() -> MachineModel:
+    """A single-issue pipelined RISC: at most one instruction per cycle.
+
+    The unit mix is the RS/6K one, but ``issue_width=1`` makes branches
+    contend with computation for the single issue slot.  Delays are the
+    RS/6K ones, so this isolates the value of multi-issue itself.
+    """
+    return MachineModel(
+        name="scalar",
+        units={UnitType.FXU: 1, UnitType.FPU: 1, UnitType.BRU: 1},
+        delays=DelayModel(),
+        exec_times={Opcode.MUL: 5, Opcode.DIV: 19, Opcode.REM: 19},
+        issue_width=1,
+    )
+
+
+def superscalar(width: int, name: str | None = None) -> MachineModel:
+    """``width`` fixed point units + 1 FPU + 1 BRU, RS/6K delays."""
+    return MachineModel(
+        name=name or f"ss{width}",
+        units={UnitType.FXU: width, UnitType.FPU: 1, UnitType.BRU: 1},
+        delays=DelayModel(),
+        exec_times={Opcode.MUL: 5, Opcode.DIV: 19, Opcode.REM: 19},
+    )
+
+
+def vliw_like(width: int = 8) -> MachineModel:
+    """A wide machine in the VLIW spirit: many units of every type."""
+    return MachineModel(
+        name=f"vliw{width}",
+        units={UnitType.FXU: width, UnitType.FPU: width // 2 or 1,
+               UnitType.BRU: 2},
+        delays=DelayModel(),
+        exec_times={Opcode.MUL: 5, Opcode.DIV: 19, Opcode.REM: 19},
+    )
+
+
+def ideal_no_delays(width: int = 4) -> MachineModel:
+    """A machine with no pipeline delays -- an upper-bound comparator."""
+    return MachineModel(
+        name=f"ideal{width}",
+        units={UnitType.FXU: width, UnitType.FPU: width, UnitType.BRU: width},
+        delays=DelayModel(load_use=0, fixed_compare_branch=0,
+                          float_op_use=0, float_compare_branch=0),
+    )
+
+
+#: Name -> factory, for CLI-ish selection in benches and examples.
+CONFIGS = {
+    "rs6k": rs6k,
+    "scalar": scalar_pipelined,
+    "ss2": lambda: superscalar(2),
+    "ss4": lambda: superscalar(4),
+    "vliw8": vliw_like,
+    "ideal4": ideal_no_delays,
+}

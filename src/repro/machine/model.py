@@ -1,0 +1,124 @@
+"""The parametric machine description (Section 2 of the paper).
+
+A superscalar machine is "a collection of functional units of ``m`` types,
+where the machine has ``n_1, n_2, ..., n_m`` units of each type".  Each
+instruction executes on any unit of its type, takes an integral number of
+cycles, and pipeline constraints are modelled as integer *delays* on data
+dependence edges: if ``I1`` (execution time ``t``) starts at cycle ``k`` and
+the edge ``(I1, I2)`` carries delay ``d``, then ``I2`` should start no
+earlier than ``k + t + d``.  Starting earlier is *legal* (hardware
+interlocks stall at run time) but wasteful -- which is exactly what the
+scheduler minimises and what the cycle simulator charges for.
+
+The delay structure is parametric (``DelayModel``); the RS/6K instance in
+:mod:`repro.machine.rs6k` uses the paper's four delay classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..ir.instruction import Instruction
+from ..ir.opcodes import Opcode, UnitType
+from ..ir.operand import Reg, RegClass
+
+#: An extension hook: returns a delay in cycles, or None to defer to the
+#: built-in rules.  Receives (producer, consumer, register).
+DelayRule = Callable[[Instruction, Instruction, Reg], "int | None"]
+
+
+@dataclass(frozen=True)
+class DelayModel:
+    """Per-edge pipeline delays, in cycles (Section 2.1's four classes)."""
+
+    #: delayed load: load -> use of the loaded register
+    load_use: int = 1
+    #: fixed point compare -> the branch testing its condition register
+    fixed_compare_branch: int = 3
+    #: floating point operation -> use of its result
+    float_op_use: int = 1
+    #: floating point compare -> the branch testing its condition register
+    float_compare_branch: int = 5
+
+
+@dataclass
+class MachineModel:
+    """A concrete machine: unit counts, execution times, delays."""
+
+    name: str
+    #: number of units of each type (the paper's ``n_1 .. n_m``)
+    units: dict[UnitType, int]
+    delays: DelayModel = field(default_factory=DelayModel)
+    #: per-opcode execution-time overrides (else ``Opcode.info.cycles``)
+    exec_times: dict[Opcode, int] = field(default_factory=dict)
+    #: extension rules consulted before the built-in delay classes
+    extra_delay_rules: list[DelayRule] = field(default_factory=list)
+    #: optional cap on total instructions issued per cycle regardless of
+    #: unit availability (None = limited only by the unit counts); lets a
+    #: single-issue pipelined RISC be expressed with the same unit mix
+    issue_width: int | None = None
+
+    def __post_init__(self) -> None:
+        for unit, count in self.units.items():
+            if count < 0:
+                raise ValueError(f"{self.name}: negative unit count for {unit}")
+
+    # -- unit structure ------------------------------------------------------
+
+    @property
+    def unit_types(self) -> list[UnitType]:
+        return [u for u, n in self.units.items() if n > 0]
+
+    def unit_count(self, unit: UnitType) -> int:
+        return self.units.get(unit, 0)
+
+    @property
+    def total_issue_width(self) -> int:
+        """Maximum instructions issued per cycle across all units."""
+        width = sum(self.units.values())
+        if self.issue_width is not None:
+            width = min(width, self.issue_width)
+        return width
+
+    # -- timing ---------------------------------------------------------------
+
+    def exec_time(self, ins: Instruction) -> int:
+        """Execution time of ``ins`` in cycles (the paper's ``E(I)``)."""
+        return self.exec_times.get(ins.opcode, ins.opcode.info.cycles)
+
+    def flow_delay(self, producer: Instruction, consumer: Instruction,
+                   reg: Reg) -> int:
+        """Delay on the flow-dependence edge producer --reg--> consumer.
+
+        Only definition-to-use edges carry potentially non-zero delays
+        (Section 4.2); anti- and output-dependence edges always carry zero
+        and never reach this function.
+        """
+        for rule in self.extra_delay_rules:
+            result = rule(producer, consumer, reg)
+            if result is not None:
+                return result
+        d = self.delays
+        op = producer.opcode
+        # Delayed load: only the *loaded* register is late; the updated
+        # base register of LU/STU is computed early by the fixed point unit.
+        if op.is_load and producer.defs and reg == producer.defs[0]:
+            return d.load_use
+        if op.is_compare and reg.rclass is RegClass.CR:
+            if op.unit is UnitType.FPU:
+                return d.float_compare_branch
+            return d.fixed_compare_branch
+        if op.unit is UnitType.FPU and not op.is_compare and not op.is_load:
+            return d.float_op_use
+        return 0
+
+    def result_latency(self, ins: Instruction, reg: Reg) -> int:
+        """Cycles from issue of ``ins`` until ``reg`` is consumable:
+        execution time plus the producer-side flow delay.  Used by the
+        cycle simulator, which models the hardware interlocks."""
+        return self.exec_time(ins) + self.flow_delay(ins, ins, reg)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{n}x{u.name}" for u, n in self.units.items() if n)
+        return f"<MachineModel {self.name}: {parts}>"

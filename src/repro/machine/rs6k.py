@@ -1,0 +1,36 @@
+"""The IBM RISC System/6000 instance of the parametric model (Section 2.1).
+
+* three unit types (fixed point, floating point, branch), one unit of each;
+* most instructions execute in one cycle; multiply/divide are multi-cycle;
+* four delay classes: delayed load (1), fixed compare -> branch (3),
+  float op -> use (1), float compare -> branch (5).
+"""
+
+from __future__ import annotations
+
+from ..ir.opcodes import Opcode, UnitType
+from .model import DelayModel, MachineModel
+
+
+def rs6k() -> MachineModel:
+    """A fresh RS/6K machine description."""
+    return MachineModel(
+        name="rs6k",
+        units={UnitType.FXU: 1, UnitType.FPU: 1, UnitType.BRU: 1},
+        delays=DelayModel(
+            load_use=1,
+            fixed_compare_branch=3,
+            float_op_use=1,
+            float_compare_branch=5,
+        ),
+        exec_times={
+            Opcode.MUL: 5,
+            Opcode.DIV: 19,
+            Opcode.REM: 19,
+            Opcode.FD: 17,
+        },
+    )
+
+
+#: A shared default instance for read-only use.
+RS6K = rs6k()

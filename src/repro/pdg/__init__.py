@@ -1,0 +1,43 @@
+"""Program Dependence Graph: control + data dependences (Section 4)."""
+
+from .control_deps import ControlDep, control_dependences, forward_graph
+from .cspdg import CSPDG
+from .data_deps import (
+    DataDependenceGraph,
+    DepEdge,
+    DepKind,
+    build_block_ddg,
+    build_region_ddg,
+    topo_order,
+    transitive_reduce,
+)
+from .memory import AddressTracker, SymbolicAddress, may_conflict
+from .pdg import (
+    REGION_EXIT,
+    RegionPDG,
+    SubloopSummary,
+    abstract_label,
+    make_barrier,
+)
+
+__all__ = [
+    "AddressTracker",
+    "CSPDG",
+    "ControlDep",
+    "DataDependenceGraph",
+    "DepEdge",
+    "DepKind",
+    "REGION_EXIT",
+    "RegionPDG",
+    "SubloopSummary",
+    "SymbolicAddress",
+    "abstract_label",
+    "build_block_ddg",
+    "build_region_ddg",
+    "control_dependences",
+    "forward_graph",
+    "make_barrier",
+    "may_conflict",
+    "topo_order",
+    "transitive_reduce",
+]

@@ -1,0 +1,343 @@
+"""The data-dependence subgraph of the PDG (Section 4.2).
+
+Edges are inserted between instructions ``a`` (earlier) and ``b`` (later)
+when:
+
+* a register defined in ``a`` is used in ``b`` (*flow*),
+* a register used in ``a`` is defined in ``b`` (*anti*),
+* a register defined in ``a`` is defined in ``b`` (*output*),
+* both touch memory and are not proven independent (*memory*), where
+  load/load pairs never conflict and the base+offset analysis of
+  :mod:`repro.pdg.memory` proves the rest.
+
+Only flow edges carry (potentially non-zero) machine delays; all other
+kinds carry zero (Section 4.2).  Dependences are computed both within
+blocks and between every ordered pair of blocks ``(A, B)`` with ``B``
+reachable from ``A`` in the forward control flow graph.
+
+The paper avoids materialising transitive edges; we build the natural edge
+set and provide a delay-aware :func:`transitive_reduce` that removes any
+edge implied by a longer-or-equal path, which the scheduler applies to keep
+ready-list bookkeeping small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..ir.basic_block import BasicBlock
+from ..ir.instruction import Instruction
+from ..ir.operand import Reg
+from ..machine.model import MachineModel
+from .memory import AddressTracker, SymbolicAddress, may_conflict
+
+
+class DepKind(Enum):
+    FLOW = "flow"
+    ANTI = "anti"
+    OUTPUT = "output"
+    MEM = "mem"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DepKind.{self.name}"
+
+
+@dataclass(frozen=True)
+class DepEdge:
+    """A dependence ``src -> dst``: dst must start >= start(src) + weight.
+
+    ``weight = exec_time(src) + delay`` for flow edges; for anti/output/
+    memory edges the paper's delays are zero, but ``dst`` must still start
+    no earlier than ``src`` -- we encode that as weight 0 with *issue order*
+    preserved by the scheduler (an instruction is only ready once all its
+    predecessors have been issued).
+    """
+
+    src: Instruction
+    dst: Instruction
+    kind: DepKind
+    delay: int
+    reg: Reg | None = None
+
+    def __repr__(self) -> str:
+        tag = f" {self.reg}" if self.reg is not None else ""
+        return (f"<{self.kind.value}{tag} I{self.src.uid}->I{self.dst.uid}"
+                f" d={self.delay}>")
+
+
+class DataDependenceGraph:
+    """Dependence edges over a set of instructions, keyed by identity."""
+
+    def __init__(self) -> None:
+        self._succs: dict[int, list[DepEdge]] = {}
+        self._preds: dict[int, list[DepEdge]] = {}
+        self._by_pair: dict[tuple[int, int], DepEdge] = {}
+        self.instructions: list[Instruction] = []
+        self._known: set[int] = set()
+
+    # -- construction --------------------------------------------------------
+
+    def add_instruction(self, ins: Instruction) -> None:
+        if id(ins) not in self._known:
+            self._known.add(id(ins))
+            self.instructions.append(ins)
+            self._succs[id(ins)] = []
+            self._preds[id(ins)] = []
+
+    def add_edge(self, src: Instruction, dst: Instruction, kind: DepKind,
+                 delay: int, reg: Reg | None = None) -> None:
+        """Insert an edge; parallel edges keep only the strongest delay."""
+        if src is dst:
+            return
+        self.add_instruction(src)
+        self.add_instruction(dst)
+        key = (id(src), id(dst))
+        existing = self._by_pair.get(key)
+        if existing is not None and existing.delay >= delay:
+            return
+        edge = DepEdge(src, dst, kind, delay, reg)
+        if existing is not None:
+            self._succs[id(src)].remove(existing)
+            self._preds[id(dst)].remove(existing)
+        self._by_pair[key] = edge
+        self._succs[id(src)].append(edge)
+        self._preds[id(dst)].append(edge)
+
+    def remove_edge(self, edge: DepEdge) -> None:
+        key = (id(edge.src), id(edge.dst))
+        if self._by_pair.get(key) is edge:
+            del self._by_pair[key]
+            self._succs[id(edge.src)].remove(edge)
+            self._preds[id(edge.dst)].remove(edge)
+
+    # -- queries -----------------------------------------------------------------
+
+    def succs(self, ins: Instruction) -> list[DepEdge]:
+        return list(self._succs.get(id(ins), ()))
+
+    def preds(self, ins: Instruction) -> list[DepEdge]:
+        return list(self._preds.get(id(ins), ()))
+
+    def edges(self) -> list[DepEdge]:
+        return list(self._by_pair.values())
+
+    def has_edge(self, src: Instruction, dst: Instruction) -> bool:
+        return (id(src), id(dst)) in self._by_pair
+
+    def edge(self, src: Instruction, dst: Instruction) -> DepEdge | None:
+        return self._by_pair.get((id(src), id(dst)))
+
+    def __repr__(self) -> str:
+        return (f"<DataDependenceGraph {len(self.instructions)} instrs, "
+                f"{len(self._by_pair)} edges>")
+
+
+def _edge_weight(machine: MachineModel, edge: DepEdge) -> int:
+    """Minimum start-to-start separation the edge imposes."""
+    if edge.kind is DepKind.FLOW:
+        return machine.exec_time(edge.src) + edge.delay
+    return 0
+
+
+class _BlockScanState:
+    """Running last-def / uses-since-def / memory state for one block scan."""
+
+    def __init__(self) -> None:
+        self.last_def: dict[Reg, Instruction] = {}
+        self.uses_since_def: dict[Reg, list[Instruction]] = {}
+        self.mem_ops: list[tuple[Instruction, SymbolicAddress | None]] = []
+        self.tracker = AddressTracker()
+
+
+def _scan_block(ddg: DataDependenceGraph, block: BasicBlock,
+                machine: MachineModel) -> None:
+    """Intra-block dependences via a single forward scan.
+
+    The scan inherently avoids most transitive edges: a flow edge is only
+    drawn from the *last* definition, an output edge only from the previous
+    definition, etc.
+    """
+    state = _BlockScanState()
+    for ins in block.instrs:
+        ddg.add_instruction(ins)
+        # flow: last def of each used register
+        for reg in ins.reg_uses():
+            producer = state.last_def.get(reg)
+            if producer is not None:
+                delay = machine.flow_delay(producer, ins, reg)
+                ddg.add_edge(producer, ins, DepKind.FLOW, delay, reg)
+        # memory ordering
+        if ins.touches_memory:
+            addr = (state.tracker.address_of(ins.mem)
+                    if ins.mem is not None else None)
+            for prev, prev_addr in state.mem_ops:
+                if may_conflict(prev, prev_addr, ins, addr):
+                    ddg.add_edge(prev, ins, DepKind.MEM, 0)
+            state.mem_ops.append((ins, addr))
+        # anti and output
+        for reg in ins.reg_defs():
+            for user in state.uses_since_def.get(reg, ()):
+                ddg.add_edge(user, ins, DepKind.ANTI, 0, reg)
+            previous = state.last_def.get(reg)
+            if previous is not None:
+                ddg.add_edge(previous, ins, DepKind.OUTPUT, 0, reg)
+        # update state
+        for reg in ins.reg_uses():
+            state.uses_since_def.setdefault(reg, []).append(ins)
+        for reg in ins.reg_defs():
+            state.last_def[reg] = ins
+            state.uses_since_def[reg] = []
+        state.tracker.step(ins)
+
+
+def _interblock_edges(ddg: DataDependenceGraph, earlier: BasicBlock,
+                      later: BasicBlock, machine: MachineModel) -> None:
+    """Dependences from every instruction of ``earlier`` to ``later``.
+
+    Conservative on memory: cross-block references are never disambiguated
+    (the base registers' values at block entry depend on the path taken).
+    """
+    # Summarise the earlier block once.
+    defs_of: dict[Reg, list[Instruction]] = {}
+    uses_of: dict[Reg, list[Instruction]] = {}
+    mem_ops: list[Instruction] = []
+    for a in earlier.instrs:
+        for reg in a.reg_defs():
+            defs_of.setdefault(reg, []).append(a)
+        for reg in a.reg_uses():
+            uses_of.setdefault(reg, []).append(a)
+        if a.touches_memory:
+            mem_ops.append(a)
+
+    for b in later.instrs:
+        ddg.add_instruction(b)
+        for reg in b.reg_uses():
+            for a in defs_of.get(reg, ()):
+                ddg.add_edge(a, b, DepKind.FLOW,
+                             machine.flow_delay(a, b, reg), reg)
+        for reg in b.reg_defs():
+            for a in uses_of.get(reg, ()):
+                ddg.add_edge(a, b, DepKind.ANTI, 0, reg)
+            for a in defs_of.get(reg, ()):
+                ddg.add_edge(a, b, DepKind.OUTPUT, 0, reg)
+        if b.touches_memory:
+            for a in mem_ops:
+                if may_conflict(a, None, b, None):
+                    ddg.add_edge(a, b, DepKind.MEM, 0)
+
+
+def build_block_ddg(block: BasicBlock, machine: MachineModel,
+                    *, reduce: bool = True) -> DataDependenceGraph:
+    """Intra-block DDG (used by the basic-block scheduler)."""
+    ddg = DataDependenceGraph()
+    _scan_block(ddg, block, machine)
+    if reduce:
+        transitive_reduce(ddg, machine)
+    return ddg
+
+
+def build_region_ddg(
+    blocks: list[BasicBlock],
+    reachable_pairs: set[tuple[str, str]],
+    machine: MachineModel,
+    *, reduce: bool = True,
+) -> DataDependenceGraph:
+    """DDG over a region.
+
+    ``blocks`` must be in topological order of the region's forward CFG;
+    ``reachable_pairs`` contains every ordered pair of labels ``(A, B)``
+    with ``B`` reachable from ``A`` along forward edges (Section 4.2:
+    "for each pair A and B of basic blocks such that B is reachable from
+    A ... the interblock data dependences are computed").
+    """
+    ddg = DataDependenceGraph()
+    for block in blocks:
+        _scan_block(ddg, block, machine)
+    for i, earlier in enumerate(blocks):
+        for later in blocks[i + 1:]:
+            if (earlier.label, later.label) in reachable_pairs:
+                _interblock_edges(ddg, earlier, later, machine)
+    if reduce:
+        transitive_reduce(ddg, machine)
+    return ddg
+
+
+def transitive_reduce(ddg: DataDependenceGraph,
+                      machine: MachineModel) -> int:
+    """Remove edges implied by stronger-or-equal multi-edge paths.
+
+    An edge ``(a, b)`` with separation ``w`` is redundant iff some path
+    ``a -> ... -> b`` of at least two edges already forces a separation
+    ``>= w``.  Returns the number of edges removed.  This mirrors the
+    paper's "there is no need to compute the edge from a to c" observation,
+    generalised to be delay-aware: a transitive edge must be *kept* when it
+    carries a longer delay than the path through the middle instruction.
+    """
+    order = topo_order(ddg)
+    position = {id(ins): i for i, ins in enumerate(order)}
+    removed = 0
+    for a in order:
+        out_edges = ddg.succs(a)
+        if len(out_edges) < 2:
+            continue
+        dist = _longest_from(ddg, a, machine, position)
+        for edge in out_edges:
+            w = _edge_weight(machine, edge)
+            # Longest a->b path whose final hop is (m, b) with m != a.
+            best_multi = max(
+                (
+                    dist[id(in_edge.src)] + _edge_weight(machine, in_edge)
+                    for in_edge in ddg.preds(edge.dst)
+                    if in_edge.src is not a and id(in_edge.src) in dist
+                ),
+                default=None,
+            )
+            if best_multi is not None and best_multi >= w:
+                ddg.remove_edge(edge)
+                removed += 1
+    return removed
+
+
+def topo_order(ddg: DataDependenceGraph) -> list[Instruction]:
+    """A topological order of the dependence DAG (raises on cycles)."""
+    indeg = {id(ins): 0 for ins in ddg.instructions}
+    for edge in ddg.edges():
+        indeg[id(edge.dst)] += 1
+    ready = [ins for ins in ddg.instructions if indeg[id(ins)] == 0]
+    order: list[Instruction] = []
+    while ready:
+        ins = ready.pop()
+        order.append(ins)
+        for edge in ddg.succs(ins):
+            indeg[id(edge.dst)] -= 1
+            if indeg[id(edge.dst)] == 0:
+                ready.append(edge.dst)
+    if len(order) != len(ddg.instructions):
+        raise ValueError("data dependence graph has a cycle")
+    return order
+
+
+def _longest_from(ddg: DataDependenceGraph, src: Instruction,
+                  machine: MachineModel,
+                  position: dict[int, int]) -> dict[int, int]:
+    """Longest-path separations from ``src`` (DAG dynamic programming)."""
+    import heapq
+
+    dist: dict[int, int] = {id(src): 0}
+    heap = [(position[id(src)], id(src), src)]
+    done: set[int] = set()
+    while heap:
+        _, _, ins = heapq.heappop(heap)
+        if id(ins) in done:
+            continue
+        done.add(id(ins))
+        for edge in ddg.succs(ins):
+            cand = dist[id(ins)] + _edge_weight(machine, edge)
+            if cand > dist.get(id(edge.dst), -1):
+                dist[id(edge.dst)] = cand
+            if id(edge.dst) not in done:
+                heapq.heappush(
+                    heap, (position[id(edge.dst)], id(edge.dst), edge.dst)
+                )
+    return dist

@@ -1,0 +1,30 @@
+"""Graph-coloring register allocation (the Section 2 post-scheduling step).
+
+The paper runs global scheduling on unbounded symbolic registers and maps
+them to machine registers afterwards "using one of the standard (coloring)
+algorithms"; this package supplies that allocator (Chaitin-Briggs) so the
+pipeline can also be exercised in the paper's alternative order --
+"conceptually there is no problem to activate the instruction scheduling
+after the register allocation is completed" -- and the [BEH89] tension
+between the two phase orders can be measured.
+"""
+
+from .allocator import (
+    AllocationError,
+    AllocationReport,
+    DEFAULT_K,
+    SPILL_BASE,
+    allocate_registers,
+)
+from .interference import InterferenceGraph, build_interference, verify_coloring
+
+__all__ = [
+    "AllocationError",
+    "AllocationReport",
+    "DEFAULT_K",
+    "InterferenceGraph",
+    "SPILL_BASE",
+    "allocate_registers",
+    "build_interference",
+    "verify_coloring",
+]

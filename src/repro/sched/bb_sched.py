@@ -1,0 +1,108 @@
+"""The basic-block list scheduler (after Warren [W90]).
+
+The paper uses it twice: it *is* the BASE compiler's scheduler, and it runs
+as a post-pass over every block after global scheduling because "the global
+decisions are not necessarily optimal in a local context" (Section 5.1).
+
+It is a classic cycle-driven list scheduler over the intra-block DDG, using
+the same D/CP heuristics as the global scheduler (without the useful/
+speculative class, which is meaningless inside one block).  A trailing
+branch stays the terminator.
+"""
+
+from __future__ import annotations
+
+from ..ir.basic_block import BasicBlock
+from ..ir.function import Function
+from ..ir.instruction import Instruction
+from ..ir.opcodes import UnitType
+from ..machine.model import MachineModel
+from ..pdg.data_deps import build_block_ddg
+from .heuristics import local_priorities
+from .ready import DependenceState
+
+_MAX_STALL = 10_000
+
+
+def schedule_block(block: BasicBlock, machine: MachineModel) -> int:
+    """Reorder ``block`` in place; returns the local schedule length."""
+    if not block.instrs:
+        return 0
+    if len(block.instrs) == 1:
+        return machine.exec_time(block.instrs[0])
+
+    ddg = build_block_ddg(block, machine)
+    priorities = local_priorities(block, ddg, machine)
+    state = DependenceState(ddg, machine)
+    state.begin_block()
+    # Final tie-break: the *incoming* order.  When this runs as the
+    # post-pass after global scheduling, the incoming order encodes the
+    # global decisions (e.g. useful-before-speculative), which purely
+    # local D/CP values cannot reconstruct; when it runs as the BASE
+    # scheduler, the incoming order is original program order anyway.
+    position = {id(ins): i for i, ins in enumerate(block.instrs)}
+
+    terminator = block.terminator
+    remaining = {id(ins) for ins in block.instrs}
+    issued: list[Instruction] = []
+
+    cycle = 0
+    stall = 0
+    while remaining:
+        free = {unit: machine.unit_count(unit) for unit in UnitType}
+        budget = machine.total_issue_width
+        progress = True
+        issued_this_cycle = False
+        while progress and budget > 0:
+            progress = False
+            ready = []
+            for ins in block.instrs:
+                if id(ins) not in remaining:
+                    continue
+                if ins is terminator and remaining != {id(ins)}:
+                    continue
+                if not state.deps_satisfied(ins):
+                    continue
+                if state.earliest_start(ins) > cycle:
+                    continue
+                ready.append(ins)
+            ready.sort(key=lambda i: _key(i, priorities, position))
+            for ins in ready:
+                if free.get(ins.unit, 0) <= 0:
+                    continue
+                free[ins.unit] -= 1
+                budget -= 1
+                state.mark_issued(ins, cycle)
+                issued.append(ins)
+                remaining.discard(id(ins))
+                progress = True
+                issued_this_cycle = True
+                break
+        if not remaining:
+            break
+        stall = 0 if issued_this_cycle else stall + 1
+        if stall > _MAX_STALL:
+            raise RuntimeError(
+                f"basic-block scheduler stalled in {block.label}")
+        cycle += 1
+
+    block.instrs = issued
+    return cycle + 1
+
+
+def _key(ins: Instruction, priorities: dict[int, tuple[int, int]],
+         position: dict[int, int]):
+    d, cp = priorities.get(id(ins), (0, 0))
+    return (-d, -cp, position[id(ins)])
+
+
+def schedule_function_blocks(func: Function,
+                             machine: MachineModel) -> dict[str, int]:
+    """Apply the basic-block scheduler to every block of ``func``.
+
+    Returns the local schedule length per block label.
+    """
+    return {
+        block.label: schedule_block(block, machine)
+        for block in func.blocks
+    }

@@ -1,0 +1,137 @@
+"""Function-level global-scheduling driver.
+
+Ties region identification, liveness, and per-region scheduling together:
+regions are visited innermost first, every upward motion's liveness effect
+is shared across regions through one mutable live-on-exit map, and the
+Section 6 policy filters (two inner levels only, small regions only,
+reducible only) can be switched on or off.
+
+The full compilation flow of Section 6 (unroll, schedule, rotate, schedule
+again, post-pass block scheduling) lives in :mod:`repro.xform.pipeline`;
+this module is the reusable "schedule all regions once" step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cfg.graph import ControlFlowGraph
+from ..dataflow.liveness import compute_liveness
+from ..ir.function import Function
+from ..ir.operand import Reg, RegClass
+from ..machine.model import MachineModel
+from .candidates import ScheduleLevel
+from .global_sched import RegionScheduleReport, schedule_region
+from .regions import RegionSpec, build_region_pdg, find_regions, region_is_reducible
+from .speculation import LiveOnExitTracker
+
+
+@dataclass
+class GlobalScheduleReport:
+    """Aggregate of one global-scheduling sweep over a function."""
+
+    level: ScheduleLevel
+    regions: list[RegionScheduleReport] = field(default_factory=list)
+    skipped_regions: list[str] = field(default_factory=list)
+
+    @property
+    def motions(self):
+        return [m for r in self.regions for m in r.motions]
+
+    @property
+    def useful_motions(self):
+        return [m for m in self.motions if not m.speculative]
+
+    @property
+    def speculative_motions(self):
+        return [m for m in self.motions if m.speculative]
+
+
+def default_live_at_exit(func: Function) -> frozenset[Reg]:
+    """Conservative function-exit liveness: every general-purpose and
+    floating point register the function mentions may be observed by the
+    caller.  Condition registers are excluded -- they carry branch
+    conditions consumed within the function.  Callers that know better
+    (the mini-C front end does) should pass an explicit set.
+    """
+    regs: set[Reg] = set()
+    for ins in func.instructions():
+        for reg in (*ins.reg_defs(), *ins.reg_uses()):
+            if reg.rclass in (RegClass.GPR, RegClass.FPR):
+                regs.add(reg)
+    return frozenset(regs)
+
+
+def global_schedule(
+    func: Function,
+    machine: MachineModel,
+    level: ScheduleLevel,
+    *,
+    live_at_exit: frozenset[Reg] | None = None,
+    max_speculation: int = 1,
+    rename_on_demand: bool = True,
+    apply_size_limits: bool = True,
+    inner_levels_only: bool = True,
+    region_filter=None,
+    priority_fn=None,
+    allow_duplication: bool = False,
+    block_filter=None,
+) -> GlobalScheduleReport:
+    """Globally schedule every eligible region of ``func`` in place.
+
+    ``region_filter`` -- an optional predicate over :class:`RegionSpec` --
+    restricts the sweep; the pipeline uses it to schedule only the inner
+    regions in its first pass and only the rotated loops plus outer regions
+    in its second.
+    """
+    report = GlobalScheduleReport(level=level)
+    if level is ScheduleLevel.NONE:
+        return report
+
+    regions = find_regions(func)
+    if regions and not region_is_reducible(func, regions[0]):
+        report.skipped_regions = [r.header_node for r in regions]
+        return report
+
+    if live_at_exit is None:
+        live_at_exit = default_live_at_exit(func)
+    liveness = compute_liveness(func, live_at_exit, ControlFlowGraph(func))
+    live_out_map = liveness.live_out_map()
+
+    for spec in regions:
+        if region_filter is not None and not region_filter(spec):
+            continue
+        if not _eligible(spec, func, apply_size_limits, inner_levels_only):
+            report.skipped_regions.append(spec.header_node)
+            continue
+        pdg = build_region_pdg(func, machine, spec)
+        tracker = LiveOnExitTracker(live_out_map, pdg.forward)
+        region_report = schedule_region(
+            pdg, level, tracker,
+            max_speculation=max_speculation,
+            rename_on_demand=rename_on_demand,
+            priority_fn=priority_fn,
+            allow_duplication=allow_duplication,
+            block_filter=block_filter,
+        )
+        report.regions.append(region_report)
+    return report
+
+
+def _eligible(spec: RegionSpec, func: Function,
+              apply_size_limits: bool, inner_levels_only: bool) -> bool:
+    """The Section 6 prototype policy."""
+    if not spec.member_labels:
+        return False
+    if apply_size_limits and not spec.is_small(func):
+        return False
+    if inner_levels_only:
+        # "Only two inner levels of regions are scheduled": a region
+        # qualifies when it encloses no other region (inner) or only
+        # regions that are themselves inner (outer).
+        two_levels = (not spec.subloops) or all(
+            not sub.children for sub in spec.subloops
+        )
+        if not two_levels:
+            return False
+    return True

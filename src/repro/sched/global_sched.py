@@ -1,0 +1,366 @@
+"""The global scheduling top-level process (Section 5.1).
+
+Blocks of a region are visited in topological order.  For each block ``A``:
+
+1. the candidate blocks ``C(A)`` are derived from the CSPDG (equivalent
+   blocks for useful motion; immediate CSPDG successors for 1-branch
+   speculative motion),
+2. candidate instructions are collected (calls never move globally, stores
+   never move speculatively, branches never move),
+3. instructions are issued cycle by cycle against the parametric machine
+   description: each cycle, ready candidates (all dependence predecessors
+   fulfilled, earliest start reached) are issued into free functional-unit
+   slots in the priority order of Section 5.2,
+4. a speculative candidate is additionally required not to define any
+   register live on exit from ``A``, with liveness updated dynamically
+   after each speculative motion (Section 5.3),
+5. ``A``'s terminator issues last, closing the block; foreign instructions
+   that were issued are physically moved into ``A``.
+
+The result: "the instructions in A are reordered and there might be
+instructions external to A that are physically moved into A."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.instruction import Instruction
+from ..ir.opcodes import UnitType
+from ..pdg.pdg import RegionPDG
+from ..pdg.data_deps import DepKind
+from .candidates import (
+    Candidate,
+    ScheduleLevel,
+    candidate_blocks,
+    collect_candidates,
+    collect_duplication_candidates,
+)
+from .heuristics import compute_region_priorities, priority_key
+from .ready import DependenceState
+from .speculation import LiveOnExitTracker, try_rename_for_motion
+
+#: Safety valve: a block pass that stalls this many consecutive cycles
+#: without issuing anything indicates a dependence-state bug.
+_MAX_STALL = 10_000
+
+#: How many extra cycles a block may stay open to host duplicated motion
+#: (Definition 6); bounds the code-size / schedule-length trade.
+_DUP_FILL_WINDOW = 8
+
+
+@dataclass(frozen=True)
+class Motion:
+    """One inter-block code motion performed by the scheduler."""
+
+    uid: int
+    opcode: str
+    src: str
+    dst: str
+    speculative: bool
+    #: blocks that received copies (Definition 6 duplication), if any
+    duplicated_into: tuple[str, ...] = ()
+
+    @property
+    def duplicated(self) -> bool:
+        return bool(self.duplicated_into)
+
+    def __repr__(self) -> str:
+        kind = "spec" if self.speculative else "useful"
+        if self.duplicated:
+            kind = f"dup[{','.join(self.duplicated_into)}]"
+        return f"<Motion I{self.uid} {self.opcode} {self.src}->{self.dst} {kind}>"
+
+
+@dataclass
+class RegionScheduleReport:
+    """What happened while scheduling one region."""
+
+    header: str
+    level: ScheduleLevel
+    motions: list[Motion] = field(default_factory=list)
+    #: local schedule length (cycles) per block, in visit order
+    block_cycles: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def useful_motions(self) -> list[Motion]:
+        return [m for m in self.motions if not m.speculative]
+
+    @property
+    def speculative_motions(self) -> list[Motion]:
+        return [m for m in self.motions if m.speculative]
+
+
+def schedule_region(
+    pdg: RegionPDG,
+    level: ScheduleLevel,
+    live_tracker: LiveOnExitTracker,
+    *,
+    max_speculation: int = 1,
+    rename_on_demand: bool = True,
+    priority_fn=None,
+    allow_duplication: bool = False,
+    block_filter=None,
+) -> RegionScheduleReport:
+    """Globally schedule one region in place.  Returns a report.
+
+    ``rename_on_demand`` enables the SSA-flavoured renaming of Section 4.2:
+    a speculative candidate whose definition clashes with a live-on-exit
+    register gets a fresh name when its def-use web is block-local (this is
+    what turns I12's ``cr6`` into ``cr5`` in the paper's Figure 6).
+
+    ``priority_fn(ins, useful, priorities) -> sortable`` overrides the
+    Section 5.2 decision order; the heuristic-ordering ablation bench uses
+    it (the paper: "experimentation and tuning are needed").
+    """
+    report = RegionScheduleReport(header=pdg.header, level=level)
+    if level is ScheduleLevel.NONE:
+        return report
+
+    state = DependenceState(pdg.ddg, pdg.machine)
+    ddg_blocks = [pdg.block(label) for label in pdg.topo_labels]
+    priorities = compute_region_priorities(ddg_blocks, pdg.ddg, pdg.machine)
+
+    previous: str | None = None
+    for node in pdg.topo_labels:
+        if pdg.is_abstract(node):
+            # Passing an inner loop: its barrier is now "done", releasing
+            # dependences of downstream instructions on the loop's effects.
+            for barrier in pdg.block(node).instrs:
+                state.mark_prefulfilled(barrier)
+            previous = None  # timing does not carry across opaque loops
+            continue
+        # Carry the previous pass's timing across the block boundary when
+        # control actually flows that way (see DependenceState.begin_block).
+        carry = None
+        if previous is not None and previous in pdg.forward.preds(node):
+            carry = report.block_cycles.get(previous)
+        _schedule_block(pdg, node, level, live_tracker, state, priorities,
+                        max_speculation, rename_on_demand, carry, report,
+                        priority_fn or priority_key, allow_duplication,
+                        block_filter)
+        previous = node
+    return report
+
+
+def _schedule_block(
+    pdg: RegionPDG,
+    label: str,
+    level: ScheduleLevel,
+    live_tracker: LiveOnExitTracker,
+    state: DependenceState,
+    priorities: dict[int, tuple[int, int]],
+    max_speculation: int,
+    rename_on_demand: bool,
+    carry_cycles: int | None,
+    report: RegionScheduleReport,
+    priority_fn,
+    allow_duplication: bool,
+    block_filter=None,
+) -> None:
+    func = pdg.func
+    block = func.block(label)
+    state.begin_block(carry_cycles=carry_cycles)
+
+    equiv, speculative = candidate_blocks(pdg, label, level,
+                                          max_speculation=max_speculation,
+                                          block_filter=block_filter)
+    pending: dict[int, Candidate] = {
+        id(c.ins): c
+        for c in collect_candidates(pdg, label, equiv, speculative)
+    }
+    if allow_duplication:
+        for cand in collect_duplication_candidates(pdg, label):
+            pending.setdefault(id(cand.ins), cand)
+    terminator = block.terminator
+    own_remaining = {id(ins) for ins in block.instrs}
+    issued_order: list[Instruction] = []
+    machine = pdg.machine
+
+    # Definition 6 extension: a block may stay open for a few extra
+    # cycles to catch join instructions that are about to become ready
+    # (otherwise blocks whose own work finishes instantly -- an arm's
+    # single AI plus its jump -- would never host a duplicated motion).
+    fill_budget = _DUP_FILL_WINDOW if any(
+        c.duplicate_into for c in pending.values()) else 0
+
+    def dup_fill_wanted(at_cycle: int) -> bool:
+        if fill_budget <= 0:
+            return False
+        return any(
+            c.duplicate_into
+            and state.deps_satisfied(c.ins)
+            and state.earliest_start(c.ins) <= at_cycle + 1
+            for c in pending.values()
+        )
+
+    cycle = 0
+    stall = 0
+    done = not own_remaining
+    while not done:
+        free = {unit: machine.unit_count(unit) for unit in UnitType}
+        budget = machine.total_issue_width
+        issued_this_cycle = False
+        hold_for_dup = dup_fill_wanted(cycle)
+
+        progress = True
+        while progress and budget > 0:
+            progress = False
+            ready = _ready_candidates(
+                pending, state, cycle, terminator, own_remaining,
+                live_tracker, label, pdg, rename_on_demand,
+                hold_terminator=hold_for_dup,
+            )
+            # duplication is the costliest class: it ranks after useful
+            # and speculative candidates (the paper's conservative order)
+            ready.sort(key=lambda c: (
+                1 if c.duplicate_into else 0,
+                priority_fn(c.ins, useful=c.useful, priorities=priorities),
+            ))
+            for cand in ready:
+                unit = cand.ins.unit
+                if free.get(unit, 0) <= 0:
+                    continue
+                # issue!
+                free[unit] -= 1
+                budget -= 1
+                state.mark_issued(cand.ins, cycle)
+                issued_order.append(cand.ins)
+                del pending[id(cand.ins)]
+                own_remaining.discard(id(cand.ins))
+                issued_this_cycle = True
+                progress = True
+                if cand.home != label:
+                    is_spec = not cand.useful and not cand.duplicate_into
+                    report.motions.append(Motion(
+                        cand.ins.uid, cand.ins.opcode.mnemonic,
+                        cand.home, label, is_spec,
+                        duplicated_into=cand.duplicate_into or (),
+                    ))
+                    func.block(cand.home).remove(cand.ins)
+                    if cand.duplicate_into:
+                        _place_duplicates(pdg, state, cand, report)
+                    # Any upward motion extends the moved definition's live
+                    # range down to its old home; record it so later
+                    # speculative legality checks see fresh liveness.
+                    live_tracker.record_motion(cand.ins, cand.home, label)
+                if cand.ins is terminator:
+                    done = True
+                break  # re-evaluate readiness (0-weight edges) and priorities
+            if (not own_remaining and terminator is None
+                    and not dup_fill_wanted(cycle)):
+                done = True
+                break
+            if done:
+                break
+
+        if done:
+            report.block_cycles[label] = cycle + 1
+            break
+        if not own_remaining or own_remaining == {id(terminator)}:
+            fill_budget -= 1  # this cycle was borrowed for duplication
+        stall = 0 if issued_this_cycle else stall + 1
+        if stall > _MAX_STALL:
+            raise RuntimeError(
+                f"scheduler stalled in block {label}: remaining own "
+                f"instructions {sorted(own_remaining)} never became ready"
+            )
+        cycle += 1
+
+    block.instrs = issued_order
+
+
+def _ready_candidates(
+    pending: dict[int, Candidate],
+    state: DependenceState,
+    cycle: int,
+    terminator: Instruction | None,
+    own_remaining: set[int],
+    live_tracker: LiveOnExitTracker,
+    label: str,
+    pdg: RegionPDG,
+    rename_on_demand: bool,
+    hold_terminator: bool = False,
+) -> list[Candidate]:
+    """Candidates issuable at ``cycle``.
+
+    The terminator is held back until it is the only own instruction left
+    (branches close their block; their original order is preserved), and
+    additionally while ``hold_terminator`` keeps the block open for an
+    imminent duplicated motion.  Speculative candidates must pass the
+    live-on-exit test *now* -- the sets grow as motions happen, so this is
+    re-checked at issue time; a candidate blocked only by that test may
+    get its definition renamed (Section 4.2's SSA-like renaming) when its
+    def-use web is block-local.
+    """
+    ready: list[Candidate] = []
+    for cand in pending.values():
+        ins = cand.ins
+        if terminator is not None and ins is terminator:
+            if own_remaining != {id(ins)} or hold_terminator:
+                continue
+        elif ins.is_branch:
+            continue  # foreign branches never move
+        if not state.deps_satisfied(ins):
+            continue
+        if state.earliest_start(ins) > cycle:
+            continue
+        if (not cand.useful and not cand.duplicate_into
+                and live_tracker.blocks_motion(ins, label)):
+            # duplication needs no liveness test: every path into the
+            # join still executes (a copy of) the definition
+            if not rename_on_demand:
+                continue
+            renamed = try_rename_for_motion(
+                ins, pdg.func.block(cand.home), label, live_tracker,
+                pdg.ddg, pdg.func, pdg.machine,
+            )
+            if not renamed:
+                continue
+        ready.append(cand)
+    return ready
+
+
+def _place_duplicates(pdg: RegionPDG, state: DependenceState,
+                      cand: Candidate, report: RegionScheduleReport) -> None:
+    """Append copies of a duplicated instruction to the join's other
+    predecessors and thread them into the dependence graph so later block
+    passes order them correctly."""
+    func = pdg.func
+    for pred_label in cand.duplicate_into:
+        pred = func.block(pred_label)
+        copy = cand.ins.clone()
+        copy.comment = (cand.ins.comment + " (dup)").strip()
+        func.assign_uid(copy)
+        func.note_registers(copy)
+        # dependences from the predecessor's existing instructions
+        for existing in pred.instrs:
+            _add_pair_edges(pdg, existing, copy)
+        pred.insert_before_terminator(copy)
+        # the join's remaining instructions that depended on the original
+        # must now also wait for (and stay below) the copy
+        for edge in pdg.ddg.succs(cand.ins):
+            pdg.ddg.add_edge(copy, edge.dst, edge.kind, edge.delay, edge.reg)
+        if pred_label in report.block_cycles:
+            # that block's pass already ran: the copy stays at its end,
+            # and downstream readiness must not wait on it forever
+            state.mark_prefulfilled(copy)
+
+
+def _add_pair_edges(pdg: RegionPDG, src, dst) -> None:
+    """Conservative dependence edges ``src -> dst`` from current operands."""
+    machine = pdg.machine
+    src_defs = set(src.reg_defs())
+    src_uses = set(src.reg_uses())
+    for reg in dst.reg_uses():
+        if reg in src_defs:
+            pdg.ddg.add_edge(src, dst, DepKind.FLOW,
+                             machine.flow_delay(src, dst, reg), reg)
+    for reg in dst.reg_defs():
+        if reg in src_uses:
+            pdg.ddg.add_edge(src, dst, DepKind.ANTI, 0, reg)
+        if reg in src_defs:
+            pdg.ddg.add_edge(src, dst, DepKind.OUTPUT, 0, reg)
+    if (src.touches_memory and dst.touches_memory
+            and (src.writes_memory or dst.writes_memory)):
+        pdg.ddg.add_edge(src, dst, DepKind.MEM, 0)

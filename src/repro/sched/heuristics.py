@@ -1,0 +1,90 @@
+"""The scheduling heuristics of Section 5.2.
+
+Two integer functions are computed *locally* (within each basic block) for
+every instruction, by visiting instructions after their data-dependence
+successors:
+
+* ``D(I)`` -- the *delay heuristic*: how many delay slots may occur on a
+  path from ``I`` to the end of its block::
+
+      D(I) = max(D(J_k) + d(I, J_k))        (0 if no successors)
+
+* ``CP(I)`` -- the *critical path heuristic*: how long completing
+  everything that depends on ``I`` (including ``I``) would take with
+  unbounded units::
+
+      CP(I) = max(CP(J_k) + d(I, J_k)) + E(I)     (E(I) if no successors)
+
+The decision order between two ready instructions ``I`` and ``J`` competing
+for the same unit type (Section 5.2):
+
+1. useful before speculative (``B(I) in U(A)`` wins),
+2. larger ``D``,
+3. larger ``CP``,
+4. original program order.
+
+``priority_key`` encodes all four as a sortable tuple (smaller = better).
+"""
+
+from __future__ import annotations
+
+from ..ir.basic_block import BasicBlock
+from ..ir.instruction import Instruction
+from ..machine.model import MachineModel
+from ..pdg.data_deps import DataDependenceGraph
+
+
+def local_priorities(
+    block: BasicBlock,
+    ddg: DataDependenceGraph,
+    machine: MachineModel,
+) -> dict[int, tuple[int, int]]:
+    """``id(instruction) -> (D, CP)`` for one block.
+
+    Only dependence edges *within* the block participate, per the paper
+    ("computed locally (within a basic block) for every instruction").
+    """
+    member_ids = {id(ins) for ins in block.instrs}
+    result: dict[int, tuple[int, int]] = {}
+    for ins in reversed(block.instrs):
+        best_d = 0
+        best_cp = 0
+        for edge in ddg.succs(ins):
+            if id(edge.dst) not in member_ids:
+                continue
+            succ_d, succ_cp = result.get(id(edge.dst), (0, 0))
+            best_d = max(best_d, succ_d + edge.delay)
+            best_cp = max(best_cp, succ_cp + edge.delay)
+        result[id(ins)] = (best_d, best_cp + machine.exec_time(ins))
+    return result
+
+
+def compute_region_priorities(
+    blocks: list[BasicBlock],
+    ddg: DataDependenceGraph,
+    machine: MachineModel,
+) -> dict[int, tuple[int, int]]:
+    """Local (D, CP) for every instruction of every block of a region."""
+    result: dict[int, tuple[int, int]] = {}
+    for block in blocks:
+        result.update(local_priorities(block, ddg, machine))
+    return result
+
+
+def priority_key(
+    ins: Instruction,
+    *,
+    useful: bool,
+    priorities: dict[int, tuple[int, int]],
+) -> tuple[int, int, int, int]:
+    """Sort key implementing the 7-step decision order (min = schedule
+    first).  ``useful`` means the instruction's home block is in ``U(A)``
+    (``A`` itself or a block equivalent to it)."""
+    d, cp = priorities.get(id(ins), (0, machine_free_exec(ins)))
+    return (0 if useful else 1, -d, -cp, ins.uid)
+
+
+def machine_free_exec(ins: Instruction) -> int:
+    """Fallback CP seed when an instruction has no recorded priorities
+    (e.g. freshly created by a transformation after priority computation)."""
+    return ins.opcode.info.cycles

@@ -1,0 +1,104 @@
+"""Dependence-state bookkeeping for the cycle-driven schedulers.
+
+Tracks which instructions have been *fulfilled* ("its data dependences to
+the following instructions are marked as fulfilled", Section 5.1) and the
+earliest start cycle each not-yet-issued instruction may receive within the
+block currently being scheduled.
+
+Timing is local to each block pass (blocks are scheduled one at a time and
+each starts its own cycle count at 0): instructions issued in *earlier*
+blocks are fulfilled with no timing constraint, while instructions issued
+earlier in the *current* pass constrain their successors by
+``start + weight`` where ``weight`` is ``E(src) + delay`` for flow edges
+and 0 for anti/output/memory edges (which only require issue order).
+"""
+
+from __future__ import annotations
+
+from ..ir.instruction import Instruction
+from ..machine.model import MachineModel
+from ..pdg.data_deps import DataDependenceGraph, DepEdge, DepKind
+
+
+class DependenceState:
+    """Fulfilment and earliest-start tracking over one region's DDG."""
+
+    def __init__(self, ddg: DataDependenceGraph, machine: MachineModel):
+        self.ddg = ddg
+        self.machine = machine
+        self._fulfilled: set[int] = set()
+        #: start cycles of instructions issued in the *current* block pass
+        self._local_start: dict[int, int] = {}
+        #: shifted start cycles carried over from the previous block pass
+        #: (negative values: "issued that many cycles before this block")
+        self._carry_start: dict[int, int] = {}
+
+    def edge_weight(self, edge: DepEdge) -> int:
+        """Minimum start-to-start separation the edge imposes."""
+        if edge.kind is DepKind.FLOW:
+            return self.machine.exec_time(edge.src) + edge.delay
+        return 0
+
+    # -- pass lifecycle -----------------------------------------------------
+
+    def begin_block(self, *, carry_cycles: int | None = None) -> None:
+        """Start a new block pass.
+
+        With ``carry_cycles`` (the schedule length of the pass that just
+        ended, when that block is a control-flow predecessor of the new
+        one), the previous pass's issue times are carried over shifted by
+        that length: an instruction issued at its local cycle ``c``
+        appears to the new pass as issued at ``c - carry_cycles``.  This
+        makes delays that straddle the block boundary visible -- e.g. a
+        compare at the end of the predecessor holds this block's branch
+        back for the remaining delay cycles, which is exactly the window
+        the rotated-loop second pass fills with next-iteration instructions
+        (the paper's partial software pipelining).  Older passes stop
+        constraining timing entirely.
+        """
+        if carry_cycles is None:
+            self._carry_start = {}
+        else:
+            self._carry_start = {
+                key: start - carry_cycles
+                for key, start in self._local_start.items()
+            }
+        self._local_start.clear()
+
+    # -- state transitions ------------------------------------------------------
+
+    def mark_prefulfilled(self, ins: Instruction) -> None:
+        """``ins`` completed in an earlier block (or is an abstract-loop
+        barrier whose node was passed): fulfilled, timing-neutral."""
+        self._fulfilled.add(id(ins))
+
+    def mark_issued(self, ins: Instruction, cycle: int) -> None:
+        self._fulfilled.add(id(ins))
+        self._local_start[id(ins)] = cycle
+
+    # -- queries -----------------------------------------------------------------
+
+    def is_fulfilled(self, ins: Instruction) -> bool:
+        return id(ins) in self._fulfilled
+
+    def deps_satisfied(self, ins: Instruction) -> bool:
+        """Are all dependence predecessors of ``ins`` fulfilled?"""
+        return all(
+            id(edge.src) in self._fulfilled for edge in self.ddg.preds(ins)
+        )
+
+    def earliest_start(self, ins: Instruction) -> int:
+        """Earliest cycle ``ins`` may start in the current pass, assuming
+        :meth:`deps_satisfied`.  Pre-fulfilled predecessors contribute 0."""
+        earliest = 0
+        for edge in self.ddg.preds(ins):
+            start = self._local_start.get(id(edge.src))
+            if start is None:
+                start = self._carry_start.get(id(edge.src))
+            if start is not None:
+                earliest = max(earliest, start + self.edge_weight(edge))
+        return earliest
+
+    def start_of(self, ins: Instruction) -> int | None:
+        """Issue cycle within the current pass (None if not issued here)."""
+        return self._local_start.get(id(ins))

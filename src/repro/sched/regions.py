@@ -1,0 +1,151 @@
+"""Region identification and ordering (Section 5.1, Section 6).
+
+"A *region* represents either a strongly connected component that
+corresponds to a loop ... or a body of a subroutine without the enclosed
+loops."  Innermost regions are scheduled first; instructions are never
+moved out of or into a region.
+
+The Section 6 prototype policy is also encoded here as predicates the
+pipeline driver applies:
+
+* only the two innermost levels of regions are scheduled (*inner* regions
+  contain no other region; *outer* regions contain only inner ones);
+* only "small" reducible regions are scheduled (at most
+  ``MAX_REGION_BLOCKS`` basic blocks and ``MAX_REGION_INSTRS``
+  instructions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cfg.dominators import dominator_tree
+from ..cfg.graph import ENTRY, ControlFlowGraph
+from ..cfg.loops import Loop, LoopNest, is_reducible
+from ..ir.basic_block import BasicBlock
+from ..ir.function import Function
+from ..machine.model import MachineModel
+from ..pdg.pdg import RegionPDG, SubloopSummary, abstract_label, make_barrier
+
+#: Section 6: '"Small" regions are those that have at most 64 basic blocks
+#: and 256 instructions.'
+MAX_REGION_BLOCKS = 64
+MAX_REGION_INSTRS = 256
+
+
+@dataclass
+class RegionSpec:
+    """One region: a loop body or the loop-free residue of the function."""
+
+    #: "loop" or "body"
+    kind: str
+    #: entry node of the region graph (a block label, or an abstract node
+    #: when the function's entry block sits inside a loop)
+    header_node: str
+    #: labels of blocks directly in the region (nested loops excluded)
+    member_labels: list[str]
+    #: immediate sub-loops, to be collapsed into abstract nodes
+    subloops: list[Loop]
+    #: loop nesting depth: 0 = subroutine body, 1 = outermost loop, ...
+    depth: int
+
+    @property
+    def is_inner(self) -> bool:
+        """An *inner* region includes no other region (Section 6)."""
+        return self.kind == "loop" and not self.subloops
+
+    @property
+    def is_outer(self) -> bool:
+        """An *outer* region includes only inner regions."""
+        return bool(self.subloops) and all(
+            not sub.children for sub in self.subloops
+        )
+
+    def block_count(self) -> int:
+        return len(self.member_labels)
+
+    def instr_count(self, func: Function) -> int:
+        return sum(len(func.block(l)) for l in self.member_labels)
+
+    def is_small(self, func: Function) -> bool:
+        return (self.block_count() <= MAX_REGION_BLOCKS
+                and self.instr_count(func) <= MAX_REGION_INSTRS)
+
+
+def find_regions(func: Function) -> list[RegionSpec]:
+    """All regions of ``func``, innermost loops first, body region last."""
+    cfg = ControlFlowGraph(func)
+    dom = dominator_tree(cfg.graph, ENTRY)
+    nest = LoopNest(cfg.graph, dom)
+
+    regions: list[RegionSpec] = []
+    for loop in nest.loops_innermost_first():
+        nested = set()
+        for child in loop.children:
+            nested |= child.body
+        members = [
+            b.label for b in func.blocks
+            if b.label in loop.body and b.label not in nested
+        ]
+        regions.append(RegionSpec(
+            kind="loop",
+            header_node=loop.header,
+            member_labels=members,
+            subloops=list(loop.children),
+            depth=loop.depth,
+        ))
+
+    in_any_loop = set()
+    for loop in nest.loops:
+        in_any_loop |= loop.body
+    reachable = cfg.reachable_blocks()
+    body_members = [b.label for b in func.blocks
+                    if b.label not in in_any_loop and b.label in reachable]
+    entry_label = func.entry.label
+    if entry_label in in_any_loop:
+        top = nest.innermost_containing(entry_label)
+        while top is not None and top.parent is not None:
+            top = top.parent
+        header_node = abstract_label(top.header)
+    else:
+        header_node = entry_label
+    regions.append(RegionSpec(
+        kind="body",
+        header_node=header_node,
+        member_labels=body_members,
+        subloops=list(nest.top_level),
+        depth=0,
+    ))
+    return regions
+
+
+def region_is_reducible(func: Function, spec: RegionSpec) -> bool:
+    """Is the whole function CFG reducible?  (The paper only schedules
+    reducible regions; irreducible control flow has no single-entry loops,
+    so per-region reducibility reduces to the global property.)"""
+    cfg = ControlFlowGraph(func)
+    dom = dominator_tree(cfg.graph, ENTRY)
+    return is_reducible(cfg.graph, dom)
+
+
+def build_region_pdg(func: Function, machine: MachineModel,
+                     spec: RegionSpec, *, reduce_ddg: bool = True) -> RegionPDG:
+    """Materialise the PDG of one region (collapsing its sub-loops)."""
+    summaries: list[SubloopSummary] = []
+    for loop in spec.subloops:
+        instrs = [
+            ins
+            for label in sorted(loop.body)
+            for ins in func.block(label).instrs
+        ]
+        barrier = make_barrier(func, loop.header, instrs)
+        pseudo = BasicBlock(abstract_label(loop.header), [barrier])
+        summaries.append(SubloopSummary(
+            header=loop.header,
+            members=frozenset(loop.body),
+            barrier=barrier,
+            pseudo_block=pseudo,
+        ))
+    member_blocks = [func.block(label) for label in spec.member_labels]
+    return RegionPDG(func, machine, member_blocks, spec.header_node,
+                     summaries, reduce_ddg=reduce_ddg)

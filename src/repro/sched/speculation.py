@@ -1,0 +1,162 @@
+"""Speculative-motion legality via live-on-exit registers (Section 5.3).
+
+Data dependences alone do not stop two sibling definitions (the paper's
+``x=5`` / ``x=3`` example) from both moving above their branch.  The rule:
+an instruction may not move speculatively into block ``B`` if it defines a
+register that is *live on exit* from ``B`` -- and this information must be
+updated *dynamically*: once ``x=5`` moves into ``B1``, ``x`` becomes live
+on exit of ``B1``, which then blocks ``x=3``.
+
+The tracker holds a mutable copy of the liveness solution and applies the
+dynamic updates: after moving ``I`` (defining ``R``) from ``B`` up to
+``A``, ``R`` becomes live on exit of ``A`` and of every block on a forward
+path from ``A`` to ``B``.
+"""
+
+from __future__ import annotations
+
+from ..cfg.digraph import Digraph
+from ..ir.basic_block import BasicBlock
+from ..ir.function import Function
+from ..ir.instruction import Instruction
+from ..ir.operand import Reg
+from ..machine.model import MachineModel
+from ..pdg.data_deps import DataDependenceGraph, DepKind
+
+
+class LiveOnExitTracker:
+    """Dynamically-updated live-on-exit sets for one region."""
+
+    def __init__(self, live_out: dict[str, set[Reg]], forward: Digraph):
+        """``live_out`` maps block label -> registers live on exit (a
+        mutable copy; :meth:`repro.dataflow.LivenessInfo.live_out_map`
+        provides one).  ``forward`` is the region's forward CFG, used to
+        find the blocks between a motion's source and target."""
+        self._live_out = live_out
+        self._forward = forward
+        self._reverse = forward.reversed()
+
+    def live_out_of(self, label: str) -> set[Reg]:
+        return self._live_out.setdefault(label, set())
+
+    def blocks_motion(self, ins: Instruction, target: str) -> bool:
+        """Would moving ``ins`` speculatively into ``target`` clobber a
+        live register?  (Definition of illegality, Section 5.3.)"""
+        live = self._live_out.get(target, set())
+        return any(reg in live for reg in ins.reg_defs())
+
+    def record_motion(self, ins: Instruction, src: str, dst: str) -> None:
+        """Update liveness after ``ins`` moved from ``src`` into ``dst``.
+
+        Every register ``ins`` defines becomes live on exit of ``dst`` and
+        of every intermediate block on a forward path ``dst -> ... -> src``
+        (exclusive of ``src``, whose own exit liveness is unchanged).
+        Called for *every* upward motion, speculative or useful -- either
+        way the moved definition's live range now spans the gap.
+        """
+        defs = ins.reg_defs()
+        if not defs:
+            return
+        downstream = self._forward.reachable_from(dst)
+        upstream = self._reverse.reachable_from(src)
+        between = (downstream & upstream) - {src}
+        between.add(dst)
+        for label in between:
+            live = self._live_out.setdefault(label, set())
+            live.update(defs)
+
+
+def try_rename_for_motion(
+    ins: Instruction,
+    home: BasicBlock,
+    target_label: str,
+    live_tracker: LiveOnExitTracker,
+    ddg: DataDependenceGraph,
+    func: Function,
+    machine: MachineModel,
+) -> bool:
+    """Rename ``ins``'s conflicting definitions to unblock a speculative
+    motion, if legal.  Returns True when ``ins`` no longer clobbers a
+    register live on exit from ``target_label``.
+
+    This reproduces the paper's on-demand flavour of renaming ("the XL
+    compiler does certain renaming of registers, which is similar to the
+    effect of the static single assignment form", Section 4.2): in Figure 6
+    the speculative twin of I5 gets its condition register renamed
+    (``cr6 -> cr5``) so both compares can sit in BL1, while defs whose
+    values escape their home block are left alone.
+
+    A definition ``R`` may be renamed iff its def-use web is closed inside
+    the home block: every use reached by this def sits in ``home`` after
+    ``ins``, i.e. ``R`` is not live on exit of ``home`` unless a later def
+    of ``R`` inside ``home`` cuts the web off.
+    """
+    live = live_tracker.live_out_of(target_label)
+    conflicting = [r for r in ins.reg_defs() if r in live]
+    if not conflicting:
+        return True
+    position = home.index_of(ins)
+    for reg in conflicting:
+        if not _web_is_local(home, position, reg, live_tracker):
+            return False
+    for reg in conflicting:
+        _rename_web(ins, home, position, reg, func, ddg, machine)
+    return not any(r in live for r in ins.reg_defs())
+
+
+def _web_is_local(home: BasicBlock, position: int, reg: Reg,
+                  live_tracker: LiveOnExitTracker) -> bool:
+    """Does the def of ``reg`` at ``position`` reach only uses inside
+    ``home``?  True if a later def cuts it off, or the register is dead on
+    exit of the home block."""
+    for ins in home.instrs[position + 1:]:
+        if reg in ins.reg_defs():
+            return True  # web ends at the next definition
+    return reg not in live_tracker.live_out_of(home.label)
+
+
+def _rename_web(ins: Instruction, home: BasicBlock, position: int, reg: Reg,
+                func: Function, ddg: DataDependenceGraph,
+                machine: MachineModel) -> None:
+    """Give the local def-use web of ``reg`` rooted at ``ins`` a fresh name
+    and drop the anti/output dependence edges the old name induced."""
+    fresh = func.new_reg(reg.rclass)
+    ins.defs = tuple(fresh if r == reg else r for r in ins.defs)
+    renamed_users: list[Instruction] = []
+    for user in home.instrs[position + 1:]:
+        if reg in user.reg_uses():
+            user.rename_uses_of(reg, fresh)
+            renamed_users.append(user)
+        if reg in user.reg_defs():
+            break
+    # Anti/output edges into `ins` on the old name are now spurious; so are
+    # output edges out of it.  Refresh those pairs from current operands.
+    for edge in ddg.preds(ins):
+        if edge.kind in (DepKind.ANTI, DepKind.OUTPUT):
+            _refresh_pair(ddg, edge.src, ins, machine)
+    for edge in ddg.succs(ins):
+        if edge.kind is DepKind.OUTPUT:
+            _refresh_pair(ddg, ins, edge.dst, machine)
+
+
+def _refresh_pair(ddg: DataDependenceGraph, src: Instruction,
+                  dst: Instruction, machine: MachineModel) -> None:
+    """Recompute the (single, strongest) dependence edge src -> dst from the
+    instructions' current operands, conservatively for memory."""
+    existing = ddg.edge(src, dst)
+    if existing is not None:
+        ddg.remove_edge(existing)
+    src_defs = set(src.reg_defs())
+    src_uses = set(src.reg_uses())
+    for reg in dst.reg_uses():
+        if reg in src_defs:
+            ddg.add_edge(src, dst, DepKind.FLOW,
+                         machine.flow_delay(src, dst, reg), reg)
+    for reg in dst.reg_defs():
+        if reg in src_uses:
+            ddg.add_edge(src, dst, DepKind.ANTI, 0, reg)
+        if reg in src_defs:
+            ddg.add_edge(src, dst, DepKind.OUTPUT, 0, reg)
+    if (src.touches_memory and dst.touches_memory
+            and (src.writes_memory or dst.writes_memory)):
+        ddg.add_edge(src, dst, DepKind.MEM, 0)

@@ -1,0 +1,41 @@
+"""Execution substrate: functional interpreter + cycle-level simulator."""
+
+from .executor import (
+    ExecutionError,
+    ExecutionResult,
+    Executor,
+    compare_bits,
+    execute,
+    wrap32,
+)
+from .machine_sim import (
+    ICacheConfig,
+    SimConfig,
+    SimulationResult,
+    TraceSimulator,
+    layout_addresses,
+    simulate_execution,
+    simulate_path_iterations,
+    simulate_trace,
+)
+from .timeline import format_timeline, issue_histogram, stall_cycles
+
+__all__ = [
+    "ExecutionError",
+    "ExecutionResult",
+    "Executor",
+    "SimConfig",
+    "SimulationResult",
+    "TraceSimulator",
+    "compare_bits",
+    "execute",
+    "ICacheConfig",
+    "format_timeline",
+    "issue_histogram",
+    "layout_addresses",
+    "simulate_execution",
+    "simulate_path_iterations",
+    "simulate_trace",
+    "stall_cycles",
+    "wrap32",
+]

@@ -1,0 +1,251 @@
+"""A functional (architectural) interpreter for the IR.
+
+Two jobs:
+
+* **Correctness oracle.**  Scheduling must preserve program semantics; the
+  test suite runs the original and the scheduled function on the same
+  inputs and compares final register/memory state and call side effects.
+* **Trace generation.**  The cycle simulator needs to know which blocks
+  execute in what order; the executor records the block trace.
+
+Arithmetic wraps to signed 32-bit, matching the RS/6K's fixed point unit.
+Memory is word-granular and byte-addressed (aligned accesses assumed);
+unwritten locations read as zero.  Calls dispatch to registered Python
+callables (the ``printf`` of Figure 1 can be a print capture in tests) and
+otherwise behave as no-ops that clobber nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..ir.basic_block import BasicBlock
+from ..ir.function import Function
+from ..ir.instruction import Instruction
+from ..ir.opcodes import Opcode
+from ..ir.operand import CR_EQ, CR_GT, CR_LT, Reg
+
+_WORD_MASK = 0xFFFFFFFF
+
+#: A call handler: receives argument values, returns result values.
+CallHandler = Callable[[list[int]], list[int]]
+
+
+class ExecutionError(RuntimeError):
+    """Raised for runaway executions or malformed programs."""
+
+
+def wrap32(value: int) -> int:
+    """Wrap to signed 32-bit two's complement."""
+    value &= _WORD_MASK
+    return value - (1 << 32) if value & 0x80000000 else value
+
+
+def compare_bits(a: int, b: int) -> int:
+    """The LT/GT/EQ condition-register mask for a signed compare."""
+    if a < b:
+        return CR_LT
+    if a > b:
+        return CR_GT
+    return CR_EQ
+
+
+@dataclass
+class ExecutionResult:
+    """Final architectural state plus the trace."""
+
+    regs: dict[Reg, int]
+    memory: dict[int, int]
+    #: visited block labels, in execution order
+    block_trace: list[str]
+    #: executed instructions, in execution order
+    instr_trace: list[Instruction]
+    #: (callee, args) of every call, in order
+    calls: list[tuple[str, tuple[int, ...]]]
+    steps: int
+    return_value: int | None = None
+
+    def reg(self, reg: Reg) -> int:
+        return self.regs.get(reg, 0)
+
+
+class Executor:
+    """Interprets one function from a given initial state."""
+
+    def __init__(
+        self,
+        func: Function,
+        *,
+        regs: dict[Reg, int] | None = None,
+        memory: dict[int, int] | None = None,
+        call_handlers: dict[str, CallHandler] | None = None,
+        max_steps: int = 1_000_000,
+    ):
+        self.func = func
+        self.regs: dict[Reg, int] = dict(regs or {})
+        self.memory: dict[int, int] = dict(memory or {})
+        self.call_handlers = dict(call_handlers or {})
+        self.max_steps = max_steps
+
+    # -- small helpers ---------------------------------------------------
+
+    def _get(self, reg: Reg) -> int:
+        return self.regs.get(reg, 0)
+
+    def _set(self, reg: Reg, value: int) -> None:
+        self.regs[reg] = wrap32(value)
+
+    def _addr(self, ins: Instruction) -> int:
+        return wrap32(self._get(ins.mem.base) + ins.mem.disp)
+
+    # -- the interpreter loop -----------------------------------------------
+
+    def run(self) -> ExecutionResult:
+        func = self.func
+        block: BasicBlock | None = func.entry
+        block_trace: list[str] = []
+        instr_trace: list[Instruction] = []
+        calls: list[tuple[str, tuple[int, ...]]] = []
+        steps = 0
+        return_value: int | None = None
+
+        while block is not None:
+            block_trace.append(block.label)
+            next_block: BasicBlock | None = None
+            fell_through = True
+            for ins in block.instrs:
+                steps += 1
+                if steps > self.max_steps:
+                    raise ExecutionError(
+                        f"{func.name}: exceeded {self.max_steps} steps "
+                        f"(infinite loop?)"
+                    )
+                instr_trace.append(ins)
+                outcome = self._execute(ins, calls)
+                if outcome == "ret":
+                    return_value = self._get(ins.uses[0]) if ins.uses else None
+                    fell_through = False
+                    next_block = None
+                    break
+                if outcome == "taken":
+                    next_block = func.block(ins.target)
+                    fell_through = False
+                    break
+            if fell_through:
+                next_block = func.fallthrough(block)
+            block = next_block
+
+        return ExecutionResult(
+            regs=dict(self.regs),
+            memory=dict(self.memory),
+            block_trace=block_trace,
+            instr_trace=instr_trace,
+            calls=calls,
+            steps=steps,
+            return_value=return_value,
+        )
+
+    def _execute(self, ins: Instruction,
+                 calls: list[tuple[str, tuple[int, ...]]]) -> str | None:
+        """Execute one instruction; returns "taken" / "ret" / None."""
+        op = ins.opcode
+        get, put = self._get, self._set
+
+        if op in (Opcode.L, Opcode.FL):
+            put(ins.defs[0], self.memory.get(self._addr(ins), 0))
+        elif op is Opcode.LU:
+            # load from base+disp, then post-increment the base (Figure 2)
+            addr = self._addr(ins)
+            base = ins.mem.base
+            new_base = wrap32(get(base) + ins.mem.disp)
+            put(ins.defs[0], self.memory.get(addr, 0))
+            put(ins.defs[1], new_base)
+        elif op in (Opcode.ST, Opcode.FST):
+            self.memory[self._addr(ins)] = get(ins.uses[0])
+        elif op is Opcode.STU:
+            self.memory[self._addr(ins)] = get(ins.uses[0])
+            put(ins.defs[0], get(ins.mem.base) + ins.mem.disp)
+        elif op is Opcode.LI:
+            put(ins.defs[0], ins.imm)
+        elif op in (Opcode.LR, Opcode.FMR, Opcode.MTCTR):
+            put(ins.defs[0], get(ins.uses[0]))
+        elif op is Opcode.A or op is Opcode.FA:
+            put(ins.defs[0], get(ins.uses[0]) + get(ins.uses[1]))
+        elif op is Opcode.AI:
+            put(ins.defs[0], get(ins.uses[0]) + ins.imm)
+        elif op is Opcode.S or op is Opcode.FS:
+            put(ins.defs[0], get(ins.uses[0]) - get(ins.uses[1]))
+        elif op is Opcode.SI:
+            put(ins.defs[0], get(ins.uses[0]) - ins.imm)
+        elif op is Opcode.MUL or op is Opcode.FM:
+            put(ins.defs[0], get(ins.uses[0]) * get(ins.uses[1]))
+        elif op is Opcode.DIV or op is Opcode.FD:
+            divisor = get(ins.uses[1])
+            if divisor == 0:
+                raise ExecutionError(f"division by zero at {ins!r}")
+            put(ins.defs[0], int(get(ins.uses[0]) / divisor))
+        elif op is Opcode.REM:
+            divisor = get(ins.uses[1])
+            if divisor == 0:
+                raise ExecutionError(f"remainder by zero at {ins!r}")
+            quotient = int(get(ins.uses[0]) / divisor)
+            put(ins.defs[0], get(ins.uses[0]) - quotient * divisor)
+        elif op is Opcode.AND:
+            put(ins.defs[0], get(ins.uses[0]) & get(ins.uses[1]))
+        elif op is Opcode.ANDI:
+            put(ins.defs[0], get(ins.uses[0]) & ins.imm)
+        elif op is Opcode.OR:
+            put(ins.defs[0], get(ins.uses[0]) | get(ins.uses[1]))
+        elif op is Opcode.ORI:
+            put(ins.defs[0], get(ins.uses[0]) | ins.imm)
+        elif op is Opcode.XOR:
+            put(ins.defs[0], get(ins.uses[0]) ^ get(ins.uses[1]))
+        elif op is Opcode.XORI:
+            put(ins.defs[0], get(ins.uses[0]) ^ ins.imm)
+        elif op is Opcode.SL:
+            put(ins.defs[0], get(ins.uses[0]) << (ins.imm & 31))
+        elif op is Opcode.SR:
+            put(ins.defs[0], (get(ins.uses[0]) & _WORD_MASK) >> (ins.imm & 31))
+        elif op is Opcode.SRA:
+            put(ins.defs[0], get(ins.uses[0]) >> (ins.imm & 31))
+        elif op is Opcode.NEG:
+            put(ins.defs[0], -get(ins.uses[0]))
+        elif op is Opcode.NOT:
+            put(ins.defs[0], ~get(ins.uses[0]))
+        elif op in (Opcode.C, Opcode.FC):
+            put(ins.defs[0], compare_bits(get(ins.uses[0]), get(ins.uses[1])))
+        elif op is Opcode.CI:
+            put(ins.defs[0], compare_bits(get(ins.uses[0]), ins.imm))
+        elif op is Opcode.B:
+            return "taken"
+        elif op is Opcode.BT:
+            if get(ins.uses[0]) & ins.mask:
+                return "taken"
+        elif op is Opcode.BF:
+            if not (get(ins.uses[0]) & ins.mask):
+                return "taken"
+        elif op is Opcode.BDNZ:
+            ctr = wrap32(get(ins.uses[0]) - 1)
+            put(ins.defs[0], ctr)
+            if ctr != 0:
+                return "taken"
+        elif op is Opcode.CALL:
+            args = [get(r) for r in ins.uses]
+            calls.append((ins.target, tuple(args)))
+            handler = self.call_handlers.get(ins.target)
+            results = handler(args) if handler is not None else []
+            for reg, value in zip(ins.defs, results):
+                put(reg, value)
+        elif op is Opcode.RET:
+            return "ret"
+        elif op is Opcode.NOP:
+            pass
+        else:  # pragma: no cover - the opcode table is closed
+            raise ExecutionError(f"no semantics for {ins!r}")
+        return None
+
+
+def execute(func: Function, **kwargs) -> ExecutionResult:
+    """Convenience wrapper: run ``func`` from the given initial state."""
+    return Executor(func, **kwargs).run()

@@ -1,0 +1,273 @@
+"""A cycle-level timing simulator for the parametric machine (Section 2).
+
+The model matches the one the paper reasons with when it estimates that
+Figure 2 "executes in 20, 21 or 22 cycles" and that the scheduled versions
+take 12-13 / 11-12:
+
+* instructions issue strictly in program order along the executed trace
+  (a stalled instruction blocks everything behind it);
+* in one cycle, at most ``n_i`` instructions may issue on each unit type
+  ``i`` (and at most ``issue_width`` overall, if the machine caps it) --
+  on the RS/6K this yields the fixed point unit and branch unit "running
+  in parallel";
+* hardware interlocks enforce the per-edge delays: a consumer issues no
+  earlier than ``issue(producer) + E(producer) + d``;
+* control transfer itself is free (the branch unit resolves branches;
+  taken and fall-through cost the same, per the paper's footnote 2), and
+  unconditional branches are *folded* by the branch unit (they consume no
+  issue slot) -- the RS/6000 branch processor really did this;
+* units are fully pipelined (multi-cycle results, one issue per cycle).
+
+Timing only: the simulator consumes a block trace recorded by the
+functional executor (or built by hand), so values never need to be
+recomputed here.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from ..ir.basic_block import BasicBlock
+from ..ir.function import Function
+from ..ir.instruction import Instruction
+from ..ir.opcodes import Opcode, UnitType
+from ..ir.operand import Reg
+from ..machine.model import MachineModel
+from .executor import ExecutionResult, Executor
+
+
+@dataclass
+class ICacheConfig:
+    """A direct-mapped instruction cache.
+
+    The paper worries that scheduling with duplication "might increase the
+    code size incurring additional costs in terms of instruction cache
+    misses"; this optional model makes that cost measurable.  Instructions
+    occupy 4 bytes at their static layout position; a fetch outside the
+    currently-resident line of its set stalls the pipeline.
+    """
+
+    #: total size in bytes (RS/6000 model 530: 8 KB instruction cache)
+    size: int = 8 * 1024
+    line: int = 64
+    miss_penalty: int = 8
+
+    @property
+    def lines(self) -> int:
+        return max(1, self.size // self.line)
+
+
+@dataclass
+class SimConfig:
+    """Simulator knobs (defaults reproduce the paper's counts)."""
+
+    #: unconditional branches are folded by the branch unit (cost 0)
+    branch_folding: bool = True
+    #: optional instruction-cache model (None = perfect cache, the
+    #: paper's implicit assumption for its cycle estimates)
+    icache: ICacheConfig | None = None
+
+
+def layout_addresses(func: Function) -> dict[int, int]:
+    """Static byte address of every instruction (4 bytes each, layout
+    order) -- the input the instruction-cache model needs."""
+    addresses: dict[int, int] = {}
+    offset = 0
+    for block in func.blocks:
+        for ins in block.instrs:
+            addresses[id(ins)] = offset
+            offset += 4
+    return addresses
+
+
+@dataclass
+class SimulationResult:
+    """Timing of one simulated trace."""
+
+    cycles: int
+    instructions: int
+    #: issue cycle of every instruction of the trace, in order
+    issue_cycles: list[int] = field(default_factory=list)
+    #: issue cycle of the first instruction of each trace block
+    block_starts: list[int] = field(default_factory=list)
+    #: instruction-cache misses (0 with the default perfect cache)
+    icache_misses: int = 0
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+class TraceSimulator:
+    """Streaming in-order multi-issue simulator."""
+
+    def __init__(self, machine: MachineModel, config: SimConfig | None = None,
+                 *, addresses: dict[int, int] | None = None):
+        self.machine = machine
+        self.config = config or SimConfig()
+        self._reg_ready: dict[Reg, int] = {}
+        self._unit_used: dict[tuple[UnitType, int], int] = defaultdict(int)
+        self._total_used: dict[int, int] = defaultdict(int)
+        self._last_issue = 0
+        self._issue_cycles: list[int] = []
+        #: id(instruction) -> static byte address, for the icache model
+        self._addresses = addresses or {}
+        self._icache_tags: dict[int, int] = {}
+        self.icache_misses = 0
+
+    # -- core ------------------------------------------------------------
+
+    def issue(self, ins: Instruction) -> int:
+        """Issue one instruction; returns its issue cycle."""
+        machine = self.machine
+        earliest = self._last_issue
+        for reg in ins.reg_uses():
+            earliest = max(earliest, self._reg_ready.get(reg, 0))
+        earliest += self._fetch_penalty(ins)
+
+        if self.config.branch_folding and ins.opcode is Opcode.B:
+            # Folded: occupies no slot, but later instructions still may
+            # not issue before it (program order).
+            self._last_issue = earliest
+            self._issue_cycles.append(earliest)
+            return earliest
+
+        unit = ins.unit
+        capacity = machine.unit_count(unit)
+        if capacity <= 0:
+            raise ValueError(
+                f"machine {machine.name!r} has no {unit.name} unit for {ins!r}"
+            )
+        width = machine.total_issue_width
+        cycle = earliest
+        while (self._unit_used[(unit, cycle)] >= capacity
+               or self._total_used[cycle] >= width):
+            cycle += 1
+        self._unit_used[(unit, cycle)] += 1
+        self._total_used[cycle] += 1
+        self._last_issue = cycle
+        self._issue_cycles.append(cycle)
+        for reg in ins.reg_defs():
+            self._reg_ready[reg] = cycle + machine.result_latency(ins, reg)
+        return cycle
+
+    def run_blocks(self, blocks: list[BasicBlock]) -> SimulationResult:
+        """Simulate the instruction stream of ``blocks`` in order."""
+        block_starts: list[int] = []
+        count = 0
+        for block in blocks:
+            block_starts.append(
+                self._peek_next_cycle(block.instrs[0]) if block.instrs
+                else self._last_issue
+            )
+            for ins in block.instrs:
+                self.issue(ins)
+                count += 1
+        last = max(self._issue_cycles, default=-1)
+        return SimulationResult(
+            cycles=last + 1,
+            instructions=count,
+            issue_cycles=list(self._issue_cycles),
+            block_starts=block_starts,
+            icache_misses=self.icache_misses,
+        )
+
+    def _fetch_penalty(self, ins: Instruction) -> int:
+        """Instruction-cache lookup: 0 on a hit or with no cache model."""
+        cache = self.config.icache
+        if cache is None:
+            return 0
+        addr = self._addresses.get(id(ins))
+        if addr is None:
+            return 0
+        line_index = (addr // cache.line) % cache.lines
+        tag = addr // (cache.line * cache.lines)
+        if self._icache_tags.get(line_index) == tag:
+            return 0
+        self._icache_tags[line_index] = tag
+        self.icache_misses += 1
+        return cache.miss_penalty
+
+    def _peek_next_cycle(self, ins: Instruction) -> int:
+        """The cycle ``ins`` would issue at, without issuing it."""
+        earliest = self._last_issue
+        for reg in ins.reg_uses():
+            earliest = max(earliest, self._reg_ready.get(reg, 0))
+        if self.config.branch_folding and ins.opcode is Opcode.B:
+            return earliest
+        unit = ins.unit
+        capacity = max(self.machine.unit_count(unit), 1)
+        width = self.machine.total_issue_width
+        cycle = earliest
+        while (self._unit_used[(unit, cycle)] >= capacity
+               or self._total_used[cycle] >= width):
+            cycle += 1
+        return cycle
+
+
+def simulate_trace(
+    blocks: list[BasicBlock],
+    machine: MachineModel,
+    config: SimConfig | None = None,
+) -> SimulationResult:
+    """Time the given block sequence from a cold pipeline."""
+    return TraceSimulator(machine, config).run_blocks(blocks)
+
+
+def simulate_path_iterations(
+    func: Function,
+    path_labels: list[str],
+    machine: MachineModel,
+    *,
+    iterations: int = 4,
+    config: SimConfig | None = None,
+) -> int:
+    """Steady-state cycles per iteration along one loop path.
+
+    Simulates ``iterations`` repetitions of the path and returns the
+    start-to-start distance of the last two -- this is how the paper's
+    "cycles per iteration" figures for the minmax loop are measured.
+    """
+    if iterations < 2:
+        raise ValueError("need at least 2 iterations for start-to-start")
+    path = [func.block(label) for label in path_labels]
+    sim = TraceSimulator(machine, config)
+    starts: list[int] = []
+    for _ in range(iterations):
+        result_start = None
+        for i, block in enumerate(path):
+            for j, ins in enumerate(block.instrs):
+                cycle = sim.issue(ins)
+                if i == 0 and j == 0:
+                    result_start = cycle
+        starts.append(result_start if result_start is not None else 0)
+    return starts[-1] - starts[-2]
+
+
+def simulate_execution(
+    func: Function,
+    machine: MachineModel,
+    *,
+    regs: dict[Reg, int] | None = None,
+    memory: dict[int, int] | None = None,
+    call_handlers=None,
+    max_steps: int = 1_000_000,
+    config: SimConfig | None = None,
+) -> tuple[ExecutionResult, SimulationResult]:
+    """Run ``func`` functionally, then time the executed trace."""
+    result = Executor(
+        func, regs=regs, memory=memory, call_handlers=call_handlers,
+        max_steps=max_steps,
+    ).run()
+    sim = TraceSimulator(machine, config, addresses=layout_addresses(func))
+    issue_cycles = [sim.issue(ins) for ins in result.instr_trace]
+    last = max(issue_cycles, default=-1)
+    timing = SimulationResult(
+        cycles=last + 1,
+        instructions=len(result.instr_trace),
+        issue_cycles=issue_cycles,
+        icache_misses=sim.icache_misses,
+    )
+    return result, timing

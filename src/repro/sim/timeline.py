@@ -1,0 +1,74 @@
+"""Textual issue timelines: see *where* the cycles go.
+
+Renders a simulated trace as a textbook-style pipeline diagram -- one row
+per instruction, one column per cycle, ``X`` at the issue cycle, ``=`` for
+the remaining execution/delay cycles of the produced value.  This is how
+the paper's 20-vs-12-cycle story becomes visible at a glance::
+
+    I1  L     r12=a(r31,4)    X=
+    I2  LU    r0,r31=a(r31,8)  X=
+    I3  C     cr7=r12,r0         X===
+    I4  BF    CL.4,cr7,0x2/gt        X
+"""
+
+from __future__ import annotations
+
+from io import StringIO
+
+from ..ir.instruction import Instruction
+from ..machine.model import MachineModel
+from .machine_sim import SimulationResult
+
+
+def format_timeline(
+    instrs: list[Instruction],
+    result: SimulationResult,
+    machine: MachineModel,
+    *,
+    max_cycles: int = 120,
+    text_width: int = 30,
+) -> str:
+    """Render the issue diagram of a simulated instruction stream.
+
+    ``instrs`` must be the same stream (same order/length) that produced
+    ``result``.
+    """
+    if len(instrs) != len(result.issue_cycles):
+        raise ValueError(
+            f"{len(instrs)} instructions vs "
+            f"{len(result.issue_cycles)} recorded issue cycles"
+        )
+    out = StringIO()
+    span = min(result.cycles, max_cycles)
+    header = " " * (6 + text_width) + "".join(
+        str(c % 10) for c in range(span)
+    )
+    out.write(header + "\n")
+    for ins, cycle in zip(instrs, result.issue_cycles):
+        if cycle >= max_cycles:
+            break
+        latency = max(
+            [machine.result_latency(ins, reg) for reg in ins.reg_defs()]
+            or [machine.exec_time(ins)]
+        )
+        row = [" "] * span
+        row[cycle] = "X"
+        for extra in range(cycle + 1, min(cycle + latency, span)):
+            row[extra] = "="
+        text = f"{ins}"[:text_width]
+        out.write(f"I{ins.uid:<4} {text:<{text_width}}{''.join(row)}\n")
+    return out.getvalue()
+
+
+def issue_histogram(result: SimulationResult) -> dict[int, int]:
+    """How many instructions issued per cycle (0 entries omitted)."""
+    hist: dict[int, int] = {}
+    for cycle in result.issue_cycles:
+        hist[cycle] = hist.get(cycle, 0) + 1
+    return hist
+
+
+def stall_cycles(result: SimulationResult) -> int:
+    """Cycles in which nothing issued (pipeline bubbles)."""
+    used = set(result.issue_cycles)
+    return sum(1 for c in range(result.cycles) if c not in used)

@@ -1,0 +1,37 @@
+"""Code transformations: renaming, unrolling, rotation, and the full flow."""
+
+from .ctr import CtrReport, convert_counted_loops
+from .pipeline import PipelineConfig, PipelineReport, optimize
+from .rename import RenameReport, rename_function
+from .rotate import RotateReport, rotatable, rotate_loop
+from .simplify import SimplifyReport, simplify_cfg
+from .strength import StrengthReductionReport, strength_reduce
+from .unroll import (
+    TransformError,
+    UnrollReport,
+    loop_blocks_in_layout,
+    unroll_loop,
+    unrollable_inner_loops,
+)
+
+__all__ = [
+    "CtrReport",
+    "PipelineConfig",
+    "convert_counted_loops",
+    "PipelineReport",
+    "RenameReport",
+    "RotateReport",
+    "SimplifyReport",
+    "StrengthReductionReport",
+    "TransformError",
+    "simplify_cfg",
+    "strength_reduce",
+    "UnrollReport",
+    "loop_blocks_in_layout",
+    "optimize",
+    "rename_function",
+    "rotatable",
+    "rotate_loop",
+    "unroll_loop",
+    "unrollable_inner_loops",
+]

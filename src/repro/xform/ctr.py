@@ -1,0 +1,220 @@
+"""Counter-register loop control (the paper's footnote 3).
+
+"Keeping the iteration variable of the loop in a special *counter
+register* allows it to be decremented and tested for zero in a single
+instruction, effectively reducing the overhead for loop control
+instructions."  The paper *disables* this feature for its running example
+(so the compare->branch delay is visible for the scheduler to fill); we
+implement it as an opt-in pass with the same default.
+
+Pattern recognised (what the lowerer + strength reduction produce)::
+
+    guard:  C  crg = i, n         ; i < n or the loop is skipped
+            BF exit, crg, lt      ; (or BT header, crg, lt)
+    header: ...
+    latch:  AI i = i, step        ; single definition of i in the loop
+            C  cr = i, n          ; cr used only by the BT
+            BT header, cr, lt
+
+becomes::
+
+    guard:  ...
+            S     t = n, i        ; trip count = ceil((n - i) / step)
+            [AI   t = t, step-1]
+            [SR   t = t, log2(step)]
+            MTCTR ctr = t
+    latch:  AI i = i, step        ; kept: i's final value may be observed
+            BDNZ header           ; decrement-and-branch, no compare delay
+
+Safety requires proving the trip count is at least 1 on loop entry, so
+the pass only fires when every loop entry edge is guarded by an ``i < n``
+test on the same registers.  Loops containing calls (which may clobber
+the counter) or another CTR user are left alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cfg.dominators import dominator_tree
+from ..cfg.graph import ENTRY, ControlFlowGraph
+from ..cfg.loops import Loop, LoopNest
+from ..ir.basic_block import BasicBlock
+from ..ir.function import Function
+from ..ir.instruction import Instruction
+from ..ir.opcodes import Opcode
+from ..ir.operand import CR_LT, CTR, Reg
+
+
+@dataclass
+class CtrReport:
+    """Loops converted to counter-register form."""
+
+    converted: list[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return bool(self.converted)
+
+
+@dataclass
+class _CountedLoop:
+    loop: Loop
+    latch: BasicBlock
+    increment: Instruction     # AI i = i, step
+    compare: Instruction       # C cr = i, n
+    branch: Instruction        # BT header, cr, lt
+    iv: Reg
+    bound: Reg
+    step: int
+
+
+def convert_counted_loops(func: Function) -> CtrReport:
+    """Convert eligible innermost loops to MTCTR/BDNZ form, in place."""
+    report = CtrReport()
+    cfg = ControlFlowGraph(func)
+    dom = dominator_tree(cfg.graph, ENTRY)
+    nest = LoopNest(cfg.graph, dom)
+    for loop in nest.loops:
+        if loop.children:
+            continue
+        counted = _match(func, loop)
+        if counted is not None and _entries_guarded(func, counted):
+            _convert(func, counted)
+            report.converted.append(loop.header)
+    return report
+
+
+def _match(func: Function, loop: Loop) -> _CountedLoop | None:
+    if len(loop.latches) != 1:
+        return None
+    latch = func.block(loop.latches[0])
+    branch = latch.terminator
+    if (branch is None or branch.opcode is not Opcode.BT
+            or branch.mask != CR_LT or branch.target != loop.header):
+        return None
+    body = latch.body
+    if len(body) < 2:
+        return None
+    # find `C cr = i, n` defining the branch's register, then `AI i=i,step`
+    cr = branch.uses[0]
+    compare = None
+    for ins in reversed(body):
+        if cr in ins.reg_defs():
+            compare = ins
+            break
+    if compare is None or compare.opcode is not Opcode.C:
+        return None
+    iv, bound = compare.uses
+    increment = None
+    for ins in body:
+        if ins.opcode is Opcode.AI and ins.defs == (iv,) \
+                and ins.uses == (iv,) and (ins.imm or 0) > 0:
+            increment = ins
+            break
+    if increment is None:
+        return None
+    step = increment.imm
+    if step not in (1, 2, 4, 8, 16):
+        return None
+
+    instrs = [i for label in loop.body for i in func.block(label).instrs]
+    # single definitions of iv and cr; invariant bound; no CTR users/calls
+    if sum(iv in i.reg_defs() for i in instrs) != 1:
+        return None
+    if sum(bound in i.reg_defs() for i in instrs) != 0:
+        return None
+    if sum(cr in i.reg_defs() for i in instrs) != 1:
+        return None
+    if any(cr in i.reg_uses() for i in instrs if i is not branch):
+        return None
+    if any(i.is_call or CTR in i.reg_defs() or CTR in i.reg_uses()
+           for i in instrs):
+        return None
+    # the compare must come after the increment with no iv def between
+    # (guaranteed by single-def) and nothing else may redefine `cr`
+    # between compare and branch (cr single-def covers it)
+    if latch.index_of(compare) < latch.index_of(increment):
+        return None
+    return _CountedLoop(loop, latch, increment, compare, branch,
+                        iv, bound, step)
+
+
+def _entries_guarded(func: Function, counted: _CountedLoop) -> bool:
+    """Every edge entering the loop must be dominated by an ``iv < bound``
+    test that holds on that edge (so the trip count is >= 1)."""
+    loop = counted.loop
+    preds = func.predecessors_map()[loop.header]
+    outside = [p for p in preds if p.label not in loop.body]
+    if not outside:
+        return False
+    for pred in outside:
+        if not _edge_proves_less(func, pred, loop.header,
+                                 counted.iv, counted.bound):
+            return False
+    return True
+
+
+def _edge_proves_less(func: Function, pred: BasicBlock, header: str,
+                      iv: Reg, bound: Reg) -> bool:
+    """Does taking the edge pred -> header imply ``iv < bound``?"""
+    term = pred.terminator
+    if term is None or term.opcode not in (Opcode.BT, Opcode.BF):
+        return False
+    if term.mask != CR_LT:
+        return False
+    cr = term.uses[0]
+    compare = None
+    for ins in reversed(pred.body):
+        if cr in ins.reg_defs():
+            compare = ins
+            break
+        if iv in ins.reg_defs() or bound in ins.reg_defs():
+            return False  # operands changed after the compare
+    if (compare is None or compare.opcode is not Opcode.C
+            or compare.uses != (iv, bound)):
+        return False
+    taken_edge = term.target == header
+    if taken_edge:
+        # BT lt taken => lt set; BF lt taken => lt clear
+        return term.opcode is Opcode.BT
+    # fall-through into the header: branch not taken
+    fall = func.fallthrough(pred)
+    if fall is None or fall.label != header:
+        return False
+    # BF lt not taken => lt set; BT lt not taken => lt clear
+    return term.opcode is Opcode.BF
+
+
+def _convert(func: Function, counted: _CountedLoop) -> None:
+    loop, latch = counted.loop, counted.latch
+    preds = func.predecessors_map()[loop.header]
+    outside = [p for p in preds if p.label not in loop.body]
+
+    # trip count = ceil((bound - iv) / step), computed on every entry
+    for pred in outside:
+        count = func.new_gpr()
+        seq = [Instruction(Opcode.S, defs=(count,),
+                           uses=(counted.bound, counted.iv),
+                           comment="ctr trip count")]
+        if counted.step > 1:
+            shift = counted.step.bit_length() - 1
+            seq.append(Instruction(Opcode.AI, defs=(count,), uses=(count,),
+                                   imm=counted.step - 1,
+                                   comment="ctr round up"))
+            seq.append(Instruction(Opcode.SR, defs=(count,), uses=(count,),
+                                   imm=shift, comment="ctr scale"))
+        seq.append(Instruction(Opcode.MTCTR, defs=(CTR,), uses=(count,),
+                               comment="ctr load"))
+        for ins in seq:
+            func.assign_uid(ins)
+            func.note_registers(ins)
+            pred.insert_before_terminator(ins)
+
+    # replace the compare+branch with BDNZ; keep the iv increment
+    bdnz = Instruction(Opcode.BDNZ, defs=(CTR,), uses=(CTR,),
+                       target=loop.header,
+                       comment="decrement count and branch")
+    func.assign_uid(bdnz)
+    latch.remove(counted.branch)
+    latch.remove(counted.compare)
+    latch.append(bdnz)

@@ -1,0 +1,207 @@
+"""The Section 6 compilation flow, end to end.
+
+"The general flow of the global scheduling is as follows:
+
+1. certain inner loops are unrolled;
+2. the global scheduling is applied the first time to the inner regions
+   only;
+3. certain inner loops are rotated;
+4. the global scheduling is applied the second time to the rotated inner
+   loops and the outer regions."
+
+followed by the basic-block scheduler over every block ("the basic block
+scheduler is applied to every single basic block of a program after the
+global scheduling is completed", Section 5.1).  Every step is individually
+switchable so the ablation benches can measure its contribution.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..cfg.dominators import dominator_tree
+from ..cfg.graph import ENTRY, ControlFlowGraph
+from ..cfg.loops import LoopNest
+from ..ir.function import Function
+from ..ir.operand import Reg
+from ..ir.verify import verify_function
+from ..machine.model import MachineModel
+from ..sched.bb_sched import schedule_function_blocks
+from ..sched.candidates import ScheduleLevel
+from ..sched.driver import GlobalScheduleReport, global_schedule
+from ..sched.profiling import BranchProfile, make_profile_priority_fn
+from .ctr import CtrReport, convert_counted_loops
+from .rename import RenameReport, rename_function
+from .rotate import RotateReport, rotatable, rotate_loop
+from .strength import StrengthReductionReport, strength_reduce
+from .unroll import UnrollReport, unroll_loop, unrollable_inner_loops
+
+
+@dataclass
+class PipelineConfig:
+    """Knobs of the Section 6 prototype, all defaulted to the paper's."""
+
+    level: ScheduleLevel = ScheduleLevel.SPECULATIVE
+    #: step 1: unroll inner loops with at most this many blocks (0 = off)
+    unroll_max_blocks: int = 4
+    #: step 3: rotate inner loops with at most this many blocks (0 = off)
+    rotate_max_blocks: int = 4
+    #: Section 5.1: post-pass basic-block scheduling
+    post_bb_pass: bool = True
+    #: Section 6: only schedule "small" regions
+    apply_size_limits: bool = True
+    #: Section 6: only the two inner levels of regions
+    inner_levels_only: bool = True
+    #: Definition 7 bound (the paper ships 1)
+    max_speculation: int = 1
+    #: scheduler-integrated renaming (Figure 6's cr5)
+    rename_on_demand: bool = True
+    #: run the standalone local renaming pass ahead of scheduling instead
+    rename_ahead: bool = False
+    #: induction-variable strength reduction, part of the BASE compiler's
+    #: "machine independent optimizations" (it is what gives Figure 2 its
+    #: pointer-walk form); applied at every level including NONE
+    strength_reduce: bool = True
+    #: footnote 3: keep counted-loop control in the counter register
+    #: (MTCTR/BDNZ).  The paper disables it for its example; same default
+    use_counter_register: bool = False
+    #: optional branch profile (Section 1's "branch probabilities,
+    #: whenever available"); speculation then prefers hot home blocks
+    profile: "BranchProfile | None" = None
+    #: Definition 6 / future-work extension: allow motion that requires
+    #: duplicating the instruction into a join's other predecessors.  Off
+    #: by default ("no duplication of code is allowed" in the prototype)
+    allow_duplication: bool = False
+
+
+@dataclass
+class PipelineReport:
+    """Everything the pipeline did, plus its own wall-clock cost."""
+
+    level: ScheduleLevel
+    unrolled: list[UnrollReport] = field(default_factory=list)
+    rotated: list[RotateReport] = field(default_factory=list)
+    rename: RenameReport | None = None
+    strength: StrengthReductionReport | None = None
+    ctr: CtrReport | None = None
+    first_pass: GlobalScheduleReport | None = None
+    second_pass: GlobalScheduleReport | None = None
+    bb_cycles: dict[str, int] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def motions(self):
+        out = []
+        for sweep in (self.first_pass, self.second_pass):
+            if sweep is not None:
+                out.extend(sweep.motions)
+        return out
+
+
+def _inner_loops(func: Function):
+    cfg = ControlFlowGraph(func)
+    dom = dominator_tree(cfg.graph, ENTRY)
+    return LoopNest(cfg.graph, dom)
+
+
+def optimize(
+    func: Function,
+    machine: MachineModel,
+    config: PipelineConfig | None = None,
+    *,
+    live_at_exit: frozenset[Reg] | None = None,
+) -> PipelineReport:
+    """Run the full global-scheduling flow on ``func`` in place."""
+    config = config or PipelineConfig()
+    report = PipelineReport(level=config.level)
+    started = time.perf_counter()
+
+    # Machine-independent optimizations the BASE compiler also performs.
+    if config.strength_reduce:
+        report.strength = strength_reduce(
+            func, live_at_exit=live_at_exit or frozenset())
+        verify_function(func)
+    if config.use_counter_register:
+        report.ctr = convert_counted_loops(func)
+        verify_function(func)
+
+    if config.level is ScheduleLevel.NONE:
+        # The BASE compiler still runs its basic-block scheduler.
+        if config.post_bb_pass:
+            report.bb_cycles = schedule_function_blocks(func, machine)
+            verify_function(func)
+        report.elapsed_seconds = time.perf_counter() - started
+        return report
+
+    if config.rename_ahead:
+        report.rename = rename_function(
+            func, live_at_exit=live_at_exit or frozenset())
+        verify_function(func)
+
+    # Step 1: unroll small inner loops.
+    if config.unroll_max_blocks:
+        nest = _inner_loops(func)
+        for loop in unrollable_inner_loops(func, nest.loops,
+                                           config.unroll_max_blocks):
+            report.unrolled.append(unroll_loop(func, loop))
+        verify_function(func)
+
+    priority_fn = (make_profile_priority_fn(config.profile, func)
+                   if config.profile else None)
+
+    # Step 2: first global pass, inner regions only.
+    report.first_pass = global_schedule(
+        func, machine, config.level,
+        live_at_exit=live_at_exit,
+        max_speculation=config.max_speculation,
+        rename_on_demand=config.rename_on_demand,
+        apply_size_limits=config.apply_size_limits,
+        inner_levels_only=config.inner_levels_only,
+        region_filter=lambda spec: spec.kind == "loop" and not spec.subloops,
+        priority_fn=priority_fn,
+        allow_duplication=config.allow_duplication,
+    )
+    verify_function(func)
+
+    # Step 3: rotate small inner loops.
+    rotated_headers: set[str] = set()
+    if config.rotate_max_blocks:
+        nest = _inner_loops(func)
+        for loop in list(nest.loops):
+            if loop.children:
+                continue
+            if rotatable(func, loop, config.rotate_max_blocks):
+                rotated = rotate_loop(func, loop)
+                report.rotated.append(rotated)
+                rotated_headers.add(rotated.new_loop_header)
+        verify_function(func)
+
+    # Step 4: second global pass -- the rotated inner loops and the
+    # regions that are not inner loops (outer loops + subroutine body).
+    def second_filter(spec) -> bool:
+        if spec.kind == "loop" and not spec.subloops:
+            return spec.header_node in rotated_headers
+        return True
+
+    report.second_pass = global_schedule(
+        func, machine, config.level,
+        live_at_exit=live_at_exit,
+        max_speculation=config.max_speculation,
+        rename_on_demand=config.rename_on_demand,
+        apply_size_limits=config.apply_size_limits,
+        inner_levels_only=config.inner_levels_only,
+        region_filter=second_filter,
+        priority_fn=(make_profile_priority_fn(config.profile, func)
+                     if config.profile else None),
+        allow_duplication=config.allow_duplication,
+    )
+    verify_function(func)
+
+    # Post-pass: local scheduling of every block.
+    if config.post_bb_pass:
+        report.bb_cycles = schedule_function_blocks(func, machine)
+        verify_function(func)
+
+    report.elapsed_seconds = time.perf_counter() - started
+    return report

@@ -1,0 +1,110 @@
+"""Loop rotation (Section 6, step 3).
+
+"After the global scheduling is applied to the inner regions, such regions
+that represent loops with up to 4 basic blocks are rotated, by copying
+their first basic block after the end of the loop.  By applying the global
+scheduling the second time to the rotated inner loops, we achieve the
+partial effect of the software pipelining, i.e., some of the instructions
+of the next iteration of the loop are executed within the body of the
+previous iteration."
+
+Mechanically: the header ``H`` is cloned as ``H'`` at the end of the loop
+and every back edge ``X -> H`` is retargeted to ``H'``.  The original ``H``
+is then only executed on loop entry (it has become the first iteration's
+prologue), and the rotated loop's body is ``B2 .. Bk, H'`` -- whose *last*
+block holds the next iteration's leading instructions, ready to be moved up
+into the body by the second global scheduling pass.
+
+Preconditions: contiguous layout, and the header has exactly one successor
+inside the loop that is not the header itself (so the rotated loop stays
+single-entry / reducible).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cfg.loops import Loop
+from ..ir.function import Function
+from ..ir.instruction import Instruction
+from ..ir.opcodes import Opcode
+from .unroll import TransformError, _prepare_tail, loop_blocks_in_layout
+
+
+@dataclass
+class RotateReport:
+    header: str
+    clone_header: str
+    new_loop_header: str
+
+
+def rotatable(func: Function, loop: Loop, max_blocks: int = 4) -> bool:
+    """Does the paper's rotation policy apply to ``loop``?"""
+    if loop.children or len(loop.body) > max_blocks or len(loop.body) < 2:
+        return False
+    if loop.header in loop.latches:
+        return False  # the header may not be its own latch
+    try:
+        loop_blocks_in_layout(func, loop)
+    except TransformError:
+        return False
+    header = func.block(loop.header)
+    inside = [s for s in func.successors(header)
+              if s.label in loop.body and s.label != loop.header]
+    return len(inside) == 1
+
+
+def rotate_loop(func: Function, loop: Loop) -> RotateReport:
+    """Rotate ``loop`` in place (see module docstring)."""
+    if not rotatable(func, loop, max_blocks=len(loop.body)):
+        raise TransformError(
+            f"loop at {loop.header!r} cannot be rotated (multiple in-loop "
+            f"header successors, nested loops, or non-contiguous layout)"
+        )
+    members = loop_blocks_in_layout(func, loop)
+    header = func.block(loop.header)
+    last = members[-1]
+
+    inside = [s for s in func.successors(header)
+              if s.label in loop.body and s.label != loop.header]
+    new_loop_header = inside[0].label
+
+    # Snapshot the header before the latch may be inverted, then protect
+    # the loop's fall-through exit from the clone inserted behind `last`.
+    # Inversion is always acceptable here: the inserted block *is* the
+    # header copy the back edge should fall into.
+    header_snapshot = [ins.clone() for ins in header.instrs]
+    insert_after = _prepare_tail(func, last, header.label, invert_ok=True)
+
+    # Clone the header after the end of the loop.
+    clone = func.add_block(func.fresh_label(f"{header.label}.r"),
+                           after=insert_after)
+    for ins in header_snapshot:
+        func.emit(clone, ins)
+
+    # The clone needs explicit control flow for the header's fall-through
+    # successor (the clone sits at the end of the loop, so its layout
+    # fall-through differs from the header's).
+    term = clone.terminator
+    if term is None or term.opcode.is_conditional:
+        fall = func.fallthrough(header)
+        if fall is None:
+            raise TransformError(
+                f"header {header.label!r} falls off the function end")
+        trampoline = func.add_block(func.fresh_label("RX"), after=clone)
+        func.emit(trampoline, Instruction(
+            Opcode.B, target=fall.label, comment="rotated header fall-through"
+        ))
+
+    # Retarget every back edge to the clone: the loop now closes through
+    # the copied header.
+    for block in members:
+        t = block.terminator
+        if t is not None and not t.is_call and t.target == header.label:
+            t.target = clone.label
+
+    return RotateReport(
+        header=header.label,
+        clone_header=clone.label,
+        new_loop_header=new_loop_header,
+    )

@@ -1,0 +1,168 @@
+"""Loop unrolling (Section 6, preparation step 1).
+
+"In a preparation step, before the global scheduling is applied, the inner
+regions that represent loops with up to 4 basic blocks are unrolled once
+(i.e., after unrolling they include two iterations of a loop instead of
+one)."
+
+Unrolling duplicates the loop body; the original copy's back edges are
+retargeted to the clone's header and the clone's back edges return to the
+original header.  Loop-exit tests are replicated with the body (this is
+plain unrolling of a while-shaped loop: both copies keep their exit
+branches, so any trip count remains correct).
+
+Preconditions (checked, raising :class:`TransformError`):
+
+* the loop's blocks are contiguous in layout order, and
+* the loop has a single natural-loop structure (one header).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cfg.loops import Loop
+from ..ir.basic_block import BasicBlock
+from ..ir.function import Function
+from ..ir.instruction import Instruction
+from ..ir.opcodes import Opcode
+
+
+class TransformError(ValueError):
+    """A transformation's precondition does not hold."""
+
+
+@dataclass
+class UnrollReport:
+    header: str
+    clone_header: str
+    cloned_blocks: list[str] = field(default_factory=list)
+
+
+def loop_blocks_in_layout(func: Function, loop: Loop) -> list[BasicBlock]:
+    """The loop's blocks in layout order, checked for contiguity."""
+    members = [b for b in func.blocks if b.label in loop.body]
+    first = func.layout_index(members[0])
+    for offset, block in enumerate(members):
+        if func.layout_index(block) != first + offset:
+            raise TransformError(
+                f"loop at {loop.header!r} is not contiguous in layout"
+            )
+    return members
+
+
+def _ensure_fallthrough_exit(func: Function, after: BasicBlock) -> str:
+    """Label that ``after``'s fall-through leaves to (creating an empty
+    sentinel block at the function end when control just falls off)."""
+    nxt = func.fallthrough(after)
+    if nxt is not None:
+        return nxt.label
+    sentinel = func.add_block(func.fresh_label("EXIT"))
+    return sentinel.label
+
+
+_INVERSES = {Opcode.BT: Opcode.BF, Opcode.BF: Opcode.BT}
+
+
+def _prepare_tail(func: Function, last: BasicBlock, header_label: str,
+                  *, invert_ok: bool) -> BasicBlock:
+    """Make room for blocks to be inserted right after ``last``.
+
+    If ``last`` can fall through, that fall-through currently leaves the
+    loop; blocks inserted behind ``last`` would capture it.  Two fixes:
+
+    * when ``last`` is the latch (conditional branch back to the header)
+      and ``invert_ok``, *invert* the branch -- the exit becomes the taken
+      target and the fall-through continues into the inserted copy, which
+      is exactly where the back edge should now lead;
+    * otherwise insert a trampoline block holding an explicit jump to the
+      old fall-through target.
+
+    Returns the block after which the copies should be inserted.
+    """
+    term = last.terminator
+    if term is not None and not term.opcode.is_conditional:
+        return last  # B/RET: no fall-through to protect
+    exit_label = _ensure_fallthrough_exit(func, last)
+    if (invert_ok and term is not None and term.target == header_label
+            and term.opcode in _INVERSES):
+        term.opcode = _INVERSES[term.opcode]
+        term.target = exit_label
+        return last
+    trampoline = func.add_block(func.fresh_label("XT"), after=last)
+    func.emit(trampoline, Instruction(Opcode.B, target=exit_label,
+                                      comment="loop exit"))
+    return trampoline
+
+
+def unroll_loop(func: Function, loop: Loop) -> UnrollReport:
+    """Unroll ``loop`` once, in place."""
+    members = loop_blocks_in_layout(func, loop)
+    header = loop.header
+    last = members[-1]
+
+    # Snapshot the bodies before the tail branch may be inverted: the
+    # clone must keep the original latch (its back edge returns to the
+    # original header with the original taken/fall-through split).
+    snapshots = {b.label: [ins.clone() for ins in b.instrs] for b in members}
+
+    # Protect the loop's fall-through exit from the blocks about to be
+    # inserted behind ``last``.  Inverting the latch is only valid when the
+    # header is the first inserted clone (it becomes the fall-through).
+    insert_after = _prepare_tail(
+        func, last, header, invert_ok=members[0].label == header
+    )
+
+    # Clone the blocks, preserving their relative order.
+    clone_label = {b.label: func.fresh_label(f"{b.label}.u") for b in members}
+    clones: list[BasicBlock] = []
+    for block in members:
+        clone = func.add_block(clone_label[block.label], after=insert_after)
+        insert_after = clone
+        for ins in snapshots[block.label]:
+            func.emit(clone, ins)
+        clones.append(clone)
+
+    # Original copy: explicit back edges now continue into the clone
+    # (iteration 2).  An inverted latch reaches the clone by fall-through.
+    for block in members:
+        t = block.terminator
+        if t is not None and t.target == header and t.opcode is not Opcode.CALL:
+            t.target = clone_label[header]
+
+    # Clone copy: intra-loop targets map to clone labels, except the back
+    # edge, which returns to the original header (iteration 3, 5, ...).
+    for clone, original in zip(clones, members):
+        t = clone.terminator
+        if t is None or t.target is None or t.opcode is Opcode.CALL:
+            continue
+        if t.target == header:
+            pass  # back edge: stays on the original header
+        elif t.target in clone_label:
+            t.target = clone_label[t.target]
+
+    # The clone region's internal fall-throughs mirror the originals'
+    # because the clones are contiguous and in the same order.  The last
+    # clone's fall-through lands on whatever followed the loop -- which is
+    # exactly where the original's fall-through (via the trampoline) goes.
+    return UnrollReport(
+        header=header,
+        clone_header=clone_label[header],
+        cloned_blocks=[c.label for c in clones],
+    )
+
+
+def unrollable_inner_loops(func: Function, loops: list[Loop],
+                           max_blocks: int = 4) -> list[Loop]:
+    """The paper's unroll policy: inner loops with at most 4 basic blocks
+    (that are contiguous in layout)."""
+    chosen = []
+    for loop in loops:
+        if loop.children or len(loop.body) > max_blocks:
+            continue
+        try:
+            loop_blocks_in_layout(func, loop)
+        except TransformError:
+            continue
+        chosen.append(loop)
+    return chosen

@@ -1,0 +1,95 @@
+"""Harness tests: the Figures 7/8 tables and their paper-shape assertions.
+
+The paper's qualitative claims (Section 6):
+
+* LI: "the speculative scheduling is dominant";
+* EQNTOTT: "most of the improvement comes from the useful scheduling
+  only" (7.1% useful vs 7.3% speculative);
+* ESPRESSO and GCC: "no improvement is observed".
+
+Absolute percentages differ (our workloads are pure hot loops; SPEC
+programs spend time everywhere), but the ordering must hold.
+"""
+
+import pytest
+
+from repro.bench import (
+    WORKLOADS,
+    figure8_table,
+    format_figure7,
+    format_figure8,
+    measure_cto,
+    measure_rti,
+)
+
+
+@pytest.fixture(scope="module")
+def fig8():
+    return {row.paper_name: row for row in figure8_table()}
+
+
+class TestFigure8Shape:
+    def test_all_rows_present(self, fig8):
+        assert set(fig8) == {"LI", "EQNTOTT", "ESPRESSO", "GCC"}
+
+    def test_li_speculative_dominant(self, fig8):
+        row = fig8["LI"]
+        assert row.rti_speculative > row.rti_useful + 5
+        assert row.rti_speculative > 10
+
+    def test_eqntott_useful_dominant(self, fig8):
+        row = fig8["EQNTOTT"]
+        assert row.rti_useful > 10
+        # speculative adds only a sliver on top of useful
+        assert row.rti_speculative >= row.rti_useful
+        assert row.rti_speculative - row.rti_useful < 5
+
+    def test_espresso_no_improvement(self, fig8):
+        row = fig8["ESPRESSO"]
+        assert abs(row.rti_useful) < 3
+        assert abs(row.rti_speculative) < 5
+
+    def test_gcc_no_meaningful_improvement(self, fig8):
+        row = fig8["GCC"]
+        assert abs(row.rti_useful) < 5
+        assert abs(row.rti_speculative) < 8
+
+    def test_big_winners_beat_non_winners(self, fig8):
+        # who-wins ordering across workload classes
+        for winner in ("LI", "EQNTOTT"):
+            for loser in ("ESPRESSO", "GCC"):
+                assert fig8[winner].rti_speculative > \
+                    fig8[loser].rti_speculative
+
+    def test_rti_arithmetic(self, fig8):
+        row = fig8["LI"]
+        assert row.rti_useful == pytest.approx(
+            100.0 * (row.base_cycles - row.useful_cycles) / row.base_cycles)
+
+
+class TestHarnessMechanics:
+    def test_verification_catches_divergence(self):
+        import dataclasses
+        broken = dataclasses.replace(
+            WORKLOADS[1], reference=lambda a, b, n: -12345)
+        with pytest.raises(AssertionError, match="oracle"):
+            measure_rti(broken)
+
+    def test_seed_reproducibility(self):
+        r1 = measure_rti(WORKLOADS[1], seed=42)
+        r2 = measure_rti(WORKLOADS[1], seed=42)
+        assert (r1.base_cycles, r1.useful_cycles, r1.speculative_cycles) == \
+            (r2.base_cycles, r2.useful_cycles, r2.speculative_cycles)
+
+    def test_cto_positive(self):
+        # Figure 7: global scheduling costs compile time (paper: 12-17%)
+        row = measure_cto(WORKLOADS[1], repeats=3)
+        assert row.scheduled_seconds > row.base_seconds
+        assert row.cto > 0
+
+    def test_formatting(self, fig8):
+        text = format_figure8(list(fig8.values()))
+        assert "Figure 8" in text and "EQNTOTT" in text and "%" in text
+        cto_rows = [measure_cto(WORKLOADS[0], repeats=1)]
+        text7 = format_figure7(cto_rows)
+        assert "Figure 7" in text7 and "CTO" in text7

@@ -1,0 +1,61 @@
+"""Workload sanity: every kernel compiles, runs, and matches its oracle."""
+
+import random
+
+import pytest
+
+from repro import ScheduleLevel, compile_c
+from repro.bench import MINMAX_WORKLOAD, WORKLOADS
+
+
+ALL = WORKLOADS + [MINMAX_WORKLOAD]
+
+
+@pytest.mark.parametrize("workload", ALL, ids=lambda w: w.name)
+def test_reference_matches_compiled(workload):
+    rng = random.Random(99)
+    args = workload.make_args(rng)
+    result = compile_c(workload.source, level=ScheduleLevel.SPECULATIVE)
+    unit = result[workload.entry]
+    run = unit.run(*[list(a) if isinstance(a, list) else a for a in args],
+                   call_handlers=workload.call_handlers)
+    expected = workload.reference(
+        *[list(a) if isinstance(a, list) else a for a in args])
+    assert run.return_value == expected
+
+
+@pytest.mark.parametrize("workload", ALL, ids=lambda w: w.name)
+def test_deterministic_inputs(workload):
+    a1 = workload.make_args(random.Random(5))
+    a2 = workload.make_args(random.Random(5))
+    assert a1 == a2
+
+
+def test_workloads_cover_the_four_spec_programs():
+    assert [w.paper_name for w in WORKLOADS] == \
+        ["LI", "EQNTOTT", "ESPRESSO", "GCC"]
+
+
+def test_li_like_has_many_small_blocks():
+    # the structural property Figure 8's LI row depends on
+    result = compile_c(WORKLOADS[0].source, level=ScheduleLevel.NONE)
+    func = result["li_like"].func
+    sizes = [len(b) for b in func.blocks]
+    assert len(func.blocks) >= 10
+    assert sorted(sizes)[len(sizes) // 2] <= 4  # median block is small
+
+
+def test_gcc_like_calls_on_every_arm():
+    from repro.ir import Opcode
+    result = compile_c(WORKLOADS[3].source, level=ScheduleLevel.NONE)
+    func = result["gcc_like"].func
+    calls = [i for i in func.instructions() if i.opcode is Opcode.CALL]
+    assert len(calls) >= 3
+
+
+def test_espresso_like_stores_every_iteration():
+    from repro.ir import Opcode
+    result = compile_c(WORKLOADS[2].source, level=ScheduleLevel.NONE)
+    func = result["espresso_like"].func
+    stores = [i for i in func.instructions() if i.opcode is Opcode.ST]
+    assert len(stores) >= 2

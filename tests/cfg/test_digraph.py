@@ -1,0 +1,112 @@
+"""Tests for the generic digraph utilities."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cfg import Digraph
+
+
+def diamond() -> Digraph:
+    g = Digraph()
+    for edge in [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")]:
+        g.add_edge(*edge)
+    return g
+
+
+class TestBasics:
+    def test_nodes_preserve_insertion_order(self):
+        g = diamond()
+        assert g.nodes == ["a", "b", "c", "d"]
+
+    def test_parallel_edges_collapse(self):
+        g = Digraph()
+        g.add_edge("a", "b")
+        g.add_edge("a", "b")
+        assert g.succs("a") == ["b"]
+        assert g.preds("b") == ["a"]
+
+    def test_reversed(self):
+        g = diamond().reversed()
+        assert set(g.succs("d")) == {"b", "c"}
+        assert g.succs("a") == []
+        assert set(g.preds("a")) == {"b", "c"}
+
+    def test_subgraph(self):
+        g = diamond().subgraph(["a", "b", "d"])
+        assert g.nodes == ["a", "b", "d"]
+        assert g.succs("a") == ["b"]  # a->c dropped
+
+    def test_reachable(self):
+        g = diamond()
+        g.add_node("island")
+        assert g.reachable_from("a") == {"a", "b", "c", "d"}
+        assert g.reachable_from("island") == {"island"}
+
+
+class TestOrders:
+    def test_postorder_ends_at_root(self):
+        order = diamond().postorder("a")
+        assert order[-1] == "a"
+        assert set(order) == {"a", "b", "c", "d"}
+
+    def test_rpo_starts_at_root(self):
+        assert diamond().rpo("a")[0] == "a"
+
+    def test_topological_order(self):
+        order = diamond().topological_order("a")
+        pos = {n: i for i, n in enumerate(order)}
+        assert pos["a"] < pos["b"] < pos["d"]
+        assert pos["a"] < pos["c"] < pos["d"]
+
+    def test_topological_order_rejects_cycle(self):
+        g = diamond()
+        g.add_edge("d", "a")
+        with pytest.raises(ValueError, match="cycle"):
+            g.topological_order("a")
+
+
+@st.composite
+def random_dag_edges(draw):
+    n = draw(st.integers(min_value=2, max_value=12))
+    edges = []
+    for dst in range(1, n):
+        for src in range(dst):
+            if draw(st.booleans()):
+                edges.append((src, dst))
+    # ensure connectivity from 0
+    for dst in range(1, n):
+        if not any(e[1] == dst for e in edges):
+            edges.append((0, dst))
+    return n, edges
+
+
+@given(random_dag_edges())
+def test_topological_order_is_valid_on_random_dags(data):
+    n, edges = data
+    g = Digraph()
+    for i in range(n):
+        g.add_node(i)
+    for src, dst in edges:
+        g.add_edge(src, dst)
+    order = g.topological_order(0)
+    pos = {node: i for i, node in enumerate(order)}
+    for src, dst in edges:
+        if src in pos and dst in pos:
+            assert pos[src] < pos[dst]
+
+
+@given(random_dag_edges())
+def test_postorder_parents_after_children(data):
+    n, edges = data
+    g = Digraph()
+    for i in range(n):
+        g.add_node(i)
+    for src, dst in edges:
+        g.add_edge(src, dst)
+    post = g.postorder(0)
+    pos = {node: i for i, node in enumerate(post)}
+    for src, dst in edges:
+        if src in pos and dst in pos:
+            # on a DAG, every successor appears before its predecessor
+            assert pos[dst] < pos[src]

@@ -1,0 +1,137 @@
+"""Dominator/postdominator tests, cross-checked against networkx."""
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfg import (
+    ControlFlowGraph,
+    Digraph,
+    ENTRY,
+    EXIT,
+    dominator_tree,
+    postdominator_tree,
+)
+
+
+class TestFigure2Dominance:
+    """Definitions 1-3 checked against the paper's own statements."""
+
+    def test_bl1_dominates_everything(self, figure2):
+        cfg = ControlFlowGraph(figure2)
+        dom = dominator_tree(cfg.graph, ENTRY)
+        for label in cfg.block_labels():
+            assert dom.dominates("CL.0", label)
+
+    def test_bl10_postdominates_everything(self, figure2):
+        cfg = ControlFlowGraph(figure2)
+        pdom = postdominator_tree(cfg.graph, EXIT)
+        for label in cfg.block_labels():
+            assert pdom.dominates("CL.9", label)
+
+    def test_equivalent_pairs(self, figure2):
+        # "BL1 and BL10 are equivalent ... BL2 and BL4 are equivalent"
+        cfg = ControlFlowGraph(figure2)
+        dom = dominator_tree(cfg.graph, ENTRY)
+        pdom = postdominator_tree(cfg.graph, EXIT)
+        for a, b in [("CL.0", "CL.9"), ("BL2", "CL.6"), ("CL.4", "CL.11")]:
+            assert dom.dominates(a, b) and pdom.dominates(b, a)
+
+    def test_non_equivalent_pair(self, figure2):
+        # BL3 (max=u) does not postdominate BL2
+        cfg = ControlFlowGraph(figure2)
+        pdom = postdominator_tree(cfg.graph, EXIT)
+        assert not pdom.dominates("BL3", "BL2")
+
+    def test_dominance_is_reflexive_and_antisymmetric(self, figure2):
+        cfg = ControlFlowGraph(figure2)
+        dom = dominator_tree(cfg.graph, ENTRY)
+        labels = cfg.block_labels()
+        for a in labels:
+            assert dom.dominates(a, a)
+            for b in labels:
+                if a != b and dom.dominates(a, b):
+                    assert not dom.dominates(b, a)
+
+    def test_dominators_of_walks_to_root(self, figure2):
+        cfg = ControlFlowGraph(figure2)
+        dom = dominator_tree(cfg.graph, ENTRY)
+        chain = dom.dominators_of("CL.9")
+        assert chain[0] == "CL.9"
+        assert chain[-1] == ENTRY
+        assert "CL.0" in chain
+
+    def test_children_partition(self, figure2):
+        cfg = ControlFlowGraph(figure2)
+        dom = dominator_tree(cfg.graph, ENTRY)
+        seen = set()
+        stack = [ENTRY]
+        while stack:
+            node = stack.pop()
+            assert node not in seen
+            seen.add(node)
+            stack.extend(dom.children(node))
+        assert seen == set(dom.nodes)
+
+
+@st.composite
+def random_flow_graph(draw):
+    """A random rooted digraph (cycles allowed), root 0."""
+    n = draw(st.integers(min_value=2, max_value=10))
+    edges = set()
+    # spanning structure to keep things reachable
+    for dst in range(1, n):
+        edges.add((draw(st.integers(min_value=0, max_value=dst - 1)), dst))
+    extra = draw(st.lists(
+        st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+        max_size=n * 2,
+    ))
+    edges.update((a, b) for a, b in extra if a != b)
+    return n, sorted(edges)
+
+
+@given(random_flow_graph())
+@settings(max_examples=60)
+def test_idoms_match_networkx(data):
+    n, edges = data
+    g = Digraph()
+    for i in range(n):
+        g.add_node(i)
+    for src, dst in edges:
+        g.add_edge(src, dst)
+    dom = dominator_tree(g, 0)
+
+    nxg = nx.DiGraph(edges)
+    nxg.add_nodes_from(range(n))
+    expected = nx.immediate_dominators(nxg, 0)
+    for node in dom.nodes:
+        if node == 0:
+            assert dom.idom(node) is None
+        else:
+            assert dom.idom(node) == expected[node]
+
+
+@given(random_flow_graph())
+@settings(max_examples=40)
+def test_dominates_agrees_with_path_definition(data):
+    """Definition 1: A dominates B iff A is on every path ENTRY->B."""
+    n, edges = data
+    g = Digraph()
+    for i in range(n):
+        g.add_node(i)
+    for src, dst in edges:
+        g.add_edge(src, dst)
+    dom = dominator_tree(g, 0)
+
+    nxg = nx.DiGraph(edges)
+    nxg.add_nodes_from(range(n))
+    reachable = set(nx.descendants(nxg, 0)) | {0}
+    for a in reachable:
+        for b in reachable:
+            # removing a strictly-dominating node must disconnect b
+            if a in (0, b):
+                continue
+            pruned = nxg.copy()
+            pruned.remove_node(a)
+            still_reachable = b in (set(nx.descendants(pruned, 0)) | {0})
+            assert dom.dominates(a, b) == (not still_reachable)

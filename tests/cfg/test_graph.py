@@ -1,0 +1,59 @@
+"""ControlFlowGraph (ENTRY/EXIT augmentation) tests."""
+
+from repro.cfg import ControlFlowGraph, ENTRY, EXIT
+from repro.ir import parse_function
+
+
+def test_entry_edge(figure2):
+    cfg = ControlFlowGraph(figure2)
+    assert cfg.succs(ENTRY) == ["CL.0"]
+    assert cfg.preds("CL.0") == [ENTRY, "CL.9"]
+
+
+def test_fallthrough_exit(figure2):
+    # CL.9's conditional branch falls off the function end
+    cfg = ControlFlowGraph(figure2)
+    assert EXIT in cfg.succs("CL.9")
+
+
+def test_ret_exit():
+    func = parse_function("function f\na:\n    RET r1\n")
+    cfg = ControlFlowGraph(func)
+    assert cfg.succs("a") == [EXIT]
+
+
+def test_multiple_exits():
+    func = parse_function("""
+function f
+a:
+    C cr0=r1,r2
+    BT early,cr0,0x1/lt
+b:
+    RET r1
+early:
+    RET r2
+""")
+    cfg = ControlFlowGraph(func)
+    exits = [l for l in cfg.block_labels() if EXIT in cfg.succs(l)]
+    assert sorted(exits) == ["b", "early"]
+
+
+def test_reachable_blocks_excludes_virtual(figure2):
+    cfg = ControlFlowGraph(figure2)
+    reached = cfg.reachable_blocks()
+    assert ENTRY not in reached and EXIT not in reached
+    assert reached == set(cfg.block_labels())
+
+
+def test_unreachable_block_not_reached():
+    func = parse_function("""
+function f
+a:
+    RET r1
+island:
+    RET r2
+""")
+    cfg = ControlFlowGraph(func)
+    assert "island" not in cfg.reachable_blocks()
+    # but it is still a node with an EXIT edge
+    assert EXIT in cfg.succs("island")

@@ -1,0 +1,115 @@
+"""Tests for back edges, natural loops, nesting, reducibility."""
+
+from repro.cfg import (
+    ControlFlowGraph,
+    Digraph,
+    ENTRY,
+    LoopNest,
+    back_edges,
+    dominator_tree,
+    is_reducible,
+    natural_loop,
+)
+from repro.ir import parse_function
+
+
+def nested_loops_func():
+    return parse_function("""
+function nested
+outerH:
+    NOP
+innerH:
+    NOP
+innerL:
+    C cr0=r1,r2
+    BT innerH,cr0,0x1/lt
+outerL:
+    C cr1=r1,r3
+    BT outerH,cr1,0x1/lt
+done:
+    RET
+""")
+
+
+class TestFigure2Loop:
+    def test_single_back_edge(self, figure2):
+        cfg = ControlFlowGraph(figure2)
+        dom = dominator_tree(cfg.graph, ENTRY)
+        assert back_edges(cfg.graph, dom) == [("CL.9", "CL.0")]
+
+    def test_loop_body_is_all_ten_blocks(self, figure2):
+        cfg = ControlFlowGraph(figure2)
+        dom = dominator_tree(cfg.graph, ENTRY)
+        nest = LoopNest(cfg.graph, dom)
+        assert len(nest.loops) == 1
+        loop = nest.loops[0]
+        assert loop.header == "CL.0"
+        assert loop.body == set(cfg.block_labels())
+        assert loop.latches == ["CL.9"]
+        assert loop.depth == 1 and loop.is_innermost
+
+    def test_reducible(self, figure2):
+        cfg = ControlFlowGraph(figure2)
+        dom = dominator_tree(cfg.graph, ENTRY)
+        assert is_reducible(cfg.graph, dom)
+
+
+class TestNesting:
+    def test_two_level_nest(self):
+        func = nested_loops_func()
+        cfg = ControlFlowGraph(func)
+        dom = dominator_tree(cfg.graph, ENTRY)
+        nest = LoopNest(cfg.graph, dom)
+        assert len(nest.loops) == 2
+        inner = nest.loop_with_header("innerH")
+        outer = nest.loop_with_header("outerH")
+        assert inner.parent is outer
+        assert outer.children == [inner]
+        assert inner.depth == 2 and outer.depth == 1
+        assert inner.is_innermost and not outer.is_innermost
+
+    def test_innermost_first_order(self):
+        func = nested_loops_func()
+        cfg = ControlFlowGraph(func)
+        dom = dominator_tree(cfg.graph, ENTRY)
+        nest = LoopNest(cfg.graph, dom)
+        order = nest.loops_innermost_first()
+        assert [l.header for l in order] == ["innerH", "outerH"]
+
+    def test_innermost_containing(self):
+        func = nested_loops_func()
+        cfg = ControlFlowGraph(func)
+        dom = dominator_tree(cfg.graph, ENTRY)
+        nest = LoopNest(cfg.graph, dom)
+        assert nest.innermost_containing("innerL").header == "innerH"
+        assert nest.innermost_containing("outerL").header == "outerH"
+        assert nest.innermost_containing("done") is None
+
+
+class TestIrreducible:
+    def test_irreducible_graph_detected(self):
+        # classic two-entry cycle: 0 -> {1, 2}, 1 <-> 2
+        g = Digraph()
+        g.add_edge(0, 1)
+        g.add_edge(0, 2)
+        g.add_edge(1, 2)
+        g.add_edge(2, 1)
+        dom = dominator_tree(g, 0)
+        assert not is_reducible(g, dom)
+
+    def test_natural_loop_of_self_edge(self):
+        g = Digraph()
+        g.add_edge(0, 1)
+        g.add_edge(1, 1)
+        assert natural_loop(g, 1, 1) == {1}
+
+    def test_shared_header_loops_merge(self):
+        # two back edges into one header
+        g = Digraph()
+        for e in [(0, 1), (1, 2), (1, 3), (2, 1), (3, 1), (1, 4)]:
+            g.add_edge(*e)
+        dom = dominator_tree(g, 0)
+        nest = LoopNest(g, dom)
+        assert len(nest.loops) == 1
+        assert nest.loops[0].body == {1, 2, 3}
+        assert sorted(nest.loops[0].latches) == [2, 3]

@@ -1,0 +1,59 @@
+"""Reaching-definitions tests."""
+
+from repro.dataflow import Definition, ReachingDefinitions
+from repro.ir import gpr, cr, parse_function
+
+
+def test_figure2_reaching(figure2):
+    rd = ReachingDefinitions(figure2)
+    # r30 (max) definitions: I7 (BL3) and I14 (BL7); both may reach BL10
+    reaching = rd.reaching_in("CL.9")
+    r30_defs = {d.uid for d in reaching if d.reg == gpr(30)}
+    assert r30_defs == {7, 14}
+    # inside the loop, r12's only def is I1
+    r12_defs = {d.uid for d in reaching if d.reg == gpr(12)}
+    assert r12_defs == {1}
+
+
+def test_kill_within_block(figure2):
+    rd = ReachingDefinitions(figure2)
+    # cr7 defined by I3 (BL1), I8 (BL4), I15 (BL8); at entry of CL.9 all
+    # three may reach (no later kill), at entry of CL.6 only I3
+    cl6 = {d.uid for d in rd.reaching_in("CL.6") if d.reg == cr(7)}
+    assert cl6 == {3}
+
+
+def test_reaching_before_instruction(figure2):
+    rd = ReachingDefinitions(figure2)
+    block = figure2.block("CL.9")
+    i19 = block.instrs[1]
+    before = rd.reaching_before("CL.9", i19)
+    r29_defs = {d.uid for d in before if d.reg == gpr(29)}
+    assert r29_defs == {18}  # I18's def of r29 killed everything else
+
+
+def test_defs_of(figure2):
+    rd = ReachingDefinitions(figure2)
+    assert {d.uid for d in rd.defs_of(gpr(28))} == {10, 17}
+    assert rd.defs_of(gpr(99)) == frozenset()
+
+
+def test_loop_carried_definitions(figure2):
+    rd = ReachingDefinitions(figure2)
+    # the back edge carries I18's def of r29 to the loop header
+    header = {d.uid for d in rd.reaching_in("CL.0") if d.reg == gpr(29)}
+    assert 18 in header
+
+
+def test_straight_line():
+    func = parse_function("""
+function s
+a:
+    LI r1=1
+    LI r1=2
+b:
+    LR r2=r1
+""")
+    rd = ReachingDefinitions(func)
+    in_b = {d.uid for d in rd.reaching_in("b") if d.reg == gpr(1)}
+    assert in_b == {2}  # the first LI is killed within block a

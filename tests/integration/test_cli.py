@@ -1,0 +1,114 @@
+"""Command-line interface tests (python -m repro ...)."""
+
+import pytest
+
+from repro.__main__ import main
+
+MINMAX_C = """
+int minmax(int a[], int n, int out[]) {
+    int min = a[0]; int max = min; int i = 1;
+    while (i < n) {
+        int u = a[i]; int v = a[i+1];
+        if (u > v) { if (u > max) max = u; if (v < min) min = v; }
+        else       { if (v > max) max = v; if (u < min) min = u; }
+        i = i + 2;
+    }
+    out[0] = min; out[1] = max; return 0;
+}
+"""
+
+FIGURE2_IR = """
+function loop
+CL.0:
+    (I1) C  cr7=r12,r0
+    (I2) BF CL.9,cr7,0x2/gt
+BL2:
+    (I3) LR r30=r12
+CL.9:
+    (I4) AI r29=r29,2
+    (I5) C  cr4=r29,r27
+    (I6) BT CL.0,cr4,0x1/lt
+"""
+
+
+@pytest.fixture
+def c_file(tmp_path):
+    path = tmp_path / "minmax.c"
+    path.write_text(MINMAX_C)
+    return str(path)
+
+
+@pytest.fixture
+def ir_file(tmp_path):
+    path = tmp_path / "loop.ir"
+    path.write_text(FIGURE2_IR)
+    return str(path)
+
+
+class TestCompile:
+    def test_prints_assembly(self, c_file, capsys):
+        assert main(["compile", c_file]) == 0
+        out = capsys.readouterr().out
+        assert "function minmax" in out
+        assert "motions" in out
+
+    def test_level_selection(self, c_file, capsys):
+        main(["compile", c_file, "--level", "none"])
+        out = capsys.readouterr().out
+        assert "0 useful + 0 speculative" in out
+
+    def test_machine_selection(self, c_file, capsys):
+        assert main(["compile", c_file, "--machine", "ss4"]) == 0
+
+    def test_function_filter(self, c_file, capsys):
+        main(["compile", c_file, "--function", "nope"])
+        assert "function" not in capsys.readouterr().out
+
+    def test_ctr_flag(self, tmp_path, capsys):
+        path = tmp_path / "sum.c"
+        path.write_text("int f(int a[], int n) { int s = 0; int i = 0;"
+                        " while (i < n) { s += a[i]; i++; } return s; }")
+        main(["compile", str(path), "--ctr"])
+        assert "BDNZ" in capsys.readouterr().out
+
+
+class TestRun:
+    def test_runs_and_reports(self, c_file, capsys):
+        assert main(["run", c_file, "minmax",
+                     "5,-3,8,1,9,0", "5", "0,0"]) == 0
+        out = capsys.readouterr().out
+        assert "return value: 0" in out
+        assert "array arg 1: [-3, 9]" in out
+        assert "cycles:" in out
+
+    def test_scalar_args(self, tmp_path, capsys):
+        path = tmp_path / "add.c"
+        path.write_text("int add(int x, int y) { return x + y; }")
+        main(["run", str(path), "add", "20", "22"])
+        assert "return value: 42" in capsys.readouterr().out
+
+
+class TestSchedule:
+    def test_schedules_ir(self, ir_file, capsys):
+        assert main(["schedule", ir_file, "--level", "useful"]) == 0
+        out = capsys.readouterr().out
+        assert "function loop" in out
+        assert "Motion" in out
+
+
+class TestDot:
+    @pytest.mark.parametrize("graph", ["cfg", "cspdg", "ddg"])
+    def test_graphs(self, c_file, graph, capsys):
+        assert main(["dot", c_file, "--graph", graph]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert out.rstrip().endswith("}")
+
+    def test_cfg_with_instructions(self, c_file, capsys):
+        main(["dot", c_file, "--instructions"])
+        assert "\\l" in capsys.readouterr().out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        main([])

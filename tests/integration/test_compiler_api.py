@@ -1,0 +1,123 @@
+"""Tests for the top-level compiler API (repro.compile_c)."""
+
+import pytest
+
+from repro import (
+    CompileResult,
+    PipelineConfig,
+    ScheduleLevel,
+    compile_c,
+    rs6k,
+    superscalar,
+)
+
+SOURCE = """
+int add3(int x) { return x + 3; }
+int sum(int a[], int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) { s += a[i]; }
+    return s;
+}
+"""
+
+
+class TestCompile:
+    def test_all_functions_compiled(self):
+        result = compile_c(SOURCE)
+        assert {u.name for u in result} == {"add3", "sum"}
+        assert result.level is ScheduleLevel.SPECULATIVE
+
+    def test_missing_function_error_lists_names(self):
+        result = compile_c(SOURCE)
+        with pytest.raises(KeyError, match="add3"):
+            result["nope"]
+
+    def test_assembly_listing(self):
+        result = compile_c(SOURCE)
+        text = result["add3"].assembly()
+        assert text.startswith("function add3")
+        assert "AI" in text and "RET" in text
+
+    def test_config_level_must_agree(self):
+        with pytest.raises(ValueError, match="disagrees"):
+            compile_c(SOURCE, level=ScheduleLevel.USEFUL,
+                      config=PipelineConfig(level=ScheduleLevel.NONE))
+
+    def test_custom_machine(self):
+        result = compile_c(SOURCE, machine=superscalar(4))
+        assert result.machine.name == "ss4"
+
+    def test_elapsed_time_tracked(self):
+        result = compile_c(SOURCE)
+        assert result.total_elapsed_seconds > 0
+
+
+class TestRun:
+    def test_scalar_and_array_args(self):
+        result = compile_c(SOURCE)
+        run = result["sum"].run([1, 2, 3, 4], 4)
+        assert run.return_value == 10
+        assert run.cycles > 0
+        assert run.instructions > 0
+        assert run.arrays == [[1, 2, 3, 4]]
+
+    def test_array_mutation_returned(self):
+        src = "int f(int a[]) { a[1] = 42; return 0; }"
+        run = compile_c(src)["f"].run([0, 0, 0])
+        assert run.arrays == [[0, 42, 0]]
+
+    def test_wrong_arity(self):
+        result = compile_c(SOURCE)
+        with pytest.raises(TypeError, match="takes 1 arguments"):
+            result["add3"].run(1, 2)
+
+    def test_wrong_arg_types(self):
+        result = compile_c(SOURCE)
+        with pytest.raises(TypeError, match="must be a list"):
+            result["sum"].run(5, 4)
+        with pytest.raises(TypeError, match="must be an int"):
+            result["sum"].run([1], [2])
+
+    def test_call_handlers(self):
+        src = "int f(int x) { return helper(x) * 2; }"
+        run = compile_c(src)["f"].run(
+            5, call_handlers={"helper": lambda a: [a[0] + 1]})
+        assert run.return_value == 12
+
+    def test_levels_preserve_semantics_and_do_not_slow_down(self):
+        data = list(range(20))
+        cycles = {}
+        for level in ScheduleLevel:
+            result = compile_c(SOURCE, level=level)
+            run = result["sum"].run(data, 20)
+            assert run.return_value == sum(data)
+            cycles[level] = run.cycles
+        assert cycles[ScheduleLevel.SPECULATIVE] <= cycles[ScheduleLevel.NONE]
+
+    def test_timeline_rendering(self):
+        result = compile_c(SOURCE)
+        run = result["sum"].run([1, 2, 3], 3)
+        text = run.timeline(result.machine, max_cycles=40)
+        assert "X" in text
+        lines = text.splitlines()
+        assert len(lines) >= 5
+
+    def test_icache_config_through_run(self):
+        from repro.sim import ICacheConfig, SimConfig
+        result = compile_c(SOURCE)
+        run = result["sum"].run(
+            [1, 2, 3], 3,
+            sim_config=SimConfig(icache=ICacheConfig(size=64, line=32)))
+        assert run.timing.icache_misses > 0
+
+    def test_two_arrays_disjoint_memory(self):
+        src = """
+int f(int a[], int b[]) {
+    a[0] = 1;
+    b[0] = 2;
+    return a[0] + b[0];
+}
+"""
+        run = compile_c(src)["f"].run([0], [0])
+        assert run.return_value == 3
+        assert run.arrays == [[1], [2]]

@@ -1,0 +1,82 @@
+"""Cross-function call linking tests."""
+
+import pytest
+
+from repro import ScheduleLevel, compile_c
+
+
+class TestLinkedCalls:
+    def test_simple_call(self):
+        result = compile_c("""
+int square(int x) { return x * x; }
+int sumsq(int a[], int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) { s = s + square(a[i]); }
+    return s;
+}
+""")
+        run = result.run("sumsq", [1, 2, 3, 4], 4)
+        assert run.return_value == 1 + 4 + 9 + 16
+
+    def test_recursion(self):
+        result = compile_c("""
+int fact(int n) {
+    if (n <= 1) return 1;
+    return n * fact(n - 1);
+}
+""")
+        assert result.run("fact", 6).return_value == 720
+
+    def test_mutual_recursion(self):
+        result = compile_c("""
+int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); }
+int is_odd(int n)  { if (n == 0) return 0; return is_even(n - 1); }
+""")
+        assert result.run("is_even", 10).return_value == 1
+        assert result.run("is_even", 7).return_value == 0
+
+    def test_explicit_handlers_win(self):
+        result = compile_c("""
+int helper(int x) { return x + 1; }
+int f(int x) { return helper(x); }
+""")
+        run = result.run("f", 5, call_handlers={
+            "helper": lambda args: [args[0] * 100]})
+        assert run.return_value == 500
+
+    def test_array_functions_not_linkable(self):
+        result = compile_c("""
+int reader(int a[]) { return a[0]; }
+int f(int x) { return reader(x); }
+""")
+        handlers = result.linked_handlers()
+        assert "reader" not in handlers
+        assert "f" in handlers
+
+    def test_arity_mismatch_raises(self):
+        result = compile_c("""
+int two(int x, int y) { return x + y; }
+int f(int x) { return two(x); }
+""")
+        with pytest.raises(TypeError, match="takes 2"):
+            result.run("f", 1)
+
+    def test_semantics_across_levels(self):
+        src = """
+int clamp(int v, int lo, int hi) {
+    if (v < lo) return lo;
+    if (v > hi) return hi;
+    return v;
+}
+int process(int a[], int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) { s = s + clamp(a[i], 0, 10); }
+    return s;
+}
+"""
+        data = [-5, 3, 20, 7, 100, -1]
+        expected = sum(min(max(v, 0), 10) for v in data)
+        for level in ScheduleLevel:
+            result = compile_c(src, level=level)
+            assert result.run("process", list(data), 6).return_value \
+                == expected

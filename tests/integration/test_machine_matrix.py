@@ -1,0 +1,79 @@
+"""The full pipeline must be correct on every machine configuration."""
+
+import random
+
+import pytest
+
+from repro import ScheduleLevel, compile_c
+from repro.machine import CONFIGS
+
+SOURCE = """
+int kernel(int a[], int b[], int n) {
+    int acc = 0;
+    int bias = 3;
+    for (int i = 0; i < n; i++) {
+        int x = a[i];
+        int y = b[i];
+        if (x > y) { acc = acc + x - y; }
+        else { if (x < 0) { acc = acc ^ y; } else { acc = acc + bias; } }
+    }
+    return acc;
+}
+"""
+
+
+def reference(a, b, n):
+    acc, bias = 0, 3
+    for i in range(n):
+        x, y = a[i], b[i]
+        if x > y:
+            acc += x - y
+        elif x < 0:
+            acc ^= y
+        else:
+            acc += bias
+    return acc
+
+
+@pytest.fixture(scope="module")
+def inputs():
+    rng = random.Random(77)
+    n = 60
+    return ([rng.randrange(-50, 50) for _ in range(n)],
+            [rng.randrange(-50, 50) for _ in range(n)], n)
+
+
+@pytest.mark.parametrize("config_name", sorted(CONFIGS))
+@pytest.mark.parametrize("level",
+                         [ScheduleLevel.NONE, ScheduleLevel.SPECULATIVE])
+def test_semantics_on_every_machine(config_name, level, inputs):
+    a, b, n = inputs
+    machine = CONFIGS[config_name]()
+    result = compile_c(SOURCE, machine=machine, level=level)
+    run = result["kernel"].run(list(a), list(b), n)
+    assert run.return_value == reference(a, b, n)
+    assert run.cycles > 0
+
+
+@pytest.mark.parametrize("config_name", sorted(CONFIGS))
+def test_scheduling_helps_or_is_neutral_everywhere(config_name, inputs):
+    a, b, n = inputs
+    machine = CONFIGS[config_name]()
+    cycles = {}
+    for level in (ScheduleLevel.NONE, ScheduleLevel.SPECULATIVE):
+        result = compile_c(SOURCE, machine=machine, level=level)
+        cycles[level] = result["kernel"].run(list(a), list(b), n).cycles
+    # a small tolerance: heuristics are tuned for narrow machines (the
+    # paper says so); they must never regress materially
+    assert cycles[ScheduleLevel.SPECULATIVE] <= \
+        cycles[ScheduleLevel.NONE] * 1.05
+
+
+def test_ideal_machine_is_fastest(inputs):
+    a, b, n = inputs
+    per_machine = {}
+    for name in ("rs6k", "ideal4"):
+        result = compile_c(SOURCE, machine=CONFIGS[name](),
+                           level=ScheduleLevel.SPECULATIVE)
+        per_machine[name] = result["kernel"].run(list(a), list(b), n).cycles
+    assert per_machine["ideal4"] <= per_machine["rs6k"]

@@ -1,0 +1,138 @@
+"""End-to-end reproduction of every figure in the paper.
+
+Each test states the paper's own claim it checks.
+"""
+
+import pytest
+
+from repro import compile_c, ScheduleLevel, rs6k
+from repro.bench import MINMAX_C
+from repro.cfg import ControlFlowGraph, ENTRY, EXIT, dominator_tree
+from repro.ir import format_function, parse_function
+from repro.machine import superscalar
+from repro.pdg import RegionPDG
+from repro.sched import global_schedule
+from repro.sim import simulate_path_iterations
+
+from ..conftest import FIGURE2, block_uids
+
+
+class TestFigure1And2:
+    """Figure 1 (the C program) compiles to Figure 2-shaped code."""
+
+    def test_minmax_compiles_and_runs(self):
+        result = compile_c(MINMAX_C, level=ScheduleLevel.NONE)
+        unit = result["minmax"]
+        data = [5, -3, 8, 1, 9, 0, 7, 7, -2, 4]
+        run = unit.run(data, 9, [0, 0])
+        assert run.arrays[1] == [-3, 9]
+
+    def test_loop_shape_matches_figure2(self):
+        # ten basic blocks in the loop; two loads, five compares, five
+        # branches, two LR-updates per side -- the Figure 2 inventory
+        result = compile_c(MINMAX_C, level=ScheduleLevel.NONE)
+        func = result["minmax"].func
+        cfg = ControlFlowGraph(func)
+        dom = dominator_tree(cfg.graph, ENTRY)
+        from repro.cfg import LoopNest
+        loop = LoopNest(cfg.graph, dom).loops[0]
+        assert len(loop.body) == 10
+
+    def test_figure2_cycle_estimates(self, figure2):
+        # "the code executes in 20, 21 or 22 cycles, depending on if 0, 1
+        # or 2 updates of max and min variables (LR instructions) are done"
+        paths = {
+            0: ["CL.0", "BL2", "CL.6", "CL.9"],
+            1: ["CL.0", "BL2", "BL3", "CL.6", "CL.9"],
+            2: ["CL.0", "BL2", "BL3", "CL.6", "BL5", "CL.9"],
+        }
+        for updates, path in paths.items():
+            assert simulate_path_iterations(figure2, path, rs6k()) == \
+                20 + updates
+
+
+class TestFigure3:
+    """The control flow graph of the loop."""
+
+    def test_edges(self, figure2):
+        cfg = ControlFlowGraph(figure2)
+        assert set(cfg.succs("CL.0")) == {"BL2", "CL.4"}
+        assert set(cfg.succs("BL2")) == {"BL3", "CL.6"}
+        assert set(cfg.succs("CL.6")) == {"BL5", "CL.9"}
+        assert set(cfg.succs("CL.4")) == {"BL7", "CL.11"}
+        assert set(cfg.succs("CL.11")) == {"BL9", "CL.9"}
+        assert set(cfg.succs("CL.9")) == {"CL.0", EXIT}
+        assert cfg.preds("CL.0") == [ENTRY, "CL.9"]
+
+    def test_single_entry_single_exit(self, figure2):
+        cfg = ControlFlowGraph(figure2)
+        assert cfg.succs(ENTRY) == ["CL.0"]
+        exits = [l for l in cfg.block_labels() if EXIT in cfg.succs(l)]
+        assert exits == ["CL.9"]
+
+
+class TestFigure4:
+    """The CSPDG with its equivalence (dashed) edges."""
+
+    def test_equivalence_classes(self, figure2):
+        pdg = RegionPDG(figure2, rs6k(), list(figure2.blocks), "CL.0")
+        classes = {frozenset(c) for c in pdg.cspdg.equivalence_classes}
+        assert frozenset({"CL.0", "CL.9"}) in classes
+        assert frozenset({"BL2", "CL.6"}) in classes
+        assert frozenset({"CL.4", "CL.11"}) in classes
+
+    def test_speculation_degrees(self, figure2):
+        pdg = RegionPDG(figure2, rs6k(), list(figure2.blocks), "CL.0")
+        assert pdg.cspdg.speculation_degree("CL.0", "CL.11") == 1
+        assert pdg.cspdg.speculation_degree("CL.0", "BL5") == 2
+
+
+class TestFigure5:
+    def test_schedule_and_cycles(self, figure2):
+        global_schedule(figure2, rs6k(), ScheduleLevel.USEFUL)
+        assert block_uids(figure2)["CL.0"] == [1, 2, 18, 3, 19, 4]
+        # "The resultant program in Figure 5 takes 12-13 cycles per
+        # iteration, while the original ... 20-22"
+        for path in (["CL.0", "BL2", "CL.6", "CL.9"],
+                     ["CL.0", "CL.4", "CL.11", "CL.9"]):
+            assert 12 <= simulate_path_iterations(figure2, path, rs6k()) <= 13
+
+
+class TestFigure6:
+    def test_schedule_and_cycles(self, figure2):
+        global_schedule(figure2, rs6k(), ScheduleLevel.SPECULATIVE)
+        assert [i for i in block_uids(figure2)["CL.0"]] == \
+            [1, 2, 18, 3, 19, 5, 12, 4]
+        # "the program in Figure 6 takes 11-12 cycles per iteration, a one
+        # cycle improvement over the program in Figure 5"
+        for path in (["CL.0", "BL2", "CL.6", "CL.9"],
+                     ["CL.0", "CL.4", "CL.11", "CL.9"]):
+            assert 11 <= simulate_path_iterations(figure2, path, rs6k()) <= 12
+
+    def test_only_one_speculative_compare_is_useful(self, figure2):
+        # "since I5 and I12 belong to basic blocks that are never executed
+        # together ... only one of these two instructions will carry a
+        # useful result" -- both sit in BL1, defining different registers
+        global_schedule(figure2, rs6k(), ScheduleLevel.SPECULATIVE)
+        bl1 = figure2.block("CL.0")
+        compares = [i for i in bl1.instrs if i.uid in (5, 12)]
+        assert len(compares) == 2
+        assert compares[0].defs[0] != compares[1].defs[0]
+
+
+class TestSection6Claims:
+    def test_wider_machine_bigger_payoff(self):
+        # "We may expect even bigger payoffs in machines with a larger
+        # number of computational units."
+        def improvement(machine):
+            base = parse_function(FIGURE2)
+            sched = parse_function(FIGURE2)
+            global_schedule(sched, machine, ScheduleLevel.SPECULATIVE)
+            path = ["CL.0", "BL2", "CL.6", "CL.9"]
+            b = simulate_path_iterations(base, path, machine)
+            s = simulate_path_iterations(sched, path, machine)
+            return (b - s) / b
+
+        narrow = improvement(rs6k())
+        wide = improvement(superscalar(2))
+        assert wide >= narrow

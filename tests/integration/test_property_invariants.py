@@ -1,0 +1,140 @@
+"""Property-based invariants on the core data structures.
+
+These complement the end-to-end semantic-preservation property test with
+targeted invariants: parser/printer round trips, list-scheduler dependence
+safety, and simulator in-order discipline -- each over randomly generated
+straight-line code.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import (
+    Builder,
+    Function,
+    cr,
+    format_function,
+    gpr,
+    parse_function,
+    verify_function,
+)
+from repro.machine import rs6k, superscalar
+from repro.pdg import DepKind, build_block_ddg
+from repro.sched import schedule_block
+from repro.sim import execute, simulate_trace
+
+
+@st.composite
+def random_block(draw):
+    """A random straight-line block over a small register pool."""
+    func = Function("rand")
+    b = Builder(func)
+    b.start_block("a")
+    pool = [gpr(i) for i in range(3, 9)]
+    n = draw(st.integers(2, 14))
+    for _ in range(n):
+        kind = draw(st.sampled_from(
+            ["li", "add", "ai", "mul", "xor", "load", "store", "cmp"]))
+        if kind == "li":
+            b.li(draw(st.sampled_from(pool)), draw(st.integers(-9, 9)))
+        elif kind == "add":
+            b.add(*(draw(st.sampled_from(pool)) for _ in range(3)))
+        elif kind == "ai":
+            b.ai(draw(st.sampled_from(pool)), draw(st.sampled_from(pool)),
+                 draw(st.integers(-9, 9)))
+        elif kind == "mul":
+            b.mul(*(draw(st.sampled_from(pool)) for _ in range(3)))
+        elif kind == "xor":
+            b.xor(*(draw(st.sampled_from(pool)) for _ in range(3)))
+        elif kind == "load":
+            b.load(draw(st.sampled_from(pool)), gpr(1),
+                   4 * draw(st.integers(0, 7)), symbol="m")
+        elif kind == "store":
+            b.store(draw(st.sampled_from(pool)), gpr(1),
+                    4 * draw(st.integers(0, 7)), symbol="m")
+        else:
+            b.cmp(cr(0), draw(st.sampled_from(pool)),
+                  draw(st.sampled_from(pool)))
+    return func
+
+
+@given(random_block())
+@settings(max_examples=60, deadline=None)
+def test_print_parse_round_trip(func):
+    text = format_function(func)
+    again = parse_function(text)
+    assert format_function(again) == text
+    verify_function(again)
+
+
+@given(random_block())
+@settings(max_examples=60, deadline=None)
+def test_bb_scheduler_respects_dependences(func):
+    block = func.blocks[0]
+    machine = rs6k()
+    ddg = build_block_ddg(block, machine)  # dependences of the input order
+    schedule_block(block, machine)
+    position = {id(ins): i for i, ins in enumerate(block.instrs)}
+    for edge in ddg.edges():
+        assert position[id(edge.src)] < position[id(edge.dst)], edge
+
+
+@given(random_block())
+@settings(max_examples=40, deadline=None)
+def test_bb_scheduler_preserves_semantics(func):
+    import copy
+    text = format_function(func)
+    original = parse_function(text)
+    scheduled = parse_function(text)
+    schedule_block(scheduled.blocks[0], rs6k())
+    verify_function(scheduled)
+    memory = {4 * i: i * 11 - 7 for i in range(8)}
+    regs = {gpr(1): 0, **{gpr(i): i * 3 - 5 for i in range(3, 9)}}
+    a = execute(original, regs=dict(regs), memory=dict(memory))
+    b = execute(scheduled, regs=dict(regs), memory=dict(memory))
+    assert a.regs == b.regs
+    assert a.memory == b.memory
+
+
+@given(random_block())
+@settings(max_examples=60, deadline=None)
+def test_simulator_in_order_discipline(func):
+    block = func.blocks[0]
+    machine = rs6k()
+    result = simulate_trace([block], machine)
+    # in-order: issue cycles never decrease along the stream
+    for earlier, later in zip(result.issue_cycles, result.issue_cycles[1:]):
+        assert later >= earlier
+    # per-unit capacity: never more than one FXU instruction per cycle
+    from collections import Counter
+    per_cycle = Counter(
+        (ins.unit, cycle)
+        for ins, cycle in zip(block.instrs, result.issue_cycles)
+    )
+    for (unit, _cycle), count in per_cycle.items():
+        assert count <= machine.unit_count(unit)
+
+
+@given(random_block())
+@settings(max_examples=40, deadline=None)
+def test_wider_machine_never_slower(func):
+    block = func.blocks[0]
+    narrow = simulate_trace([block], rs6k())
+    wide = simulate_trace([block], superscalar(4))
+    assert wide.cycles <= narrow.cycles
+
+
+@given(random_block())
+@settings(max_examples=40, deadline=None)
+def test_scheduling_rarely_increases_simulated_cycles(func):
+    # Greedy list scheduling is not optimal (Graham anomalies exist), but
+    # any regression must stay within a small constant on these blocks.
+    text = format_function(func)
+    original = parse_function(text)
+    scheduled = parse_function(text)
+    schedule_block(scheduled.blocks[0], rs6k())
+    before = simulate_trace([original.blocks[0]], rs6k())
+    after = simulate_trace([scheduled.blocks[0]], rs6k())
+    assert after.cycles <= before.cycles + 2

@@ -1,0 +1,44 @@
+"""DOT-export tests."""
+
+from repro.machine import rs6k
+from repro.pdg import RegionPDG, build_block_ddg
+from repro.viz import cfg_to_dot, cspdg_to_dot, ddg_to_dot
+
+
+def test_cfg_dot(figure2):
+    dot = cfg_to_dot(figure2)
+    assert dot.startswith('digraph "minmax_loop_cfg"')
+    assert dot.rstrip().endswith("}")
+    assert '"CL.0" -> "CL.4" [label="T"];' in dot
+    assert '"CL.0" -> "BL2" [label="F"];' in dot
+    assert '"CL.9" -> "CL.0"' in dot  # the back edge
+    assert '"CL.9" -> EXIT;' in dot
+    assert 'ENTRY -> "CL.0";' in dot
+
+
+def test_cfg_dot_with_instructions(figure2):
+    dot = cfg_to_dot(figure2, instructions=True)
+    assert "I1 L     r12=a(r31,4)" in dot
+    assert "\\l" in dot  # left-justified multi-line labels
+
+
+def test_cspdg_dot(figure2):
+    pdg = RegionPDG(figure2, rs6k(), list(figure2.blocks), "CL.0")
+    dot = cspdg_to_dot(pdg)
+    # solid control-dependence edges and dashed equivalence edges
+    assert '"CL.0" -> "BL2"' in dot
+    assert '"CL.0" -> "CL.9" [style=dashed, arrowhead=open];' in dot
+    assert '"BL2" -> "CL.6" [style=dashed, arrowhead=open];' in dot
+
+
+def test_ddg_dot(figure2):
+    ddg = build_block_ddg(figure2.block("CL.0"), rs6k())
+    dot = ddg_to_dot(ddg, name="bl1")
+    assert '"I3" -> "I4" [style=solid, label="d=3"];' in dot
+    assert '"I1" -> "I2" [style=dashed];' in dot  # anti dependence
+
+
+def test_quoting():
+    from repro.viz import _quote
+    assert _quote('a"b') == '"a\\"b"'
+    assert _quote("plain") == '"plain"'

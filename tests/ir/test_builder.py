@@ -1,0 +1,97 @@
+"""Tests for the IR builder."""
+
+import pytest
+
+from repro.ir import (
+    Builder,
+    CR_LT,
+    Function,
+    Opcode,
+    cr,
+    gpr,
+    verify_function,
+)
+
+
+def test_builder_reproduces_figure2_bl10(figure2):
+    f = Function("bl10")
+    b = Builder(f)
+    b.start_block("CL.9")
+    b.ai(gpr(29), gpr(29), 2, comment="i = i+2")
+    b.cmp(cr(4), gpr(29), gpr(27), comment="i < n")
+    b.bt("CL.9", cr(4), CR_LT)
+    verify_function(f)
+    ours = [str(i) for i in f.block("CL.9").instrs]
+    paper = [str(i) for i in figure2.block("CL.9").instrs]
+    assert ours == [p.replace("CL.0", "CL.9") for p in paper]
+
+
+def test_emit_requires_current_block():
+    b = Builder(Function("f"))
+    with pytest.raises(ValueError, match="no current block"):
+        b.nop()
+
+
+def test_load_update_operands():
+    f = Function("f")
+    b = Builder(f)
+    b.start_block("a")
+    ins = b.load_update(gpr(0), gpr(31), 8, symbol="a")
+    assert ins.opcode is Opcode.LU
+    assert ins.defs == (gpr(0), gpr(31))
+    assert ins.uses == (gpr(31),)
+    assert ins.mem.disp == 8
+
+
+def test_store_update_operands():
+    f = Function("f")
+    b = Builder(f)
+    b.start_block("a")
+    ins = b.store_update(gpr(5), gpr(31), 4)
+    assert ins.opcode is Opcode.STU
+    assert ins.defs == (gpr(31),)
+    assert ins.uses == (gpr(5), gpr(31))
+
+
+def test_call_operands():
+    f = Function("f")
+    b = Builder(f)
+    b.start_block("a")
+    ins = b.call("printf", (gpr(3), gpr(4)), rets=(gpr(3),))
+    assert ins.target == "printf"
+    assert ins.uses == (gpr(3), gpr(4))
+    assert ins.defs == (gpr(3),)
+
+
+def test_every_helper_emits_expected_opcode():
+    f = Function("f")
+    b = Builder(f)
+    b.start_block("a")
+    cases = [
+        (b.add(gpr(1), gpr(2), gpr(3)), Opcode.A),
+        (b.ai(gpr(1), gpr(2), 1), Opcode.AI),
+        (b.sub(gpr(1), gpr(2), gpr(3)), Opcode.S),
+        (b.si(gpr(1), gpr(2), 1), Opcode.SI),
+        (b.mul(gpr(1), gpr(2), gpr(3)), Opcode.MUL),
+        (b.div(gpr(1), gpr(2), gpr(3)), Opcode.DIV),
+        (b.rem(gpr(1), gpr(2), gpr(3)), Opcode.REM),
+        (b.and_(gpr(1), gpr(2), gpr(3)), Opcode.AND),
+        (b.andi(gpr(1), gpr(2), 7), Opcode.ANDI),
+        (b.or_(gpr(1), gpr(2), gpr(3)), Opcode.OR),
+        (b.ori(gpr(1), gpr(2), 7), Opcode.ORI),
+        (b.xor(gpr(1), gpr(2), gpr(3)), Opcode.XOR),
+        (b.xori(gpr(1), gpr(2), 7), Opcode.XORI),
+        (b.sl(gpr(1), gpr(2), 2), Opcode.SL),
+        (b.sr(gpr(1), gpr(2), 2), Opcode.SR),
+        (b.sra(gpr(1), gpr(2), 2), Opcode.SRA),
+        (b.neg(gpr(1), gpr(2)), Opcode.NEG),
+        (b.not_(gpr(1), gpr(2)), Opcode.NOT),
+        (b.lr(gpr(1), gpr(2)), Opcode.LR),
+        (b.li(gpr(1), 5), Opcode.LI),
+        (b.cmp(cr(0), gpr(1), gpr(2)), Opcode.C),
+        (b.cmpi(cr(0), gpr(1), 5), Opcode.CI),
+        (b.nop(), Opcode.NOP),
+    ]
+    for ins, opcode in cases:
+        assert ins.opcode is opcode
+    assert f.size() == len(cases)

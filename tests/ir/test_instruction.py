@@ -1,0 +1,111 @@
+"""Tests for Instruction behaviour and the opcode table."""
+
+from repro.ir import (
+    CR_GT,
+    Instruction,
+    MemRef,
+    Opcode,
+    UnitType,
+    cr,
+    gpr,
+)
+
+
+def make_load():
+    return Instruction(Opcode.L, defs=(gpr(12),), uses=(gpr(31),),
+                       mem=MemRef(gpr(31), 4, symbol="a"))
+
+
+class TestOpcodeTable:
+    def test_unit_types(self):
+        assert Opcode.A.unit is UnitType.FXU
+        assert Opcode.FA.unit is UnitType.FPU
+        assert Opcode.BT.unit is UnitType.BRU
+
+    def test_store_never_speculates(self):
+        # Section 5.1: "instructions that are never scheduled speculatively,
+        # like store to memory instructions"
+        assert not Opcode.ST.can_speculate
+        assert not Opcode.STU.can_speculate
+        assert not Opcode.FST.can_speculate
+        assert Opcode.ST.can_move_globally  # useful motion is allowed
+
+    def test_call_never_moves(self):
+        # Section 5.1: "instructions that are never moved beyond basic
+        # block boundaries, like calls to subroutines"
+        assert not Opcode.CALL.can_move_globally
+        assert Opcode.CALL.touches_memory
+
+    def test_branches_are_terminators(self):
+        for op in (Opcode.B, Opcode.BT, Opcode.BF, Opcode.RET, Opcode.BDNZ):
+            assert op.is_terminator
+        assert not Opcode.CALL.is_terminator  # calls may sit mid-block
+
+    def test_loads_can_speculate(self):
+        # speculative loads are the "gamble" of Section 4.1
+        assert Opcode.L.can_speculate
+        assert Opcode.LU.can_speculate
+
+    def test_compare_flags(self):
+        assert Opcode.C.is_compare
+        assert Opcode.CI.is_compare
+        assert Opcode.FC.is_compare
+        assert not Opcode.A.is_compare
+
+    def test_mnemonic_lookup_closed(self):
+        from repro.ir import MNEMONIC_TO_OPCODE
+        assert len(MNEMONIC_TO_OPCODE) == len(Opcode)
+
+
+class TestInstruction:
+    def test_identity_semantics(self):
+        a, b = make_load(), make_load()
+        assert a is not b
+        assert a != b  # eq=False: identity comparison
+        assert len({id(a), id(b)}) == 2
+
+    def test_clone_is_fresh(self):
+        a = make_load()
+        a.uid = 7
+        b = a.clone()
+        assert b.uid == -1
+        assert b.defs == a.defs and b.mem == a.mem
+        assert b is not a
+
+    def test_rename_registers(self):
+        ins = Instruction(Opcode.A, defs=(gpr(1),), uses=(gpr(2), gpr(3)))
+        ins.rename_registers({gpr(2): gpr(9), gpr(1): gpr(8)})
+        assert ins.defs == (gpr(8),)
+        assert ins.uses == (gpr(9), gpr(3))
+
+    def test_rename_updates_memory_base(self):
+        ins = make_load()
+        ins.rename_registers({gpr(31): gpr(40)})
+        assert ins.mem.base == gpr(40)
+        assert ins.uses == (gpr(40),)
+
+    def test_rename_uses_only(self):
+        # AI r1 = r1 + 2: renaming uses must not touch the definition
+        ins = Instruction(Opcode.AI, defs=(gpr(1),), uses=(gpr(1),), imm=2)
+        ins.rename_uses_of(gpr(1), gpr(5))
+        assert ins.defs == (gpr(1),)
+        assert ins.uses == (gpr(5),)
+
+    def test_operand_text_matches_figure2(self):
+        assert str(make_load()) == "L     r12=a(r31,4)"
+        branch = Instruction(Opcode.BF, uses=(cr(7),), target="CL.4",
+                             mask=CR_GT)
+        assert str(branch) == "BF    CL.4,cr7,0x2/gt"
+
+    def test_retarget(self):
+        branch = Instruction(Opcode.B, target="X")
+        branch.retarget("X", "Y")
+        assert branch.target == "Y"
+        branch.retarget("X", "Z")
+        assert branch.target == "Y"
+
+    def test_writes_memory(self):
+        st = Instruction(Opcode.ST, uses=(gpr(1), gpr(2)),
+                         mem=MemRef(gpr(2), 0))
+        assert st.writes_memory and st.touches_memory
+        assert make_load().touches_memory and not make_load().writes_memory

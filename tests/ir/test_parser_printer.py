@@ -1,0 +1,147 @@
+"""Round-trip and error tests for the textual IR format."""
+
+import pytest
+
+from repro.ir import (
+    Opcode,
+    ParseError,
+    format_function,
+    gpr,
+    parse_function,
+    verify_function,
+)
+
+from ..conftest import FIGURE2
+
+
+class TestRoundTrip:
+    def test_figure2_round_trips(self, figure2):
+        text = format_function(figure2)
+        again = parse_function(text)
+        assert format_function(again) == text
+
+    def test_figure2_structure(self, figure2):
+        assert figure2.name == "minmax_loop"
+        assert [b.label for b in figure2.blocks] == [
+            "CL.0", "BL2", "BL3", "CL.6", "BL5",
+            "CL.4", "BL7", "CL.11", "BL9", "CL.9",
+        ]
+        assert figure2.size() == 20
+        verify_function(figure2)
+
+    def test_explicit_uids_preserved(self, figure2):
+        uids = [ins.uid for ins in figure2.instructions()]
+        assert uids == list(range(1, 21))
+
+    def test_comments_preserved(self, figure2):
+        first = figure2.block("CL.0").instrs[0]
+        assert first.comment == "load u"
+
+    def test_all_opcode_forms_round_trip(self):
+        text = """
+function forms
+start:
+    L     r1=(r2,0)
+    LU    r3,r2=buf(r2,8)
+    ST    r1=>(r2,4)
+    STU   r1,r2=>(r2,4)
+    LI    r4=-17
+    LR    r5=r4
+    A     r6=r5,r4
+    AI    r7=r6,3
+    S     r8=r7,r6
+    SI    r9=r8,1
+    MUL   r10=r9,r8
+    DIV   r11=r10,r9
+    REM   r12=r11,r10
+    AND   r13=r12,r11
+    ANDI  r14=r13,255
+    OR    r15=r14,r13
+    ORI   r16=r15,15
+    XOR   r17=r16,r15
+    XORI  r18=r17,1
+    SL    r19=r18,2
+    SR    r20=r19,1
+    SRA   r21=r20,3
+    NEG   r22=r21
+    NOT   r23=r22
+    C     cr0=r23,r22
+    CI    cr1=r23,0
+    FL    f1=(r2,16)
+    FMR   f2=f1
+    FA    f3=f2,f1
+    FC    cr2=f3,f2
+    FST   f3=>(r2,24)
+    MTCTR ctr=r1
+    NOP
+    CALL  r3=helper(r1,r2)
+    BT    done,cr0,0x1/lt
+mid:
+    BF    done,cr1,0x4/eq
+mid2:
+    BDNZ  mid
+done:
+    RET   r3
+"""
+        func = parse_function(text)
+        verify_function(func)
+        assert format_function(parse_function(format_function(func))) == \
+            format_function(func)
+
+    def test_width_annotation_round_trips(self):
+        text = "function w\nb:\n    L r1=(r2,0):8\n"
+        func = parse_function(text)
+        ins = func.block("b").instrs[0]
+        assert ins.mem.width == 8
+        assert parse_function(format_function(func)) is not None
+
+
+class TestParseErrors:
+    def test_missing_function_line(self):
+        with pytest.raises(ParseError):
+            parse_function("b:\n    NOP\n")
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(ParseError, match="unknown mnemonic"):
+            parse_function("function f\nb:\n    FROB r1=r2\n")
+
+    def test_duplicate_uid(self):
+        with pytest.raises(ParseError, match="duplicate uid"):
+            parse_function("function f\nb:\n    (I1) NOP\n    (I1) NOP\n")
+
+    def test_partial_uids_rejected(self):
+        with pytest.raises(ParseError):
+            parse_function("function f\nb:\n    (I1) NOP\n    NOP\n")
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(ParseError):
+            parse_function("function f\nb:\n    L r1=oops\n")
+
+    def test_bad_mask_name(self):
+        with pytest.raises(ParseError, match="does not match"):
+            parse_function("function f\nb:\n    BT x,cr0,0x1/gt\nx:\n    NOP\n")
+
+    def test_duplicate_label(self):
+        with pytest.raises(ValueError):
+            parse_function("function f\nb:\n    NOP\nb:\n    NOP\n")
+
+    def test_second_function_line(self):
+        with pytest.raises(ParseError):
+            parse_function("function f\nfunction g\n")
+
+
+class TestPrinter:
+    def test_instruction_numbers_travel_with_moves(self, figure2):
+        # simulate a motion: I18 into CL.0
+        bl10 = figure2.block("CL.9")
+        i18 = bl10.instrs[0]
+        bl10.remove(i18)
+        figure2.block("CL.0").insert_before_terminator(i18)
+        text = format_function(figure2)
+        cl0_section = text.split("BL2:")[0]
+        assert "(I18)" in cl0_section
+
+    def test_unnumbered_rendering(self, figure2):
+        text = format_function(figure2, number=False)
+        assert "(I1)" not in text
+        assert "L     r12=a(r31,4)" in text

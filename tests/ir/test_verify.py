@@ -1,0 +1,108 @@
+"""Tests for the IR structural verifier."""
+
+import pytest
+
+from repro.ir import (
+    Builder,
+    CR_LT,
+    Function,
+    Instruction,
+    Opcode,
+    VerificationError,
+    cr,
+    gpr,
+    parse_function,
+    verify_function,
+    verify_reachable,
+)
+
+
+def test_figure2_verifies(figure2):
+    verify_function(figure2)
+    verify_reachable(figure2)
+
+
+def test_branch_must_be_terminator():
+    f = Function("f")
+    b = Builder(f)
+    b.start_block("a")
+    b.b("a")
+    b.nop()  # instruction after a branch
+    with pytest.raises(VerificationError, match="not the block terminator"):
+        verify_function(f)
+
+
+def test_branch_target_must_exist():
+    f = Function("f")
+    b = Builder(f)
+    b.start_block("a")
+    b.b("nowhere")
+    with pytest.raises(VerificationError, match="does not exist"):
+        verify_function(f)
+
+
+def test_mask_must_be_single_bit():
+    f = Function("f")
+    b = Builder(f)
+    b.start_block("a")
+    b.nop()
+    ins = Instruction(Opcode.BT, uses=(cr(0),), target="a", mask=0x3)
+    f.emit(f.block("a"), ins)
+    with pytest.raises(VerificationError, match="single LT/GT/EQ bit"):
+        verify_function(f)
+
+
+def test_branch_must_test_condition_register():
+    f = Function("f")
+    ins = Instruction(Opcode.BT, uses=(gpr(0),), target="a", mask=CR_LT)
+    block = f.add_block("a")
+    f.emit(block, ins)
+    with pytest.raises(VerificationError, match="condition register"):
+        verify_function(f)
+
+
+def test_duplicate_uids_detected(figure2):
+    figure2.block("BL2").instrs[0].uid = 1  # clashes with I1
+    with pytest.raises(VerificationError, match="duplicate uid"):
+        verify_function(figure2)
+
+
+def test_compare_must_define_cr():
+    f = Function("f")
+    block = f.add_block("a")
+    f.emit(block, Instruction(Opcode.C, defs=(gpr(0),),
+                              uses=(gpr(1), gpr(2))))
+    with pytest.raises(VerificationError, match="condition register"):
+        verify_function(f)
+
+
+def test_unreachable_block_detected():
+    f = Function("f")
+    b = Builder(f)
+    b.start_block("a")
+    b.ret()
+    b.start_block("island")
+    b.ret()
+    verify_function(f)  # structurally fine
+    with pytest.raises(VerificationError, match="unreachable"):
+        verify_reachable(f)
+
+
+def test_missing_immediate():
+    f = Function("f")
+    block = f.add_block("a")
+    f.emit(block, Instruction(Opcode.AI, defs=(gpr(0),), uses=(gpr(1),)))
+    with pytest.raises(VerificationError, match="immediate"):
+        verify_function(f)
+
+
+def test_empty_function_rejected():
+    with pytest.raises(VerificationError, match="no blocks"):
+        verify_function(Function("empty"))
+
+
+def test_conditional_in_last_block_allowed():
+    # the not-taken path simply leaves the function (Figure 2's loop end)
+    f = parse_function(
+        "function f\na:\n    C cr0=r1,r2\n    BT a,cr0,0x1/lt\n")
+    verify_function(f)

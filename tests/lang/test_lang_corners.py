@@ -1,0 +1,157 @@
+"""Front-end corner cases: headerless for-loops, operators, comments."""
+
+import pytest
+
+from repro.lang import CParseError, compile_c_functions, parse_c
+from repro.sim import execute
+
+
+def run_one(src, *scalars):
+    (cf,) = compile_c_functions(src).values()
+    regs = {cf.param_regs[p.name]: v for p, v in zip(cf.params, scalars)}
+    return execute(cf.func, regs=regs).return_value
+
+
+class TestForVariants:
+    def test_for_without_init(self):
+        assert run_one("""
+int f(int n) {
+    int i = 0;
+    int s = 0;
+    for (; i < n; i++) { s += 2; }
+    return s;
+}
+""", 5) == 10
+
+    def test_for_without_cond_uses_break(self):
+        assert run_one("""
+int f(int n) {
+    int s = 0;
+    for (int i = 0; ; i++) {
+        if (i >= n) break;
+        s += i;
+    }
+    return s;
+}
+""", 4) == 6
+
+    def test_for_without_step(self):
+        assert run_one("""
+int f(int n) {
+    int s = 0;
+    for (int i = 0; i < n;) { s += 1; i += 1; }
+    return s;
+}
+""", 3) == 3
+
+    def test_for_with_expression_init(self):
+        assert run_one("""
+int f(int n) {
+    int i;
+    int s = 0;
+    for (i = 1; i <= n; i++) { s += i; }
+    return s;
+}
+""", 4) == 10
+
+
+class TestOperators:
+    def test_nested_ternary_style_ifs(self):
+        src = """
+int sign(int x) {
+    if (x < 0) return -1;
+    if (x > 0) return 1;
+    return 0;
+}
+"""
+        assert run_one(src, -7) == -1
+        assert run_one(src, 7) == 1
+        assert run_one(src, 0) == 0
+
+    def test_chained_logicals(self):
+        src = """
+int f(int x, int y) {
+    if (x > 0 && x < 10 && y != 3 || x == 100) return 1;
+    return 0;
+}
+"""
+        assert run_one(src, 5, 2) == 1
+        assert run_one(src, 5, 3) == 0
+        assert run_one(src, 100, 3) == 1
+
+    def test_not_in_condition(self):
+        src = "int f(int x) { if (!(x == 2)) return 1; return 0; }"
+        assert run_one(src, 3) == 1
+        assert run_one(src, 2) == 0
+
+    def test_deeply_nested_parens(self):
+        assert run_one(
+            "int f(int x) { return (((x + 1)) * ((2))); }", 20) == 42
+
+    def test_compound_ops_all(self):
+        src = """
+int f(int x) {
+    x += 3; x -= 1; x *= 2; x /= 3; x %= 7;
+    x &= 6; x |= 8; x ^= 1; x <<= 2; x >>= 1;
+    return x;
+}
+"""
+        v = 10
+        v += 3; v -= 1; v *= 2; v //= 3; v %= 7
+        v &= 6; v |= 8; v ^= 1; v <<= 2; v >>= 1
+        assert run_one(src, 10) == v
+
+
+class TestLexicalCorners:
+    def test_comments_everywhere(self):
+        assert run_one("""
+/* leading */ int f(int x) { // decl
+    /* mid */ return x /* operand */ + 1; // done
+}
+""", 4) == 5
+
+    def test_string_literal_call_argument(self):
+        # Figure 1's printf: string lowers to an opaque handle (0)
+        (cf,) = compile_c_functions(
+            'void f(int x) { printf("x=%d\\n", x); }').values()
+        calls = []
+        execute(cf.func, regs={cf.param_regs["x"]: 9},
+                call_handlers={"printf": lambda a: calls.append(a) or []})
+        assert calls == [[0, 9]]
+
+    def test_unary_minus_on_literal(self):
+        assert run_one("int f(int x) { return -5 + x; }", 3) == -2
+
+
+class TestWhileCorners:
+    def test_while_zero_never_runs(self):
+        assert run_one(
+            "int f(int x) { while (0) { x = 99; } return x; }", 1) == 1
+
+    def test_nested_breaks_bind_innermost(self):
+        assert run_one("""
+int f(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) {
+        for (int j = 0; j < 10; j++) {
+            if (j == 2) break;
+            s += 1;
+        }
+    }
+    return s;
+}
+""", 3) == 6
+
+    def test_continue_in_while(self):
+        assert run_one("""
+int f(int n) {
+    int i = 0;
+    int s = 0;
+    while (i < n) {
+        i += 1;
+        if (i == 2) continue;
+        s += i;
+    }
+    return s;
+}
+""", 4) == 1 + 3 + 4

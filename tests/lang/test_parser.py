@@ -1,0 +1,132 @@
+"""Parser tests for the mini-C subset."""
+
+import pytest
+
+from repro.lang import CParseError, parse_c
+from repro.lang import cast as C
+
+
+def parse_one(src):
+    return parse_c(src).functions[0]
+
+
+class TestDeclarations:
+    def test_function_signature(self):
+        f = parse_one("int f(int a[], int n, int *p) { return n; }")
+        assert f.name == "f" and f.returns_value
+        assert [(p.name, p.is_array) for p in f.params] == [
+            ("a", True), ("n", False), ("p", True)]
+
+    def test_void_function(self):
+        f = parse_one("void g() { }")
+        assert not f.returns_value and f.params == ()
+
+    def test_multiple_functions(self):
+        prog = parse_c("int f() { return 1; } int g() { return 2; }")
+        assert [f.name for f in prog.functions] == ["f", "g"]
+        assert prog.function("g").name == "g"
+        with pytest.raises(KeyError):
+            prog.function("h")
+
+
+class TestStatements:
+    def test_decl_with_init(self):
+        f = parse_one("int f() { int x = 3; return x; }")
+        decl = f.body.statements[0]
+        assert isinstance(decl, C.Decl) and decl.name == "x"
+        assert decl.init == C.Num(3)
+
+    def test_compound_assignment_desugars(self):
+        f = parse_one("int f(int x) { x += 2; x <<= 1; return x; }")
+        stmt = f.body.statements[0]
+        assert isinstance(stmt, C.Assign)
+        assert stmt.value == C.Binary("+", C.Var("x"), C.Num(2))
+        stmt2 = f.body.statements[1]
+        assert stmt2.value == C.Binary("<<", C.Var("x"), C.Num(1))
+
+    def test_increment_desugars(self):
+        f = parse_one("int f(int x) { x++; x--; return x; }")
+        assert f.body.statements[0].value == \
+            C.Binary("+", C.Var("x"), C.Num(1))
+        assert f.body.statements[1].value == \
+            C.Binary("-", C.Var("x"), C.Num(1))
+
+    def test_if_else_chain(self):
+        f = parse_one("int f(int x) { if (x) { return 1; } else return 2; }")
+        stmt = f.body.statements[0]
+        assert isinstance(stmt, C.If)
+        assert isinstance(stmt.orelse, C.Block)
+
+    def test_for_loop(self):
+        f = parse_one("int f(int n) { int s = 0;"
+                      " for (int i = 0; i < n; i++) s += i; return s; }")
+        loop = f.body.statements[1]
+        assert isinstance(loop, C.For)
+        assert isinstance(loop.init, C.Decl)
+        assert loop.cond == C.Binary("<", C.Var("i"), C.Var("n"))
+
+    def test_break_continue(self):
+        f = parse_one(
+            "int f() { while (1) { if (2) break; continue; } return 0; }")
+        loop = f.body.statements[0]
+        assert isinstance(loop.body.statements[0].then.statements[0], C.Break)
+        assert isinstance(loop.body.statements[1], C.Continue)
+
+
+class TestExpressions:
+    def expr(self, text):
+        f = parse_one(f"int f(int a[], int x, int y) {{ return {text}; }}")
+        return f.body.statements[0].value
+
+    def test_precedence(self):
+        assert self.expr("x + y * 2") == C.Binary(
+            "+", C.Var("x"), C.Binary("*", C.Var("y"), C.Num(2)))
+        assert self.expr("x << 1 + y") == C.Binary(
+            "<<", C.Var("x"), C.Binary("+", C.Num(1), C.Var("y")))
+        assert self.expr("x & y == 2") == C.Binary(
+            "&", C.Var("x"), C.Binary("==", C.Var("y"), C.Num(2)))
+
+    def test_left_associativity(self):
+        assert self.expr("x - y - 2") == C.Binary(
+            "-", C.Binary("-", C.Var("x"), C.Var("y")), C.Num(2))
+
+    def test_logical_short_circuit_nodes(self):
+        e = self.expr("x && y || x")
+        assert isinstance(e, C.Logical) and e.op == "||"
+        assert isinstance(e.left, C.Logical) and e.left.op == "&&"
+
+    def test_unary(self):
+        assert self.expr("-x") == C.Unary("-", C.Var("x"))
+        assert self.expr("!~x") == C.Unary("!", C.Unary("~", C.Var("x")))
+        assert self.expr("+x") == C.Var("x")
+
+    def test_array_and_call(self):
+        assert self.expr("a[x + 1]") == C.ArrayRef(
+            "a", C.Binary("+", C.Var("x"), C.Num(1)))
+        assert self.expr("f(x, 2)") == C.Call("f", (C.Var("x"), C.Num(2)))
+
+    def test_parentheses(self):
+        assert self.expr("(x + y) * 2") == C.Binary(
+            "*", C.Binary("+", C.Var("x"), C.Var("y")), C.Num(2))
+
+    def test_hex_literal(self):
+        assert self.expr("0xFF") == C.Num(255)
+
+
+class TestErrors:
+    def test_lvalue_required(self):
+        with pytest.raises(CParseError, match="assignment target"):
+            parse_c("int f(int x) { x + 1 = 2; }")
+
+    def test_missing_paren(self):
+        with pytest.raises(CParseError):
+            parse_c("int f( { }")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(CParseError):
+            parse_c("int f() { int x = 1 return x; }")
+
+    def test_figure1_program_parses(self):
+        from repro.bench import MINMAX_C
+        prog = parse_c(MINMAX_C)
+        assert prog.functions[0].name == "minmax"

@@ -1,0 +1,126 @@
+"""Tests for the parametric machine description (Section 2)."""
+
+import pytest
+
+from repro.ir import Instruction, MemRef, Opcode, UnitType, cr, fpr, gpr
+from repro.machine import (
+    CONFIGS,
+    DelayModel,
+    MachineModel,
+    RS6K,
+    ideal_no_delays,
+    rs6k,
+    scalar_pipelined,
+    superscalar,
+    vliw_like,
+)
+
+
+def flow(machine, producer, consumer, reg):
+    return machine.flow_delay(producer, consumer, reg)
+
+
+class TestRS6KModel:
+    """Section 2.1's concrete numbers."""
+
+    def test_unit_mix(self):
+        m = rs6k()
+        assert m.unit_count(UnitType.FXU) == 1
+        assert m.unit_count(UnitType.FPU) == 1
+        assert m.unit_count(UnitType.BRU) == 1
+        assert m.total_issue_width == 3
+
+    def test_delayed_load_is_one_cycle(self):
+        load = Instruction(Opcode.L, defs=(gpr(12),), uses=(gpr(31),),
+                           mem=MemRef(gpr(31), 4))
+        use = Instruction(Opcode.A, defs=(gpr(1),), uses=(gpr(12), gpr(2)))
+        assert flow(RS6K, load, use, gpr(12)) == 1
+
+    def test_load_update_base_not_delayed(self):
+        # the updated base register is computed early: no load delay
+        lu = Instruction(Opcode.LU, defs=(gpr(0), gpr(31)), uses=(gpr(31),),
+                         mem=MemRef(gpr(31), 8))
+        use = Instruction(Opcode.AI, defs=(gpr(31),), uses=(gpr(31),), imm=4)
+        assert flow(RS6K, lu, use, gpr(31)) == 0
+        assert flow(RS6K, lu, use, gpr(0)) == 1
+
+    def test_fixed_compare_branch_three_cycles(self):
+        cmp_i = Instruction(Opcode.C, defs=(cr(7),), uses=(gpr(1), gpr(2)))
+        br = Instruction(Opcode.BF, uses=(cr(7),), target="x", mask=0x2)
+        assert flow(RS6K, cmp_i, br, cr(7)) == 3
+
+    def test_float_compare_branch_five_cycles(self):
+        fc = Instruction(Opcode.FC, defs=(cr(1),), uses=(fpr(1), fpr(2)))
+        br = Instruction(Opcode.BT, uses=(cr(1),), target="x", mask=0x1)
+        assert flow(RS6K, fc, br, cr(1)) == 5
+
+    def test_float_op_use_one_cycle(self):
+        fa = Instruction(Opcode.FA, defs=(fpr(3),), uses=(fpr(1), fpr(2)))
+        use = Instruction(Opcode.FM, defs=(fpr(4),), uses=(fpr(3), fpr(1)))
+        assert flow(RS6K, fa, use, fpr(3)) == 0 + 1
+
+    def test_plain_fixed_point_no_delay(self):
+        add = Instruction(Opcode.A, defs=(gpr(1),), uses=(gpr(2), gpr(3)))
+        use = Instruction(Opcode.A, defs=(gpr(4),), uses=(gpr(1), gpr(2)))
+        assert flow(RS6K, add, use, gpr(1)) == 0
+
+    def test_exec_times(self):
+        one = Instruction(Opcode.A, defs=(gpr(1),), uses=(gpr(2), gpr(3)))
+        mul = Instruction(Opcode.MUL, defs=(gpr(1),), uses=(gpr(2), gpr(3)))
+        div = Instruction(Opcode.DIV, defs=(gpr(1),), uses=(gpr(2), gpr(3)))
+        assert RS6K.exec_time(one) == 1
+        assert RS6K.exec_time(mul) == 5
+        assert RS6K.exec_time(div) == 19
+
+    def test_result_latency(self):
+        load = Instruction(Opcode.L, defs=(gpr(12),), uses=(gpr(31),),
+                           mem=MemRef(gpr(31), 4))
+        assert RS6K.result_latency(load, gpr(12)) == 2  # 1 exec + 1 delay
+
+
+class TestParametricFamily:
+    def test_superscalar_widths(self):
+        assert superscalar(4).unit_count(UnitType.FXU) == 4
+        assert superscalar(2).total_issue_width == 4
+
+    def test_scalar_capped_at_one(self):
+        m = scalar_pipelined()
+        assert m.total_issue_width == 1
+
+    def test_ideal_has_no_delays(self):
+        m = ideal_no_delays()
+        cmp_i = Instruction(Opcode.C, defs=(cr(0),), uses=(gpr(1), gpr(2)))
+        br = Instruction(Opcode.BT, uses=(cr(0),), target="x", mask=0x1)
+        assert flow(m, cmp_i, br, cr(0)) == 0
+
+    def test_vliw_is_wide(self):
+        assert vliw_like(8).total_issue_width >= 10
+
+    def test_config_registry(self):
+        for name, factory in CONFIGS.items():
+            machine = factory()
+            assert machine.total_issue_width >= 1, name
+
+    def test_negative_units_rejected(self):
+        with pytest.raises(ValueError):
+            MachineModel("bad", {UnitType.FXU: -1})
+
+    def test_extra_delay_rule_hook(self):
+        def charge_loads_more(producer, consumer, reg):
+            if producer.opcode.is_load:
+                return 7
+            return None
+
+        m = rs6k()
+        m.extra_delay_rules.append(charge_loads_more)
+        load = Instruction(Opcode.L, defs=(gpr(1),), uses=(gpr(2),),
+                           mem=MemRef(gpr(2), 0))
+        use = Instruction(Opcode.LR, defs=(gpr(3),), uses=(gpr(1),))
+        assert flow(m, load, use, gpr(1)) == 7
+
+    def test_custom_delay_model(self):
+        m = MachineModel("d", {UnitType.FXU: 1, UnitType.BRU: 1},
+                         delays=DelayModel(fixed_compare_branch=9))
+        cmp_i = Instruction(Opcode.C, defs=(cr(0),), uses=(gpr(1), gpr(2)))
+        br = Instruction(Opcode.BT, uses=(cr(0),), target="x", mask=0x1)
+        assert flow(m, cmp_i, br, cr(0)) == 9

@@ -1,0 +1,85 @@
+"""CSPDG tests: equivalence classes, EQUIV(A), speculation degrees."""
+
+import pytest
+
+from repro.machine import rs6k
+from repro.pdg import RegionPDG
+
+from ..conftest import PAPER_BLOCKS
+
+
+@pytest.fixture
+def pdg(figure2):
+    return RegionPDG(figure2, rs6k(), list(figure2.blocks), "CL.0")
+
+
+class TestEquivalenceClasses:
+    def test_figure4_classes(self, pdg):
+        classes = {frozenset(c) for c in pdg.cspdg.equivalence_classes}
+        assert frozenset({"CL.0", "CL.9"}) in classes   # BL1 ~ BL10
+        assert frozenset({"BL2", "CL.6"}) in classes    # BL2 ~ BL4
+        assert frozenset({"CL.4", "CL.11"}) in classes  # BL6 ~ BL8
+        singletons = {frozenset({b}) for b in ("BL3", "BL5", "BL7", "BL9")}
+        assert singletons <= classes
+
+    def test_classes_ordered_by_dominance(self, pdg):
+        for cls in pdg.cspdg.equivalence_classes:
+            for a, b in zip(cls, cls[1:]):
+                assert pdg.dom.strictly_dominates(a, b)
+                assert pdg.pdom.dominates(b, a)  # Definition 3
+
+    def test_equiv_dominated(self, pdg):
+        # EQUIV(A): equivalent to A and dominated by A (Section 5.1)
+        assert pdg.cspdg.equiv_dominated("CL.0") == ["CL.9"]
+        assert pdg.cspdg.equiv_dominated("CL.9") == []
+        assert pdg.cspdg.equiv_dominated("BL2") == ["CL.6"]
+        assert pdg.cspdg.equiv_dominated("CL.6") == []
+
+    def test_are_equivalent(self, pdg):
+        assert pdg.cspdg.are_equivalent("CL.0", "CL.9")
+        assert not pdg.cspdg.are_equivalent("CL.0", "BL2")
+
+
+class TestSolidEdges:
+    def test_bl1_successors(self, pdg):
+        # Figure 4: edges from BL1 to BL2, BL4 (TRUE) and BL6, BL8 (FALSE)
+        succs = set(pdg.cspdg.successors("CL.0"))
+        assert succs == {"BL2", "CL.6", "CL.4", "CL.11"}
+
+    def test_leaf_blocks_have_no_successors(self, pdg):
+        for leaf in ("BL3", "BL5", "BL7", "BL9", "CL.9"):
+            assert pdg.cspdg.successors(leaf) == []
+
+    def test_test_blocks_control_their_arms(self, pdg):
+        assert pdg.cspdg.successors("BL2") == ["BL3"]
+        assert pdg.cspdg.successors("CL.6") == ["BL5"]
+
+
+class TestSpeculationDegree:
+    def test_useful_is_zero_branch(self, pdg):
+        # "useful scheduling is 0-branch speculative"
+        assert pdg.cspdg.speculation_degree("CL.0", "CL.9") == 0
+        assert pdg.cspdg.speculation_degree("BL2", "CL.6") == 0
+
+    def test_one_branch_from_bl1(self, pdg):
+        # "when moving instructions from BL8 to BL1, we gamble on the
+        # outcome of a single branch"
+        assert pdg.cspdg.speculation_degree("CL.0", "CL.11") == 1
+        assert pdg.cspdg.speculation_degree("CL.0", "BL2") == 1
+
+    def test_two_branches_from_bl1_to_bl5(self, pdg):
+        # "moving from BL5 to BL1 gambles on the outcome of two branches"
+        assert pdg.cspdg.speculation_degree("CL.0", "BL5") == 2
+        assert pdg.cspdg.speculation_degree("CL.0", "BL3") == 2
+
+    def test_downward_motion_has_no_degree(self, pdg):
+        # no CSPDG path from BL5 back up to BL1's controllers
+        assert pdg.cspdg.speculation_degree("BL5", "BL2") is None
+
+
+def test_format_output(figure2):
+    from repro.machine import rs6k
+    pdg = RegionPDG(figure2, rs6k(), list(figure2.blocks), "CL.0")
+    text = pdg.cspdg.format()
+    assert "CL.0 ~~(equiv)~~> CL.9" in text
+    assert "--[" in text

@@ -1,0 +1,119 @@
+"""Tests for the symbolic base+offset memory disambiguation."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir import Instruction, MemRef, Opcode, gpr
+from repro.pdg import AddressTracker, SymbolicAddress, may_conflict
+
+
+def load(base, disp, width=4):
+    return Instruction(Opcode.L, defs=(gpr(99),), uses=(base,),
+                       mem=MemRef(base, disp, width))
+
+
+def store(base, disp, width=4):
+    return Instruction(Opcode.ST, uses=(gpr(98), base),
+                       mem=MemRef(base, disp, width))
+
+
+class TestSymbolicAddress:
+    def test_same_origin_disjoint(self):
+        a = SymbolicAddress("o", 0, 4)
+        b = SymbolicAddress("o", 4, 4)
+        assert not a.conflicts_with(b)
+
+    def test_same_origin_overlap(self):
+        a = SymbolicAddress("o", 0, 8)
+        b = SymbolicAddress("o", 4, 4)
+        assert a.conflicts_with(b)
+
+    def test_different_origins_conflict(self):
+        a = SymbolicAddress("o1", 0, 4)
+        b = SymbolicAddress("o2", 100, 4)
+        assert a.conflicts_with(b)
+
+    def test_unknown_conflicts(self):
+        assert SymbolicAddress("o", 0, 4).conflicts_with(None)
+
+    @given(st.integers(-64, 64), st.integers(-64, 64),
+           st.integers(1, 16), st.integers(1, 16))
+    def test_overlap_matches_interval_maths(self, o1, o2, w1, w2):
+        a = SymbolicAddress("x", o1, w1)
+        b = SymbolicAddress("x", o2, w2)
+        overlap = max(o1, o2) < min(o1 + w1, o2 + w2)
+        assert a.conflicts_with(b) == overlap
+
+
+class TestAddressTracker:
+    def test_figure2_loads_disambiguate(self):
+        # I1: a(r31,4) and I2: a(r31,8) share the base value
+        t = AddressTracker()
+        a1 = t.address_of(MemRef(gpr(31), 4))
+        a2 = t.address_of(MemRef(gpr(31), 8))
+        assert not a1.conflicts_with(a2)
+
+    def test_post_increment_tracked(self):
+        # after LU r0,r31=a(r31,8), address a(r31,0) == old a(r31,8)
+        t = AddressTracker()
+        before = t.address_of(MemRef(gpr(31), 8))
+        lu = Instruction(Opcode.LU, defs=(gpr(0), gpr(31)), uses=(gpr(31),),
+                         mem=MemRef(gpr(31), 8))
+        t.step(lu)
+        after = t.address_of(MemRef(gpr(31), 0))
+        assert after == before
+
+    def test_ai_adjusts_delta(self):
+        t = AddressTracker()
+        before = t.address_of(MemRef(gpr(10), 12))
+        ai = Instruction(Opcode.AI, defs=(gpr(10),), uses=(gpr(10),), imm=12)
+        t.step(ai)
+        after = t.address_of(MemRef(gpr(10), 0))
+        assert after == before
+
+    def test_lr_copies_state(self):
+        t = AddressTracker()
+        a = t.address_of(MemRef(gpr(1), 0))
+        lr = Instruction(Opcode.LR, defs=(gpr(2),), uses=(gpr(1),))
+        t.step(lr)
+        b = t.address_of(MemRef(gpr(2), 4))
+        assert a.origin == b.origin and b.offset == 4
+
+    def test_li_gives_absolute_addresses(self):
+        t = AddressTracker()
+        for reg, value in ((gpr(1), 100), (gpr(2), 200)):
+            t.step(Instruction(Opcode.LI, defs=(reg,), imm=value))
+        a = t.address_of(MemRef(gpr(1), 0))
+        b = t.address_of(MemRef(gpr(2), 0))
+        assert a.origin == b.origin  # both constant
+        assert not a.conflicts_with(b)
+
+    def test_unknown_def_resets(self):
+        t = AddressTracker()
+        before = t.address_of(MemRef(gpr(1), 0))
+        t.step(Instruction(Opcode.A, defs=(gpr(1),), uses=(gpr(2), gpr(3))))
+        after = t.address_of(MemRef(gpr(1), 0))
+        assert before.origin != after.origin
+        assert before.conflicts_with(after)  # can't prove independence
+
+
+class TestMayConflict:
+    def test_load_load_never(self):
+        assert not may_conflict(load(gpr(1), 0), None, load(gpr(2), 0), None)
+
+    def test_store_store_unknown(self):
+        assert may_conflict(store(gpr(1), 0), None, store(gpr(2), 0), None)
+
+    def test_call_always(self):
+        call = Instruction(Opcode.CALL, target="f")
+        assert may_conflict(call, None, load(gpr(1), 0), None)
+        assert may_conflict(store(gpr(1), 0), None, call, None)
+
+    def test_non_memory_never(self):
+        add = Instruction(Opcode.A, defs=(gpr(1),), uses=(gpr(2), gpr(3)))
+        assert not may_conflict(add, None, store(gpr(1), 0), None)
+
+    def test_disambiguated_pair(self):
+        a = SymbolicAddress("o", 0, 4)
+        b = SymbolicAddress("o", 8, 4)
+        assert not may_conflict(store(gpr(1), 0), a, load(gpr(1), 8), b)

@@ -1,0 +1,140 @@
+"""Register-allocation tests: coloring, spilling, semantics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import RegClass, format_function, gpr, parse_function, verify_function
+from repro.machine import rs6k
+from repro.regalloc import (
+    AllocationError,
+    allocate_registers,
+    build_interference,
+    verify_coloring,
+)
+from repro.sim import execute
+
+from ..conftest import FIGURE2
+
+
+def build_wide(n):
+    """n simultaneously-live values, then a left-fold over them."""
+    lines = ["function wide", "a:"]
+    for i in range(n):
+        lines.append(f"    LI r{100 + i}={i + 1}")
+    # sum them all so every LI stays live until used
+    acc = 100
+    for i in range(1, n):
+        lines.append(f"    A r{200 + i}=r{200 + i - 1 if i > 1 else 100},"
+                     f"r{100 + i}")
+    lines.append(f"    RET r{200 + n - 1 if n > 1 else 100}")
+    return parse_function("\n".join(lines))
+
+
+class TestColoring:
+    def test_figure2_fits_without_spills(self, figure2):
+        report = allocate_registers(
+            figure2, live_at_exit=frozenset({gpr(28), gpr(30)}))
+        assert report.spilled == []
+        assert report.rounds == 1
+        verify_function(figure2)
+        # few machine registers suffice for the loop
+        assert report.machine_registers_used(RegClass.GPR) <= 8
+        assert report.machine_registers_used(RegClass.CR) <= 4
+
+    def test_mapping_is_a_valid_coloring(self, figure2):
+        graph = build_interference(figure2)
+        report = allocate_registers(figure2)
+        # verify against a freshly parsed copy's graph, translated
+        verify_coloring(graph, report.mapping)
+
+    def test_semantics_preserved(self):
+        func = parse_function(FIGURE2)
+        data = [7, -2, 9, 4, 0, 11, -8, 3, 5, 5]
+        mem = {96 + 4 * i: v for i, v in enumerate(data)}
+
+        def run(f, regmap=None):
+            def reg_of(r):
+                return regmap.get(r, r) if regmap else r
+            res = execute(f, regs={
+                reg_of(gpr(31)): 96, reg_of(gpr(29)): 1,
+                reg_of(gpr(27)): 9, reg_of(gpr(28)): data[0],
+                reg_of(gpr(30)): data[0],
+            }, memory=dict(mem))
+            return (res.regs.get(reg_of(gpr(28)), 0),
+                    res.regs.get(reg_of(gpr(30)), 0))
+
+        plain = parse_function(FIGURE2)
+        expected = run(plain)
+        allocated = parse_function(FIGURE2)
+        report = allocate_registers(
+            allocated, live_at_exit=frozenset({
+                gpr(28), gpr(30), gpr(29), gpr(27), gpr(31)}))
+        assert run(allocated, report.mapping) == expected
+
+
+class TestSpilling:
+    def test_forced_spill(self):
+        func = build_wide(40)  # 40 simultaneously-live values > 32 GPRs
+        verify_function(func)
+        expected = execute(parse_function(format_function(func))).return_value
+        report = allocate_registers(func, k={RegClass.GPR: 8})
+        assert report.spilled, "expected spills with only 8 registers"
+        verify_function(func)
+        res = execute(func)
+        # the returned value lives in a register at exit
+        assert res.return_value == expected
+        # every register index in the function is now < 8 plus spill temps
+        used = {r.index for ins in func.instructions()
+                for r in (*ins.reg_defs(), *ins.reg_uses())
+                if r.rclass is RegClass.GPR}
+        assert max(used) < 8
+
+    def test_no_spill_when_enough_registers(self):
+        func = build_wide(10)
+        report = allocate_registers(func)
+        assert report.spilled == []
+
+    @given(st.integers(3, 20))
+    @settings(max_examples=10, deadline=None)
+    def test_spill_semantics_random_width(self, n):
+        func = build_wide(n)
+        expected = execute(parse_function(format_function(func))).return_value
+        allocate_registers(func, k={RegClass.GPR: 4})
+        assert execute(func).return_value == expected
+
+
+class TestScheduleAfterAllocation:
+    def test_paper_claim_scheduling_after_allocation_works(self, figure2):
+        # "conceptually there is no problem to activate the instruction
+        # scheduling after the register allocation is completed"
+        from repro.sched import ScheduleLevel, global_schedule
+        report = allocate_registers(
+            figure2, live_at_exit=frozenset({
+                gpr(28), gpr(30), gpr(29), gpr(27), gpr(31)}))
+        live = frozenset(report.mapping[r] for r in
+                         (gpr(28), gpr(30), gpr(29), gpr(27), gpr(31)))
+        sched = global_schedule(figure2, rs6k(), ScheduleLevel.SPECULATIVE,
+                                live_at_exit=live)
+        verify_function(figure2)
+        assert sched.motions  # motion still possible, just more constrained
+
+    def test_allocation_constrains_scheduling(self):
+        # after allocation reuses registers, anti/output dependences grow,
+        # so the scheduler finds at most as many motions (the [BEH89]
+        # phase-ordering tension the paper cites)
+        from repro.sched import ScheduleLevel, global_schedule
+        live = frozenset({gpr(28), gpr(30), gpr(29), gpr(27), gpr(31)})
+
+        before = parse_function(FIGURE2)
+        motions_before = len(global_schedule(
+            before, rs6k(), ScheduleLevel.SPECULATIVE,
+            live_at_exit=live).motions)
+
+        after = parse_function(FIGURE2)
+        report = allocate_registers(after, live_at_exit=live)
+        live_mapped = frozenset(report.mapping[r] for r in live)
+        motions_after = len(global_schedule(
+            after, rs6k(), ScheduleLevel.SPECULATIVE,
+            live_at_exit=live_mapped).motions)
+        assert motions_after <= motions_before

@@ -1,0 +1,111 @@
+"""Move-coalescing tests (Briggs conservative)."""
+
+import pytest
+
+from repro.ir import Opcode, gpr, parse_function, verify_function
+from repro.regalloc import allocate_registers
+from repro.sim import execute
+
+from ..conftest import FIGURE2
+
+
+def test_simple_move_coalesced():
+    func = parse_function("""
+function f
+a:
+    LI r1=5
+    LR r2=r1
+    AI r3=r2,1
+    RET r3
+""")
+    report = allocate_registers(func)
+    verify_function(func)
+    assert report.moves_removed == 1
+    assert not any(i.opcode is Opcode.LR for i in func.instructions())
+    assert execute(func).return_value == 6
+
+
+def test_interfering_move_not_coalesced():
+    # r1 is used after r2 is redefined: their ranges overlap
+    func = parse_function("""
+function f
+a:
+    LI r1=5
+    LR r2=r1
+    AI r2=r2,1
+    A  r3=r1,r2
+    RET r3
+""")
+    report = allocate_registers(func)
+    verify_function(func)
+    # the LR must survive: coalescing would merge interfering ranges
+    assert any(i.opcode is Opcode.LR for i in func.instructions())
+    assert execute(func).return_value == 11
+
+
+def test_coalescing_can_be_disabled():
+    func = parse_function("""
+function f
+a:
+    LI r1=5
+    LR r2=r1
+    AI r3=r2,1
+    RET r3
+""")
+    report = allocate_registers(func, coalesce=False)
+    assert report.moves_removed == 0
+    assert any(i.opcode is Opcode.LR for i in func.instructions())
+    assert execute(func).return_value == 6
+
+
+def test_figure2_semantics_with_coalescing():
+    data = [7, -2, 9, 4, 0, 11, -8, 3, 5, 5]
+    mem = {96 + 4 * i: v for i, v in enumerate(data)}
+    live = frozenset({gpr(28), gpr(30), gpr(29), gpr(27), gpr(31)})
+
+    def final_minmax(func, mapping=None):
+        def reg_of(r):
+            return mapping.get(r, r) if mapping else r
+        res = execute(func, regs={
+            reg_of(gpr(31)): 96, reg_of(gpr(29)): 1, reg_of(gpr(27)): 9,
+            reg_of(gpr(28)): data[0], reg_of(gpr(30)): data[0],
+        }, memory=dict(mem))
+        return (res.regs.get(reg_of(gpr(28)), 0),
+                res.regs.get(reg_of(gpr(30)), 0))
+
+    expected = final_minmax(parse_function(FIGURE2))
+    func = parse_function(FIGURE2)
+    report = allocate_registers(func, live_at_exit=live)
+    verify_function(func)
+    assert final_minmax(func, report.mapping) == expected
+
+
+def test_coalesced_live_at_exit_mapping():
+    # the eliminated register must still be translatable via the mapping
+    func = parse_function("""
+function f
+a:
+    LI r1=9
+    LR r2=r1
+    RET r2
+""")
+    live = frozenset({gpr(2)})
+    report = allocate_registers(func, live_at_exit=live)
+    assert gpr(2) in report.mapping  # translated through the alias
+    res = execute(func)
+    assert res.regs.get(report.mapping[gpr(2)], 0) == 9
+
+
+def test_coalescing_chain():
+    func = parse_function("""
+function f
+a:
+    LI r1=3
+    LR r2=r1
+    LR r3=r2
+    AI r4=r3,1
+    RET r4
+""")
+    report = allocate_registers(func)
+    assert report.moves_removed == 2
+    assert execute(func).return_value == 4

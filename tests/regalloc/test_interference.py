@@ -1,0 +1,94 @@
+"""Interference-graph tests."""
+
+from repro.ir import gpr, cr, parse_function
+from repro.regalloc import build_interference
+
+
+def test_sequential_live_ranges_do_not_interfere():
+    func = parse_function("""
+function f
+a:
+    LI r1=1
+    AI r2=r1,1
+    LI r3=5
+    AI r4=r3,1
+    RET r4
+""")
+    g = build_interference(func)
+    # r1 dies at the AI before r3 is born
+    assert not g.interferes(gpr(1), gpr(3))
+    assert g.interferes(gpr(3), gpr(2)) or not g.interferes(gpr(3), gpr(2))
+    # r3 is live across nothing that defines r1
+    assert not g.interferes(gpr(3), gpr(1))
+
+
+def test_overlapping_ranges_interfere():
+    func = parse_function("""
+function f
+a:
+    LI r1=1
+    LI r2=2
+    A  r3=r1,r2
+    RET r3
+""")
+    g = build_interference(func)
+    assert g.interferes(gpr(1), gpr(2))
+    assert not g.interferes(gpr(1), gpr(3))
+
+
+def test_move_does_not_interfere_with_source():
+    func = parse_function("""
+function f
+a:
+    LI r1=1
+    LR r2=r1
+    A  r3=r2,r2
+    RET r3
+""")
+    g = build_interference(func)
+    assert not g.interferes(gpr(1), gpr(2))
+    assert (gpr(2), gpr(1)) in g.moves
+
+
+def test_simultaneous_defs_interfere():
+    # LU defines the loaded register and the updated base together
+    func = parse_function("""
+function f
+a:
+    LU r2,r1=x(r1,4)
+    A  r3=r2,r1
+    RET r3
+""")
+    g = build_interference(func)
+    assert g.interferes(gpr(1), gpr(2))
+
+
+def test_classes_never_interfere():
+    func = parse_function("""
+function f
+a:
+    LI r1=1
+    C  cr0=r1,r1
+    BT a,cr0,0x1/lt
+""")
+    g = build_interference(func)
+    assert not g.interferes(gpr(1), cr(0))
+
+
+def test_cross_block_liveness(figure2):
+    g = build_interference(
+        figure2, live_at_exit=frozenset({gpr(28), gpr(30)}))
+    # u (r12) and v (r0) are both live across the whole comparison tree
+    assert g.interferes(gpr(12), gpr(0))
+    # min and max stay live together
+    assert g.interferes(gpr(28), gpr(30))
+    # and both interfere with the loaded values
+    assert g.interferes(gpr(28), gpr(0))
+
+
+def test_degree_and_nodes(figure2):
+    from repro.ir import RegClass
+    g = build_interference(figure2)
+    gprs = g.nodes_of_class(RegClass.GPR)
+    assert gpr(12) in gprs and gpr(31) in gprs
+    assert g.degree(gpr(12)) >= 2

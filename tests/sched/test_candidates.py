@@ -1,0 +1,84 @@
+"""Candidate blocks / candidate instructions (Section 5.1)."""
+
+import pytest
+
+from repro.ir import Opcode
+from repro.machine import rs6k
+from repro.pdg import RegionPDG
+from repro.sched import ScheduleLevel, candidate_blocks, collect_candidates
+
+
+@pytest.fixture
+def pdg(figure2):
+    return RegionPDG(figure2, rs6k(), list(figure2.blocks), "CL.0")
+
+
+class TestCandidateBlocks:
+    def test_useful_level_is_equiv_only(self, pdg):
+        equiv, spec = candidate_blocks(pdg, "CL.0", ScheduleLevel.USEFUL)
+        assert equiv == ["CL.9"]
+        assert spec == []
+
+    def test_speculative_level_adds_cspdg_successors(self, pdg):
+        # C(A) = EQUIV(A) + successors of A + successors of EQUIV(A)
+        equiv, spec = candidate_blocks(pdg, "CL.0", ScheduleLevel.SPECULATIVE)
+        assert equiv == ["CL.9"]
+        assert set(spec) == {"BL2", "CL.6", "CL.4", "CL.11"}
+
+    def test_none_level_empty(self, pdg):
+        assert candidate_blocks(pdg, "CL.0", ScheduleLevel.NONE) == ([], [])
+
+    def test_bl2_speculative_sources(self, pdg):
+        # from BL2: its successor BL3, and BL5 via EQUIV(BL2) = {BL4}
+        equiv, spec = candidate_blocks(pdg, "BL2", ScheduleLevel.SPECULATIVE)
+        assert equiv == ["CL.6"]
+        assert set(spec) == {"BL3", "BL5"}
+
+    def test_leaf_block_has_no_candidates(self, pdg):
+        equiv, spec = candidate_blocks(pdg, "CL.9", ScheduleLevel.SPECULATIVE)
+        assert equiv == [] and spec == []
+
+    def test_two_branch_speculation_extension(self, pdg):
+        # the paper limits itself to 1; the knob generalises Definition 7
+        _, spec1 = candidate_blocks(pdg, "CL.0", ScheduleLevel.SPECULATIVE,
+                                    max_speculation=1)
+        _, spec2 = candidate_blocks(pdg, "CL.0", ScheduleLevel.SPECULATIVE,
+                                    max_speculation=2)
+        assert set(spec1) < set(spec2)
+        assert {"BL3", "BL5", "BL7", "BL9"} <= set(spec2)
+
+
+class TestCandidateInstructions:
+    def test_own_instructions_always_included(self, pdg):
+        cands = collect_candidates(pdg, "CL.9", [], [])
+        assert {c.ins.uid for c in cands} == {18, 19, 20}
+        assert all(c.useful for c in cands)
+
+    def test_foreign_branches_excluded(self, pdg):
+        cands = collect_candidates(pdg, "CL.0", ["CL.9"], ["BL2"])
+        uids = {c.ins.uid for c in cands}
+        assert 20 not in uids  # CL.9's BT never moves
+        assert 6 not in uids   # BL2's BF never moves
+        assert {18, 19} <= uids
+        assert 5 in uids
+
+    def test_speculative_flag(self, pdg):
+        cands = collect_candidates(pdg, "CL.0", ["CL.9"], ["BL2"])
+        flags = {c.ins.uid: c.useful for c in cands}
+        assert flags[18] is True   # from EQUIV: useful
+        assert flags[5] is False   # from a CSPDG successor: speculative
+
+    def test_stores_excluded_from_speculative_sources(self, figure2):
+        # swap I5 for a store and check it is not collected speculatively
+        from repro.ir import Instruction, MemRef, gpr
+        bl2 = figure2.block("BL2")
+        store = Instruction(Opcode.ST, uses=(gpr(1), gpr(2)),
+                            mem=MemRef(gpr(2), 0))
+        figure2.assign_uid(store)
+        bl2.instrs.insert(0, store)
+        pdg = RegionPDG(figure2, rs6k(), list(figure2.blocks), "CL.0")
+        cands = collect_candidates(pdg, "CL.0", [], ["BL2"])
+        assert store.uid not in {c.ins.uid for c in cands}
+        # but the same store IS a candidate for useful motion
+        cands_useful = collect_candidates(pdg, "CL.0", ["BL2"], [])
+        assert store.uid in {c.ins.uid for c in cands_useful}

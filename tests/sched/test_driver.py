@@ -1,0 +1,93 @@
+"""Function-level driver tests: policy filters, region selection."""
+
+from repro.ir import gpr, parse_function, verify_function
+from repro.machine import rs6k
+from repro.sched import ScheduleLevel, default_live_at_exit, global_schedule
+
+
+def test_irreducible_function_skipped():
+    # two-entry cycle: the paper's reducibility assumption fails, so the
+    # driver must refuse to schedule rather than crash
+    func = parse_function("""
+function irreducible
+a:
+    C cr0=r1,r2
+    BT two,cr0,0x1/lt
+one:
+    AI r3=r3,1
+    B two
+two:
+    AI r3=r3,2
+    C cr1=r3,r9
+    BT one,cr1,0x1/lt
+done:
+    RET r3
+""")
+    report = global_schedule(func, rs6k(), ScheduleLevel.SPECULATIVE)
+    assert report.regions == []
+    assert report.skipped_regions  # everything skipped
+    verify_function(func)
+
+
+def test_region_filter(figure2):
+    report = global_schedule(figure2, rs6k(), ScheduleLevel.USEFUL,
+                             region_filter=lambda spec: False)
+    assert report.regions == []
+    assert report.motions == []
+
+
+def test_three_deep_nest_schedules_two_inner_levels():
+    func = parse_function("""
+function deep
+pre:
+    LI r1=0
+L1:
+    AI r1=r1,1
+L2:
+    AI r2=r2,1
+L3:
+    AI r3=r3,1
+L3x:
+    C cr0=r3,r7
+    BT L3,cr0,0x1/lt
+L2x:
+    C cr1=r2,r8
+    BT L2,cr1,0x1/lt
+L1x:
+    C cr2=r1,r9
+    BT L1,cr2,0x1/lt
+post:
+    RET r1
+""")
+    report = global_schedule(func, rs6k(), ScheduleLevel.USEFUL)
+    scheduled = {r.header for r in report.regions}
+    # inner (L3) and outer-of-inner (L2) qualify; L1 and the body do not
+    assert "L3" in scheduled
+    assert "L2" in scheduled
+    assert "L1" not in scheduled
+    verify_function(func)
+
+    report2 = global_schedule(func, rs6k(), ScheduleLevel.USEFUL,
+                              inner_levels_only=False)
+    assert "L1" in {r.header for r in report2.regions}
+
+
+def test_default_live_at_exit_covers_gprs(figure2):
+    live = default_live_at_exit(figure2)
+    assert gpr(28) in live and gpr(30) in live and gpr(31) in live
+    from repro.ir import cr
+    assert cr(7) not in live  # condition registers excluded
+
+
+def test_level_none_is_identity(figure2):
+    before = {b.label: [i.uid for i in b.instrs] for b in figure2.blocks}
+    report = global_schedule(figure2, rs6k(), ScheduleLevel.NONE)
+    after = {b.label: [i.uid for i in b.instrs] for b in figure2.blocks}
+    assert before == after and report.regions == []
+
+
+def test_report_aggregation(figure2):
+    report = global_schedule(figure2, rs6k(), ScheduleLevel.SPECULATIVE)
+    assert len(report.motions) == (len(report.useful_motions)
+                                   + len(report.speculative_motions))
+    assert {m.uid for m in report.speculative_motions} == {5, 12}

@@ -1,0 +1,192 @@
+"""Global scheduler tests: exact reproduction of Figures 5 and 6."""
+
+import pytest
+
+from repro.ir import Opcode, cr, gpr, verify_function
+from repro.machine import rs6k
+from repro.sched import ScheduleLevel, global_schedule
+
+from ..conftest import block_uids
+
+#: Figure 5 of the paper: useful-only scheduling of the minmax loop.
+FIGURE5_SHAPE = {
+    "CL.0": [1, 2, 18, 3, 19, 4],
+    "BL2": [5, 8, 6],
+    "BL3": [7],
+    "CL.6": [9],
+    "BL5": [10, 11],
+    "CL.4": [12, 15, 13],
+    "BL7": [14],
+    "CL.11": [16],
+    "BL9": [17],
+    "CL.9": [20],
+}
+
+#: Figure 6: useful + 1-branch speculative scheduling.
+FIGURE6_SHAPE = {
+    "CL.0": [1, 2, 18, 3, 19, 5, 12, 4],
+    "BL2": [8, 6],
+    "BL3": [7],
+    "CL.6": [9],
+    "BL5": [10, 11],
+    "CL.4": [15, 13],
+    "BL7": [14],
+    "CL.11": [16],
+    "BL9": [17],
+    "CL.9": [20],
+}
+
+
+class TestFigure5:
+    def test_exact_schedule(self, figure2):
+        report = global_schedule(figure2, rs6k(), ScheduleLevel.USEFUL)
+        verify_function(figure2)
+        assert block_uids(figure2) == FIGURE5_SHAPE
+
+    def test_motions_match_paper(self, figure2):
+        # "two instructions of BL10 (I18 and I19) were moved into BL1 ...
+        # I8 was moved from BL4 to BL2, and I15 was moved from BL8 to BL6"
+        report = global_schedule(figure2, rs6k(), ScheduleLevel.USEFUL)
+        moves = {(m.uid, m.src, m.dst) for m in report.motions}
+        assert moves == {
+            (18, "CL.9", "CL.0"),
+            (19, "CL.9", "CL.0"),
+            (8, "CL.6", "BL2"),
+            (15, "CL.11", "CL.4"),
+        }
+        assert all(not m.speculative for m in report.motions)
+
+
+class TestFigure6:
+    def test_exact_schedule(self, figure2):
+        global_schedule(figure2, rs6k(), ScheduleLevel.SPECULATIVE)
+        verify_function(figure2)
+        assert block_uids(figure2) == FIGURE6_SHAPE
+
+    def test_speculative_motions(self, figure2):
+        # "two additional instructions (I5 and I12) were moved
+        # speculatively to BL1"
+        report = global_schedule(figure2, rs6k(), ScheduleLevel.SPECULATIVE)
+        spec = {(m.uid, m.src, m.dst) for m in report.speculative_motions}
+        assert spec == {(5, "BL2", "CL.0"), (12, "CL.4", "CL.0")}
+
+    def test_i12_condition_register_renamed(self, figure2):
+        # Figure 6 renames I12's cr6 (the paper uses cr5) so it can sit in
+        # BL1 next to I5's cr6; I13 must read the renamed register
+        global_schedule(figure2, rs6k(), ScheduleLevel.SPECULATIVE)
+        by_uid = {ins.uid: ins for ins in figure2.instructions()}
+        i5, i12, i6, i13 = by_uid[5], by_uid[12], by_uid[6], by_uid[13]
+        assert i5.defs[0] == cr(6)          # I5 keeps its register
+        assert i12.defs[0] != cr(6)         # I12 was renamed
+        assert i13.uses[0] == i12.defs[0]   # its branch follows
+        assert i6.uses[0] == cr(6)
+
+    def test_i8_not_renamed_or_hoisted(self, figure2):
+        # I8's cr7 collides with BL1's own live compare->branch pair
+        # (anti-dependence on I4), so it may move only usefully to BL2 --
+        # exactly what Figure 6 shows
+        global_schedule(figure2, rs6k(), ScheduleLevel.SPECULATIVE)
+        by_uid = {ins.uid: ins for ins in figure2.instructions()}
+        assert by_uid[8].defs[0] == cr(7)
+        assert by_uid[8] in figure2.block("BL2").instrs
+
+    def test_rename_on_demand_off_blocks_i12(self, figure2):
+        report = global_schedule(figure2, rs6k(), ScheduleLevel.SPECULATIVE,
+                                 rename_on_demand=False)
+        spec = {m.uid for m in report.speculative_motions}
+        assert 5 in spec and 12 not in spec
+
+
+class TestLevelNone:
+    def test_no_motion(self, figure2):
+        before = block_uids(figure2)
+        report = global_schedule(figure2, rs6k(), ScheduleLevel.NONE)
+        assert block_uids(figure2) == before
+        assert report.motions == []
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("level",
+                             [ScheduleLevel.USEFUL, ScheduleLevel.SPECULATIVE])
+    def test_branches_never_move(self, figure2, level):
+        branch_homes = {
+            ins.uid: b.label for b in figure2.blocks for ins in b.instrs
+            if ins.is_branch
+        }
+        global_schedule(figure2, rs6k(), level)
+        for block in figure2.blocks:
+            for ins in block.instrs:
+                if ins.is_branch:
+                    assert branch_homes[ins.uid] == block.label
+
+    @pytest.mark.parametrize("level",
+                             [ScheduleLevel.USEFUL, ScheduleLevel.SPECULATIVE])
+    def test_no_instruction_lost_or_duplicated(self, figure2, level):
+        before = sorted(ins.uid for ins in figure2.instructions())
+        global_schedule(figure2, rs6k(), level)
+        after = sorted(ins.uid for ins in figure2.instructions())
+        assert before == after
+
+    @pytest.mark.parametrize("level",
+                             [ScheduleLevel.USEFUL, ScheduleLevel.SPECULATIVE])
+    def test_terminators_stay_terminal(self, figure2, level):
+        global_schedule(figure2, rs6k(), level)
+        verify_function(figure2)
+
+    def test_motions_only_upward(self, figure2):
+        # destination must dominate the source in the original CFG
+        from repro.cfg import ControlFlowGraph, ENTRY, dominator_tree
+        dom = dominator_tree(ControlFlowGraph(figure2).graph, ENTRY)
+        report = global_schedule(figure2, rs6k(), ScheduleLevel.SPECULATIVE)
+        for m in report.motions:
+            assert dom.dominates(m.dst, m.src)
+
+    def test_block_may_be_fully_drained(self):
+        # speculative motion in a branch shadow may empty a block
+        # entirely; the empty block then just falls through
+        from repro.ir import parse_function
+        from repro.sim import execute
+        func = parse_function("""
+function drain
+a:
+    LI r1=1
+    C  cr0=r1,r8
+    BT c,cr0,0x1/lt
+b:
+    AI r2=r1,1
+    AI r4=r2,1
+c:
+    RET r1
+""")
+        report = global_schedule(func, rs6k(), ScheduleLevel.SPECULATIVE,
+                                 live_at_exit=frozenset({gpr(1)}))
+        verify_function(func)
+        assert func.block("b").instrs == []  # fully drained
+        assert {m.uid for m in report.speculative_motions} == {4, 5}
+        for r8 in (0, 9):
+            assert execute(func, regs={gpr(8): r8}).return_value == 1
+
+    def test_unreachable_block_tolerated(self, figure2):
+        # an unreachable block must not break region construction
+        figure2.add_block("EMPTY", after=figure2.block("BL5"))
+        global_schedule(figure2, rs6k(), ScheduleLevel.SPECULATIVE)
+        verify_function(figure2)
+
+    def test_stores_never_speculative(self):
+        from repro.ir import parse_function
+        func = parse_function("""
+function storespec
+a:
+    C cr0=r1,r2
+    BF join,cr0,0x1/lt
+b:
+    ST r3=>x(r10,0)
+    LI r4=1
+join:
+    AI r5=r5,1
+""")
+        report = global_schedule(func, rs6k(), ScheduleLevel.SPECULATIVE)
+        store = func.block("b").instrs
+        assert any(ins.opcode is Opcode.ST for ins in func.block("b").instrs)
+        for m in report.speculative_motions:
+            assert m.opcode != "ST"

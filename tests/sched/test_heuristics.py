@@ -1,0 +1,102 @@
+"""D and CP heuristic tests (Section 5.2)."""
+
+import pytest
+
+from repro.machine import rs6k
+from repro.pdg import RegionPDG, build_block_ddg
+from repro.sched import local_priorities, priority_key
+
+
+@pytest.fixture
+def bl1_priorities(figure2):
+    machine = rs6k()
+    block = figure2.block("CL.0")
+    ddg = build_block_ddg(block, machine)
+    return block, local_priorities(block, ddg, machine)
+
+
+class TestDelayHeuristic:
+    def test_figure2_bl1_values(self, bl1_priorities):
+        block, prio = bl1_priorities
+        i1, i2, i3, i4 = block.instrs
+        d = {ins.uid: prio[id(ins)][0] for ins in block.instrs}
+        # D(I4)=0; D(I3)=3 (compare->branch); D(I2)=3+1 (delayed load);
+        # D(I1)=4 via the anti edge to I2 (zero delay)
+        assert d[4] == 0
+        assert d[3] == 3
+        assert d[2] == 4
+        assert d[1] == 4
+
+    def test_bl10_values(self, figure2):
+        machine = rs6k()
+        block = figure2.block("CL.9")
+        prio = local_priorities(block, build_block_ddg(block, machine),
+                                machine)
+        d = {ins.uid: prio[id(ins)][0] for ins in block.instrs}
+        assert d[20] == 0
+        assert d[19] == 3
+        assert d[18] == 3  # through the zero-delay flow into I19
+
+
+class TestCriticalPathHeuristic:
+    def test_figure2_bl1_values(self, bl1_priorities):
+        block, prio = bl1_priorities
+        cp = {ins.uid: prio[id(ins)][1] for ins in block.instrs}
+        # CP(I4)=1; CP(I3)=CP(I4)+3+1=5; CP(I2)=CP(I3)+1+1=7; CP(I1)=8
+        assert cp[4] == 1
+        assert cp[3] == 5
+        assert cp[2] == 7
+        assert cp[1] == 8
+
+    def test_leaf_cp_is_exec_time(self, figure2):
+        machine = rs6k()
+        block = figure2.block("BL3")  # single LR
+        prio = local_priorities(block, build_block_ddg(block, machine),
+                                machine)
+        (ins,) = block.instrs
+        assert prio[id(ins)] == (0, 1)
+
+
+class TestPriorityOrder:
+    """The 7-step decision order of Section 5.2."""
+
+    def test_useful_beats_speculative(self, bl1_priorities):
+        block, prio = bl1_priorities
+        i1 = block.instrs[0]
+        low = priority_key(i1, useful=True, priorities=prio)
+        high = priority_key(i1, useful=False, priorities=prio)
+        assert low < high
+
+    def test_larger_d_wins_within_class(self, bl1_priorities):
+        block, prio = bl1_priorities
+        i1, _, i3, _ = block.instrs  # D(I1)=4 > D(I3)=3
+        assert priority_key(i1, useful=True, priorities=prio) < \
+            priority_key(i3, useful=True, priorities=prio)
+
+    def test_cp_breaks_d_ties(self, figure2):
+        machine = rs6k()
+        block = figure2.block("CL.0")
+        ddg = build_block_ddg(block, machine)
+        prio = dict(local_priorities(block, ddg, machine))
+        i1, i2 = block.instrs[0], block.instrs[1]
+        # force equal D, distinct CP
+        prio[id(i1)] = (4, 9)
+        prio[id(i2)] = (4, 7)
+        assert priority_key(i1, useful=True, priorities=prio) < \
+            priority_key(i2, useful=True, priorities=prio)
+
+    def test_original_order_breaks_full_ties(self, figure2):
+        block = figure2.block("CL.0")
+        i1, i2 = block.instrs[0], block.instrs[1]
+        prio = {id(i1): (1, 1), id(i2): (1, 1)}
+        assert priority_key(i1, useful=True, priorities=prio) < \
+            priority_key(i2, useful=True, priorities=prio)
+
+    def test_class_dominates_all_numeric_heuristics(self, figure2):
+        block = figure2.block("CL.0")
+        i1, i2 = block.instrs[0], block.instrs[1]
+        prio = {id(i1): (0, 0), id(i2): (99, 99)}
+        # a useful instruction with terrible D/CP still beats a great
+        # speculative one (the paper's rule 1/2 before 3-6)
+        assert priority_key(i1, useful=True, priorities=prio) < \
+            priority_key(i2, useful=False, priorities=prio)

@@ -1,0 +1,154 @@
+"""Profile-guided speculation tests."""
+
+from repro.ir import gpr, parse_function, verify_function
+from repro.machine import rs6k
+from repro.sched import (
+    BranchProfile,
+    ScheduleLevel,
+    global_schedule,
+    make_profile_priority_fn,
+    select_main_trace,
+)
+from repro.sim import execute, simulate_path_iterations
+
+#: one delay-slot window, two competing speculative candidates from
+#: mutually-exclusive arms; only one fits before the branch resolves
+COMPETING = """
+function competing
+B1:
+    L  r12=a(r31,4)
+    C  cr7=r12,r0
+    BF COLD,cr7,0x2/gt
+HOT:
+    MUL r20=r12,r12
+    AI  r21=r20,1
+    B   JOIN
+COLD:
+    MUL r22=r12,r12
+    AI  r23=r22,7
+JOIN:
+    AI r29=r29,2
+"""
+
+
+def profiled(hot_runs: int, cold_runs: int) -> BranchProfile:
+    profile = BranchProfile()
+    for greater, runs in ((True, hot_runs), (False, cold_runs)):
+        for _ in range(runs):
+            func = parse_function(COMPETING)
+            r0 = -100 if greater else 100  # r12 is a loaded 0 by default
+            execution = execute(func, regs={gpr(0): r0, gpr(31): 0})
+            profile.record(execution)
+    return profile
+
+
+class TestBranchProfile:
+    def test_counts_accumulate(self):
+        profile = profiled(3, 1)
+        assert profile.count("B1") == 4
+        assert profile.count("HOT") == 3
+        assert profile.count("COLD") == 1
+        assert profile.runs == 4
+
+    def test_relative_frequency(self):
+        profile = profiled(3, 1)
+        assert profile.relative_frequency("HOT", "B1") == 0.75
+        assert profile.relative_frequency("missing", "B1") == 0.0
+        assert profile.relative_frequency("B1", "missing") == 0.0
+
+    def test_hottest(self):
+        profile = profiled(3, 1)
+        assert profile.hottest() == "B1"
+        assert not BranchProfile()
+        assert profile
+
+
+class TestProfileGuidedScheduling:
+    def schedule_with(self, profile):
+        func = parse_function(COMPETING)
+        fn = (make_profile_priority_fn(profile, func)
+              if profile is not None else None)
+        # precise exit liveness: only the arm results and the join counter
+        # survive the function, so the MUL temporaries are speculation fuel
+        live = frozenset({gpr(21), gpr(23), gpr(29)})
+        global_schedule(func, rs6k(), ScheduleLevel.SPECULATIVE,
+                        priority_fn=fn, live_at_exit=live)
+        verify_function(func)
+        return func
+
+    def test_hot_arm_preferred(self):
+        # with a HOT-skewed profile, HOT's MUL wins the delay-slot race
+        profile = profiled(9, 1)
+        func = self.schedule_with(profile)
+        b1 = [i.uid for i in func.block("B1").instrs]
+        hot_mul = 4   # MUL r20 (I4)
+        cold_mul = 7  # MUL r22 (I7)
+        if hot_mul in b1 and cold_mul in b1:
+            assert b1.index(hot_mul) < b1.index(cold_mul)
+        else:
+            assert hot_mul in b1
+
+    def test_cold_skew_flips_choice(self):
+        profile = profiled(1, 9)
+        func = self.schedule_with(profile)
+        b1 = [i.uid for i in func.block("B1").instrs]
+        hot_mul, cold_mul = 4, 7
+        if hot_mul in b1 and cold_mul in b1:
+            assert b1.index(cold_mul) < b1.index(hot_mul)
+        else:
+            assert cold_mul in b1
+
+    def test_uniform_profile_matches_default(self):
+        from ..conftest import FIGURE2
+        # equal counts everywhere: ordering degenerates to the paper's
+        default = parse_function(FIGURE2)
+        global_schedule(default, rs6k(), ScheduleLevel.SPECULATIVE)
+
+        profiled_func = parse_function(FIGURE2)
+        profile = BranchProfile(
+            {b.label: 5 for b in profiled_func.blocks}, runs=5)
+        fn = make_profile_priority_fn(profile, profiled_func)
+        global_schedule(profiled_func, rs6k(), ScheduleLevel.SPECULATIVE,
+                        priority_fn=fn)
+        assert {b.label: [i.uid for i in b.instrs]
+                for b in default.blocks} == \
+            {b.label: [i.uid for i in b.instrs]
+             for b in profiled_func.blocks}
+
+    def test_semantics_preserved(self):
+        profile = profiled(5, 5)
+        func = self.schedule_with(profile)
+        for r0 in (-100, 100):
+            plain = parse_function(COMPETING)
+            a = execute(plain, regs={gpr(0): r0, gpr(31): 0})
+            b = execute(func, regs={gpr(0): r0, gpr(31): 0})
+            for reg in (gpr(21), gpr(23), gpr(29)):
+                assert a.regs.get(reg, 0) == b.regs.get(reg, 0)
+
+    def test_select_main_trace_follows_heat(self):
+        from repro.sched import select_main_trace
+        profile = profiled(9, 1)
+        func = parse_function(COMPETING)
+        members = {b.label for b in func.blocks}
+        trace = select_main_trace(profile, func, "B1", members)
+        assert trace[0] == "B1"
+        assert "HOT" in trace and "COLD" not in trace
+        assert trace[-1] == "JOIN"
+
+    def test_select_main_trace_stops_on_cycle(self, figure2):
+        from repro.sched import select_main_trace
+        profile = BranchProfile({b.label: 1 for b in figure2.blocks}, runs=1)
+        members = {b.label for b in figure2.blocks}
+        trace = select_main_trace(profile, figure2, "CL.0", members)
+        assert trace[0] == "CL.0"
+        assert len(trace) == len(set(trace))  # no repeats
+
+    def test_hot_path_faster_with_profile(self):
+        # expected cycles on the hot path should not regress vs default
+        profile = profiled(9, 1)
+        guided = self.schedule_with(profile)
+        default = self.schedule_with(None)
+        hot_path = ["B1", "HOT", "JOIN"]
+        g = simulate_path_iterations(guided, hot_path, rs6k())
+        d = simulate_path_iterations(default, hot_path, rs6k())
+        assert g <= d

@@ -1,0 +1,142 @@
+"""Region identification and the Section 6 policy predicates."""
+
+from repro.ir import parse_function
+from repro.machine import rs6k
+from repro.sched import (
+    MAX_REGION_BLOCKS,
+    MAX_REGION_INSTRS,
+    build_region_pdg,
+    find_regions,
+)
+from repro.pdg import abstract_label
+
+
+def nested():
+    return parse_function("""
+function nested
+pre:
+    LI r1=0
+outerH:
+    AI r1=r1,1
+innerH:
+    AI r2=r2,1
+innerL:
+    C cr0=r2,r9
+    BT innerH,cr0,0x1/lt
+outerL:
+    C cr1=r1,r8
+    BT outerH,cr1,0x1/lt
+post:
+    RET r1
+""")
+
+
+class TestFindRegions:
+    def test_figure2_single_loop_region(self, figure2):
+        regions = find_regions(figure2)
+        kinds = [(r.kind, r.header_node) for r in regions]
+        assert ("loop", "CL.0") in kinds
+        assert kinds[-1][0] == "body"
+        loop = regions[0]
+        assert len(loop.member_labels) == 10
+        assert loop.subloops == []
+        assert loop.is_inner
+
+    def test_body_region_when_entry_in_loop(self, figure2):
+        regions = find_regions(figure2)
+        body = regions[-1]
+        # entire function is the loop: body region is empty, its entry is
+        # the loop's abstract node
+        assert body.member_labels == []
+        assert body.header_node == abstract_label("CL.0")
+
+    def test_nested_regions_innermost_first(self):
+        func = nested()
+        regions = find_regions(func)
+        assert [r.header_node for r in regions] == \
+            ["innerH", "outerH", "pre"]
+        inner, outer, body = regions
+        assert inner.is_inner and not outer.is_inner
+        assert outer.is_outer
+        assert sorted(outer.member_labels) == ["outerH", "outerL"]
+        assert [l.header for l in outer.subloops] == ["innerH"]
+        assert sorted(body.member_labels) == ["post", "pre"]
+
+    def test_size_limits(self, figure2):
+        regions = find_regions(figure2)
+        loop = regions[0]
+        assert loop.block_count() == 10
+        assert loop.instr_count(figure2) == 20
+        assert loop.is_small(figure2)
+        assert MAX_REGION_BLOCKS == 64 and MAX_REGION_INSTRS == 256
+
+
+class TestRegionPDGWithSubloops:
+    def test_outer_region_collapses_inner(self):
+        func = nested()
+        regions = find_regions(func)
+        outer = regions[1]
+        pdg = build_region_pdg(func, rs6k(), outer)
+        node = abstract_label("innerH")
+        assert node in pdg.topo_labels
+        assert pdg.is_abstract(node)
+        assert pdg.schedulable_labels() == ["outerH", "outerL"]
+
+    def test_barrier_summarises_loop_effects(self):
+        func = nested()
+        regions = find_regions(func)
+        outer = regions[1]
+        pdg = build_region_pdg(func, rs6k(), outer)
+        barrier = pdg.block(abstract_label("innerH")).instrs[0]
+        from repro.ir import gpr
+        assert gpr(2) in barrier.reg_defs()   # the inner loop writes r2
+        assert gpr(9) in barrier.reg_uses()   # and reads r9
+        assert barrier.is_call  # conservative memory behaviour
+
+    def test_barrier_orders_dependences(self):
+        # when the inner loop touches a register the outer region also
+        # uses, the barrier must pin the order on both sides
+        func = parse_function("""
+function nested2
+pre:
+    LI r1=0
+outerH:
+    AI r1=r1,1
+innerH:
+    AI r1=r1,2
+innerL:
+    C cr0=r1,r9
+    BT innerH,cr0,0x1/lt
+outerL:
+    C cr1=r1,r8
+    BT outerH,cr1,0x1/lt
+post:
+    RET r1
+""")
+        regions = find_regions(func)
+        outer = [r for r in regions if r.header_node == "outerH"][0]
+        pdg = build_region_pdg(func, rs6k(), outer)
+        barrier = pdg.block(abstract_label("innerH")).instrs[0]
+        outer_ai = func.block("outerH").instrs[0]
+        outer_cmp = func.block("outerL").instrs[0]
+        # outerH's r1 def flows into the barrier...
+        assert pdg.ddg.edge(outer_ai, barrier) is not None
+        # ...and outerL's compare depends on the barrier's r1 def, so the
+        # compare can never be hoisted above the inner loop
+        assert pdg.ddg.edge(barrier, outer_cmp) is not None
+
+    def test_no_spurious_barrier_edges(self):
+        # disjoint registers: the barrier stays disconnected
+        func = nested()
+        regions = find_regions(func)
+        outer = regions[1]
+        pdg = build_region_pdg(func, rs6k(), outer)
+        barrier = pdg.block(abstract_label("innerH")).instrs[0]
+        assert pdg.ddg.succs(barrier) == []
+        assert pdg.ddg.preds(barrier) == []
+
+    def test_body_region_of_pure_loop_function(self, figure2):
+        regions = find_regions(figure2)
+        body = regions[-1]
+        pdg = build_region_pdg(figure2, rs6k(), body)
+        assert pdg.schedulable_labels() == []

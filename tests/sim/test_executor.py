@@ -1,0 +1,194 @@
+"""Functional-executor tests."""
+
+import pytest
+
+from repro.ir import Builder, CR_EQ, CR_GT, CR_LT, Function, cr, gpr, parse_function
+from repro.sim import ExecutionError, compare_bits, execute, wrap32
+
+
+class TestPrimitives:
+    def test_wrap32(self):
+        assert wrap32(0) == 0
+        assert wrap32(2**31 - 1) == 2**31 - 1
+        assert wrap32(2**31) == -(2**31)
+        assert wrap32(-(2**31) - 1) == 2**31 - 1
+        assert wrap32(2**32) == 0
+
+    def test_compare_bits(self):
+        assert compare_bits(1, 2) == CR_LT
+        assert compare_bits(2, 1) == CR_GT
+        assert compare_bits(5, 5) == CR_EQ
+        assert compare_bits(-1, 0) == CR_LT
+
+
+class TestArithmetic:
+    def run_one(self, text, regs=None, memory=None):
+        func = parse_function("function t\na:\n" + text)
+        return execute(func, regs=regs or {}, memory=memory or {})
+
+    def test_basic_ops(self):
+        res = self.run_one("""
+    LI r1=6
+    LI r2=7
+    MUL r3=r1,r2
+    A  r4=r3,r1
+    S  r5=r4,r2
+    RET r5
+""")
+        assert res.return_value == 6 * 7 + 6 - 7
+
+    def test_division_truncates_toward_zero(self):
+        res = self.run_one("""
+    LI r1=-7
+    LI r2=2
+    DIV r3=r1,r2
+    REM r4=r1,r2
+    RET r3
+""")
+        assert res.return_value == -3  # C semantics, not Python floor
+        assert res.reg(gpr(4)) == -1
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ExecutionError, match="division by zero"):
+            self.run_one("    LI r1=1\n    LI r2=0\n    DIV r3=r1,r2\n")
+
+    def test_shifts(self):
+        res = self.run_one("""
+    LI r1=-8
+    SRA r2=r1,1
+    SR  r3=r1,1
+    SL  r4=r1,1
+    RET r2
+""")
+        assert res.return_value == -4
+        assert res.reg(gpr(3)) == (0xFFFFFFF8 >> 1)
+        assert res.reg(gpr(4)) == wrap32(-16)
+
+    def test_logic(self):
+        res = self.run_one("""
+    LI r1=12
+    LI r2=10
+    AND r3=r1,r2
+    OR  r4=r1,r2
+    XOR r5=r1,r2
+    NOT r6=r1
+    NEG r7=r1
+    RET r3
+""")
+        assert res.return_value == 8
+        assert res.reg(gpr(4)) == 14
+        assert res.reg(gpr(5)) == 6
+        assert res.reg(gpr(6)) == ~12
+        assert res.reg(gpr(7)) == -12
+
+    def test_overflow_wraps(self):
+        res = self.run_one("""
+    LI r1=2147483647
+    AI r2=r1,1
+    RET r2
+""")
+        assert res.return_value == -(2**31)
+
+
+class TestMemory:
+    def test_load_store(self):
+        res = execute(parse_function("""
+function m
+a:
+    LI r1=100
+    LI r2=42
+    ST r2=>(r1,0)
+    L  r3=(r1,0)
+    RET r3
+"""))
+        assert res.return_value == 42
+        assert res.memory[100] == 42
+
+    def test_load_update_order(self):
+        # LU loads from base+disp FIRST, then post-increments (Figure 2)
+        res = execute(parse_function("""
+function m
+a:
+    LI r1=100
+    LU r2,r1=(r1,8)
+    RET r2
+"""), memory={108: 7, 100: 9})
+        assert res.return_value == 7
+        assert res.reg(gpr(1)) == 108
+
+    def test_unset_memory_reads_zero(self):
+        res = execute(parse_function(
+            "function m\na:\n    LI r1=5000\n    L r2=(r1,0)\n    RET r2\n"))
+        assert res.return_value == 0
+
+
+class TestControlFlow:
+    def test_branch_true_false(self):
+        func = parse_function("""
+function b
+a:
+    C cr0=r1,r2
+    BT less,cr0,0x1/lt
+notless:
+    LI r3=0
+    RET r3
+less:
+    LI r3=1
+    RET r3
+""")
+        assert execute(func, regs={gpr(1): 1, gpr(2): 2}).return_value == 1
+        assert execute(func, regs={gpr(1): 3, gpr(2): 2}).return_value == 0
+
+    def test_counter_register_loop(self):
+        func = parse_function("""
+function ctrloop
+a:
+    LI r1=5
+    MTCTR ctr=r1
+    LI r2=0
+body:
+    AI r2=r2,3
+    BDNZ body
+done:
+    RET r2
+""")
+        assert execute(func).return_value == 15
+
+    def test_block_trace_recorded(self, figure2):
+        res = execute(figure2, regs={
+            gpr(31): 96, gpr(29): 1, gpr(27): 3, gpr(28): 0, gpr(30): 0,
+        }, memory={100: 5, 104: 2})
+        assert res.block_trace[0] == "CL.0"
+        assert res.block_trace.count("CL.0") == 1  # one iteration (i=3=n)
+
+    def test_runaway_loop_detected(self):
+        func = parse_function("function x\na:\n    B a\n")
+        with pytest.raises(ExecutionError, match="steps"):
+            execute(func, max_steps=100)
+
+    def test_call_handler_and_log(self):
+        logged = []
+        func = parse_function("""
+function c
+a:
+    LI r1=3
+    CALL r2=double(r1)
+    RET r2
+""")
+        res = execute(func, call_handlers={
+            "double": lambda args: logged.append(tuple(args)) or [args[0] * 2]
+        })
+        assert res.return_value == 6
+        assert logged == [(3,)]
+        assert res.calls == [("double", (3,))]
+
+    def test_unhandled_call_is_noop(self):
+        func = parse_function("""
+function c
+a:
+    LI r2=9
+    CALL r2=mystery(r2)
+    RET r2
+""")
+        # no handler: defs keep their old values
+        assert execute(func).return_value == 9

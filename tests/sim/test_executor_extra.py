@@ -1,0 +1,128 @@
+"""Executor coverage for the less-travelled opcodes."""
+
+import pytest
+
+from repro.ir import fpr, gpr, parse_function
+from repro.sim import ExecutionError, execute
+
+
+def run(text, regs=None, memory=None):
+    return execute(parse_function("function t\na:\n" + text),
+                   regs=regs or {}, memory=memory or {})
+
+
+class TestFloatOps:
+    """The FPU ops run on integer values (the paper concentrates on fixed
+    point; the float pipeline exists for the machine model's sake)."""
+
+    def test_fl_fst_round_trip(self):
+        res = run("""
+    LI r1=100
+    FL f1=(r1,0)
+    FA f2=f1,f1
+    FST f2=>(r1,8)
+    RET r1
+""", memory={100: 21})
+        assert res.memory[108] == 42
+
+    def test_fmr_and_arith(self):
+        res = run("""
+    LI r1=100
+    FL f1=(r1,0)
+    FMR f2=f1
+    FS f3=f2,f1
+    FM f4=f2,f2
+    RET r1
+""", memory={100: 6})
+        assert res.regs[fpr(3)] == 0
+        assert res.regs[fpr(4)] == 36
+
+    def test_fd_division(self):
+        res = run("""
+    LI r1=100
+    FL f1=(r1,0)
+    FL f2=(r1,4)
+    FD f3=f1,f2
+    RET r1
+""", memory={100: -9, 104: 2})
+        assert res.regs[fpr(3)] == -4  # truncation toward zero
+
+    def test_fc_compare(self):
+        from repro.ir import CR_LT
+        res = run("""
+    LI r1=100
+    FL f1=(r1,0)
+    FL f2=(r1,4)
+    FC cr2=f1,f2
+    RET r1
+""", memory={100: 1, 104: 5})
+        from repro.ir import cr
+        assert res.regs[cr(2)] == CR_LT
+
+
+class TestStoreUpdate:
+    def test_stu_stores_then_increments(self):
+        res = run("""
+    LI r1=100
+    LI r2=7
+    STU r2,r1=>(r1,4)
+    RET r1
+""")
+        assert res.memory[104] == 7  # store at base+disp
+        assert res.return_value == 104  # base post-incremented
+
+    def test_stu_loop_fills_array(self):
+        func = parse_function("""
+function fill
+a:
+    LI r1=96
+    LI r2=0
+    LI r3=3
+    MTCTR ctr=r3
+loop:
+    AI r2=r2,5
+    STU r2,r1=>(r1,4)
+    BDNZ loop
+done:
+    RET r2
+""")
+        res = execute(func)
+        assert [res.memory[100 + 4 * i] for i in range(3)] == [5, 10, 15]
+
+
+class TestMisc:
+    def test_nop_does_nothing(self):
+        res = run("    LI r1=5\n    NOP\n    RET r1\n")
+        assert res.return_value == 5
+
+    def test_ret_without_value(self):
+        res = run("    LI r1=5\n    RET\n")
+        assert res.return_value is None
+
+    def test_immediate_logical_forms(self):
+        res = run("""
+    LI r1=12
+    ANDI r2=r1,10
+    ORI  r3=r1,3
+    XORI r4=r1,6
+    RET r2
+""")
+        assert res.return_value == 8
+        assert res.regs[gpr(3)] == 15
+        assert res.regs[gpr(4)] == 10
+
+    def test_rem_matches_c_semantics(self):
+        res = run("""
+    LI r1=7
+    LI r2=-2
+    REM r3=r1,r2
+    RET r3
+""")
+        assert res.return_value == 1  # 7 % -2 == 1 in C (trunc division)
+        with pytest.raises(ExecutionError, match="remainder"):
+            run("    LI r1=1\n    LI r2=0\n    REM r3=r1,r2\n")
+
+    def test_instr_trace_matches_steps(self, figure2):
+        res = execute(figure2, regs={gpr(31): 96, gpr(29): 5, gpr(27): 3},
+                      memory={})
+        assert len(res.instr_trace) == res.steps

@@ -1,0 +1,58 @@
+"""Issue-timeline rendering tests."""
+
+import pytest
+
+from repro.ir import parse_function
+from repro.machine import rs6k
+from repro.sim import (
+    format_timeline,
+    issue_histogram,
+    simulate_trace,
+    stall_cycles,
+)
+
+
+@pytest.fixture
+def bl1(figure2):
+    block = figure2.block("CL.0")
+    result = simulate_trace([block], rs6k())
+    return block, result
+
+
+def test_figure2_bl1_timeline(bl1):
+    block, result = bl1
+    text = format_timeline(block.instrs, result, rs6k())
+    lines = text.splitlines()
+    assert len(lines) == 1 + 4  # header + I1..I4
+    # I3's compare occupies its issue cycle plus three delay cycles
+    i3_line = next(l for l in lines if l.startswith("I3"))
+    assert "X===" in i3_line
+    # the branch issues at cycle 7 (the delay made visible)
+    i4_line = next(l for l in lines if l.startswith("I4"))
+    assert i4_line.rstrip().endswith("X")
+    assert result.issue_cycles[-1] == 7
+
+
+def test_histogram_and_stalls(bl1):
+    _block, result = bl1
+    hist = issue_histogram(result)
+    assert sum(hist.values()) == 4
+    # cycles 3..6 are bubbles while the compare->branch delay drains
+    assert stall_cycles(result) == result.cycles - len(hist)
+    assert stall_cycles(result) == 4
+
+
+def test_mismatched_lengths_rejected(bl1):
+    block, result = bl1
+    with pytest.raises(ValueError, match="instructions vs"):
+        format_timeline(block.instrs[:-1], result, rs6k())
+
+
+def test_long_traces_truncate():
+    func = parse_function(
+        "function f\na:\n" + "\n".join(
+            f"    LI r{i}=1" for i in range(1, 30)))
+    block = func.block("a")
+    result = simulate_trace([block], rs6k())
+    text = format_timeline(block.instrs, result, rs6k(), max_cycles=10)
+    assert len(text.splitlines()) == 1 + 10  # header + 10 rows shown

@@ -1,0 +1,168 @@
+"""Counter-register loop conversion tests (the paper's footnote 3)."""
+
+import pytest
+
+from repro import ScheduleLevel, compile_c, rs6k
+from repro.ir import Opcode, gpr, parse_function, verify_function
+from repro.sim import execute, simulate_execution
+from repro.xform import PipelineConfig, convert_counted_loops
+
+
+def counted_loop(step=1):
+    return parse_function(f"""
+function counted
+guard:
+    LI r1=0
+    C  cr0=r1,r8
+    BF exit,cr0,0x1/lt
+body:
+    A  r3=r3,r1
+    AI r1=r1,{step}
+    C  cr1=r1,r8
+    BT body,cr1,0x1/lt
+exit:
+    RET r3
+""")
+
+
+def run_sum(func, n):
+    return execute(func, regs={gpr(8): n}).return_value
+
+
+class TestConversion:
+    def test_counted_loop_converted(self):
+        func = counted_loop()
+        report = convert_counted_loops(func)
+        verify_function(func)
+        assert report.converted == ["body"]
+        ops = [i.opcode for i in func.instructions()]
+        assert Opcode.MTCTR in ops and Opcode.BDNZ in ops
+        # the latch compare disappeared
+        latch_ops = [i.opcode for i in func.block("body").instrs]
+        assert Opcode.C not in latch_ops
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 10])
+    @pytest.mark.parametrize("step", [1, 2, 4])
+    def test_semantics(self, n, step):
+        plain = counted_loop(step)
+        converted = counted_loop(step)
+        convert_counted_loops(converted)
+        assert run_sum(plain, n) == run_sum(converted, n)
+
+    def test_zero_trip_guard_respected(self):
+        # n = 0: the guard skips the loop entirely, so the counter is
+        # never consulted
+        func = counted_loop()
+        convert_counted_loops(func)
+        assert run_sum(func, 0) == 0
+        assert run_sum(func, -5) == 0
+
+    def test_removes_compare_branch_delay(self):
+        plain = counted_loop()
+        converted = counted_loop()
+        convert_counted_loops(converted)
+        _, t_plain = simulate_execution(plain, rs6k(), regs={gpr(8): 30})
+        _, t_conv = simulate_execution(converted, rs6k(), regs={gpr(8): 30})
+        assert t_conv.cycles < t_plain.cycles
+
+
+class TestSafetyConditions:
+    def test_unguarded_entry_rejected(self):
+        func = parse_function("""
+function unguarded
+pre:
+    LI r1=0
+body:
+    A  r3=r3,r1
+    AI r1=r1,1
+    C  cr1=r1,r8
+    BT body,cr1,0x1/lt
+""")
+        assert not convert_counted_loops(func)
+
+    def test_call_in_loop_rejected(self):
+        func = counted_loop()
+        body = func.block("body")
+        from repro.ir import Instruction
+        call = Instruction(Opcode.CALL, target="f")
+        func.assign_uid(call)
+        body.instrs.insert(0, call)
+        assert not convert_counted_loops(func)
+
+    def test_cr_used_elsewhere_rejected(self):
+        func = parse_function("""
+function crused
+guard:
+    LI r1=0
+    C  cr0=r1,r8
+    BF exit,cr0,0x1/lt
+body:
+    AI r1=r1,1
+    C  cr1=r1,r8
+    LR r5=r1
+    BT body,cr1,0x1/lt
+mid:
+    BT body,cr1,0x1/lt
+exit:
+    RET r3
+""")
+        assert not convert_counted_loops(func)
+
+    def test_variant_bound_rejected(self):
+        func = parse_function("""
+function varbound
+guard:
+    LI r1=0
+    C  cr0=r1,r8
+    BF exit,cr0,0x1/lt
+body:
+    AI r8=r8,1
+    AI r1=r1,2
+    C  cr1=r1,r8
+    BT body,cr1,0x1/lt
+exit:
+    RET r3
+""")
+        assert not convert_counted_loops(func)
+
+    def test_odd_step_rejected(self):
+        func = counted_loop(step=3)
+        assert not convert_counted_loops(func)
+
+
+class TestPipelineIntegration:
+    SRC = """
+int total(int a[], int n) {
+    int s = 0;
+    int i = 0;
+    while (i < n) { s = s + a[i]; i = i + 1; }
+    return s;
+}
+"""
+
+    def test_opt_in_via_config(self):
+        config = PipelineConfig(level=ScheduleLevel.SPECULATIVE,
+                                use_counter_register=True)
+        result = compile_c(self.SRC, level=ScheduleLevel.SPECULATIVE,
+                           config=config)
+        unit = result["total"]
+        assert unit.report.ctr and unit.report.ctr.converted
+        data = list(range(10))
+        assert unit.run(data, 10).return_value == sum(data)
+
+    def test_default_is_off_like_the_paper(self):
+        result = compile_c(self.SRC, level=ScheduleLevel.SPECULATIVE)
+        ops = [i.opcode for i in result["total"].func.instructions()]
+        assert Opcode.BDNZ not in ops
+
+    def test_ctr_beats_plain_loop_control(self):
+        cycles = {}
+        for use_ctr in (False, True):
+            config = PipelineConfig(level=ScheduleLevel.NONE,
+                                    use_counter_register=use_ctr)
+            result = compile_c(self.SRC, level=ScheduleLevel.NONE,
+                               config=config)
+            run = result["total"].run(list(range(50)), 50)
+            assert run.return_value == sum(range(50))
+            cycles[use_ctr] = run.cycles
+        assert cycles[True] < cycles[False]

@@ -1,0 +1,113 @@
+"""Loop-rotation tests (Section 6, step 3)."""
+
+import pytest
+
+from repro.cfg import ControlFlowGraph, ENTRY, LoopNest, dominator_tree
+from repro.ir import (
+    Builder,
+    CR_LT,
+    Function,
+    cr,
+    gpr,
+    verify_function,
+    verify_reachable,
+)
+from repro.sim import execute
+from repro.xform import TransformError, rotatable, rotate_loop
+
+
+def two_block_loop():
+    """header (load/add) + latch (control), the shape rotation targets."""
+    f = Function("sum2")
+    b = Builder(f)
+    r_sum, r_i, r_n, r_base, r_t, c0 = (gpr(3), gpr(4), gpr(5), gpr(6),
+                                        gpr(7), cr(0))
+    b.start_block("init")
+    b.li(r_sum, 0)
+    b.li(r_i, 0)
+    b.cmp(c0, r_i, r_n)
+    b.bf("done", c0, CR_LT)
+    b.start_block("H")
+    b.load(r_t, r_base, 0, symbol="a")
+    b.add(r_sum, r_sum, r_t)
+    b.start_block("L")
+    b.ai(r_base, r_base, 4)
+    b.ai(r_i, r_i, 1)
+    b.cmp(c0, r_i, r_n)
+    b.bt("H", c0, CR_LT)
+    b.start_block("done")
+    b.ret(r_sum)
+    verify_function(f)
+    return f
+
+
+def the_loop(func):
+    cfg = ControlFlowGraph(func)
+    dom = dominator_tree(cfg.graph, ENTRY)
+    return LoopNest(cfg.graph, dom).loops[0]
+
+
+def run_sum(func, n):
+    mem = {1000 + 4 * i: i + 1 for i in range(n)}
+    return execute(func, regs={gpr(5): n, gpr(6): 1000},
+                   memory=mem).return_value
+
+
+class TestRotateSemantics:
+    @pytest.mark.parametrize("n", range(0, 9))
+    def test_any_trip_count(self, n):
+        func = two_block_loop()
+        rotate_loop(func, the_loop(func))
+        verify_function(func)
+        verify_reachable(func)
+        assert run_sum(func, n) == n * (n + 1) // 2
+
+    def test_new_loop_excludes_original_header(self):
+        # "copying their first basic block after the end of the loop":
+        # the original header becomes the loop's prologue
+        func = two_block_loop()
+        report = rotate_loop(func, the_loop(func))
+        assert report.header == "H"
+        assert report.new_loop_header == "L"
+        new_loop = the_loop(func)
+        assert "H" not in new_loop.body
+        assert report.clone_header in new_loop.body
+        assert "L" in new_loop.body
+
+    def test_header_copy_is_last_loop_block(self):
+        # the copied header sits at the loop's end, holding the *next*
+        # iteration's leading instructions -- the material the second
+        # scheduling pass pipelines upward
+        func = two_block_loop()
+        report = rotate_loop(func, the_loop(func))
+        clone = func.block(report.clone_header)
+        mnemonics = [i.opcode.mnemonic for i in clone.instrs]
+        assert mnemonics[0] == "L"  # next iteration's load
+
+
+class TestRotatable:
+    def test_two_block_loop_is_rotatable(self):
+        func = two_block_loop()
+        assert rotatable(func, the_loop(func))
+
+    def test_minmax_loop_not_rotatable(self, figure2):
+        # 10 blocks > 4, and the header has two in-loop successors
+        assert not rotatable(figure2, the_loop(figure2))
+        assert not rotatable(figure2, the_loop(figure2), max_blocks=100)
+
+    def test_self_loop_not_rotatable(self):
+        from repro.ir import parse_function
+        func = parse_function("""
+function s
+a:
+    LI r1=0
+b:
+    AI r1=r1,1
+    C cr0=r1,r9
+    BT b,cr0,0x1/lt
+""")
+        assert not rotatable(func, the_loop(func))
+
+    def test_rotate_refuses_unrotatable(self, figure2):
+        with pytest.raises(TransformError):
+            rotate_loop(figure2, the_loop(figure2))

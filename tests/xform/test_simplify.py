@@ -1,0 +1,140 @@
+"""CFG simplification tests."""
+
+from repro.ir import gpr, parse_function, verify_function, verify_reachable
+from repro.sim import execute
+from repro.xform import simplify_cfg
+
+
+def test_jump_threading():
+    func = parse_function("""
+function t
+a:
+    C cr0=r1,r2
+    BT hop,cr0,0x1/lt
+direct:
+    LI r3=1
+    RET r3
+hop:
+    B target
+target:
+    LI r3=2
+    RET r3
+""")
+    report = simplify_cfg(func)
+    verify_function(func)
+    assert func.block("a").terminator.target == "target"
+    assert not func.has_block("hop")
+    assert report.threaded >= 1 and report.removed_blocks >= 1
+
+
+def test_fold_jump_to_fallthrough():
+    func = parse_function("""
+function t
+a:
+    LI r1=1
+    B b
+b:
+    RET r1
+""")
+    simplify_cfg(func)
+    verify_function(func)
+    # the B disappeared and the chain merged into one block
+    assert len(func.blocks) == 1
+    assert [i.opcode.mnemonic for i in func.blocks[0].instrs] == ["LI", "RET"]
+
+
+def test_empty_block_threading():
+    func = parse_function("""
+function t
+a:
+    C cr0=r1,r2
+    BT empty,cr0,0x1/lt
+other:
+    RET r1
+empty:
+after:
+    RET r2
+""")
+    simplify_cfg(func)
+    verify_function(func)
+    assert func.block("a").terminator.target == "after"
+
+
+def test_unreachable_removed():
+    func = parse_function("""
+function t
+a:
+    RET r1
+island:
+    LI r2=1
+    RET r2
+""")
+    simplify_cfg(func)
+    verify_reachable(func)
+    assert not func.has_block("island")
+
+
+def test_merge_respects_multiple_preds(figure2):
+    before = len(figure2.blocks)
+    simplify_cfg(figure2)
+    # Figure 2 is already clean: nothing to simplify
+    assert len(figure2.blocks) == before
+
+
+def test_semantics_preserved():
+    func = parse_function("""
+function t
+a:
+    C cr0=r1,r2
+    BT x,cr0,0x1/lt
+b:
+    LI r3=10
+    B join
+x:
+    B y
+y:
+    LI r3=20
+join:
+    AI r3=r3,1
+    RET r3
+""")
+    results_before = [
+        execute(parse_function("""
+function t
+a:
+    C cr0=r1,r2
+    BT x,cr0,0x1/lt
+b:
+    LI r3=10
+    B join
+x:
+    B y
+y:
+    LI r3=20
+join:
+    AI r3=r3,1
+    RET r3
+"""), regs={gpr(1): a, gpr(2): b}).return_value
+        for a, b in ((0, 1), (1, 0))
+    ]
+    simplify_cfg(func)
+    verify_function(func)
+    results_after = [
+        execute(func, regs={gpr(1): a, gpr(2): b}).return_value
+        for a, b in ((0, 1), (1, 0))
+    ]
+    assert results_before == results_after == [21, 11]
+
+
+def test_fixed_point_terminates():
+    # a chain of 10 trivial jumps collapses fully
+    lines = ["function t"]
+    for i in range(10):
+        lines.append(f"b{i}:")
+        lines.append(f"    B b{i+1}")
+    lines.append("b10:")
+    lines.append("    RET r1")
+    func = parse_function("\n".join(lines))
+    simplify_cfg(func)
+    verify_function(func)
+    assert len(func.blocks) == 1

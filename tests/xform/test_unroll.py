@@ -1,0 +1,141 @@
+"""Loop-unrolling tests (Section 6, step 1)."""
+
+import pytest
+
+from repro.cfg import ControlFlowGraph, ENTRY, LoopNest, dominator_tree
+from repro.ir import (
+    Builder,
+    CR_LT,
+    Function,
+    gpr,
+    cr,
+    parse_function,
+    verify_function,
+    verify_reachable,
+)
+from repro.sim import execute
+from repro.xform import (
+    TransformError,
+    loop_blocks_in_layout,
+    unroll_loop,
+    unrollable_inner_loops,
+)
+
+
+def sum_loop():
+    """sum += a[i] for i in 0..n-1, bottom-tested, 1-block body."""
+    f = Function("sum")
+    b = Builder(f)
+    r_sum, r_i, r_n, r_base, r_t, c0 = (gpr(3), gpr(4), gpr(5), gpr(6),
+                                        gpr(7), cr(0))
+    b.start_block("init")
+    b.li(r_sum, 0)
+    b.li(r_i, 0)
+    b.cmp(c0, r_i, r_n)
+    b.bf("done", c0, CR_LT)
+    b.start_block("body")
+    b.load(r_t, r_base, 0, symbol="a")
+    b.add(r_sum, r_sum, r_t)
+    b.ai(r_base, r_base, 4)
+    b.ai(r_i, r_i, 1)
+    b.cmp(c0, r_i, r_n)
+    b.bt("body", c0, CR_LT)
+    b.start_block("done")
+    b.ret(r_sum)
+    verify_function(f)
+    return f
+
+
+def run_sum(func, n):
+    mem = {1000 + 4 * i: i + 1 for i in range(n)}
+    res = execute(func, regs={gpr(5): n, gpr(6): 1000}, memory=mem)
+    return res.return_value
+
+
+def the_loop(func):
+    cfg = ControlFlowGraph(func)
+    dom = dominator_tree(cfg.graph, ENTRY)
+    return LoopNest(cfg.graph, dom).loops[0]
+
+
+class TestUnrollSemantics:
+    @pytest.mark.parametrize("n", range(0, 9))
+    def test_any_trip_count(self, n):
+        func = sum_loop()
+        unroll_loop(func, the_loop(func))
+        verify_function(func)
+        verify_reachable(func)
+        assert run_sum(func, n) == n * (n + 1) // 2
+
+    def test_unrolled_loop_has_two_copies(self):
+        func = sum_loop()
+        report = unroll_loop(func, the_loop(func))
+        assert report.header == "body"
+        assert len(report.cloned_blocks) == 1
+        loop2 = the_loop(func)
+        assert len(loop2.body) == 2  # body + clone
+
+    def test_multi_block_loop(self, figure2):
+        # minmax loop: too big for policy, but mechanically unrollable
+        loop = the_loop(figure2)
+        report = unroll_loop(figure2, loop)
+        verify_function(figure2)
+        verify_reachable(figure2)
+        body = the_loop(figure2).body
+        assert {"CL.0", report.clone_header} <= body
+        assert len(body) == 20
+
+    def test_latch_inverted_keeps_layout_contiguous(self):
+        func = sum_loop()
+        unroll_loop(func, the_loop(func))
+        # after inversion-based unrolling, the new loop is contiguous,
+        # which is what lets rotation run afterwards
+        loop_blocks_in_layout(func, the_loop(func))
+
+
+class TestPolicy:
+    def test_small_inner_loops_selected(self, figure2):
+        func = sum_loop()
+        chosen = unrollable_inner_loops(func, [the_loop(func)])
+        assert len(chosen) == 1
+        # the 10-block minmax loop exceeds the 4-block limit
+        assert unrollable_inner_loops(figure2, [the_loop(figure2)]) == []
+
+    def test_nested_loops_excluded(self):
+        func = parse_function("""
+function nest
+outer:
+    AI r1=r1,1
+inner:
+    AI r2=r2,1
+innerL:
+    C cr0=r2,r9
+    BT inner,cr0,0x1/lt
+outerL:
+    C cr1=r1,r8
+    BT outer,cr1,0x1/lt
+""")
+        cfg = ControlFlowGraph(func)
+        dom = dominator_tree(cfg.graph, ENTRY)
+        loops = LoopNest(cfg.graph, dom).loops
+        chosen = unrollable_inner_loops(func, loops)
+        assert [l.header for l in chosen] == ["inner"]
+
+    def test_non_contiguous_loop_rejected(self):
+        func = parse_function("""
+function nc
+head:
+    C cr0=r1,r2
+    BT tail,cr0,0x1/lt
+middle:
+    RET r1
+tail:
+    AI r1=r1,1
+    B head
+""")
+        cfg = ControlFlowGraph(func)
+        dom = dominator_tree(cfg.graph, ENTRY)
+        loop = LoopNest(cfg.graph, dom).loops[0]
+        with pytest.raises(TransformError, match="contiguous"):
+            loop_blocks_in_layout(func, loop)
+        assert unrollable_inner_loops(func, [loop]) == []

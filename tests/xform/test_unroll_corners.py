@@ -1,0 +1,135 @@
+"""Unroll/rotate corner cases: interior latches, continue loops."""
+
+import pytest
+
+from repro.cfg import ControlFlowGraph, ENTRY, LoopNest, dominator_tree
+from repro.ir import gpr, parse_function, verify_function, verify_reachable
+from repro.sim import execute
+from repro.xform import rotate_loop, rotatable, unroll_loop
+
+
+def the_loop(func):
+    cfg = ControlFlowGraph(func)
+    dom = dominator_tree(cfg.graph, ENTRY)
+    return LoopNest(cfg.graph, dom).loops[0]
+
+
+#: a loop with TWO back edges (a continue-style early latch)
+TWO_LATCHES = """
+function twolatch
+pre:
+    LI r1=0
+    LI r2=0
+head:
+    AI r1=r1,1
+    C  cr0=r1,r9
+    BT head,cr0,0x4/eq
+mid:
+    AI r2=r2,1
+    C  cr1=r1,r8
+    BT head,cr1,0x1/lt
+done:
+    RET r2
+"""
+
+
+def run_twolatch(func, skip_at, n):
+    res = execute(func, regs={gpr(9): skip_at, gpr(8): n})
+    return res.return_value
+
+
+class TestMultipleLatches:
+    def test_unroll_with_two_back_edges(self):
+        func = parse_function(TWO_LATCHES)
+        expected = [run_twolatch(parse_function(TWO_LATCHES), 3, n)
+                    for n in range(8)]
+        loop = the_loop(func)
+        assert sorted(loop.latches) == ["head", "mid"]
+        unroll_loop(func, loop)
+        verify_function(func)
+        verify_reachable(func)
+        got = [run_twolatch(func, 3, n) for n in range(8)]
+        assert got == expected
+
+    def test_rotate_with_two_back_edges(self):
+        func = parse_function(TWO_LATCHES)
+        expected = [run_twolatch(parse_function(TWO_LATCHES), 3, n)
+                    for n in range(8)]
+        loop = the_loop(func)
+        if not rotatable(func, loop):
+            pytest.skip("loop shape not rotatable")
+        rotate_loop(func, loop)
+        verify_function(func)
+        verify_reachable(func)
+        got = [run_twolatch(func, 3, n) for n in range(8)]
+        assert got == expected
+
+
+class TestUnconditionalLatch:
+    #: while-true-with-break shape: the latch is an unconditional B
+    SRC = """
+function btrue
+pre:
+    LI r1=0
+head:
+    AI r1=r1,1
+    C  cr0=r1,r8
+    BF out,cr0,0x1/lt
+body:
+    AI r2=r2,3
+    B  head
+out:
+    RET r2
+"""
+
+    def test_unroll(self):
+        func = parse_function(self.SRC)
+        ref = parse_function(self.SRC)
+        loop = the_loop(func)
+        unroll_loop(func, loop)
+        verify_function(func)
+        verify_reachable(func)
+        for n in range(6):
+            a = execute(ref, regs={gpr(8): n}).return_value
+            b = execute(func, regs={gpr(8): n}).return_value
+            assert a == b
+
+    def test_rotate(self):
+        func = parse_function(self.SRC)
+        ref = parse_function(self.SRC)
+        loop = the_loop(func)
+        if not rotatable(func, loop):
+            pytest.skip("loop shape not rotatable")
+        rotate_loop(func, loop)
+        verify_function(func)
+        for n in range(6):
+            a = execute(ref, regs={gpr(8): n}).return_value
+            b = execute(func, regs={gpr(8): n}).return_value
+            assert a == b
+
+
+class TestDoubleUnroll:
+    def test_unroll_twice_keeps_semantics(self):
+        src = """
+function s
+pre:
+    LI r1=0
+    LI r2=0
+    C  cr0=r1,r8
+    BF out,cr0,0x1/lt
+body:
+    AI r2=r2,5
+    AI r1=r1,1
+    C  cr0=r1,r8
+    BT body,cr0,0x1/lt
+out:
+    RET r2
+"""
+        func = parse_function(src)
+        unroll_loop(func, the_loop(func))
+        verify_function(func)
+        unroll_loop(func, the_loop(func))  # 4 copies now
+        verify_function(func)
+        verify_reachable(func)
+        for n in range(10):
+            assert execute(func, regs={gpr(8): n}).return_value == 5 * n
