@@ -1,0 +1,10 @@
+int minmax(int a[], int n, int out[]) {
+    int min = a[0]; int max = min; int i = 1;
+    while (i < n) {
+        int u = a[i]; int v = a[i + 1];
+        if (u > v) { if (u > max) max = u; if (v < min) min = v; }
+        else       { if (v > max) max = v; if (u < min) min = u; }
+        i = i + 2;
+    }
+    out[0] = min; out[1] = max; return 0;
+}

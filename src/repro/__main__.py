@@ -8,13 +8,20 @@ Commands:
 * ``schedule FILE.ir`` -- globally schedule a textual-IR function;
 * ``dot FILE.c --graph cfg|cspdg|ddg`` -- emit Graphviz for the graphs of
   the paper's Figures 3 and 4;
-* ``figures`` -- regenerate the paper's Figure 7/8 tables.
+* ``figures`` -- regenerate the paper's Figure 7/8 tables;
+* ``verify FILE.c`` -- compile with the static schedule verifier enabled
+  and report every sweep's verification result;
+* ``fuzz --n 500 --seed 1991`` -- differential fuzzing: generated programs
+  compiled at every level on several machines, outputs compared, failures
+  minimised (``--reproduce SEED:INDEX`` re-runs one case).
 
 Examples::
 
     python -m repro compile examples/minmax.c --level speculative
     python -m repro run tests.c minmax 5,3,9,1 3 0,0
     python -m repro figures
+    python -m repro verify examples/minmax.c
+    python -m repro fuzz --n 500 --seed 1991
 """
 
 from __future__ import annotations
@@ -131,6 +138,63 @@ def cmd_figures(args) -> int:
     return 0
 
 
+def cmd_verify(args) -> int:
+    from .verify import ScheduleVerificationError
+
+    try:
+        result = _compile(args.file, args.level, args.machine, verify=True)
+    except ScheduleVerificationError as exc:
+        print(exc.report.format())
+        return 1
+    for unit in result:
+        for report in unit.report.verify_reports:
+            print(f"{unit.name}: {report.format().splitlines()[0]} -- ok")
+    print("all schedules verified")
+    return 0
+
+
+def cmd_fuzz(args) -> int:
+    from .verify import fuzz, reproduce
+    from .verify.differential import DEFAULT_MACHINES
+    from .verify.generator import GenProgram
+
+    machines = (tuple(args.machines.split(","))
+                if args.machines else DEFAULT_MACHINES)
+    for name in machines:
+        if name not in CONFIGS:
+            print(f"unknown machine {name!r}; choose from "
+                  f"{sorted(CONFIGS)}", file=sys.stderr)
+            return 2
+
+    if args.reproduce:
+        seed_text, sep, index_text = args.reproduce.partition(":")
+        if not (sep and seed_text.lstrip("-").isdigit()
+                and index_text.isdigit()):
+            print(f"--reproduce wants SEED:INDEX (two integers), "
+                  f"got {args.reproduce!r}", file=sys.stderr)
+            return 2
+        outcome = reproduce(int(seed_text), int(index_text),
+                            machines=machines, shrink=not args.no_shrink)
+        if isinstance(outcome, GenProgram):
+            print(f"program {index_text} of seed {seed_text} passes")
+            print(outcome.source)
+            return 0
+        print(outcome.format())
+        return 1
+
+    def progress(done: int, failures: int) -> None:
+        if done % 50 == 0 or done == args.n:
+            print(f"  {done}/{args.n} programs, {failures} failure(s)",
+                  flush=True)
+
+    report = fuzz(args.n, args.seed, machines=machines,
+                  shrink=not args.no_shrink, on_progress=progress)
+    for failure in report.failures:
+        print(failure.format())
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -175,6 +239,27 @@ def build_parser() -> argparse.ArgumentParser:
                        help="regenerate the paper's Figure 7/8 tables")
     p.add_argument("--repeats", type=int, default=3)
     p.set_defaults(fn=cmd_figures)
+
+    p = sub.add_parser("verify",
+                       help="compile with the schedule verifier enabled")
+    p.add_argument("file")
+    _add_common(p)
+    p.set_defaults(fn=cmd_verify)
+
+    p = sub.add_parser("fuzz",
+                       help="differential fuzzing across levels/machines")
+    p.add_argument("--n", type=int, default=100,
+                   help="number of generated programs (default: 100)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign master seed (default: 0)")
+    p.add_argument("--machines",
+                   help="comma-separated machine names "
+                        "(default: rs6k,scalar,ss2)")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="report failures without minimising them")
+    p.add_argument("--reproduce", metavar="SEED:INDEX",
+                   help="re-run (and shrink) one campaign program")
+    p.set_defaults(fn=cmd_fuzz)
 
     return parser
 

@@ -157,6 +157,11 @@ class CompileResult:
     units: dict[str, CompiledUnit]
     level: ScheduleLevel
     machine: MachineModel
+    #: memoised result of :meth:`linked_handlers` (the table is immutable
+    #: once built -- recursion works because each handler closes over the
+    #: shared dict, not over a copy)
+    _handlers: dict[str, CallHandler] | None = field(
+        default=None, init=False, repr=False, compare=False)
 
     def __getitem__(self, name: str) -> CompiledUnit:
         try:
@@ -182,7 +187,17 @@ class CompileResult:
         table.  Callees run functionally in their own fresh memory; as in
         the paper's model, calls stay opaque to the *timing* simulation
         (they occupy one issue slot and act as scheduling barriers).
+
+        The table is built once per unit and cached; :meth:`run` builds a
+        fresh (uncached) table only when the caller supplies overrides,
+        because those must stay visible to nested calls without leaking
+        into the cache.
         """
+        if self._handlers is None:
+            self._handlers = self._build_handlers()
+        return self._handlers
+
+    def _build_handlers(self) -> dict[str, CallHandler]:
         handlers: dict[str, CallHandler] = {}
 
         def make(unit: CompiledUnit) -> CallHandler:
@@ -215,10 +230,15 @@ class CompileResult:
     def run(self, name: str, *args, call_handlers=None, **kwargs) -> RunResult:
         """Run ``name`` with calls to sibling functions resolved.
 
-        Explicit ``call_handlers`` win over linked siblings.
+        Explicit ``call_handlers`` win over linked siblings -- for nested
+        calls too, which is why overrides force a fresh handler table (the
+        closures must capture the dict that contains them).
         """
-        handlers = self.linked_handlers()
-        handlers.update(call_handlers or {})
+        if call_handlers:
+            handlers = self._build_handlers()
+            handlers.update(call_handlers)
+        else:
+            handlers = self.linked_handlers()
         return self[name].run(*args, call_handlers=handlers, **kwargs)
 
 

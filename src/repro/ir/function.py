@@ -192,6 +192,27 @@ class Function:
                 exits.append(block)
         return exits
 
+    def clone(self) -> "Function":
+        """A deep copy with the same labels, layout, uids and counters.
+
+        Unlike :meth:`Instruction.clone` (which resets uids so the copy can
+        be re-emitted), this preserves every uid: the copy is a *snapshot*
+        of the function, suitable as the "before" side of the schedule
+        verifier, which matches instructions across the two functions by
+        uid.
+        """
+        out = Function(self.name)
+        out._next_uid = self._next_uid
+        out._next_reg = dict(self._next_reg)
+        out._next_label = self._next_label
+        for block in self.blocks:
+            copy = out.add_block(block.label)
+            for ins in block.instrs:
+                dup = ins.clone()
+                dup.uid = ins.uid
+                copy.append(dup)
+        return out
+
     # -- misc ------------------------------------------------------------------
 
     def size(self) -> int:

@@ -81,7 +81,14 @@ def candidate_blocks(
     seen = {label, *equiv}
 
     def add_speculative(block: str) -> None:
-        if block not in seen and block in members:
+        # Definition 6: moving an instruction from B to A without
+        # duplication requires A to dominate B -- otherwise paths that
+        # reach B around A would lose the computation (the classic case
+        # is the join of an `a || b` condition, whose second test block
+        # does not dominate it).  Speculation piles Definition 7's
+        # live-on-exit rule *on top of* that dominance requirement.
+        if (block not in seen and block in members
+                and pdg.dom.strictly_dominates(label, block)):
             seen.add(block)
             speculative.append(block)
 

@@ -1,0 +1,142 @@
+"""Differential fuzzing loop: generate, run the matrix, shrink failures.
+
+Program ``i`` of a campaign with master seed ``S`` is always generated
+from the derived seed ``S * 1_000_003 + i``, so any failure is
+reproducible from ``(S, i)`` alone::
+
+    python -m repro fuzz --n 500 --seed 1991      # the campaign
+    python -m repro fuzz --reproduce 1991:37      # re-run program 37
+
+The failure report carries both the original and the shrunk source, plus
+the entry arguments, so a failing case can be pasted straight into a
+regression test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .differential import DEFAULT_MACHINES, DiffResult, run_differential
+from .generator import GenProgram, generate_program
+from .shrink import shrink_program
+
+_SEED_STRIDE = 1_000_003
+
+
+def derive_seed(master_seed: int, index: int) -> int:
+    """The generator seed of program ``index`` in a campaign."""
+    return master_seed * _SEED_STRIDE + index
+
+
+@dataclass
+class FuzzFailure:
+    """One failing program, before and after minimisation."""
+
+    index: int
+    seed: int
+    detail: str
+    source: str
+    args: list
+    shrunk_source: str | None = None
+    shrunk_args: list | None = None
+    shrunk_detail: str | None = None
+
+    def format(self) -> str:
+        out = [f"--- failure #{self.index} (seed {self.seed}) ---",
+               self.detail,
+               f"args: {self.args!r}"]
+        if self.shrunk_source is not None:
+            out += ["minimised reproducer:", self.shrunk_source,
+                    f"args: {self.shrunk_args!r}",
+                    self.shrunk_detail or ""]
+        else:
+            out += ["source:", self.source]
+        return "\n".join(out)
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzzing campaign."""
+
+    master_seed: int
+    attempted: int = 0
+    failures: list[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        status = "ok" if self.ok else f"{len(self.failures)} FAILURE(S)"
+        return (f"fuzz: {self.attempted} programs, seed "
+                f"{self.master_seed}: {status}")
+
+
+def fuzz(
+    n: int,
+    seed: int,
+    *,
+    machines: tuple[str, ...] = DEFAULT_MACHINES,
+    shrink: bool = True,
+    on_progress: Callable[[int, int], None] | None = None,
+    stop_after: int | None = None,
+) -> FuzzReport:
+    """Run ``n`` generated programs through the differential matrix.
+
+    ``on_progress(done, failures)`` is called after every program;
+    ``stop_after`` aborts the campaign early once that many failures have
+    been collected (None = run everything).
+    """
+    report = FuzzReport(master_seed=seed)
+    for index in range(n):
+        program = generate_program(derive_seed(seed, index))
+        outcome = run_differential(program, machines=machines)
+        report.attempted += 1
+        if not outcome.ok:
+            report.failures.append(
+                _build_failure(index, program, outcome, machines, shrink))
+        if on_progress is not None:
+            on_progress(report.attempted, len(report.failures))
+        if stop_after is not None and len(report.failures) >= stop_after:
+            break
+    return report
+
+
+def _build_failure(
+    index: int,
+    program: GenProgram,
+    outcome: DiffResult,
+    machines: tuple[str, ...],
+    shrink: bool,
+) -> FuzzFailure:
+    failure = FuzzFailure(
+        index=index,
+        seed=program.seed,
+        detail=outcome.format_failures(),
+        source=program.source,
+        args=list(program.entry_args),
+    )
+    if shrink:
+        def still_fails(candidate: GenProgram) -> bool:
+            return not run_differential(candidate, machines=machines).ok
+
+        small = shrink_program(program, still_fails)
+        failure.shrunk_source = small.source
+        failure.shrunk_args = list(small.entry_args)
+        failure.shrunk_detail = run_differential(
+            small, machines=machines).format_failures()
+    return failure
+
+
+def reproduce(master_seed: int, index: int,
+              *, machines: tuple[str, ...] = DEFAULT_MACHINES,
+              shrink: bool = True) -> FuzzFailure | GenProgram:
+    """Re-run one campaign program.  Returns the :class:`FuzzFailure`
+    (shrunk if requested) when it still fails, or the passing
+    :class:`GenProgram` otherwise."""
+    program = generate_program(derive_seed(master_seed, index))
+    outcome = run_differential(program, machines=machines)
+    if outcome.ok:
+        return program
+    return _build_failure(index, program, outcome, machines, shrink)

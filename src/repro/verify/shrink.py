@@ -1,0 +1,157 @@
+"""Greedy structural minimisation of failing generated programs.
+
+Classic delta debugging over the generator's statement tree: propose a
+smaller variant, keep it iff the caller's predicate still holds (i.e. the
+failure still reproduces), repeat to a fixpoint.  Variants that no longer
+compile are harmless -- the predicate treats any non-reproduction
+(including a parse or lowering error) as "does not fail", so they are
+simply rejected.
+
+Reduction operations, tried largest-first:
+
+* drop a whole function (helpers whose calls all got deleted);
+* drop a contiguous chunk of a statement list (halves, then quarters, ...);
+* drop a single statement;
+* replace an ``if``/loop by its body (flattening the control structure);
+* replace a scalar entry argument by 0.
+
+The predicate is invoked once per proposed variant, so shrinking a
+differential failure re-runs the full level x machine matrix each step;
+generated programs are small and this stays well under a second per
+candidate in practice.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable
+
+from .generator import GenProgram, If, Loop
+
+#: safety valve: stop after this many predicate evaluations
+MAX_PROBES = 400
+
+
+def shrink_program(
+    program: GenProgram,
+    still_fails: Callable[[GenProgram], bool],
+) -> GenProgram:
+    """The smallest variant of ``program`` (under the operations above)
+    for which ``still_fails`` holds.  ``program`` itself must fail."""
+    best = program
+    probes = 0
+
+    def probe(candidate: GenProgram) -> bool:
+        nonlocal probes, best
+        if probes >= MAX_PROBES:
+            return False
+        probes += 1
+        try:
+            failed = still_fails(candidate)
+        except Exception:
+            failed = False  # broken variant: reject
+        if failed:
+            best = candidate
+        return failed
+
+    changed = True
+    while changed and probes < MAX_PROBES:
+        changed = False
+        if _try_drop_functions(best, probe):
+            changed = True
+            continue
+        if _try_reduce_bodies(best, probe):
+            changed = True
+            continue
+        if _try_zero_args(best, probe):
+            changed = True
+    return best
+
+
+def _try_drop_functions(program: GenProgram, probe) -> bool:
+    for i, fn in enumerate(program.functions):
+        if fn.name == program.entry:
+            continue
+        candidate = copy.deepcopy(program)
+        del candidate.functions[i]
+        if probe(candidate):
+            return True
+    return False
+
+
+def _bodies(program: GenProgram):
+    """Yield ``(function_index, path)`` for every statement list, where
+    ``path`` is a sequence of (statement_index, body_name) hops from the
+    function body down to the list."""
+    def walk(stmts, path):
+        yield path
+        for i, stmt in enumerate(stmts):
+            if isinstance(stmt, If):
+                yield from walk(stmt.then, path + ((i, "then"),))
+                if stmt.els:
+                    yield from walk(stmt.els, path + ((i, "els"),))
+            elif isinstance(stmt, Loop):
+                yield from walk(stmt.body, path + ((i, "body"),))
+
+    for fi, fn in enumerate(program.functions):
+        for path in walk(fn.body, ()):
+            yield fi, path
+
+
+def _resolve(program: GenProgram, fi: int, path) -> list:
+    stmts = program.functions[fi].body
+    for index, name in path:
+        stmts = getattr(stmts[index], name)
+    return stmts
+
+
+def _try_reduce_bodies(program: GenProgram, probe) -> bool:
+    for fi, path in list(_bodies(program)):
+        stmts = _resolve(program, fi, path)
+        n = len(stmts)
+        # chunks, biggest first
+        size = n
+        while size >= 1:
+            start = 0
+            while start < n:
+                candidate = copy.deepcopy(program)
+                target = _resolve(candidate, fi, path)
+                del target[start:start + size]
+                if probe(candidate):
+                    return True
+                start += size
+            size //= 2
+        # flatten compound statements into their bodies
+        for i, stmt in enumerate(stmts):
+            if isinstance(stmt, If):
+                for body_name in ("then", "els"):
+                    inner = getattr(stmt, body_name)
+                    if not inner:
+                        continue
+                    candidate = copy.deepcopy(program)
+                    target = _resolve(candidate, fi, path)
+                    target[i:i + 1] = getattr(target[i], body_name)
+                    if probe(candidate):
+                        return True
+            elif isinstance(stmt, Loop):
+                candidate = copy.deepcopy(program)
+                target = _resolve(candidate, fi, path)
+                target[i:i + 1] = target[i].body
+                if probe(candidate):
+                    return True
+    return False
+
+
+def _try_zero_args(program: GenProgram, probe) -> bool:
+    for i, arg in enumerate(program.entry_args):
+        if isinstance(arg, int) and arg != 0:
+            candidate = copy.deepcopy(program)
+            candidate.entry_args[i] = 0
+            if probe(candidate):
+                return True
+        elif isinstance(arg, list) and any(arg):
+            candidate = copy.deepcopy(program)
+            candidate.entry_args[i] = [0] * len(arg)
+            if probe(candidate):
+                return True
+    return False

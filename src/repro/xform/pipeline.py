@@ -73,6 +73,11 @@ class PipelineConfig:
     #: duplicating the instruction into a join's other predecessors.  Off
     #: by default ("no duplication of code is allowed" in the prototype)
     allow_duplication: bool = False
+    #: self-checking mode: snapshot the function before every scheduling
+    #: sweep and run the static schedule verifier
+    #: (:func:`repro.verify.verify_schedule`) on the result, raising
+    #: :class:`repro.verify.ScheduleVerificationError` on any violation
+    verify: bool = False
 
 
 @dataclass
@@ -88,6 +93,8 @@ class PipelineReport:
     first_pass: GlobalScheduleReport | None = None
     second_pass: GlobalScheduleReport | None = None
     bb_cycles: dict[str, int] = field(default_factory=dict)
+    #: one VerifyReport per verified sweep, when PipelineConfig.verify is on
+    verify_reports: list = field(default_factory=list)
     elapsed_seconds: float = 0.0
 
     @property
@@ -117,6 +124,24 @@ def optimize(
     report = PipelineReport(level=config.level)
     started = time.perf_counter()
 
+    def snapshot() -> Function | None:
+        return func.clone() if config.verify else None
+
+    def check(before: Function | None, *, level: ScheduleLevel,
+              motions=()) -> None:
+        if before is None:
+            return
+        from ..verify.verifier import verify_schedule
+
+        report.verify_reports.append(verify_schedule(
+            before, func, machine,
+            level=level,
+            live_at_exit=live_at_exit,
+            motions=motions,
+            max_speculation=config.max_speculation,
+            allow_duplication=config.allow_duplication,
+        ))
+
     # Machine-independent optimizations the BASE compiler also performs.
     if config.strength_reduce:
         report.strength = strength_reduce(
@@ -129,8 +154,10 @@ def optimize(
     if config.level is ScheduleLevel.NONE:
         # The BASE compiler still runs its basic-block scheduler.
         if config.post_bb_pass:
+            before = snapshot()
             report.bb_cycles = schedule_function_blocks(func, machine)
             verify_function(func)
+            check(before, level=ScheduleLevel.NONE)
         report.elapsed_seconds = time.perf_counter() - started
         return report
 
@@ -151,6 +178,7 @@ def optimize(
                    if config.profile else None)
 
     # Step 2: first global pass, inner regions only.
+    before = snapshot()
     report.first_pass = global_schedule(
         func, machine, config.level,
         live_at_exit=live_at_exit,
@@ -163,6 +191,7 @@ def optimize(
         allow_duplication=config.allow_duplication,
     )
     verify_function(func)
+    check(before, level=config.level, motions=report.first_pass.motions)
 
     # Step 3: rotate small inner loops.
     rotated_headers: set[str] = set()
@@ -184,6 +213,7 @@ def optimize(
             return spec.header_node in rotated_headers
         return True
 
+    before = snapshot()
     report.second_pass = global_schedule(
         func, machine, config.level,
         live_at_exit=live_at_exit,
@@ -197,11 +227,14 @@ def optimize(
         allow_duplication=config.allow_duplication,
     )
     verify_function(func)
+    check(before, level=config.level, motions=report.second_pass.motions)
 
     # Post-pass: local scheduling of every block.
     if config.post_bb_pass:
+        before = snapshot()
         report.bb_cycles = schedule_function_blocks(func, machine)
         verify_function(func)
+        check(before, level=ScheduleLevel.NONE)
 
     report.elapsed_seconds = time.perf_counter() - started
     return report

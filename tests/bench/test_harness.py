@@ -93,3 +93,31 @@ class TestHarnessMechanics:
         cto_rows = [measure_cto(WORKLOADS[0], repeats=1)]
         text7 = format_figure7(cto_rows)
         assert "Figure 7" in text7 and "CTO" in text7
+
+
+class TestHarnessRegressions:
+    def test_rti_raises_on_cross_level_divergence(self, monkeypatch):
+        """Even when every level satisfies the scalar oracle, differing
+        array contents between levels must raise."""
+        from repro.bench import harness as harness_mod
+        from repro.sched.candidates import ScheduleLevel
+
+        real = harness_mod._run_at_level
+
+        def perturbed(workload, level, machine, args):
+            run = real(workload, level, machine, args)
+            if level is ScheduleLevel.SPECULATIVE and run.arrays:
+                run.arrays[0] = list(run.arrays[0])
+                run.arrays[0][0] ^= 1
+            return run
+
+        monkeypatch.setattr(harness_mod, "_run_at_level", perturbed)
+        with pytest.raises(AssertionError, match="diverged"):
+            measure_rti(WORKLOADS[0])
+
+    def test_cto_handles_zero_base_seconds(self):
+        from repro.bench.harness import CTORow
+
+        row = CTORow(workload="w", paper_name="W",
+                     base_seconds=0.0, scheduled_seconds=0.5)
+        assert row.cto == 0.0

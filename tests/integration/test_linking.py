@@ -80,3 +80,63 @@ int process(int a[], int n) {
             result = compile_c(src, level=level)
             assert result.run("process", list(data), 6).return_value \
                 == expected
+
+
+class TestHandlerCache:
+    """``linked_handlers`` memoizes its table; the cache must stay correct
+    for recursive and mutual calls, and must never absorb per-run
+    overrides."""
+
+    RECURSIVE = """
+int fib(int n) {
+    if (n < 2) return n;
+    return fib(n - 1) + fib(n - 2);
+}
+"""
+
+    MUTUAL = """
+int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); }
+int is_odd(int n)  { if (n == 0) return 0; return is_even(n - 1); }
+"""
+
+    def test_cache_returns_same_table(self):
+        result = compile_c(self.RECURSIVE)
+        assert result.linked_handlers() is result.linked_handlers()
+
+    def test_recursion_resolves_through_cache(self):
+        result = compile_c(self.RECURSIVE)
+        # warm the cache, then run repeatedly through it
+        result.linked_handlers()
+        assert result.run("fib", 10).return_value == 55
+        assert result.run("fib", 12).return_value == 144
+
+    def test_mutual_recursion_resolves_through_cache(self):
+        result = compile_c(self.MUTUAL)
+        result.linked_handlers()
+        assert result.run("is_even", 9).return_value == 0
+        assert result.run("is_odd", 9).return_value == 1
+
+    def test_overrides_do_not_pollute_cache(self):
+        result = compile_c("""
+int helper(int x) { return x + 1; }
+int f(int x) { return helper(x); }
+""")
+        cached = result.linked_handlers()
+        run = result.run("f", 5, call_handlers={
+            "helper": lambda args: [args[0] * 100]})
+        assert run.return_value == 500
+        # the override was applied to a fresh table, not the cached one
+        assert result.linked_handlers() is cached
+        assert result.run("f", 5).return_value == 6
+
+    def test_override_visible_to_nested_calls(self):
+        """A per-run override must win even for calls made from inside
+        another linked function (depth > 1)."""
+        result = compile_c("""
+int leaf(int x) { return x; }
+int mid(int x) { return leaf(x) + 1; }
+int top(int x) { return mid(x) + 1; }
+""")
+        run = result.run("top", 3, call_handlers={
+            "leaf": lambda args: [args[0] * 10]})
+        assert run.return_value == 32  # leaf override seen via mid

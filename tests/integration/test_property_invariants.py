@@ -138,3 +138,56 @@ def test_scheduling_rarely_increases_simulated_cycles(func):
     before = simulate_trace([original.blocks[0]], rs6k())
     after = simulate_trace([scheduled.blocks[0]], rs6k())
     assert after.cycles <= before.cycles + 2
+
+
+# -- whole-pipeline properties over generated mini-C programs ---------------
+#
+# Documented regression allowance: global scheduling is heuristic, so a
+# more aggressive level may *cost* cycles on a particular input path --
+# speculation executes work the taken path never needed, and greedy
+# issue has Graham anomalies.  Observed worst cases over the generator
+# distribution are ~1% (USEFUL vs NONE) and ~10% (SPECULATIVE vs
+# USEFUL); the bound below is that empirical envelope plus headroom, so
+# only a systematic regression (not scheduler noise) can trip it.
+_ALLOWANCE_FACTOR = 1.15
+_ALLOWANCE_CYCLES = 8
+
+
+def _generated_cycles(seed: int):
+    from repro.sched.candidates import ScheduleLevel
+    from repro.verify import generate_program, run_differential
+
+    program = generate_program(seed)
+    outcome = run_differential(program, machines=("rs6k",))
+    assert outcome.ok, outcome.format_failures()
+    return (outcome.cycles("rs6k", ScheduleLevel.NONE),
+            outcome.cycles("rs6k", ScheduleLevel.USEFUL),
+            outcome.cycles("rs6k", ScheduleLevel.SPECULATIVE))
+
+
+@given(st.integers(0, 2 ** 20))
+@settings(max_examples=12, deadline=None)
+def test_generated_level_cycles_monotone_within_allowance(seed):
+    none, useful, speculative = _generated_cycles(seed)
+    bound = none * _ALLOWANCE_FACTOR + _ALLOWANCE_CYCLES
+    assert useful <= bound, (none, useful, speculative)
+    assert speculative <= bound, (none, useful, speculative)
+    assert speculative <= useful * _ALLOWANCE_FACTOR + _ALLOWANCE_CYCLES
+
+
+@given(st.integers(0, 2 ** 20))
+@settings(max_examples=10, deadline=None)
+def test_generated_programs_verify_at_every_level(seed):
+    from repro.compiler import compile_c
+    from repro.sched.candidates import ScheduleLevel
+    from repro.verify import generate_program
+    from repro.xform.pipeline import PipelineConfig
+
+    program = generate_program(seed)
+    for level in ScheduleLevel:
+        result = compile_c(program.source, level=level,
+                           config=PipelineConfig(level=level, verify=True))
+        for unit in result:
+            assert unit.report.verify_reports
+            for report in unit.report.verify_reports:
+                assert report.ok, report.format()

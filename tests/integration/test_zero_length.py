@@ -1,0 +1,83 @@
+"""Zero-length edge cases: empty traces and degenerate (single-return)
+functions must flow through every layer without special-casing."""
+
+import pytest
+
+from repro.compiler import RunResult, compile_c
+from repro.machine.rs6k import rs6k
+from repro.sched.candidates import ScheduleLevel
+from repro.sim.executor import ExecutionResult
+from repro.sim.machine_sim import SimulationResult
+from repro.sim.timeline import format_timeline
+
+SINGLE_RETURN = """
+int f() {
+    return 41;
+}
+"""
+
+PASS_THROUGH = """
+int f(int a) {
+    return a;
+}
+"""
+
+
+def _empty_timing() -> SimulationResult:
+    return SimulationResult(cycles=0, instructions=0)
+
+
+def _empty_execution() -> ExecutionResult:
+    return ExecutionResult(regs={}, memory={}, block_trace=[],
+                           instr_trace=[], calls=[], steps=0,
+                           return_value=None)
+
+
+def test_empty_trace_through_format_timeline():
+    text = format_timeline([], _empty_timing(), rs6k())
+    # renders the (empty) header line and nothing else
+    assert text.endswith("\n")
+    assert len(text.splitlines()) == 1
+
+
+def test_empty_trace_length_mismatch_is_rejected():
+    timing = SimulationResult(cycles=1, instructions=1, issue_cycles=[0])
+    with pytest.raises(ValueError):
+        format_timeline([], timing, rs6k())
+
+
+def test_empty_run_result_properties():
+    run = RunResult(execution=_empty_execution(), timing=_empty_timing())
+    assert run.return_value is None
+    assert run.cycles == 0
+    assert run.instructions == 0
+    assert run.arrays == []
+    assert run.timing.ipc == 0.0  # no division by zero
+
+
+def test_empty_run_result_timeline():
+    run = RunResult(execution=_empty_execution(), timing=_empty_timing())
+    assert len(run.timeline(rs6k()).splitlines()) == 1
+
+
+@pytest.mark.parametrize("level", list(ScheduleLevel))
+@pytest.mark.parametrize("source, args, expected",
+                         [(SINGLE_RETURN, (), 41),
+                          (PASS_THROUGH, (7,), 7)])
+def test_single_return_function_all_levels(level, source, args, expected):
+    result = compile_c(source, level=level)
+    unit = result["f"]
+    run = unit.run(*args)
+    assert run.return_value == expected
+    assert run.cycles > 0
+    assert run.timeline(rs6k())  # renders without error
+
+
+@pytest.mark.parametrize("level", list(ScheduleLevel))
+def test_single_return_function_verifies(level):
+    from repro.xform.pipeline import PipelineConfig
+
+    result = compile_c(SINGLE_RETURN, level=level,
+                       config=PipelineConfig(level=level, verify=True))
+    for report in result["f"].report.verify_reports:
+        assert report.ok

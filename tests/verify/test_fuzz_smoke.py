@@ -1,0 +1,18 @@
+"""Fuzz smoke campaign: 100 generated programs, fixed seed, full
+level x machine differential matrix with the schedule verifier on.
+
+Marked ``slow`` (roughly a minute): deselect locally with
+``pytest -m 'not slow'``; CI always runs it.
+"""
+
+import pytest
+
+from repro.verify import fuzz
+
+pytestmark = pytest.mark.slow
+
+
+def test_fuzz_100_programs_fixed_seed():
+    report = fuzz(100, seed=1991, shrink=False)
+    assert report.attempted == 100
+    assert report.ok, "\n\n".join(f.format() for f in report.failures)
