@@ -1,0 +1,343 @@
+"""Tracked perf suite for the compile -> schedule -> verify pipeline.
+
+Measures the optimized hot paths against the seed (reference)
+implementations kept in :mod:`repro.pdg.reference` and writes one JSON
+scorecard, ``BENCH_pipeline.json``, that CI uploads on every push::
+
+    PYTHONPATH=src python benchmarks/perf/run_pipeline_bench.py
+    PYTHONPATH=src python benchmarks/perf/run_pipeline_bench.py --quick
+
+Four metrics, all on a fixed-seed generated corpus (fully reproducible):
+
+* ``region_ddg``   -- region-DDG construction (incl. transitive reduction)
+  on the largest region of the largest corpus program: per-block summaries
+  + shared-table reduction vs the seed's per-pair rescans + per-source
+  heap sweeps.  Gate: >= 2.0x.
+* ``compile``      -- end-to-end ``compile_c`` over a corpus sample, new
+  pipeline vs ``seed_pipeline()`` (reference DDG, per-query readiness,
+  uncached analyses, eager verifier formatting).
+* ``schedule``     -- ``global_schedule`` alone on the largest program's
+  entry function, same two arms.
+* ``fuzz``         -- differential fuzz-campaign throughput: optimized
+  pipeline with ``--jobs 4`` vs the seed pipeline serially.
+  Gate: >= 1.5x.
+
+The suite also replays the largest corpus program through both arms at
+every scheduling level on every default machine and asserts byte-identical
+assembly, with the PR-1 schedule verifier enabled -- a perf number for a
+pipeline that schedules differently would be meaningless.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+from repro.compiler import compile_c
+from repro.ir.parser import parse_function
+from repro.ir.printer import format_function
+from repro.machine.configs import CONFIGS
+from repro.pdg.data_deps import build_region_ddg
+from repro.pdg.reference import (
+    build_region_ddg_reference,
+    seed_pipeline,
+)
+from repro.sched.candidates import ScheduleLevel
+from repro.sched.driver import global_schedule
+from repro.sched.regions import find_regions
+from repro.verify.differential import DEFAULT_MACHINES
+from repro.verify.fuzz import derive_seed, fuzz
+from repro.verify.generator import generate_program
+from repro.xform.pipeline import PipelineConfig
+
+#: campaign master seed -- every number in the scorecard derives from it
+MASTER_SEED = 1991
+
+#: acceptance gates (mirrored in ``thresholds`` of the JSON output)
+REGION_DDG_MIN_SPEEDUP = 2.0
+FUZZ_MIN_SPEEDUP = 1.5
+
+
+def _best_of(repeats: int, fn) -> float:
+    """Best-of-N wall time in seconds (min is the standard noise filter)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _corpus(n: int) -> list:
+    return [generate_program(derive_seed(MASTER_SEED, i)) for i in range(n)]
+
+
+def _largest_program(corpus) -> tuple[int, object, object]:
+    """(index, program, compiled function) with the most instructions."""
+    best = None
+    for index, program in enumerate(corpus):
+        result = compile_c(program.source, machine=CONFIGS["rs6k"](),
+                           level=ScheduleLevel.NONE)
+        for unit in result:
+            size = sum(len(b.instrs) for b in unit.func.blocks)
+            if best is None or size > best[0]:
+                best = (size, index, program, unit.func)
+    assert best is not None
+    return best[1], best[2], best[3]
+
+
+def bench_region_ddg(func, repeats: int) -> dict:
+    """New vs reference region-DDG build on the function's largest region."""
+    machine = CONFIGS["rs6k"]()
+    regions = find_regions(func)
+
+    best = None
+    for spec in regions:
+        blocks = [func.block(label) for label in spec.member_labels]
+        size = sum(len(b.instrs) for b in blocks)
+        if best is None or size > best[0]:
+            best = (size, spec, blocks)
+    _, spec, blocks = best
+
+    # reachable pairs exactly as RegionPDG derives them (nested loops
+    # collapsed to barrier pseudo-blocks), computed once and shared by
+    # both arms so only the construction itself is timed
+    from repro.sched.regions import build_region_pdg
+
+    pdg = build_region_pdg(func, machine, spec)
+    pairs = pdg.reachable_pairs
+    ddg_blocks = pdg._ddg_blocks()
+
+    new_s = _best_of(repeats, lambda: build_region_ddg(
+        ddg_blocks, pairs, machine))
+    ref_s = _best_of(repeats, lambda: build_region_ddg_reference(
+        ddg_blocks, pairs, machine))
+
+    new_edges = sorted((e.src.uid, e.dst.uid, e.kind.name, e.delay)
+                       for e in build_region_ddg(ddg_blocks, pairs, machine)
+                       .iter_edges())
+    ref_edges = sorted((e.src.uid, e.dst.uid, e.kind.name, e.delay)
+                       for e in build_region_ddg_reference(
+                           ddg_blocks, pairs, machine).iter_edges())
+    assert new_edges == ref_edges, "optimized DDG diverged from reference"
+
+    return {
+        "region_blocks": len(blocks),
+        "region_instrs": sum(len(b.instrs) for b in blocks),
+        "reachable_pairs": len(pairs),
+        "edges": len(new_edges),
+        "new_ms": new_s * 1e3,
+        "reference_ms": ref_s * 1e3,
+        "speedup": ref_s / new_s,
+    }
+
+
+def bench_compile(corpus, sample: int, repeats: int) -> dict:
+    """End-to-end compile_c over a corpus sample, both arms."""
+    sources = [p.source for p in corpus[:sample]]
+
+    def compile_all() -> None:
+        for source in sources:
+            compile_c(source, machine=CONFIGS["rs6k"](),
+                      level=ScheduleLevel.SPECULATIVE)
+
+    new_s = _best_of(repeats, compile_all)
+    with seed_pipeline():
+        ref_s = _best_of(repeats, compile_all)
+    return {
+        "programs": len(sources),
+        "new_s": new_s,
+        "reference_s": ref_s,
+        "speedup": ref_s / new_s,
+    }
+
+
+def bench_schedule(func, repeats: int) -> dict:
+    """global_schedule alone (parse outside the timer), both arms."""
+    machine = CONFIGS["rs6k"]()
+    text = format_function(func)
+
+    def run() -> None:
+        global_schedule(parse_function(text), machine,
+                        ScheduleLevel.SPECULATIVE)
+
+    # parsing is timed too, identically in both arms; subtract it out
+    parse_s = _best_of(repeats, lambda: parse_function(text))
+    new_s = _best_of(repeats, run) - parse_s
+    with seed_pipeline():
+        ref_s = _best_of(repeats, run) - parse_s
+    return {
+        "instrs": sum(len(b.instrs) for b in func.blocks),
+        "new_ms": new_s * 1e3,
+        "reference_ms": ref_s * 1e3,
+        "speedup": ref_s / new_s,
+    }
+
+
+def bench_fuzz(n: int, jobs: int) -> dict:
+    """Fuzz-campaign throughput: new pipeline at --jobs N vs seed serial."""
+    # one tiny warm-up campaign per arm so imports/pools are paid up front
+    fuzz(2, derive_seed(MASTER_SEED, 7001), shrink=False)
+    with seed_pipeline():
+        fuzz(2, derive_seed(MASTER_SEED, 7001), shrink=False)
+
+    t0 = time.perf_counter()
+    report_new = fuzz(n, MASTER_SEED, shrink=False, jobs=jobs)
+    new_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    with seed_pipeline():
+        report_ref = fuzz(n, MASTER_SEED, shrink=False)
+    ref_s = time.perf_counter() - t0
+
+    new_failures = [f.index for f in report_new.failures]
+    ref_failures = [f.index for f in report_ref.failures]
+    assert new_failures == ref_failures, (
+        f"fuzz campaigns diverged: {new_failures} vs {ref_failures}")
+
+    return {
+        "programs": n,
+        "jobs": jobs,
+        "failures": len(new_failures),
+        "new_s": new_s,
+        "seed_s": ref_s,
+        "programs_per_s_new": n / new_s,
+        "programs_per_s_seed": n / ref_s,
+        "speedup": ref_s / new_s,
+    }
+
+
+def check_schedule_identity(program) -> dict:
+    """Both arms must emit byte-identical verified assembly everywhere."""
+    compiles = 0
+    mismatches = []
+    for machine_name in DEFAULT_MACHINES:
+        for level in ScheduleLevel:
+            config = PipelineConfig(level=level, verify=True)
+
+            def compile_once() -> dict[str, str]:
+                result = compile_c(program.source,
+                                   machine=CONFIGS[machine_name](),
+                                   level=level, config=config)
+                return {u.name: u.assembly() for u in result}
+
+            new_asm = compile_once()
+            with seed_pipeline():
+                ref_asm = compile_once()
+            compiles += 2
+            if new_asm != ref_asm:
+                mismatches.append(f"{machine_name}/{level.value}")
+    return {
+        "machines": list(DEFAULT_MACHINES),
+        "levels": [level.value for level in ScheduleLevel],
+        "compiles": compiles,
+        "verifier_enabled": True,
+        "mismatches": mismatches,
+    }
+
+
+def run(quick: bool, jobs: int) -> dict:
+    corpus_size = 20 if quick else 60
+    repeats = 2 if quick else 5
+    fuzz_n = 6 if quick else 15
+
+    print(f"generating corpus (seed={MASTER_SEED}, n={corpus_size}) ...",
+          flush=True)
+    corpus = _corpus(corpus_size)
+    index, program, func = _largest_program(corpus)
+    instrs = sum(len(b.instrs) for b in func.blocks)
+    print(f"largest program: index {index}, {instrs} instructions")
+
+    print("checking schedule identity (all machines x levels) ...",
+          flush=True)
+    identity = check_schedule_identity(program)
+    if identity["mismatches"]:
+        raise SystemExit(f"schedule identity broken: "
+                         f"{identity['mismatches']}")
+
+    print("benchmarking region-DDG construction ...", flush=True)
+    region_ddg = bench_region_ddg(func, repeats)
+    print(f"  {region_ddg['reference_ms']:.1f} ms -> "
+          f"{region_ddg['new_ms']:.1f} ms "
+          f"({region_ddg['speedup']:.2f}x)")
+
+    print("benchmarking end-to-end compile ...", flush=True)
+    compile_res = bench_compile(corpus, sample=3 if quick else 5,
+                                repeats=repeats)
+    print(f"  {compile_res['reference_s']:.2f} s -> "
+          f"{compile_res['new_s']:.2f} s "
+          f"({compile_res['speedup']:.2f}x)")
+
+    print("benchmarking global_schedule ...", flush=True)
+    schedule = bench_schedule(func, repeats)
+    print(f"  {schedule['reference_ms']:.1f} ms -> "
+          f"{schedule['new_ms']:.1f} ms ({schedule['speedup']:.2f}x)")
+
+    print(f"benchmarking fuzz throughput (n={fuzz_n}, jobs={jobs}) ...",
+          flush=True)
+    fuzz_res = bench_fuzz(fuzz_n, jobs)
+    print(f"  {fuzz_res['seed_s']:.2f} s -> {fuzz_res['new_s']:.2f} s "
+          f"({fuzz_res['speedup']:.2f}x)")
+
+    thresholds = {
+        "region_ddg_min_speedup": REGION_DDG_MIN_SPEEDUP,
+        "fuzz_min_speedup": FUZZ_MIN_SPEEDUP,
+        "region_ddg_ok": region_ddg["speedup"] >= REGION_DDG_MIN_SPEEDUP,
+        "fuzz_ok": fuzz_res["speedup"] >= FUZZ_MIN_SPEEDUP,
+    }
+    return {
+        "meta": {
+            "suite": "pipeline",
+            "master_seed": MASTER_SEED,
+            "corpus_size": corpus_size,
+            "largest_program_index": index,
+            "largest_program_instrs": instrs,
+            "quick": quick,
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+        },
+        "identity": identity,
+        "region_ddg": region_ddg,
+        "compile": compile_res,
+        "schedule": schedule,
+        "fuzz": fuzz_res,
+        "thresholds": thresholds,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="pipeline perf suite (emits BENCH_pipeline.json)")
+    parser.add_argument("--out", default=str(REPO_ROOT /
+                                             "BENCH_pipeline.json"),
+                        help="output path (default: repo root)")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller corpus / fewer repeats (CI smoke)")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="worker processes for the fuzz arm "
+                             "(default: 4)")
+    args = parser.parse_args(argv)
+
+    results = run(args.quick, args.jobs)
+    out = Path(args.out)
+    out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"\nwrote {out}")
+
+    ok = all(results["thresholds"][k] for k in ("region_ddg_ok", "fuzz_ok"))
+    print(f"region_ddg: {results['region_ddg']['speedup']:.2f}x "
+          f"(gate {REGION_DDG_MIN_SPEEDUP}x)  "
+          f"fuzz: {results['fuzz']['speedup']:.2f}x "
+          f"(gate {FUZZ_MIN_SPEEDUP}x)  -> "
+          f"{'OK' if ok else 'BELOW THRESHOLD'}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -165,8 +165,17 @@ def cmd_fuzz(args) -> int:
             print(f"unknown machine {name!r}; choose from "
                   f"{sorted(CONFIGS)}", file=sys.stderr)
             return 2
+    if args.jobs < 1:
+        print(f"--jobs must be a positive integer, got {args.jobs}",
+              file=sys.stderr)
+        return 2
 
     if args.reproduce:
+        # replays are single-process by construction: one derived seed,
+        # one program, fully deterministic
+        if args.jobs != 1:
+            print("note: --reproduce runs single-process; ignoring --jobs",
+                  file=sys.stderr)
         seed_text, sep, index_text = args.reproduce.partition(":")
         if not (sep and seed_text.lstrip("-").isdigit()
                 and index_text.isdigit()):
@@ -188,7 +197,8 @@ def cmd_fuzz(args) -> int:
                   flush=True)
 
     report = fuzz(args.n, args.seed, machines=machines,
-                  shrink=not args.no_shrink, on_progress=progress)
+                  shrink=not args.no_shrink, on_progress=progress,
+                  jobs=args.jobs)
     for failure in report.failures:
         print(failure.format())
     print(report.summary())
@@ -257,8 +267,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: rs6k,scalar,ss2)")
     p.add_argument("--no-shrink", action="store_true",
                    help="report failures without minimising them")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes for the campaign (default: 1; "
+                        "results are identical for any job count)")
     p.add_argument("--reproduce", metavar="SEED:INDEX",
-                   help="re-run (and shrink) one campaign program")
+                   help="re-run (and shrink) one campaign program "
+                        "(always single-process)")
     p.set_defaults(fn=cmd_fuzz)
 
     return parser

@@ -1,10 +1,12 @@
 """Dataflow analyses: liveness (live-on-exit) and reaching definitions."""
 
+from .cache import AnalysisCache
 from .engine import solve_backward, solve_forward
 from .liveness import LivenessInfo, block_use_def, compute_liveness
 from .reaching import Definition, ReachingDefinitions
 
 __all__ = [
+    "AnalysisCache",
     "Definition",
     "LivenessInfo",
     "ReachingDefinitions",

@@ -1,0 +1,85 @@
+"""Memoised per-function control-flow and dataflow analyses.
+
+The Section 6 flow runs many stages over the same function (unroll, two
+global-scheduling sweeps, rotation, a block post-pass), and several of them
+independently rebuilt the CFG, dominator tree, loop nest and liveness from
+scratch -- ``global_schedule`` alone built the CFG three times per sweep
+(region finding, reducibility, liveness).  :class:`AnalysisCache` computes
+each analysis once and hands the same object out until a mutation
+invalidates it.
+
+Invalidation is explicit and two-tiered, because the pipeline's stages
+differ in what they can break:
+
+* :meth:`~AnalysisCache.invalidate` -- the CFG itself changed (unrolling,
+  rotation, counted-loop conversion, any pass that adds/splits blocks or
+  rewrites terminators).  Everything is dropped.
+* :meth:`~AnalysisCache.invalidate_liveness` -- instructions moved or were
+  renamed but the block structure is intact (a global-scheduling sweep:
+  motions relocate instructions between *existing* blocks and terminators
+  never move, so the CFG, dominators and loop nest all survive; register
+  pressure does not).
+
+Holding a stale cache is a correctness bug, not a performance one, so when
+in doubt stages must over-invalidate.
+"""
+
+from __future__ import annotations
+
+from ..cfg.dominators import DominatorTree, dominator_tree
+from ..cfg.graph import ENTRY, ControlFlowGraph
+from ..cfg.loops import LoopNest
+from ..ir.function import Function
+from ..ir.operand import Reg
+from .liveness import LivenessInfo, compute_liveness
+
+
+class AnalysisCache:
+    """Lazily-computed, explicitly-invalidated analyses of one function."""
+
+    def __init__(self, func: Function):
+        self.func = func
+        self._cfg: ControlFlowGraph | None = None
+        self._dom: DominatorTree | None = None
+        self._nest: LoopNest | None = None
+        self._liveness: dict[frozenset[Reg], LivenessInfo] = {}
+
+    # -- analyses ------------------------------------------------------------
+
+    def cfg(self) -> ControlFlowGraph:
+        if self._cfg is None:
+            self._cfg = ControlFlowGraph(self.func)
+        return self._cfg
+
+    def dominators(self) -> DominatorTree:
+        """Dominator tree of the function CFG, rooted at virtual ENTRY."""
+        if self._dom is None:
+            self._dom = dominator_tree(self.cfg().graph, ENTRY)
+        return self._dom
+
+    def loop_nest(self) -> LoopNest:
+        if self._nest is None:
+            self._nest = LoopNest(self.cfg().graph, self.dominators())
+        return self._nest
+
+    def liveness(self, live_at_exit: frozenset[Reg]) -> LivenessInfo:
+        """Liveness under the given function-exit set (memoised per set)."""
+        info = self._liveness.get(live_at_exit)
+        if info is None:
+            info = compute_liveness(self.func, live_at_exit, self.cfg())
+            self._liveness[live_at_exit] = info
+        return info
+
+    # -- invalidation --------------------------------------------------------
+
+    def invalidate(self) -> None:
+        """The block structure changed: drop everything."""
+        self._cfg = None
+        self._dom = None
+        self._nest = None
+        self._liveness.clear()
+
+    def invalidate_liveness(self) -> None:
+        """Instructions moved/renamed within the existing block structure:
+        drop dataflow facts, keep the CFG-shape analyses."""
+        self._liveness.clear()

@@ -162,61 +162,46 @@ class Opcode(Enum):
     )
     NOP = OpcodeInfo("NOP", UnitType.FXU)
 
-    # Convenience accessors -------------------------------------------- #
+    # Convenience accessors are plain per-member attributes, filled in
+    # right after the class body (below).  They used to be @property
+    # wrappers over ``self.value``, but every access then paid two
+    # descriptor calls, and flags like ``is_branch``/``touches_memory``
+    # are read millions of times per compile -- the properties were one
+    # of the hottest rows in pipeline profiles.  The attributes are
+    # declared here so type checkers and readers see the surface:
+    info: OpcodeInfo
+    mnemonic: str
+    unit: UnitType
+    is_load: bool
+    is_store: bool
+    is_branch: bool
+    is_conditional: bool
+    is_call: bool
+    is_compare: bool
+    #: loads, stores and calls participate in memory disambiguation
+    touches_memory: bool
+    can_move_globally: bool
+    can_speculate: bool
+    #: must the instruction end its basic block?
+    is_terminator: bool
 
-    @property
-    def info(self) -> OpcodeInfo:
-        return self.value
 
-    @property
-    def mnemonic(self) -> str:
-        return self.value.mnemonic
-
-    @property
-    def unit(self) -> UnitType:
-        return self.value.unit
-
-    @property
-    def is_load(self) -> bool:
-        return self.value.is_load
-
-    @property
-    def is_store(self) -> bool:
-        return self.value.is_store
-
-    @property
-    def is_branch(self) -> bool:
-        return self.value.is_branch
-
-    @property
-    def is_conditional(self) -> bool:
-        return self.value.is_conditional
-
-    @property
-    def is_call(self) -> bool:
-        return self.value.is_call
-
-    @property
-    def is_compare(self) -> bool:
-        return self.value.is_compare
-
-    @property
-    def touches_memory(self) -> bool:
-        """Loads, stores and calls participate in memory disambiguation."""
-        return self.value.is_load or self.value.is_store or self.value.is_call
-
-    @property
-    def can_move_globally(self) -> bool:
-        return self.value.can_move_globally
-
-    @property
-    def can_speculate(self) -> bool:
-        return self.value.can_speculate
-
-    @property
-    def is_terminator(self) -> bool:
-        """Must the instruction end its basic block?"""
-        return self.value.is_branch
+for _op in Opcode:
+    _info = _op.value
+    _op.info = _info
+    _op.mnemonic = _info.mnemonic
+    _op.unit = _info.unit
+    _op.is_load = _info.is_load
+    _op.is_store = _info.is_store
+    _op.is_branch = _info.is_branch
+    _op.is_conditional = _info.is_conditional
+    _op.is_call = _info.is_call
+    _op.is_compare = _info.is_compare
+    _op.touches_memory = _info.is_load or _info.is_store or _info.is_call
+    _op.can_move_globally = _info.can_move_globally
+    _op.can_speculate = _info.can_speculate
+    _op.is_terminator = _info.is_branch
+del _op, _info
 
 
 #: mnemonic -> Opcode lookup used by the assembly parser.

@@ -21,7 +21,7 @@ we use the same encoding (``LT = 0x1``, ``GT = 0x2``, ``EQ = 0x4``).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import Enum
 
 
@@ -59,10 +59,18 @@ class Reg:
 
     rclass: RegClass
     index: int
+    #: cached ``hash((rclass, index))`` -- registers are the dominant dict
+    #: key of the dependence and liveness layers, and hashing the enum
+    #: member on every lookup showed up at the top of pipeline profiles
+    _hash: int = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.index < 0:
             raise ValueError(f"register index must be >= 0, got {self.index}")
+        object.__setattr__(self, "_hash", hash((self.rclass, self.index)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @property
     def name(self) -> str:

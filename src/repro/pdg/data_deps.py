@@ -15,6 +15,14 @@ kinds carry zero (Section 4.2).  Dependences are computed both within
 blocks and between every ordered pair of blocks ``(A, B)`` with ``B``
 reachable from ``A`` in the forward control flow graph.
 
+The interblock pass summarises each block's defs/uses/memory traffic
+*once* and merges the summaries of a block's forward-reachable
+predecessors along the region's topological order, so each block's
+instructions are scanned O(1) times instead of once per reachable pair
+(the paper reports negligible compile-time cost for this phase; the seed
+implementation re-scanned the earlier block of every pair and is kept in
+:mod:`repro.pdg.reference` for differential testing).
+
 The paper avoids materialising transitive edges; we build the natural edge
 set and provide a delay-aware :func:`transitive_reduce` that removes any
 edge implied by a longer-or-equal path, which the scheduler applies to keep
@@ -25,6 +33,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
+from typing import Sequence
 
 from ..ir.basic_block import BasicBlock
 from ..ir.instruction import Instruction
@@ -67,7 +76,16 @@ class DepEdge:
 
 
 class DataDependenceGraph:
-    """Dependence edges over a set of instructions, keyed by identity."""
+    """Dependence edges over a set of instructions, keyed by identity.
+
+    ``succs``/``preds`` return **read-only views** of the internal adjacency
+    lists (the scheduler queries them on its inner loop, so per-call copies
+    were measurable); a caller that mutates the graph while iterating must
+    snapshot first (``list(ddg.succs(ins))``).  Every mutation bumps
+    :attr:`version`, which incremental consumers (the scheduler's
+    :class:`~repro.sched.ready.DependenceState`) use to invalidate their
+    derived state.
+    """
 
     def __init__(self) -> None:
         self._succs: dict[int, list[DepEdge]] = {}
@@ -75,6 +93,8 @@ class DataDependenceGraph:
         self._by_pair: dict[tuple[int, int], DepEdge] = {}
         self.instructions: list[Instruction] = []
         self._known: set[int] = set()
+        #: bumped on every edge insertion/removal (for cache invalidation)
+        self.version = 0
 
     # -- construction --------------------------------------------------------
 
@@ -103,6 +123,7 @@ class DataDependenceGraph:
         self._by_pair[key] = edge
         self._succs[id(src)].append(edge)
         self._preds[id(dst)].append(edge)
+        self.version += 1
 
     def remove_edge(self, edge: DepEdge) -> None:
         key = (id(edge.src), id(edge.dst))
@@ -110,17 +131,30 @@ class DataDependenceGraph:
             del self._by_pair[key]
             self._succs[id(edge.src)].remove(edge)
             self._preds[id(edge.dst)].remove(edge)
+            self.version += 1
 
     # -- queries -----------------------------------------------------------------
 
-    def succs(self, ins: Instruction) -> list[DepEdge]:
-        return list(self._succs.get(id(ins), ()))
+    _NO_EDGES: Sequence[DepEdge] = ()
 
-    def preds(self, ins: Instruction) -> list[DepEdge]:
-        return list(self._preds.get(id(ins), ()))
+    def succs(self, ins: Instruction) -> Sequence[DepEdge]:
+        """Outgoing edges of ``ins`` -- a read-only view, do not mutate."""
+        return self._succs.get(id(ins), self._NO_EDGES)
+
+    def preds(self, ins: Instruction) -> Sequence[DepEdge]:
+        """Incoming edges of ``ins`` -- a read-only view, do not mutate."""
+        return self._preds.get(id(ins), self._NO_EDGES)
 
     def edges(self) -> list[DepEdge]:
         return list(self._by_pair.values())
+
+    def iter_edges(self):
+        """All edges without the :meth:`edges` list copy (read-only; do not
+        mutate the graph while iterating)."""
+        return self._by_pair.values()
+
+    def edge_count(self) -> int:
+        return len(self._by_pair)
 
     def has_edge(self, src: Instruction, dst: Instruction) -> bool:
         return (id(src), id(dst)) in self._by_pair
@@ -159,16 +193,20 @@ def _scan_block(ddg: DataDependenceGraph, block: BasicBlock,
     definition, etc.
     """
     state = _BlockScanState()
+    last_def = state.last_def
+    uses_since_def = state.uses_since_def
     for ins in block.instrs:
         ddg.add_instruction(ins)
+        uses = ins.reg_uses()
+        defs = ins.reg_defs()
         # flow: last def of each used register
-        for reg in ins.reg_uses():
-            producer = state.last_def.get(reg)
+        for reg in uses:
+            producer = last_def.get(reg)
             if producer is not None:
                 delay = machine.flow_delay(producer, ins, reg)
                 ddg.add_edge(producer, ins, DepKind.FLOW, delay, reg)
         # memory ordering
-        if ins.touches_memory:
+        if ins.opcode.touches_memory:
             addr = (state.tracker.address_of(ins.mem)
                     if ins.mem is not None else None)
             for prev, prev_addr in state.mem_ops:
@@ -176,39 +214,81 @@ def _scan_block(ddg: DataDependenceGraph, block: BasicBlock,
                     ddg.add_edge(prev, ins, DepKind.MEM, 0)
             state.mem_ops.append((ins, addr))
         # anti and output
-        for reg in ins.reg_defs():
-            for user in state.uses_since_def.get(reg, ()):
+        for reg in defs:
+            for user in uses_since_def.get(reg, ()):
                 ddg.add_edge(user, ins, DepKind.ANTI, 0, reg)
-            previous = state.last_def.get(reg)
+            previous = last_def.get(reg)
             if previous is not None:
                 ddg.add_edge(previous, ins, DepKind.OUTPUT, 0, reg)
         # update state
-        for reg in ins.reg_uses():
-            state.uses_since_def.setdefault(reg, []).append(ins)
-        for reg in ins.reg_defs():
-            state.last_def[reg] = ins
-            state.uses_since_def[reg] = []
+        for reg in uses:
+            uses_since_def.setdefault(reg, []).append(ins)
+        for reg in defs:
+            last_def[reg] = ins
+            uses_since_def[reg] = []
         state.tracker.step(ins)
 
 
-def _interblock_edges(ddg: DataDependenceGraph, earlier: BasicBlock,
-                      later: BasicBlock, machine: MachineModel) -> None:
-    """Dependences from every instruction of ``earlier`` to ``later``.
+class _BlockSummary:
+    """One block's def/use/memory footprint, computed in a single scan."""
+
+    __slots__ = ("defs_of", "uses_of", "mem_ops")
+
+    def __init__(self, block: BasicBlock) -> None:
+        self.defs_of: dict[Reg, list[Instruction]] = {}
+        self.uses_of: dict[Reg, list[Instruction]] = {}
+        self.mem_ops: list[Instruction] = []
+        for a in block.instrs:
+            for reg in a.reg_defs():
+                self.defs_of.setdefault(reg, []).append(a)
+            for reg in a.reg_uses():
+                self.uses_of.setdefault(reg, []).append(a)
+            if a.opcode.touches_memory:
+                self.mem_ops.append(a)
+
+
+def _merge_reg_maps(
+    maps: list[dict[Reg, list[Instruction]]],
+) -> dict[Reg, list[Instruction]]:
+    """Union of per-block register maps, earlier blocks first.
+
+    Single-owner entries alias the summary's own list (never mutated);
+    contested entries get a fresh concatenation.
+    """
+    merged: dict[Reg, list[Instruction]] = {}
+    owned: set[Reg] = set()
+    for one in maps:
+        for reg, instrs in one.items():
+            current = merged.get(reg)
+            if current is None:
+                merged[reg] = instrs
+            elif reg in owned:
+                current.extend(instrs)
+            else:
+                merged[reg] = current + instrs
+                owned.add(reg)
+    return merged
+
+
+def _interblock_edges(
+    ddg: DataDependenceGraph,
+    sources: list[_BlockSummary],
+    later: BasicBlock,
+    machine: MachineModel,
+) -> None:
+    """Dependences into ``later`` from the merged summaries of every
+    forward-reachable earlier block.
 
     Conservative on memory: cross-block references are never disambiguated
     (the base registers' values at block entry depend on the path taken).
     """
-    # Summarise the earlier block once.
-    defs_of: dict[Reg, list[Instruction]] = {}
-    uses_of: dict[Reg, list[Instruction]] = {}
-    mem_ops: list[Instruction] = []
-    for a in earlier.instrs:
-        for reg in a.reg_defs():
-            defs_of.setdefault(reg, []).append(a)
-        for reg in a.reg_uses():
-            uses_of.setdefault(reg, []).append(a)
-        if a.touches_memory:
-            mem_ops.append(a)
+    if len(sources) == 1:
+        only = sources[0]
+        defs_of, uses_of, mem_ops = only.defs_of, only.uses_of, only.mem_ops
+    else:
+        defs_of = _merge_reg_maps([s.defs_of for s in sources])
+        uses_of = _merge_reg_maps([s.uses_of for s in sources])
+        mem_ops = [a for s in sources for a in s.mem_ops]
 
     for b in later.instrs:
         ddg.add_instruction(b)
@@ -221,7 +301,7 @@ def _interblock_edges(ddg: DataDependenceGraph, earlier: BasicBlock,
                 ddg.add_edge(a, b, DepKind.ANTI, 0, reg)
             for a in defs_of.get(reg, ()):
                 ddg.add_edge(a, b, DepKind.OUTPUT, 0, reg)
-        if b.touches_memory:
+        if b.opcode.touches_memory:
             for a in mem_ops:
                 if may_conflict(a, None, b, None):
                     ddg.add_edge(a, b, DepKind.MEM, 0)
@@ -250,14 +330,23 @@ def build_region_ddg(
     with ``B`` reachable from ``A`` along forward edges (Section 4.2:
     "for each pair A and B of basic blocks such that B is reachable from
     A ... the interblock data dependences are computed").
+
+    Each block is scanned exactly once (intra-block edges + its summary);
+    the summaries of a block's reachable predecessors are then merged and
+    matched against the block in one pass, instead of re-scanning every
+    ``(earlier, later)`` pair.
     """
     ddg = DataDependenceGraph()
     for block in blocks:
         _scan_block(ddg, block, machine)
-    for i, earlier in enumerate(blocks):
-        for later in blocks[i + 1:]:
-            if (earlier.label, later.label) in reachable_pairs:
-                _interblock_edges(ddg, earlier, later, machine)
+    summaries = [_BlockSummary(block) for block in blocks]
+    for j, later in enumerate(blocks):
+        sources = [
+            summaries[i] for i in range(j)
+            if (blocks[i].label, later.label) in reachable_pairs
+        ]
+        if sources:
+            _interblock_edges(ddg, sources, later, machine)
     if reduce:
         transitive_reduce(ddg, machine)
     return ddg
@@ -273,21 +362,52 @@ def transitive_reduce(ddg: DataDependenceGraph,
     paper's "there is no need to compute the edge from a to c" observation,
     generalised to be delay-aware: a transitive edge must be *kept* when it
     carries a longer delay than the path through the middle instruction.
+
+    Topological order, positions and per-edge weights are computed once
+    and shared by every source; each source's longest-path sweep is a
+    linear scan over the topological slice up to its furthest direct
+    successor (no priority queue, no work past the last edge it can
+    possibly remove).  Removing a redundant edge never shortens a longest
+    path -- the implying path stays -- so sharing these tables across
+    sources is sound.  Single-successor sources are skipped outright: a
+    parallel multi-edge path would need a second out-edge to start from.
     """
     order = topo_order(ddg)
     position = {id(ins): i for i, ins in enumerate(order)}
+    exec_time = machine.exec_time
+    flow = DepKind.FLOW
+    weight_of: dict[int, int] = {
+        id(edge): (exec_time(edge.src) + edge.delay
+                   if edge.kind is flow else 0)
+        for edge in ddg.iter_edges()
+    }
     removed = 0
     for a in order:
-        out_edges = ddg.succs(a)
-        if len(out_edges) < 2:
+        out_view = ddg.succs(a)
+        if len(out_view) < 2:
             continue
-        dist = _longest_from(ddg, a, machine, position)
-        for edge in out_edges:
-            w = _edge_weight(machine, edge)
+        # Longest-path DP from ``a`` over the topo slice that can matter:
+        # every removable edge ends at a direct successor, and every
+        # implying path stays strictly within the slice before it.
+        limit = max(position[id(edge.dst)] for edge in out_view)
+        dist: dict[int, int] = {id(a): 0}
+        for ins in order[position[id(a)]:limit]:
+            d = dist.get(id(ins))
+            if d is None:
+                continue
+            for edge in ddg.succs(ins):
+                key = id(edge.dst)
+                if position[key] > limit:
+                    continue
+                cand = d + weight_of[id(edge)]
+                if cand > dist.get(key, -1):
+                    dist[key] = cand
+        for edge in list(out_view):  # snapshot: removals mutate the view
+            w = weight_of[id(edge)]
             # Longest a->b path whose final hop is (m, b) with m != a.
             best_multi = max(
                 (
-                    dist[id(in_edge.src)] + _edge_weight(machine, in_edge)
+                    dist[id(in_edge.src)] + weight_of[id(in_edge)]
                     for in_edge in ddg.preds(edge.dst)
                     if in_edge.src is not a and id(in_edge.src) in dist
                 ),
@@ -301,43 +421,22 @@ def transitive_reduce(ddg: DataDependenceGraph,
 
 def topo_order(ddg: DataDependenceGraph) -> list[Instruction]:
     """A topological order of the dependence DAG (raises on cycles)."""
-    indeg = {id(ins): 0 for ins in ddg.instructions}
-    for edge in ddg.edges():
-        indeg[id(edge.dst)] += 1
-    ready = [ins for ins in ddg.instructions if indeg[id(ins)] == 0]
+    indeg: dict[int, int] = {}
+    ready: list[Instruction] = []
+    for ins in ddg.instructions:
+        n = len(ddg.preds(ins))
+        indeg[id(ins)] = n
+        if n == 0:
+            ready.append(ins)
     order: list[Instruction] = []
     while ready:
         ins = ready.pop()
         order.append(ins)
         for edge in ddg.succs(ins):
-            indeg[id(edge.dst)] -= 1
-            if indeg[id(edge.dst)] == 0:
+            key = id(edge.dst)
+            indeg[key] -= 1
+            if indeg[key] == 0:
                 ready.append(edge.dst)
     if len(order) != len(ddg.instructions):
         raise ValueError("data dependence graph has a cycle")
     return order
-
-
-def _longest_from(ddg: DataDependenceGraph, src: Instruction,
-                  machine: MachineModel,
-                  position: dict[int, int]) -> dict[int, int]:
-    """Longest-path separations from ``src`` (DAG dynamic programming)."""
-    import heapq
-
-    dist: dict[int, int] = {id(src): 0}
-    heap = [(position[id(src)], id(src), src)]
-    done: set[int] = set()
-    while heap:
-        _, _, ins = heapq.heappop(heap)
-        if id(ins) in done:
-            continue
-        done.add(id(ins))
-        for edge in ddg.succs(ins):
-            cand = dist[id(ins)] + _edge_weight(machine, edge)
-            if cand > dist.get(id(edge.dst), -1):
-                dist[id(edge.dst)] = cand
-            if id(edge.dst) not in done:
-                heapq.heappush(
-                    heap, (position[id(edge.dst)], id(edge.dst), edge.dst)
-                )
-    return dist

@@ -15,8 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..cfg.graph import ControlFlowGraph
-from ..dataflow.liveness import compute_liveness
+from ..dataflow.cache import AnalysisCache
 from ..ir.function import Function
 from ..ir.operand import Reg, RegClass
 from ..machine.model import MachineModel
@@ -76,6 +75,7 @@ def global_schedule(
     priority_fn=None,
     allow_duplication: bool = False,
     block_filter=None,
+    analyses: AnalysisCache | None = None,
 ) -> GlobalScheduleReport:
     """Globally schedule every eligible region of ``func`` in place.
 
@@ -83,20 +83,27 @@ def global_schedule(
     restricts the sweep; the pipeline uses it to schedule only the inner
     regions in its first pass and only the rotated loops plus outer regions
     in its second.
+
+    ``analyses`` -- an optional :class:`AnalysisCache` for ``func``; region
+    finding, the reducibility check and the initial liveness solution all
+    draw from it (one CFG/dominator build per sweep instead of three, and
+    reuse across sweeps when the caller invalidates correctly).  The caller
+    must invalidate its liveness afterwards: this sweep moves instructions.
     """
     report = GlobalScheduleReport(level=level)
     if level is ScheduleLevel.NONE:
         return report
+    if analyses is None:
+        analyses = AnalysisCache(func)
 
-    regions = find_regions(func)
-    if regions and not region_is_reducible(func, regions[0]):
+    regions = find_regions(func, analyses)
+    if regions and not region_is_reducible(func, regions[0], analyses):
         report.skipped_regions = [r.header_node for r in regions]
         return report
 
     if live_at_exit is None:
         live_at_exit = default_live_at_exit(func)
-    liveness = compute_liveness(func, live_at_exit, ControlFlowGraph(func))
-    live_out_map = liveness.live_out_map()
+    live_out_map = analyses.liveness(live_at_exit).live_out_map()
 
     for spec in regions:
         if region_filter is not None and not region_filter(spec):

@@ -339,7 +339,7 @@ def _place_duplicates(pdg: RegionPDG, state: DependenceState,
         pred.insert_before_terminator(copy)
         # the join's remaining instructions that depended on the original
         # must now also wait for (and stay below) the copy
-        for edge in pdg.ddg.succs(cand.ins):
+        for edge in tuple(pdg.ddg.succs(cand.ins)):
             pdg.ddg.add_edge(copy, edge.dst, edge.kind, edge.delay, edge.reg)
         if pred_label in report.block_cycles:
             # that block's pass already ran: the copy stays at its end,

@@ -11,6 +11,16 @@ blocks are fulfilled with no timing constraint, while instructions issued
 earlier in the *current* pass constrain their successors by
 ``start + weight`` where ``weight`` is ``E(src) + delay`` for flow edges
 and 0 for anti/output/memory edges (which only require issue order).
+
+Both queries the schedulers make on their inner loop --
+:meth:`DependenceState.deps_satisfied` and
+:meth:`~DependenceState.earliest_start` -- are maintained *incrementally*:
+issuing an instruction decrements an unfulfilled-predecessor counter and
+folds ``start + weight`` into a cached earliest start for each successor,
+instead of every query re-walking the predecessor edges.  The caches are
+keyed to :attr:`DataDependenceGraph.version`, so graph mutation mid-region
+(speculative renaming rewrites edges, Definition-6 duplication adds them)
+transparently drops and lazily rebuilds them.
 """
 
 from __future__ import annotations
@@ -32,12 +42,29 @@ class DependenceState:
         #: shifted start cycles carried over from the previous block pass
         #: (negative values: "issued that many cycles before this block")
         self._carry_start: dict[int, int] = {}
+        #: lazily-filled count of not-yet-fulfilled predecessors
+        self._blocked: dict[int, int] = {}
+        #: lazily-filled earliest start within the current pass
+        self._earliest: dict[int, int] = {}
+        self._ddg_version = ddg.version
 
     def edge_weight(self, edge: DepEdge) -> int:
         """Minimum start-to-start separation the edge imposes."""
         if edge.kind is DepKind.FLOW:
             return self.machine.exec_time(edge.src) + edge.delay
         return 0
+
+    def _sync(self) -> None:
+        """Drop derived caches if the DDG changed under us.
+
+        Fulfilment and issue times are facts about the schedule, not the
+        graph, so they survive; the per-instruction counters and earliest
+        starts are derived from edges and must be rebuilt lazily.
+        """
+        if self._ddg_version != self.ddg.version:
+            self._ddg_version = self.ddg.version
+            self._blocked.clear()
+            self._earliest.clear()
 
     # -- pass lifecycle -----------------------------------------------------
 
@@ -64,17 +91,39 @@ class DependenceState:
                 for key, start in self._local_start.items()
             }
         self._local_start.clear()
+        # every cached earliest start was relative to the old pass's clock
+        self._earliest.clear()
 
     # -- state transitions ------------------------------------------------------
 
     def mark_prefulfilled(self, ins: Instruction) -> None:
         """``ins`` completed in an earlier block (or is an abstract-loop
         barrier whose node was passed): fulfilled, timing-neutral."""
+        self._sync()
+        if id(ins) in self._fulfilled:
+            return
         self._fulfilled.add(id(ins))
+        blocked = self._blocked
+        for edge in self.ddg.succs(ins):
+            key = id(edge.dst)
+            if key in blocked:
+                blocked[key] -= 1
 
     def mark_issued(self, ins: Instruction, cycle: int) -> None:
+        self._sync()
+        first = id(ins) not in self._fulfilled
         self._fulfilled.add(id(ins))
         self._local_start[id(ins)] = cycle
+        blocked = self._blocked
+        earliest = self._earliest
+        for edge in self.ddg.succs(ins):
+            key = id(edge.dst)
+            if first and key in blocked:
+                blocked[key] -= 1
+            if key in earliest:
+                bound = cycle + self.edge_weight(edge)
+                if bound > earliest[key]:
+                    earliest[key] = bound
 
     # -- queries -----------------------------------------------------------------
 
@@ -83,20 +132,36 @@ class DependenceState:
 
     def deps_satisfied(self, ins: Instruction) -> bool:
         """Are all dependence predecessors of ``ins`` fulfilled?"""
-        return all(
-            id(edge.src) in self._fulfilled for edge in self.ddg.preds(ins)
-        )
+        self._sync()
+        count = self._blocked.get(id(ins))
+        if count is None:
+            fulfilled = self._fulfilled
+            count = sum(
+                1 for edge in self.ddg.preds(ins)
+                if id(edge.src) not in fulfilled
+            )
+            self._blocked[id(ins)] = count
+        return count == 0
 
     def earliest_start(self, ins: Instruction) -> int:
         """Earliest cycle ``ins`` may start in the current pass, assuming
         :meth:`deps_satisfied`.  Pre-fulfilled predecessors contribute 0."""
+        self._sync()
+        cached = self._earliest.get(id(ins))
+        if cached is not None:
+            return cached
         earliest = 0
+        local = self._local_start
+        carry = self._carry_start
         for edge in self.ddg.preds(ins):
-            start = self._local_start.get(id(edge.src))
+            start = local.get(id(edge.src))
             if start is None:
-                start = self._carry_start.get(id(edge.src))
+                start = carry.get(id(edge.src))
             if start is not None:
-                earliest = max(earliest, start + self.edge_weight(edge))
+                bound = start + self.edge_weight(edge)
+                if bound > earliest:
+                    earliest = bound
+        self._earliest[id(ins)] = earliest
         return earliest
 
     def start_of(self, ins: Instruction) -> int | None:

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from ..cfg.dominators import dominator_tree
 from ..cfg.graph import ENTRY, ControlFlowGraph
 from ..cfg.loops import Loop, LoopNest, is_reducible
+from ..dataflow.cache import AnalysisCache
 from ..ir.basic_block import BasicBlock
 from ..ir.function import Function
 from ..machine.model import MachineModel
@@ -72,11 +73,20 @@ class RegionSpec:
                 and self.instr_count(func) <= MAX_REGION_INSTRS)
 
 
-def find_regions(func: Function) -> list[RegionSpec]:
-    """All regions of ``func``, innermost loops first, body region last."""
-    cfg = ControlFlowGraph(func)
-    dom = dominator_tree(cfg.graph, ENTRY)
-    nest = LoopNest(cfg.graph, dom)
+def find_regions(func: Function,
+                 analyses: AnalysisCache | None = None) -> list[RegionSpec]:
+    """All regions of ``func``, innermost loops first, body region last.
+
+    ``analyses`` (optional) supplies a memoised CFG/dominator/loop-nest
+    bundle so callers that run several analyses per sweep build them once.
+    """
+    if analyses is None:
+        cfg = ControlFlowGraph(func)
+        dom = dominator_tree(cfg.graph, ENTRY)
+        nest = LoopNest(cfg.graph, dom)
+    else:
+        cfg = analyses.cfg()
+        nest = analyses.loop_nest()
 
     regions: list[RegionSpec] = []
     for loop in nest.loops_innermost_first():
@@ -119,13 +129,16 @@ def find_regions(func: Function) -> list[RegionSpec]:
     return regions
 
 
-def region_is_reducible(func: Function, spec: RegionSpec) -> bool:
+def region_is_reducible(func: Function, spec: RegionSpec,
+                        analyses: AnalysisCache | None = None) -> bool:
     """Is the whole function CFG reducible?  (The paper only schedules
     reducible regions; irreducible control flow has no single-entry loops,
     so per-region reducibility reduces to the global property.)"""
-    cfg = ControlFlowGraph(func)
-    dom = dominator_tree(cfg.graph, ENTRY)
-    return is_reducible(cfg.graph, dom)
+    if analyses is None:
+        cfg = ControlFlowGraph(func)
+        dom = dominator_tree(cfg.graph, ENTRY)
+        return is_reducible(cfg.graph, dom)
+    return is_reducible(analyses.cfg().graph, analyses.dominators())
 
 
 def build_region_pdg(func: Function, machine: MachineModel,

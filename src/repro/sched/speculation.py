@@ -131,10 +131,12 @@ def _rename_web(ins: Instruction, home: BasicBlock, position: int, reg: Reg,
             break
     # Anti/output edges into `ins` on the old name are now spurious; so are
     # output edges out of it.  Refresh those pairs from current operands.
-    for edge in ddg.preds(ins):
+    # succs()/preds() are live views and _refresh_pair mutates the graph,
+    # so snapshot both before walking them.
+    for edge in tuple(ddg.preds(ins)):
         if edge.kind in (DepKind.ANTI, DepKind.OUTPUT):
             _refresh_pair(ddg, edge.src, ins, machine)
-    for edge in ddg.succs(ins):
+    for edge in tuple(ddg.succs(ins)):
         if edge.kind is DepKind.OUTPUT:
             _refresh_pair(ddg, ins, edge.dst, machine)
 

@@ -19,7 +19,14 @@ from .differential import (
     DiffResult,
     run_differential,
 )
-from .fuzz import FuzzFailure, FuzzReport, derive_seed, fuzz, reproduce
+from .fuzz import (
+    FuzzFailure,
+    FuzzReport,
+    FuzzWorkerError,
+    derive_seed,
+    fuzz,
+    reproduce,
+)
 from .generator import GenProgram, generate_program
 from .shrink import shrink_program
 from .verifier import (
@@ -35,6 +42,7 @@ __all__ = [
     "DiffResult",
     "FuzzFailure",
     "FuzzReport",
+    "FuzzWorkerError",
     "GenProgram",
     "ScheduleVerificationError",
     "VerifyIssue",

@@ -5,15 +5,26 @@ from the derived seed ``S * 1_000_003 + i``, so any failure is
 reproducible from ``(S, i)`` alone::
 
     python -m repro fuzz --n 500 --seed 1991      # the campaign
+    python -m repro fuzz --n 500 --seed 1991 --jobs 4   # same, 4 workers
     python -m repro fuzz --reproduce 1991:37      # re-run program 37
 
 The failure report carries both the original and the shrunk source, plus
 the entry arguments, so a failing case can be pasted straight into a
 regression test.
+
+Campaigns parallelise cleanly because each program is a pure function of
+``(S, i)``: with ``jobs > 1`` the indices are farmed out to a
+:mod:`multiprocessing` pool, results are collected as they finish, and the
+final report is sorted by index -- a campaign's failure list is identical
+for every job count (only ``on_progress`` interleaving differs).  A worker
+that *crashes* (as opposed to finding a differential failure, which is a
+normal result) surfaces as :class:`FuzzWorkerError` carrying the program
+index and the worker traceback.
 """
 
 from __future__ import annotations
 
+import traceback
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -22,6 +33,16 @@ from .generator import GenProgram, generate_program
 from .shrink import shrink_program
 
 _SEED_STRIDE = 1_000_003
+
+
+class FuzzWorkerError(RuntimeError):
+    """A fuzz worker process died on an unexpected exception."""
+
+    def __init__(self, index: int, worker_traceback: str):
+        super().__init__(
+            f"fuzz worker crashed on program {index}:\n{worker_traceback}")
+        self.index = index
+        self.worker_traceback = worker_traceback
 
 
 def derive_seed(master_seed: int, index: int) -> int:
@@ -81,26 +102,75 @@ def fuzz(
     shrink: bool = True,
     on_progress: Callable[[int, int], None] | None = None,
     stop_after: int | None = None,
+    jobs: int = 1,
 ) -> FuzzReport:
     """Run ``n`` generated programs through the differential matrix.
 
     ``on_progress(done, failures)`` is called after every program;
     ``stop_after`` aborts the campaign early once that many failures have
-    been collected (None = run everything).
+    been collected (None = run everything).  ``jobs > 1`` distributes the
+    programs over a worker pool; because every program derives from
+    ``(seed, index)`` alone, the sorted failure list is independent of the
+    job count (``stop_after`` may admit a different-but-overlapping subset
+    when completion order differs).
     """
+    if jobs < 1:
+        raise ValueError(f"jobs must be a positive integer, got {jobs}")
     report = FuzzReport(master_seed=seed)
-    for index in range(n):
-        program = generate_program(derive_seed(seed, index))
-        outcome = run_differential(program, machines=machines)
-        report.attempted += 1
-        if not outcome.ok:
-            report.failures.append(
-                _build_failure(index, program, outcome, machines, shrink))
-        if on_progress is not None:
-            on_progress(report.attempted, len(report.failures))
-        if stop_after is not None and len(report.failures) >= stop_after:
-            break
+    if jobs == 1:
+        for index in range(n):
+            program = generate_program(derive_seed(seed, index))
+            outcome = run_differential(program, machines=machines)
+            report.attempted += 1
+            if not outcome.ok:
+                report.failures.append(
+                    _build_failure(index, program, outcome, machines, shrink))
+            if on_progress is not None:
+                on_progress(report.attempted, len(report.failures))
+            if stop_after is not None and len(report.failures) >= stop_after:
+                break
+        return report
+
+    import multiprocessing
+
+    tasks = [(seed, index, machines, shrink) for index in range(n)]
+    with multiprocessing.get_context().Pool(processes=jobs) as pool:
+        for index, failure, error in pool.imap_unordered(
+                _fuzz_worker, tasks, chunksize=4):
+            if error is not None:
+                raise FuzzWorkerError(index, error)
+            report.attempted += 1
+            if failure is not None:
+                report.failures.append(failure)
+            if on_progress is not None:
+                on_progress(report.attempted, len(report.failures))
+            if stop_after is not None and len(report.failures) >= stop_after:
+                break
+        # leaving the with-block terminates any still-running workers
+    report.failures.sort(key=lambda f: f.index)
     return report
+
+
+def _fuzz_worker(
+    task: tuple[int, int, tuple[str, ...], bool],
+) -> tuple[int, FuzzFailure | None, str | None]:
+    """Pool entry point: run one campaign index, never raise.
+
+    Returns ``(index, failure-or-None, crash-traceback-or-None)``; the
+    parent re-raises crashes as :class:`FuzzWorkerError` so one bad program
+    aborts the campaign loudly instead of hanging the pool.
+    """
+    master_seed, index, machines, shrink = task
+    try:
+        program = generate_program(derive_seed(master_seed, index))
+        outcome = run_differential(program, machines=machines)
+        if outcome.ok:
+            return index, None, None
+        return (index,
+                _build_failure(index, program, outcome, machines, shrink),
+                None)
+    except Exception:
+        return index, None, traceback.format_exc()
 
 
 def _build_failure(

@@ -20,9 +20,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from ..cfg.dominators import dominator_tree
-from ..cfg.graph import ENTRY, ControlFlowGraph
-from ..cfg.loops import LoopNest
+from ..dataflow.cache import AnalysisCache
 from ..ir.function import Function
 from ..ir.operand import Reg
 from ..ir.verify import verify_function
@@ -106,12 +104,6 @@ class PipelineReport:
         return out
 
 
-def _inner_loops(func: Function):
-    cfg = ControlFlowGraph(func)
-    dom = dominator_tree(cfg.graph, ENTRY)
-    return LoopNest(cfg.graph, dom)
-
-
 def optimize(
     func: Function,
     machine: MachineModel,
@@ -123,6 +115,12 @@ def optimize(
     config = config or PipelineConfig()
     report = PipelineReport(level=config.level)
     started = time.perf_counter()
+    # One memoised CFG/dominators/loop-nest/liveness bundle shared by every
+    # stage below.  Transform stages rewrite block structure and drop it
+    # wholesale; scheduling sweeps move instructions between existing
+    # blocks (terminators stay put), which keeps the CFG-shape analyses
+    # valid and invalidates only liveness.
+    analyses = AnalysisCache(func)
 
     def snapshot() -> Function | None:
         return func.clone() if config.verify else None
@@ -147,9 +145,11 @@ def optimize(
         report.strength = strength_reduce(
             func, live_at_exit=live_at_exit or frozenset())
         verify_function(func)
+        analyses.invalidate()
     if config.use_counter_register:
         report.ctr = convert_counted_loops(func)
         verify_function(func)
+        analyses.invalidate()
 
     if config.level is ScheduleLevel.NONE:
         # The BASE compiler still runs its basic-block scheduler.
@@ -165,14 +165,17 @@ def optimize(
         report.rename = rename_function(
             func, live_at_exit=live_at_exit or frozenset())
         verify_function(func)
+        analyses.invalidate_liveness()
 
     # Step 1: unroll small inner loops.
     if config.unroll_max_blocks:
-        nest = _inner_loops(func)
+        nest = analyses.loop_nest()
         for loop in unrollable_inner_loops(func, nest.loops,
                                            config.unroll_max_blocks):
             report.unrolled.append(unroll_loop(func, loop))
         verify_function(func)
+        if report.unrolled:
+            analyses.invalidate()
 
     priority_fn = (make_profile_priority_fn(config.profile, func)
                    if config.profile else None)
@@ -189,14 +192,16 @@ def optimize(
         region_filter=lambda spec: spec.kind == "loop" and not spec.subloops,
         priority_fn=priority_fn,
         allow_duplication=config.allow_duplication,
+        analyses=analyses,
     )
     verify_function(func)
+    analyses.invalidate_liveness()
     check(before, level=config.level, motions=report.first_pass.motions)
 
     # Step 3: rotate small inner loops.
     rotated_headers: set[str] = set()
     if config.rotate_max_blocks:
-        nest = _inner_loops(func)
+        nest = analyses.loop_nest()
         for loop in list(nest.loops):
             if loop.children:
                 continue
@@ -205,6 +210,8 @@ def optimize(
                 report.rotated.append(rotated)
                 rotated_headers.add(rotated.new_loop_header)
         verify_function(func)
+        if report.rotated:
+            analyses.invalidate()
 
     # Step 4: second global pass -- the rotated inner loops and the
     # regions that are not inner loops (outer loops + subroutine body).
@@ -225,8 +232,10 @@ def optimize(
         priority_fn=(make_profile_priority_fn(config.profile, func)
                      if config.profile else None),
         allow_duplication=config.allow_duplication,
+        analyses=analyses,
     )
     verify_function(func)
+    analyses.invalidate_liveness()
     check(before, level=config.level, motions=report.second_pass.motions)
 
     # Post-pass: local scheduling of every block.

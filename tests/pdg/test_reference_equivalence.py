@@ -1,0 +1,148 @@
+"""Property tests: the optimized DDG construction is observably identical
+to the seed reference implementations kept in :mod:`repro.pdg.reference`.
+
+Three properties over a fixed-seed generated corpus:
+
+* the per-block-summary region builder produces exactly the seed's edge
+  set (endpoints, kinds, delays, registers);
+* the shared-table transitive reduction removes exactly the seed's edge
+  set;
+* reduction never changes schedules (removed edges are implied by
+  longer paths), and the whole optimized pipeline emits byte-identical
+  assembly to the reference pipeline at every level.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler import compile_c
+from repro.machine.configs import CONFIGS
+from repro.pdg import data_deps
+from repro.pdg import pdg as region_pdg_module
+from repro.pdg.data_deps import build_region_ddg, transitive_reduce
+from repro.pdg.reference import (
+    build_region_ddg_reference,
+    reference_pipeline,
+    seed_pipeline,
+    transitive_reduce_reference,
+)
+from repro.sched.candidates import ScheduleLevel
+from repro.sched.regions import build_region_pdg, find_regions
+from repro.verify.fuzz import derive_seed
+from repro.verify.generator import generate_program
+
+CORPUS_SEED = 2026
+CORPUS_SIZE = 8
+
+
+def _edge_key(edge):
+    return (edge.src.uid, edge.dst.uid, edge.kind.name, edge.delay,
+            None if edge.reg is None else repr(edge.reg))
+
+
+def _edge_keys(ddg):
+    return sorted(_edge_key(e) for e in ddg.iter_edges())
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return [generate_program(derive_seed(CORPUS_SEED, i))
+            for i in range(CORPUS_SIZE)]
+
+
+@pytest.fixture(scope="module")
+def region_inputs(corpus):
+    """(blocks, reachable_pairs) of every region of every corpus program."""
+    machine = CONFIGS["rs6k"]()
+    inputs = []
+    for program in corpus:
+        result = compile_c(program.source, machine=machine,
+                           level=ScheduleLevel.NONE)
+        for unit in result:
+            for spec in find_regions(unit.func):
+                pdg = build_region_pdg(unit.func, machine, spec,
+                                       reduce_ddg=False)
+                inputs.append((pdg._ddg_blocks(), pdg.reachable_pairs))
+    assert inputs, "corpus produced no regions"
+    return inputs
+
+
+def test_region_builder_matches_reference_edge_set(region_inputs):
+    machine = CONFIGS["rs6k"]()
+    for blocks, pairs in region_inputs:
+        new = build_region_ddg(blocks, pairs, machine, reduce=False)
+        ref = build_region_ddg_reference(blocks, pairs, machine,
+                                         reduce=False)
+        assert _edge_keys(new) == _edge_keys(ref)
+
+
+def test_transitive_reduce_removes_same_edges(region_inputs):
+    machine = CONFIGS["rs6k"]()
+    total_removed = 0
+    for blocks, pairs in region_inputs:
+        new = build_region_ddg(blocks, pairs, machine, reduce=False)
+        ref = build_region_ddg_reference(blocks, pairs, machine,
+                                         reduce=False)
+        before = _edge_keys(new)
+        assert before == _edge_keys(ref)
+        removed_new = transitive_reduce(new, machine)
+        removed_ref = transitive_reduce_reference(ref, machine)
+        assert removed_new == removed_ref
+        assert _edge_keys(new) == _edge_keys(ref)
+        assert len(_edge_keys(new)) == len(before) - removed_new
+        total_removed += removed_new
+    assert total_removed > 0, "corpus never exercised the reduction"
+
+
+def _compile_all(source, machine_name, level):
+    result = compile_c(source, machine=CONFIGS[machine_name](),
+                       level=level)
+    return {unit.name: unit.assembly() for unit in result}
+
+
+def test_reduction_does_not_change_schedules(corpus, monkeypatch):
+    """Scheduling a reduced graph == scheduling the full graph: every
+    removed edge is implied by a longer path, so readiness and earliest
+    start times are unaffected."""
+    for program in corpus[:4]:
+        reduced = _compile_all(program.source, "rs6k",
+                               ScheduleLevel.SPECULATIVE)
+        with monkeypatch.context() as m:
+            m.setattr(data_deps, "transitive_reduce",
+                      lambda ddg, machine: 0)
+            unreduced = _compile_all(program.source, "rs6k",
+                                     ScheduleLevel.SPECULATIVE)
+        assert reduced == unreduced
+
+
+def test_optimized_pipeline_matches_reference_assembly(corpus):
+    for program in corpus:
+        for level in ScheduleLevel:
+            new = _compile_all(program.source, "rs6k", level)
+            with reference_pipeline():
+                ref = _compile_all(program.source, "rs6k", level)
+            assert new == ref, (
+                f"seed {program.seed} diverged at level {level.value}")
+
+
+def test_optimized_pipeline_matches_seed_pipeline(corpus):
+    """The full seed baseline (reference DDG + per-query readiness +
+    uncached analyses + eager verifier) also schedules identically."""
+    for program in corpus[:3]:
+        for machine_name in ("rs6k", "scalar"):
+            new = _compile_all(program.source, machine_name,
+                               ScheduleLevel.SPECULATIVE)
+            with seed_pipeline():
+                ref = _compile_all(program.source, machine_name,
+                                   ScheduleLevel.SPECULATIVE)
+            assert new == ref
+
+
+def test_patching_restores_cleanly():
+    saved = (data_deps.build_region_ddg, data_deps.transitive_reduce,
+             region_pdg_module.build_region_ddg)
+    with reference_pipeline():
+        assert data_deps.build_region_ddg is build_region_ddg_reference
+    assert (data_deps.build_region_ddg, data_deps.transitive_reduce,
+            region_pdg_module.build_region_ddg) == saved

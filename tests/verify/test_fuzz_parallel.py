@@ -1,0 +1,89 @@
+"""Parallel fuzz campaigns: determinism, validation and crash handling.
+
+Campaign results must be a pure function of ``(seed, n)``: the sorted
+failure list is identical for every ``--jobs`` value.  A worker that
+*crashes* (as opposed to finding a differential failure) must surface as
+:class:`FuzzWorkerError` with the failing index and the worker traceback,
+never hang the pool or silently drop the program.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.verify import FuzzWorkerError, fuzz
+from repro.verify.fuzz import derive_seed
+
+#: the submodule itself (``repro.verify`` re-exports the ``fuzz``
+#: *function* under the same name, shadowing the module attribute)
+fuzz_module = importlib.import_module("repro.verify.fuzz")
+
+CAMPAIGN_N = 6
+CAMPAIGN_SEED = 424242
+
+
+def _failure_keys(report):
+    return [(f.index, f.seed, f.detail) for f in report.failures]
+
+
+def test_parallel_campaign_matches_serial():
+    serial = fuzz(CAMPAIGN_N, CAMPAIGN_SEED, shrink=False)
+    parallel = fuzz(CAMPAIGN_N, CAMPAIGN_SEED, shrink=False, jobs=2)
+    assert parallel.attempted == serial.attempted == CAMPAIGN_N
+    assert _failure_keys(parallel) == _failure_keys(serial)
+
+
+def test_parallel_progress_counts_every_program():
+    seen = []
+    fuzz(CAMPAIGN_N, CAMPAIGN_SEED, shrink=False, jobs=2,
+         on_progress=lambda done, failures: seen.append(done))
+    assert seen == list(range(1, CAMPAIGN_N + 1))
+
+
+@pytest.mark.parametrize("jobs", [0, -1, -4])
+def test_invalid_jobs_rejected(jobs):
+    with pytest.raises(ValueError, match="jobs must be a positive"):
+        fuzz(3, 1, jobs=jobs)
+
+
+def test_worker_crash_surfaces_as_fuzz_worker_error(monkeypatch):
+    boom_seed = derive_seed(CAMPAIGN_SEED, 2)
+    real_generate = fuzz_module.generate_program
+
+    def exploding_generate(seed):
+        if seed == boom_seed:
+            raise RuntimeError("injected worker crash")
+        return real_generate(seed)
+
+    # fork-based workers inherit the patched module, so the crash happens
+    # inside the pool and must be relayed back with its traceback
+    monkeypatch.setattr(fuzz_module, "generate_program", exploding_generate)
+    with pytest.raises(FuzzWorkerError) as excinfo:
+        fuzz(CAMPAIGN_N, CAMPAIGN_SEED, shrink=False, jobs=2)
+    assert excinfo.value.index == 2
+    assert "injected worker crash" in excinfo.value.worker_traceback
+
+
+def test_serial_crash_propagates_directly(monkeypatch):
+    def exploding_generate(seed):
+        raise RuntimeError("injected serial crash")
+
+    monkeypatch.setattr(fuzz_module, "generate_program", exploding_generate)
+    with pytest.raises(RuntimeError, match="injected serial crash"):
+        fuzz(2, CAMPAIGN_SEED, shrink=False)
+
+
+def test_cli_rejects_bad_jobs(capsys):
+    assert cli_main(["fuzz", "--n", "1", "--jobs", "0"]) == 2
+    assert "--jobs must be a positive integer" in capsys.readouterr().err
+
+
+def test_cli_reproduce_ignores_jobs(capsys):
+    code = cli_main(["fuzz", "--reproduce", f"{CAMPAIGN_SEED}:0",
+                     "--jobs", "3", "--no-shrink"])
+    captured = capsys.readouterr()
+    assert "single-process" in captured.err
+    assert code in (0, 1)  # pass or genuine differential failure
