@@ -11,9 +11,16 @@ Commands:
 * ``figures`` -- regenerate the paper's Figure 7/8 tables;
 * ``verify FILE.c`` -- compile with the static schedule verifier enabled
   and report every sweep's verification result;
+* ``stats FILE.c`` -- compile with metrics on and print the paper-style
+  scheduling report (motions by kind, speculation accounting, ready-list
+  pressure, per-block schedule lengths);
 * ``fuzz --n 500 --seed 1991`` -- differential fuzzing: generated programs
   compiled at every level on several machines, outputs compared, failures
   minimised (``--reproduce SEED:INDEX`` re-runs one case).
+
+``compile`` and ``stats`` accept ``--trace-out trace.jsonl`` (the JSONL
+decision trace) and ``--trace-chrome trace.json`` (the same trace in
+Chrome-trace format, loadable in Perfetto / chrome://tracing).
 
 Examples::
 
@@ -21,12 +28,14 @@ Examples::
     python -m repro run tests.c minmax 5,3,9,1 3 0,0
     python -m repro figures
     python -m repro verify examples/minmax.c
+    python -m repro stats examples/minmax.c --trace-out minmax.jsonl
     python -m repro fuzz --n 500 --seed 1991
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from .compiler import compile_c
@@ -35,6 +44,20 @@ from .sched.candidates import ScheduleLevel
 from .xform.pipeline import PipelineConfig
 
 _LEVELS = {level.value: level for level in ScheduleLevel}
+
+
+class CLIError(Exception):
+    """A user-facing error: printed as one line, exits with status 2."""
+
+
+def _read_source(path: str) -> str:
+    """Read an input file, turning OS errors into one-line CLI errors."""
+    try:
+        with open(path) as handle:
+            return handle.read()
+    except OSError as exc:
+        reason = exc.strerror or exc.__class__.__name__
+        raise CLIError(f"error: cannot read {path!r}: {reason}") from exc
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -46,17 +69,52 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="machine configuration (default: rs6k)")
 
 
+def _add_trace_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace-out", metavar="FILE",
+                        help="write the JSONL decision trace to FILE")
+    parser.add_argument("--trace-chrome", metavar="FILE",
+                        help="write a Chrome-trace/Perfetto JSON to FILE")
+
+
+class _TraceOutputs:
+    """Resolves --trace-out/--trace-chrome into one tracer + a finaliser."""
+
+    def __init__(self, trace_out: str | None, trace_chrome: str | None):
+        from .obs import CollectingTracer, JsonlTracer, TeeTracer
+
+        self._chrome_path = trace_chrome
+        self._collector = CollectingTracer() if trace_chrome else None
+        self._jsonl = JsonlTracer(trace_out) if trace_out else None
+        sinks = [s for s in (self._jsonl, self._collector) if s is not None]
+        if not sinks:
+            self.tracer = None
+        elif len(sinks) == 1:
+            self.tracer = sinks[0]
+        else:
+            self.tracer = TeeTracer(*sinks)
+
+    def finish(self) -> None:
+        from .obs import write_chrome_trace
+
+        if self._jsonl is not None:
+            self._jsonl.close()
+        if self._collector is not None:
+            write_chrome_trace(self._collector.events, self._chrome_path)
+
+
 def _compile(path: str, level: str, machine: str, **config_kwargs):
-    with open(path) as handle:
-        source = handle.read()
+    source = _read_source(path)
     config = PipelineConfig(level=_LEVELS[level], **config_kwargs)
     return compile_c(source, machine=CONFIGS[machine](),
                      level=_LEVELS[level], config=config)
 
 
 def cmd_compile(args) -> int:
+    outputs = _TraceOutputs(args.trace_out, args.trace_chrome)
     result = _compile(args.file, args.level, args.machine,
-                      use_counter_register=args.ctr)
+                      use_counter_register=args.ctr,
+                      trace=outputs.tracer)
+    outputs.finish()
     for unit in result:
         if args.function and unit.name != args.function:
             continue
@@ -68,6 +126,19 @@ def cmd_compile(args) -> int:
         print(f"; {unit.name}: {useful} useful + {spec} speculative "
               f"motions, compiled in {report.elapsed_seconds * 1e3:.1f} ms")
         print()
+    return 0
+
+
+def cmd_stats(args) -> int:
+    from .obs import MetricsCollector, format_stats
+
+    metrics = MetricsCollector()
+    outputs = _TraceOutputs(args.trace_out, args.trace_chrome)
+    result = _compile(args.file, args.level, args.machine,
+                      trace=outputs.tracer, metrics=metrics)
+    outputs.finish()
+    units = [(unit.name, unit.report) for unit in result]
+    print(format_stats(args.file, args.machine, args.level, units, metrics))
     return 0
 
 
@@ -97,8 +168,7 @@ def cmd_schedule(args) -> int:
     from .machine.configs import CONFIGS as MACHINES
     from .sched.driver import global_schedule
 
-    with open(args.file) as handle:
-        func = parse_function(handle.read())
+    func = parse_function(_read_source(args.file))
     report = global_schedule(func, MACHINES[args.machine](),
                              _LEVELS[args.level])
     print(format_function(func))
@@ -198,9 +268,22 @@ def cmd_fuzz(args) -> int:
 
     report = fuzz(args.n, args.seed, machines=machines,
                   shrink=not args.no_shrink, on_progress=progress,
-                  jobs=args.jobs)
+                  jobs=args.jobs, collect_metrics=bool(args.metrics_out))
     for failure in report.failures:
         print(failure.format())
+    if args.metrics_out:
+        payload = {
+            "master_seed": report.master_seed,
+            "attempted": report.attempted,
+            "failures": len(report.failures),
+            "programs": report.metric_summaries,
+        }
+        with open(args.metrics_out, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote per-program metrics for "
+              f"{len(report.metric_summaries)} programs to "
+              f"{args.metrics_out}")
     print(report.summary())
     return 0 if report.ok else 1
 
@@ -219,7 +302,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ctr", action="store_true",
                    help="enable counter-register loops (footnote 3)")
     _add_common(p)
+    _add_trace_flags(p)
     p.set_defaults(fn=cmd_compile)
+
+    p = sub.add_parser("stats",
+                       help="print the paper-style scheduling report")
+    p.add_argument("file")
+    _add_common(p)
+    _add_trace_flags(p)
+    p.set_defaults(fn=cmd_stats)
 
     p = sub.add_parser("run", help="compile and execute on the simulator")
     p.add_argument("file")
@@ -273,6 +364,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--reproduce", metavar="SEED:INDEX",
                    help="re-run (and shrink) one campaign program "
                         "(always single-process)")
+    p.add_argument("--metrics-out", metavar="FILE",
+                   help="write per-program scheduling metric summaries "
+                        "(JSON) to FILE")
     p.set_defaults(fn=cmd_fuzz)
 
     return parser
@@ -280,7 +374,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except CLIError as exc:
+        print(exc, file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

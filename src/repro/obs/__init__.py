@@ -1,0 +1,46 @@
+"""Scheduler observability: decision traces, metrics, exporters.
+
+The layer has three parts, wired through the whole compile->schedule
+pipeline via ``PipelineConfig(trace=..., metrics=...)``:
+
+* :mod:`repro.obs.events` -- the typed event taxonomy;
+* :mod:`repro.obs.tracer` -- the :class:`Tracer` protocol with a no-op
+  default, a JSONL sink and an in-memory collector;
+* :mod:`repro.obs.chrome` -- the Chrome-trace / Perfetto exporter;
+* :mod:`repro.obs.metrics` -- counters/timers and the paper-style
+  ``python -m repro stats`` report.
+"""
+
+from .chrome import chrome_trace, write_chrome_trace
+from .events import EVENT_TYPES, TraceEvent, event_from_dict
+from .metrics import NULL_METRICS, MetricsCollector, NullMetrics, format_stats
+from .tracer import (
+    NULL_TRACER,
+    CollectingTracer,
+    JsonlTracer,
+    NullTracer,
+    TeeTracer,
+    Tracer,
+    dump_jsonl,
+    read_jsonl,
+)
+
+__all__ = [
+    "EVENT_TYPES",
+    "TraceEvent",
+    "event_from_dict",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "CollectingTracer",
+    "JsonlTracer",
+    "TeeTracer",
+    "read_jsonl",
+    "dump_jsonl",
+    "chrome_trace",
+    "write_chrome_trace",
+    "MetricsCollector",
+    "NullMetrics",
+    "NULL_METRICS",
+    "format_stats",
+]

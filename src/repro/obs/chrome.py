@@ -1,0 +1,137 @@
+"""Chrome-trace (``chrome://tracing`` / Perfetto) export.
+
+Converts a stream of :mod:`repro.obs.events` into the Trace Event Format
+(the ``{"traceEvents": [...]}`` JSON that Perfetto and chrome://tracing
+load directly).  The exported timeline is *synthetic and deterministic*:
+one scheduler cycle maps to one millisecond, and a global cursor advances
+as block passes complete, so the same compilation always produces the
+same trace file.
+
+Lane layout:
+
+* ``tid 0`` -- the pipeline: function/phase/region frames, block-pass
+  slices, motion and speculation-veto instants;
+* one lane per functional-unit type (allocated on first use) -- every
+  issued instruction is a slice whose length is its execution time;
+* a ``ready-list`` counter track shows the per-cycle candidate pressure.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from .events import TraceEvent
+
+#: one scheduler cycle, in trace microseconds (1 cycle = 1 ms on screen)
+CYCLE_US = 1000
+
+_PID = 1
+
+
+def chrome_trace(events: Iterable[TraceEvent]) -> dict:
+    """Build the Trace Event Format document for ``events``."""
+    out: list[dict] = [{
+        "ph": "M", "pid": _PID, "name": "process_name",
+        "args": {"name": "repro scheduler"},
+    }, {
+        "ph": "M", "pid": _PID, "tid": 0, "name": "thread_name",
+        "args": {"name": "pipeline"},
+    }]
+    cursor = 0          # global synthetic clock, microseconds
+    block_start = 0     # where the current block pass began
+    last_issue_ts = 0
+    unit_lane: dict[str, int] = {}
+
+    def lane(unit: str) -> int:
+        tid = unit_lane.get(unit)
+        if tid is None:
+            tid = len(unit_lane) + 1
+            unit_lane[unit] = tid
+            out.append({
+                "ph": "M", "pid": _PID, "tid": tid, "name": "thread_name",
+                "args": {"name": f"unit {unit}"},
+            })
+        return tid
+
+    def begin(name: str, cat: str, **args) -> None:
+        out.append({"ph": "B", "pid": _PID, "tid": 0, "ts": cursor,
+                    "name": name, "cat": cat, "args": args})
+
+    def end() -> None:
+        out.append({"ph": "E", "pid": _PID, "tid": 0, "ts": cursor})
+
+    def instant(name: str, cat: str, ts: int, **args) -> None:
+        out.append({"ph": "i", "pid": _PID, "tid": 0, "ts": ts, "s": "t",
+                    "name": name, "cat": cat, "args": args})
+
+    for ev in events:
+        kind = ev.kind
+        if kind == "function_begin":
+            begin(f"function {ev.function}", "function", level=ev.level)
+        elif kind == "function_end":
+            cursor += 1
+            end()
+        elif kind == "phase_begin":
+            begin(ev.phase, "phase", function=ev.function)
+        elif kind == "phase_end":
+            cursor += 1
+            end()
+        elif kind == "region_enter":
+            begin(f"region {ev.header}", "region",
+                  kind=ev.region_kind, blocks=list(ev.blocks))
+        elif kind == "region_exit":
+            cursor += 1
+            end()
+        elif kind == "region_skipped":
+            instant(f"region {ev.header} skipped: {ev.reason}",
+                    "region", cursor, reason=ev.reason)
+        elif kind == "block_begin":
+            block_start = cursor
+        elif kind == "block_end":
+            out.append({
+                "ph": "X", "pid": _PID, "tid": 0, "ts": block_start,
+                "dur": ev.cycles * CYCLE_US, "name": f"block {ev.label}",
+                "cat": "block", "args": {"cycles": ev.cycles},
+            })
+            cursor = block_start + ev.cycles * CYCLE_US
+        elif kind == "cycle":
+            out.append({
+                "ph": "C", "pid": _PID, "ts": block_start + ev.cycle * CYCLE_US,
+                "name": "ready-list", "args": {"ready": ev.ready},
+            })
+        elif kind == "issue":
+            ts = block_start + ev.cycle * CYCLE_US
+            last_issue_ts = ts
+            out.append({
+                "ph": "X", "pid": _PID, "tid": lane(ev.unit), "ts": ts,
+                "dur": max(ev.exec_cycles, 1) * CYCLE_US,
+                "name": f"I{ev.uid} {ev.opcode}", "cat": "issue",
+                "args": {"block": ev.label, "home": ev.home,
+                         "class": ev.klass, "cycle": ev.cycle},
+            })
+        elif kind == "motion":
+            instant(f"I{ev.uid} {ev.opcode} {ev.src}->{ev.dst}", "motion",
+                    last_issue_ts, speculative=ev.speculative,
+                    duplicated_into=list(ev.duplicated_into))
+        elif kind == "spec_rejected":
+            instant(f"I{ev.uid} {ev.opcode} vetoed (live-on-exit)",
+                    "speculation", cursor,
+                    block=ev.label, home=ev.home, regs=list(ev.regs))
+        elif kind == "spec_renamed":
+            instant(f"I{ev.uid} {ev.opcode} renamed to admit motion",
+                    "speculation", cursor,
+                    block=ev.label, home=ev.home, regs=list(ev.regs))
+        # candidate/priority events carry no timeline position of their own
+
+    return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(events: Iterable[TraceEvent], target) -> None:
+    """Write the Chrome-trace JSON for ``events`` (path or text stream)."""
+    doc = chrome_trace(events)
+    if isinstance(target, (str, bytes)):
+        with open(target, "w") as handle:
+            json.dump(doc, handle)
+    else:
+        json.dump(doc, target)

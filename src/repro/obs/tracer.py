@@ -1,0 +1,154 @@
+"""Tracer protocol and sinks.
+
+The scheduler's hot paths guard every emission with ``if tracer.enabled:``
+so the default :data:`NULL_TRACER` costs one attribute load and a falsy
+branch per site -- events are never even constructed.  Real sinks:
+
+* :class:`CollectingTracer` -- in-memory event list (tests, the ``stats``
+  command's conformance checks);
+* :class:`JsonlTracer` -- one ``to_dict`` JSON object per line, the
+  on-disk interchange format (``--trace-out``);
+* both accept every event type; sinks never interpret events.
+
+Traces are deterministic by construction: no wall-clock timestamps are
+recorded except the ``elapsed_ms`` of phase/function end events, and those
+are excluded from golden comparisons.  Event order is the emission order
+(a single scheduler thread), so a trace is replayable and diffable.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Iterable, Iterator, Protocol, runtime_checkable
+
+from .events import TraceEvent, event_from_dict
+
+
+@runtime_checkable
+class Tracer(Protocol):
+    """Anything that accepts trace events.
+
+    ``enabled`` is the hot-path guard: emitters must skip event
+    construction entirely when it is False.
+    """
+
+    enabled: bool
+
+    def emit(self, event: TraceEvent) -> None: ...
+
+
+class NullTracer:
+    """The no-op default: never enabled, drops everything."""
+
+    enabled = False
+
+    def emit(self, event: TraceEvent) -> None:  # pragma: no cover - dead
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+#: process-wide default sink (stateless, safe to share)
+NULL_TRACER = NullTracer()
+
+
+class CollectingTracer:
+    """Keeps every event in memory, in emission order."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def emit(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def close(self) -> None:
+        pass
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+
+class JsonlTracer:
+    """Streams events to a JSON-Lines file (or any text stream)."""
+
+    enabled = True
+
+    def __init__(self, target):
+        """``target``: a path string or an open text stream."""
+        if isinstance(target, (str, bytes)):
+            self._stream = open(target, "w")
+            self._owns = True
+        else:
+            self._stream = target
+            self._owns = False
+
+    def emit(self, event: TraceEvent) -> None:
+        self._stream.write(json.dumps(event.to_dict(),
+                                      separators=(",", ":")))
+        self._stream.write("\n")
+
+    def close(self) -> None:
+        if self._owns:
+            self._stream.close()
+        else:
+            self._stream.flush()
+
+    def __enter__(self) -> "JsonlTracer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class TeeTracer:
+    """Fans every event out to several sinks (e.g. JSONL + in-memory)."""
+
+    enabled = True
+
+    def __init__(self, *sinks: Tracer):
+        self.sinks = sinks
+
+    def emit(self, event: TraceEvent) -> None:
+        for sink in self.sinks:
+            sink.emit(event)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()
+
+
+def read_jsonl(source) -> Iterator[TraceEvent]:
+    """Parse a JSONL trace back into typed events.
+
+    ``source``: a path, an open text stream, or an iterable of lines.
+    """
+    if isinstance(source, (str, bytes)):
+        with open(source) as handle:
+            yield from _parse_lines(handle)
+    else:
+        yield from _parse_lines(source)
+
+
+def _parse_lines(lines: Iterable[str]) -> Iterator[TraceEvent]:
+    for line in lines:
+        line = line.strip()
+        if line:
+            yield event_from_dict(json.loads(line))
+
+
+def dump_jsonl(events: Iterable[TraceEvent], target) -> None:
+    """Write typed events as a JSONL trace (path or text stream)."""
+    if isinstance(target, (str, bytes)):
+        with open(target, "w") as handle:
+            dump_jsonl(events, handle)
+        return
+    assert isinstance(target, io.TextIOBase) or hasattr(target, "write")
+    for event in events:
+        target.write(json.dumps(event.to_dict(), separators=(",", ":")))
+        target.write("\n")

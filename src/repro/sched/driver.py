@@ -19,6 +19,9 @@ from ..dataflow.cache import AnalysisCache
 from ..ir.function import Function
 from ..ir.operand import Reg, RegClass
 from ..machine.model import MachineModel
+from ..obs.events import RegionSkipped
+from ..obs.metrics import NULL_METRICS
+from ..obs.tracer import NULL_TRACER
 from .candidates import ScheduleLevel
 from .global_sched import RegionScheduleReport, schedule_region
 from .regions import RegionSpec, build_region_pdg, find_regions, region_is_reducible
@@ -76,6 +79,8 @@ def global_schedule(
     allow_duplication: bool = False,
     block_filter=None,
     analyses: AnalysisCache | None = None,
+    tracer=NULL_TRACER,
+    metrics=NULL_METRICS,
 ) -> GlobalScheduleReport:
     """Globally schedule every eligible region of ``func`` in place.
 
@@ -99,6 +104,12 @@ def global_schedule(
     regions = find_regions(func, analyses)
     if regions and not region_is_reducible(func, regions[0], analyses):
         report.skipped_regions = [r.header_node for r in regions]
+        if tracer.enabled:
+            for r in regions:
+                tracer.emit(RegionSkipped(header=r.header_node,
+                                          reason="irreducible"))
+        if metrics.enabled:
+            metrics.inc("sched.regions.skipped", len(regions))
         return report
 
     if live_at_exit is None:
@@ -107,9 +118,19 @@ def global_schedule(
 
     for spec in regions:
         if region_filter is not None and not region_filter(spec):
+            if tracer.enabled:
+                tracer.emit(RegionSkipped(header=spec.header_node,
+                                          reason="filtered"))
             continue
-        if not _eligible(spec, func, apply_size_limits, inner_levels_only):
+        reason = _ineligible_reason(spec, func, apply_size_limits,
+                                    inner_levels_only)
+        if reason is not None:
             report.skipped_regions.append(spec.header_node)
+            if tracer.enabled:
+                tracer.emit(RegionSkipped(header=spec.header_node,
+                                          reason=reason))
+            if metrics.enabled:
+                metrics.inc("sched.regions.skipped")
             continue
         pdg = build_region_pdg(func, machine, spec)
         tracker = LiveOnExitTracker(live_out_map, pdg.forward)
@@ -120,18 +141,23 @@ def global_schedule(
             priority_fn=priority_fn,
             allow_duplication=allow_duplication,
             block_filter=block_filter,
+            region_kind=spec.kind,
+            tracer=tracer,
+            metrics=metrics,
         )
         report.regions.append(region_report)
     return report
 
 
-def _eligible(spec: RegionSpec, func: Function,
-              apply_size_limits: bool, inner_levels_only: bool) -> bool:
-    """The Section 6 prototype policy."""
+def _ineligible_reason(spec: RegionSpec, func: Function,
+                       apply_size_limits: bool,
+                       inner_levels_only: bool) -> str | None:
+    """The Section 6 prototype policy; None means "schedule it", anything
+    else names why the region is skipped (reported and traced)."""
     if not spec.member_labels:
-        return False
+        return "empty"
     if apply_size_limits and not spec.is_small(func):
-        return False
+        return "too-large"
     if inner_levels_only:
         # "Only two inner levels of regions are scheduled": a region
         # qualifies when it encloses no other region (inner) or only
@@ -140,5 +166,5 @@ def _eligible(spec: RegionSpec, func: Function,
             not sub.children for sub in spec.subloops
         )
         if not two_levels:
-            return False
-    return True
+            return "too-deep"
+    return None

@@ -27,6 +27,23 @@ from dataclasses import dataclass, field
 
 from ..ir.instruction import Instruction
 from ..ir.opcodes import UnitType
+from ..obs.events import (
+    BlockBegin,
+    BlockEnd,
+    CandidateBlocksComputed,
+    CandidatesCollected,
+    CycleAdvance,
+    Issue,
+    MotionRecorded,
+    PriorityDecision,
+    RegionEnter,
+    RegionExit,
+    SpeculationRejected,
+    SpeculationRenamed,
+    UnitOccupancy,
+)
+from ..obs.metrics import NULL_METRICS
+from ..obs.tracer import NULL_TRACER
 from ..pdg.pdg import RegionPDG
 from ..pdg.data_deps import DepKind
 from .candidates import (
@@ -36,9 +53,18 @@ from .candidates import (
     collect_candidates,
     collect_duplication_candidates,
 )
-from .heuristics import compute_region_priorities, priority_key
+from .heuristics import (
+    PRIORITY_STEPS,
+    compute_region_priorities,
+    deciding_step,
+    priority_key,
+)
 from .ready import DependenceState
 from .speculation import LiveOnExitTracker, try_rename_for_motion
+
+#: the full decision order of the sorted ready list: duplication class
+#: first (a global_sched refinement), then the Section 5.2 steps
+_FULL_PRIORITY_STEPS = ("duplication-class", *PRIORITY_STEPS)
 
 #: Safety valve: a block pass that stalls this many consecutive cycles
 #: without issuing anything indicates a dependence-state bug.
@@ -101,6 +127,9 @@ def schedule_region(
     priority_fn=None,
     allow_duplication: bool = False,
     block_filter=None,
+    region_kind: str = "region",
+    tracer=NULL_TRACER,
+    metrics=NULL_METRICS,
 ) -> RegionScheduleReport:
     """Globally schedule one region in place.  Returns a report.
 
@@ -112,10 +141,20 @@ def schedule_region(
     ``priority_fn(ins, useful, priorities) -> sortable`` overrides the
     Section 5.2 decision order; the heuristic-ordering ablation bench uses
     it (the paper: "experimentation and tuning are needed").
+
+    ``tracer``/``metrics`` observe every decision (see :mod:`repro.obs`);
+    the no-op defaults cost one guarded attribute load per site and must
+    never perturb scheduling.
     """
     report = RegionScheduleReport(header=pdg.header, level=level)
     if level is ScheduleLevel.NONE:
         return report
+    if tracer.enabled:
+        tracer.emit(RegionEnter(header=pdg.header, region_kind=region_kind,
+                                level=level.value,
+                                blocks=tuple(pdg.topo_labels)))
+    if metrics.enabled:
+        metrics.inc("sched.regions")
 
     state = DependenceState(pdg.ddg, pdg.machine)
     ddg_blocks = [pdg.block(label) for label in pdg.topo_labels]
@@ -138,8 +177,14 @@ def schedule_region(
         _schedule_block(pdg, node, level, live_tracker, state, priorities,
                         max_speculation, rename_on_demand, carry, report,
                         priority_fn or priority_key, allow_duplication,
-                        block_filter)
+                        block_filter, tracer, metrics)
         previous = node
+    if metrics.enabled and state.invalidations:
+        metrics.inc("sched.ddg_invalidations", state.invalidations)
+    if tracer.enabled:
+        tracer.emit(RegionExit(header=pdg.header, motions=len(report.motions),
+                               speculative_motions=len(
+                                   report.speculative_motions)))
     return report
 
 
@@ -157,6 +202,8 @@ def _schedule_block(
     priority_fn,
     allow_duplication: bool,
     block_filter=None,
+    tracer=NULL_TRACER,
+    metrics=NULL_METRICS,
 ) -> None:
     func = pdg.func
     block = func.block(label)
@@ -172,6 +219,12 @@ def _schedule_block(
     if allow_duplication:
         for cand in collect_duplication_candidates(pdg, label):
             pending.setdefault(id(cand.ins), cand)
+    if tracer.enabled or metrics.enabled:
+        _note_block_entry(tracer, metrics, label, carry_cycles,
+                          equiv, speculative, pending)
+    #: ids of instructions whose live-on-exit veto was already reported
+    #: this pass (the readiness scan re-evaluates them every cycle)
+    vetoes_logged: set[int] = set()
     terminator = block.terminator
     own_remaining = {id(ins) for ins in block.instrs}
     issued_order: list[Instruction] = []
@@ -194,6 +247,12 @@ def _schedule_block(
             for c in pending.values()
         )
 
+    def sort_key(c: Candidate):
+        # duplication is the costliest class: it ranks after useful
+        # and speculative candidates (the paper's conservative order)
+        return (1 if c.duplicate_into else 0,
+                priority_fn(c.ins, useful=c.useful, priorities=priorities))
+
     cycle = 0
     stall = 0
     done = not own_remaining
@@ -201,6 +260,8 @@ def _schedule_block(
         free = {unit: machine.unit_count(unit) for unit in UnitType}
         budget = machine.total_issue_width
         issued_this_cycle = False
+        issued_count = 0
+        cycle_traced = False
         hold_for_dup = dup_fill_wanted(cycle)
 
         progress = True
@@ -210,14 +271,19 @@ def _schedule_block(
                 pending, state, cycle, terminator, own_remaining,
                 live_tracker, label, pdg, rename_on_demand,
                 hold_terminator=hold_for_dup,
+                tracer=tracer, metrics=metrics, vetoes_logged=vetoes_logged,
             )
-            # duplication is the costliest class: it ranks after useful
-            # and speculative candidates (the paper's conservative order)
-            ready.sort(key=lambda c: (
-                1 if c.duplicate_into else 0,
-                priority_fn(c.ins, useful=c.useful, priorities=priorities),
-            ))
-            for cand in ready:
+            ready.sort(key=sort_key)
+            if not cycle_traced and (tracer.enabled or metrics.enabled):
+                # the first readiness scan of the cycle is the pressure
+                # snapshot: later scans see candidates unlocked mid-cycle
+                cycle_traced = True
+                if tracer.enabled:
+                    tracer.emit(CycleAdvance(label=label, cycle=cycle,
+                                             ready=len(ready)))
+                if metrics.enabled:
+                    metrics.observe("sched.ready", len(ready))
+            for pos, cand in enumerate(ready):
                 unit = cand.ins.unit
                 if free.get(unit, 0) <= 0:
                     continue
@@ -229,7 +295,11 @@ def _schedule_block(
                 del pending[id(cand.ins)]
                 own_remaining.discard(id(cand.ins))
                 issued_this_cycle = True
+                issued_count += 1
                 progress = True
+                if tracer.enabled:
+                    _trace_issue(tracer, label, cycle, cand, machine, ready,
+                                 pos, sort_key)
                 if cand.home != label:
                     is_spec = not cand.useful and not cand.duplicate_into
                     report.motions.append(Motion(
@@ -237,6 +307,17 @@ def _schedule_block(
                         cand.home, label, is_spec,
                         duplicated_into=cand.duplicate_into or (),
                     ))
+                    if tracer.enabled:
+                        tracer.emit(MotionRecorded(
+                            uid=cand.ins.uid,
+                            opcode=cand.ins.opcode.mnemonic,
+                            src=cand.home, dst=label, speculative=is_spec,
+                            duplicated_into=cand.duplicate_into or ()))
+                    if metrics.enabled:
+                        metrics.inc(
+                            "sched.motions.speculative" if is_spec
+                            else "sched.motions.duplicated"
+                            if cand.duplicate_into else "sched.motions.useful")
                     func.block(cand.home).remove(cand.ins)
                     if cand.duplicate_into:
                         _place_duplicates(pdg, state, cand, report)
@@ -254,6 +335,14 @@ def _schedule_block(
             if done:
                 break
 
+        if tracer.enabled and issued_count:
+            used = {
+                unit.value: machine.unit_count(unit) - free.get(unit, 0)
+                for unit in UnitType
+                if machine.unit_count(unit) - free.get(unit, 0) > 0
+            }
+            tracer.emit(UnitOccupancy(label=label, cycle=cycle, used=used,
+                                      issued=issued_count))
         if done:
             report.block_cycles[label] = cycle + 1
             break
@@ -268,6 +357,67 @@ def _schedule_block(
         cycle += 1
 
     block.instrs = issued_order
+    if tracer.enabled:
+        tracer.emit(BlockEnd(label=label,
+                             cycles=report.block_cycles.get(label, 0)))
+    if metrics.enabled:
+        metrics.inc("sched.blocks")
+
+
+def _note_block_entry(tracer, metrics, label: str, carry_cycles: int | None,
+                      equiv: list[str], speculative: list[str],
+                      pending: dict[int, Candidate]) -> None:
+    """Off-hot-path bookkeeping when a traced/measured block pass opens."""
+    own = useful = spec = dup = 0
+    for cand in pending.values():
+        if cand.home == label:
+            own += 1
+        elif cand.duplicate_into:
+            dup += 1
+        elif cand.useful:
+            useful += 1
+        else:
+            spec += 1
+    if tracer.enabled:
+        tracer.emit(BlockBegin(label=label, carry_cycles=carry_cycles))
+        tracer.emit(CandidateBlocksComputed(
+            label=label, equiv=tuple(equiv), speculative=tuple(speculative)))
+        tracer.emit(CandidatesCollected(label=label, own=own, useful=useful,
+                                        speculative=spec, duplication=dup))
+    if metrics.enabled:
+        metrics.inc("sched.candidates.own", own)
+        metrics.inc("sched.candidates.useful", useful)
+        metrics.inc("sched.candidates.speculative", spec)
+        metrics.inc("sched.candidates.duplication", dup)
+
+
+def _trace_issue(tracer, label: str, cycle: int, cand: Candidate, machine,
+                 ready: list[Candidate], pos: int, sort_key) -> None:
+    """Emit the issue event and, when a runner-up was waiting, which step
+    of the decision order separated the two."""
+    klass = ("own" if cand.home == label
+             else "useful" if cand.useful
+             else "duplicated" if cand.duplicate_into
+             else "speculative")
+    tracer.emit(Issue(label=label, cycle=cycle, uid=cand.ins.uid,
+                      opcode=cand.ins.opcode.mnemonic,
+                      unit=cand.ins.unit.value, home=cand.home, klass=klass,
+                      exec_cycles=machine.exec_time(cand.ins)))
+    if pos + 1 < len(ready):
+        runner_up = ready[pos + 1]
+        winner_key, runner_key = sort_key(cand), sort_key(runner_up)
+        # flatten (dup-class, priority-tuple) so the step names line up
+        if isinstance(winner_key[1], tuple):
+            step = deciding_step((winner_key[0], *winner_key[1]),
+                                 (runner_key[0], *runner_key[1]),
+                                 _FULL_PRIORITY_STEPS)
+        elif winner_key[0] != runner_key[0]:
+            step = "duplication-class"
+        else:
+            step = "custom-priority"
+        tracer.emit(PriorityDecision(
+            label=label, cycle=cycle, winner_uid=cand.ins.uid,
+            runner_up_uid=runner_up.ins.uid, step=step))
 
 
 def _ready_candidates(
@@ -281,6 +431,9 @@ def _ready_candidates(
     pdg: RegionPDG,
     rename_on_demand: bool,
     hold_terminator: bool = False,
+    tracer=NULL_TRACER,
+    metrics=NULL_METRICS,
+    vetoes_logged: set[int] | None = None,
 ) -> list[Candidate]:
     """Candidates issuable at ``cycle``.
 
@@ -310,15 +463,52 @@ def _ready_candidates(
             # duplication needs no liveness test: every path into the
             # join still executes (a copy of) the definition
             if not rename_on_demand:
+                _note_veto(tracer, metrics, vetoes_logged, live_tracker,
+                           cand, label)
                 continue
+            observing = tracer.enabled or metrics.enabled
+            regs = (live_tracker.blocking_regs(ins, label)
+                    if observing else ())
             renamed = try_rename_for_motion(
                 ins, pdg.func.block(cand.home), label, live_tracker,
                 pdg.ddg, pdg.func, pdg.machine,
             )
             if not renamed:
+                _note_veto(tracer, metrics, vetoes_logged, live_tracker,
+                           cand, label, regs=regs)
                 continue
+            # the rename mutated the instruction, so this branch cannot
+            # re-trigger: one event per successful rename
+            if observing:
+                if tracer.enabled:
+                    tracer.emit(SpeculationRenamed(
+                        label=label, uid=ins.uid,
+                        opcode=ins.opcode.mnemonic, home=cand.home,
+                        regs=tuple(str(r) for r in regs)))
+                if metrics.enabled:
+                    metrics.inc("sched.speculation.renamed")
         ready.append(cand)
     return ready
+
+
+def _note_veto(tracer, metrics, vetoes_logged: set[int] | None,
+               live_tracker: LiveOnExitTracker, cand: Candidate, label: str,
+               regs: tuple = ()) -> None:
+    """Report a Section 5.3 live-on-exit veto, once per candidate per
+    block pass (the readiness scan re-evaluates every cycle)."""
+    if not (tracer.enabled or metrics.enabled):
+        return
+    if vetoes_logged is None or id(cand.ins) in vetoes_logged:
+        return
+    vetoes_logged.add(id(cand.ins))
+    if not regs:
+        regs = live_tracker.blocking_regs(cand.ins, label)
+    if tracer.enabled:
+        tracer.emit(SpeculationRejected(
+            label=label, uid=cand.ins.uid, opcode=cand.ins.opcode.mnemonic,
+            home=cand.home, regs=tuple(str(r) for r in regs)))
+    if metrics.enabled:
+        metrics.inc("sched.speculation.rejected_live")
 
 
 def _place_duplicates(pdg: RegionPDG, state: DependenceState,

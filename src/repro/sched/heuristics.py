@@ -88,3 +88,31 @@ def machine_free_exec(ins: Instruction) -> int:
     """Fallback CP seed when an instruction has no recorded priorities
     (e.g. freshly created by a transformation after priority computation)."""
     return ins.opcode.info.cycles
+
+
+#: names of :func:`priority_key`'s components, for decision tracing
+PRIORITY_STEPS = (
+    "useful-before-speculative",
+    "delay-heuristic",
+    "critical-path",
+    "source-order",
+)
+
+
+def deciding_step(winner_key, runner_up_key,
+                  steps: tuple[str, ...] = PRIORITY_STEPS) -> str:
+    """Which component of the decision order separated two sort keys.
+
+    Keys are the tuples :func:`priority_key` (or a caller-extended form)
+    produced for two competing ready instructions; the first position
+    where they differ names the step that decided.  Non-tuple keys (a
+    custom ``priority_fn``) report ``"custom-priority"``; equal keys are a
+    ``"tie"`` (the sort was stable, so source order of the ready list
+    prevailed).
+    """
+    if not (isinstance(winner_key, tuple) and isinstance(runner_up_key, tuple)):
+        return "custom-priority"
+    for name, a, b in zip(steps, winner_key, runner_up_key):
+        if a != b:
+            return name
+    return "tie"

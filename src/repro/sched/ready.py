@@ -47,6 +47,9 @@ class DependenceState:
         #: lazily-filled earliest start within the current pass
         self._earliest: dict[int, int] = {}
         self._ddg_version = ddg.version
+        #: observability: how many times a DDG version bump forced the
+        #: derived caches to be dropped (mid-region renames/duplication)
+        self.invalidations = 0
 
     def edge_weight(self, edge: DepEdge) -> int:
         """Minimum start-to-start separation the edge imposes."""
@@ -65,6 +68,7 @@ class DependenceState:
             self._ddg_version = self.ddg.version
             self._blocked.clear()
             self._earliest.clear()
+            self.invalidations += 1
 
     # -- pass lifecycle -----------------------------------------------------
 

@@ -45,6 +45,13 @@ class LiveOnExitTracker:
         live = self._live_out.get(target, set())
         return any(reg in live for reg in ins.reg_defs())
 
+    def blocking_regs(self, ins: Instruction, target: str) -> tuple[Reg, ...]:
+        """The registers that make :meth:`blocks_motion` true -- the
+        live-on-exit defs a veto is attributable to.  Off the hot path;
+        tracing uses it to name the rejection reason."""
+        live = self._live_out.get(target, set())
+        return tuple(reg for reg in ins.reg_defs() if reg in live)
+
     def record_motion(self, ins: Instruction, src: str, dst: str) -> None:
         """Update liveness after ``ins`` moved from ``src`` into ``dst``.
 

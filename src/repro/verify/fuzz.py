@@ -83,6 +83,9 @@ class FuzzReport:
     master_seed: int
     attempted: int = 0
     failures: list[FuzzFailure] = field(default_factory=list)
+    #: per-program scheduling summaries (``collect_metrics=True`` only),
+    #: sorted by index; see :func:`_program_metrics` for the keys
+    metric_summaries: list[dict] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -94,6 +97,39 @@ class FuzzReport:
                 f"{self.master_seed}: {status}")
 
 
+def _program_metrics(index: int, program: GenProgram) -> dict:
+    """Compile ``program`` once (rs6k, speculative) with metrics on and
+    distill the campaign-level scheduling summary.  Deterministic in
+    ``(seed, index)`` like everything else here."""
+    from ..compiler import compile_c
+    from ..machine.configs import CONFIGS
+    from ..obs.metrics import MetricsCollector
+    from ..sched.candidates import ScheduleLevel
+    from ..xform.pipeline import PipelineConfig
+
+    metrics = MetricsCollector()
+    config = PipelineConfig(level=ScheduleLevel.SPECULATIVE, metrics=metrics)
+    compile_c(program.source, machine=CONFIGS["rs6k"](),
+              level=ScheduleLevel.SPECULATIVE, config=config)
+    ready_count, ready_total, ready_max = metrics.series.get(
+        "sched.ready", (0, 0, 0))
+    return {
+        "index": index,
+        "seed": program.seed,
+        "motions_useful": metrics.counters.get("sched.motions.useful", 0),
+        "motions_speculative": metrics.counters.get(
+            "sched.motions.speculative", 0),
+        "motions_duplicated": metrics.counters.get(
+            "sched.motions.duplicated", 0),
+        "spec_rejected": metrics.counters.get(
+            "sched.speculation.rejected_live", 0),
+        "spec_renamed": metrics.counters.get("sched.speculation.renamed", 0),
+        "ready_mean": round(ready_total / ready_count, 3) if ready_count
+                      else 0.0,
+        "ready_max": ready_max,
+    }
+
+
 def fuzz(
     n: int,
     seed: int,
@@ -103,6 +139,7 @@ def fuzz(
     on_progress: Callable[[int, int], None] | None = None,
     stop_after: int | None = None,
     jobs: int = 1,
+    collect_metrics: bool = False,
 ) -> FuzzReport:
     """Run ``n`` generated programs through the differential matrix.
 
@@ -112,7 +149,9 @@ def fuzz(
     programs over a worker pool; because every program derives from
     ``(seed, index)`` alone, the sorted failure list is independent of the
     job count (``stop_after`` may admit a different-but-overlapping subset
-    when completion order differs).
+    when completion order differs).  ``collect_metrics`` additionally
+    compiles each program with a metrics collector and records a
+    per-program scheduling summary in ``report.metric_summaries``.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be a positive integer, got {jobs}")
@@ -125,6 +164,9 @@ def fuzz(
             if not outcome.ok:
                 report.failures.append(
                     _build_failure(index, program, outcome, machines, shrink))
+            if collect_metrics:
+                report.metric_summaries.append(
+                    _program_metrics(index, program))
             if on_progress is not None:
                 on_progress(report.attempted, len(report.failures))
             if stop_after is not None and len(report.failures) >= stop_after:
@@ -133,44 +175,51 @@ def fuzz(
 
     import multiprocessing
 
-    tasks = [(seed, index, machines, shrink) for index in range(n)]
+    tasks = [(seed, index, machines, shrink, collect_metrics)
+             for index in range(n)]
     with multiprocessing.get_context().Pool(processes=jobs) as pool:
-        for index, failure, error in pool.imap_unordered(
+        for index, failure, error, summary in pool.imap_unordered(
                 _fuzz_worker, tasks, chunksize=4):
             if error is not None:
                 raise FuzzWorkerError(index, error)
             report.attempted += 1
             if failure is not None:
                 report.failures.append(failure)
+            if summary is not None:
+                report.metric_summaries.append(summary)
             if on_progress is not None:
                 on_progress(report.attempted, len(report.failures))
             if stop_after is not None and len(report.failures) >= stop_after:
                 break
         # leaving the with-block terminates any still-running workers
     report.failures.sort(key=lambda f: f.index)
+    report.metric_summaries.sort(key=lambda s: s["index"])
     return report
 
 
 def _fuzz_worker(
-    task: tuple[int, int, tuple[str, ...], bool],
-) -> tuple[int, FuzzFailure | None, str | None]:
+    task: tuple[int, int, tuple[str, ...], bool, bool],
+) -> tuple[int, FuzzFailure | None, str | None, dict | None]:
     """Pool entry point: run one campaign index, never raise.
 
-    Returns ``(index, failure-or-None, crash-traceback-or-None)``; the
-    parent re-raises crashes as :class:`FuzzWorkerError` so one bad program
-    aborts the campaign loudly instead of hanging the pool.
+    Returns ``(index, failure-or-None, crash-traceback-or-None,
+    metric-summary-or-None)``; the parent re-raises crashes as
+    :class:`FuzzWorkerError` so one bad program aborts the campaign loudly
+    instead of hanging the pool.
     """
-    master_seed, index, machines, shrink = task
+    master_seed, index, machines, shrink, collect_metrics = task
     try:
         program = generate_program(derive_seed(master_seed, index))
         outcome = run_differential(program, machines=machines)
+        summary = (_program_metrics(index, program)
+                   if collect_metrics else None)
         if outcome.ok:
-            return index, None, None
+            return index, None, None, summary
         return (index,
                 _build_failure(index, program, outcome, machines, shrink),
-                None)
+                None, summary)
     except Exception:
-        return index, None, traceback.format_exc()
+        return index, None, traceback.format_exc(), None
 
 
 def _build_failure(

@@ -18,6 +18,7 @@ switchable so the ablation benches can measure its contribution.
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from ..dataflow.cache import AnalysisCache
@@ -25,6 +26,9 @@ from ..ir.function import Function
 from ..ir.operand import Reg
 from ..ir.verify import verify_function
 from ..machine.model import MachineModel
+from ..obs.events import FunctionBegin, FunctionEnd, PhaseBegin, PhaseEnd
+from ..obs.metrics import NULL_METRICS, MetricsCollector
+from ..obs.tracer import NULL_TRACER, Tracer
 from ..sched.bb_sched import schedule_function_blocks
 from ..sched.candidates import ScheduleLevel
 from ..sched.driver import GlobalScheduleReport, global_schedule
@@ -76,6 +80,13 @@ class PipelineConfig:
     #: (:func:`repro.verify.verify_schedule`) on the result, raising
     #: :class:`repro.verify.ScheduleVerificationError` on any violation
     verify: bool = False
+    #: observability (see :mod:`repro.obs`): a :class:`~repro.obs.Tracer`
+    #: receiving every pipeline/scheduler decision event, and a
+    #: :class:`~repro.obs.MetricsCollector` aggregating counters and
+    #: per-phase timers.  None (the default) uses the no-op singletons --
+    #: tracing off must be byte-identical to tracing on.
+    trace: Tracer | None = None
+    metrics: MetricsCollector | None = None
 
 
 @dataclass
@@ -114,7 +125,34 @@ def optimize(
     """Run the full global-scheduling flow on ``func`` in place."""
     config = config or PipelineConfig()
     report = PipelineReport(level=config.level)
+    tracer = config.trace if config.trace is not None else NULL_TRACER
+    metrics = config.metrics if config.metrics is not None else NULL_METRICS
     started = time.perf_counter()
+    if tracer.enabled:
+        tracer.emit(FunctionBegin(function=func.name,
+                                  level=config.level.value))
+
+    @contextmanager
+    def phase(name: str):
+        """Bracket one Section 6 stage with trace + timer events."""
+        if tracer.enabled:
+            tracer.emit(PhaseBegin(function=func.name, phase=name))
+        phase_started = time.perf_counter()
+        try:
+            with metrics.phase(name):
+                yield
+        finally:
+            if tracer.enabled:
+                tracer.emit(PhaseEnd(
+                    function=func.name, phase=name,
+                    elapsed_ms=(time.perf_counter() - phase_started) * 1e3))
+
+    def finish() -> PipelineReport:
+        report.elapsed_seconds = time.perf_counter() - started
+        if tracer.enabled:
+            tracer.emit(FunctionEnd(function=func.name,
+                                    elapsed_ms=report.elapsed_seconds * 1e3))
+        return report
     # One memoised CFG/dominators/loop-nest/liveness bundle shared by every
     # stage below.  Transform stages rewrite block structure and drop it
     # wholesale; scheduling sweeps move instructions between existing
@@ -131,49 +169,54 @@ def optimize(
             return
         from ..verify.verifier import verify_schedule
 
-        report.verify_reports.append(verify_schedule(
-            before, func, machine,
-            level=level,
-            live_at_exit=live_at_exit,
-            motions=motions,
-            max_speculation=config.max_speculation,
-            allow_duplication=config.allow_duplication,
-        ))
+        with metrics.phase("verify"):
+            report.verify_reports.append(verify_schedule(
+                before, func, machine,
+                level=level,
+                live_at_exit=live_at_exit,
+                motions=motions,
+                max_speculation=config.max_speculation,
+                allow_duplication=config.allow_duplication,
+            ))
 
     # Machine-independent optimizations the BASE compiler also performs.
     if config.strength_reduce:
-        report.strength = strength_reduce(
-            func, live_at_exit=live_at_exit or frozenset())
-        verify_function(func)
+        with phase("strength-reduce"):
+            report.strength = strength_reduce(
+                func, live_at_exit=live_at_exit or frozenset())
+            verify_function(func)
         analyses.invalidate()
     if config.use_counter_register:
-        report.ctr = convert_counted_loops(func)
-        verify_function(func)
+        with phase("ctr"):
+            report.ctr = convert_counted_loops(func)
+            verify_function(func)
         analyses.invalidate()
 
     if config.level is ScheduleLevel.NONE:
         # The BASE compiler still runs its basic-block scheduler.
         if config.post_bb_pass:
             before = snapshot()
-            report.bb_cycles = schedule_function_blocks(func, machine)
-            verify_function(func)
+            with phase("bb-post"):
+                report.bb_cycles = schedule_function_blocks(func, machine)
+                verify_function(func)
             check(before, level=ScheduleLevel.NONE)
-        report.elapsed_seconds = time.perf_counter() - started
-        return report
+        return finish()
 
     if config.rename_ahead:
-        report.rename = rename_function(
-            func, live_at_exit=live_at_exit or frozenset())
-        verify_function(func)
+        with phase("rename-ahead"):
+            report.rename = rename_function(
+                func, live_at_exit=live_at_exit or frozenset())
+            verify_function(func)
         analyses.invalidate_liveness()
 
     # Step 1: unroll small inner loops.
     if config.unroll_max_blocks:
-        nest = analyses.loop_nest()
-        for loop in unrollable_inner_loops(func, nest.loops,
-                                           config.unroll_max_blocks):
-            report.unrolled.append(unroll_loop(func, loop))
-        verify_function(func)
+        with phase("unroll"):
+            nest = analyses.loop_nest()
+            for loop in unrollable_inner_loops(func, nest.loops,
+                                               config.unroll_max_blocks):
+                report.unrolled.append(unroll_loop(func, loop))
+            verify_function(func)
         if report.unrolled:
             analyses.invalidate()
 
@@ -182,34 +225,39 @@ def optimize(
 
     # Step 2: first global pass, inner regions only.
     before = snapshot()
-    report.first_pass = global_schedule(
-        func, machine, config.level,
-        live_at_exit=live_at_exit,
-        max_speculation=config.max_speculation,
-        rename_on_demand=config.rename_on_demand,
-        apply_size_limits=config.apply_size_limits,
-        inner_levels_only=config.inner_levels_only,
-        region_filter=lambda spec: spec.kind == "loop" and not spec.subloops,
-        priority_fn=priority_fn,
-        allow_duplication=config.allow_duplication,
-        analyses=analyses,
-    )
-    verify_function(func)
+    with phase("global-pass-1"):
+        report.first_pass = global_schedule(
+            func, machine, config.level,
+            live_at_exit=live_at_exit,
+            max_speculation=config.max_speculation,
+            rename_on_demand=config.rename_on_demand,
+            apply_size_limits=config.apply_size_limits,
+            inner_levels_only=config.inner_levels_only,
+            region_filter=lambda spec: (spec.kind == "loop"
+                                        and not spec.subloops),
+            priority_fn=priority_fn,
+            allow_duplication=config.allow_duplication,
+            analyses=analyses,
+            tracer=tracer,
+            metrics=metrics,
+        )
+        verify_function(func)
     analyses.invalidate_liveness()
     check(before, level=config.level, motions=report.first_pass.motions)
 
     # Step 3: rotate small inner loops.
     rotated_headers: set[str] = set()
     if config.rotate_max_blocks:
-        nest = analyses.loop_nest()
-        for loop in list(nest.loops):
-            if loop.children:
-                continue
-            if rotatable(func, loop, config.rotate_max_blocks):
-                rotated = rotate_loop(func, loop)
-                report.rotated.append(rotated)
-                rotated_headers.add(rotated.new_loop_header)
-        verify_function(func)
+        with phase("rotate"):
+            nest = analyses.loop_nest()
+            for loop in list(nest.loops):
+                if loop.children:
+                    continue
+                if rotatable(func, loop, config.rotate_max_blocks):
+                    rotated = rotate_loop(func, loop)
+                    report.rotated.append(rotated)
+                    rotated_headers.add(rotated.new_loop_header)
+            verify_function(func)
         if report.rotated:
             analyses.invalidate()
 
@@ -221,29 +269,32 @@ def optimize(
         return True
 
     before = snapshot()
-    report.second_pass = global_schedule(
-        func, machine, config.level,
-        live_at_exit=live_at_exit,
-        max_speculation=config.max_speculation,
-        rename_on_demand=config.rename_on_demand,
-        apply_size_limits=config.apply_size_limits,
-        inner_levels_only=config.inner_levels_only,
-        region_filter=second_filter,
-        priority_fn=(make_profile_priority_fn(config.profile, func)
-                     if config.profile else None),
-        allow_duplication=config.allow_duplication,
-        analyses=analyses,
-    )
-    verify_function(func)
+    with phase("global-pass-2"):
+        report.second_pass = global_schedule(
+            func, machine, config.level,
+            live_at_exit=live_at_exit,
+            max_speculation=config.max_speculation,
+            rename_on_demand=config.rename_on_demand,
+            apply_size_limits=config.apply_size_limits,
+            inner_levels_only=config.inner_levels_only,
+            region_filter=second_filter,
+            priority_fn=(make_profile_priority_fn(config.profile, func)
+                         if config.profile else None),
+            allow_duplication=config.allow_duplication,
+            analyses=analyses,
+            tracer=tracer,
+            metrics=metrics,
+        )
+        verify_function(func)
     analyses.invalidate_liveness()
     check(before, level=config.level, motions=report.second_pass.motions)
 
     # Post-pass: local scheduling of every block.
     if config.post_bb_pass:
         before = snapshot()
-        report.bb_cycles = schedule_function_blocks(func, machine)
-        verify_function(func)
+        with phase("bb-post"):
+            report.bb_cycles = schedule_function_blocks(func, machine)
+            verify_function(func)
         check(before, level=ScheduleLevel.NONE)
 
-    report.elapsed_seconds = time.perf_counter() - started
-    return report
+    return finish()

@@ -1,10 +1,43 @@
-"""Shared fixtures: the paper's Figure 2 program and helpers."""
+"""Shared fixtures: the paper's Figure 2 program, golden files, helpers."""
 
 from __future__ import annotations
+
+from pathlib import Path
 
 import pytest
 
 from repro.ir import Function, parse_function
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens", action="store_true", default=False,
+        help="rewrite tests/golden/* from the current compiler output "
+             "instead of comparing against it")
+
+
+@pytest.fixture
+def golden(request):
+    """Compare ``text`` against ``tests/golden/<name>`` (or rewrite it
+    under ``--update-goldens``)."""
+    update = request.config.getoption("--update-goldens")
+
+    def check(name: str, text: str) -> None:
+        path = GOLDEN_DIR / name
+        if update:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(text)
+            return
+        assert path.exists(), (
+            f"golden file {path} missing; run pytest --update-goldens")
+        expected = path.read_text()
+        assert text == expected, (
+            f"output differs from golden {name}; if the change is "
+            f"intended, rerun with --update-goldens")
+
+    return check
 
 #: The RS/6K pseudo-code of the paper's Figure 2 (the minmax loop), with
 #: the paper's instruction numbers I1-I20 and basic blocks BL1-BL10.

@@ -1,0 +1,111 @@
+"""AnalysisCache: memoisation identity and the two invalidation tiers."""
+
+from repro.dataflow.cache import AnalysisCache
+from repro.ir import parse_function
+from repro.ir.operand import Reg, RegClass
+
+SOURCE = """
+function f
+entry:
+    LI r1=0
+    LI r2=10
+loop:
+    AI r1=r1,1
+    C  cr0=r1,r2
+    BT loop,cr0,0x1/lt
+exit:
+    RET r1
+"""
+
+
+def make_cache():
+    func = parse_function(SOURCE)
+    return func, AnalysisCache(func)
+
+
+def gpr(n: int) -> Reg:
+    return Reg(RegClass.GPR, n)
+
+
+class TestMemoisation:
+    def test_same_object_until_invalidated(self):
+        _func, cache = make_cache()
+        assert cache.cfg() is cache.cfg()
+        assert cache.dominators() is cache.dominators()
+        assert cache.loop_nest() is cache.loop_nest()
+
+    def test_liveness_memoised_per_exit_set(self):
+        _func, cache = make_cache()
+        empty = frozenset()
+        one = frozenset({gpr(1)})
+        assert cache.liveness(empty) is cache.liveness(empty)
+        assert cache.liveness(one) is cache.liveness(one)
+        assert cache.liveness(empty) is not cache.liveness(one)
+
+    def test_derived_analyses_share_the_cfg(self):
+        _func, cache = make_cache()
+        cfg = cache.cfg()
+        cache.dominators()
+        cache.loop_nest()
+        assert cache.cfg() is cfg  # building dom/nest did not rebuild it
+
+
+class TestFullInvalidation:
+    def test_invalidate_drops_everything(self):
+        _func, cache = make_cache()
+        cfg = cache.cfg()
+        dom = cache.dominators()
+        nest = cache.loop_nest()
+        live = cache.liveness(frozenset())
+        cache.invalidate()
+        assert cache.cfg() is not cfg
+        assert cache.dominators() is not dom
+        assert cache.loop_nest() is not nest
+        assert cache.liveness(frozenset()) is not live
+
+    def test_fresh_analyses_reflect_cfg_mutation(self):
+        func, cache = make_cache()
+        assert len(cache.loop_nest().loops) == 1
+        # rewrite the back edge into a fall-through: the loop disappears
+        loop = func.block("loop")
+        bt = loop.instrs[-1]
+        loop.instrs.remove(bt)
+        cache.invalidate()
+        assert len(cache.loop_nest().loops) == 0
+
+
+class TestLivenessInvalidation:
+    def test_keeps_cfg_shape_drops_dataflow(self):
+        func, cache = make_cache()
+        cfg = cache.cfg()
+        dom = cache.dominators()
+        nest = cache.loop_nest()
+        live = cache.liveness(frozenset({gpr(1)}))
+        cache.invalidate_liveness()
+        assert cache.cfg() is cfg
+        assert cache.dominators() is dom
+        assert cache.loop_nest() is nest
+        assert cache.liveness(frozenset({gpr(1)})) is not live
+
+    def test_fresh_liveness_reflects_instruction_change(self):
+        func, cache = make_cache()
+        exit_live = frozenset()
+        entry = func.block("entry")
+        # r1 is defined by entry's LI before any use: not live-in
+        assert gpr(1) not in cache.liveness(exit_live).live_in(entry.label)
+        # drop the def: the loop's use of r1 now reaches entry
+        entry.instrs.remove(entry.instrs[0])
+        cache.invalidate_liveness()
+        assert gpr(1) in cache.liveness(exit_live).live_in(entry.label)
+
+    def test_stale_cache_contract(self):
+        """The documented hazard: mutate without invalidating and the old
+        facts keep being served.  This is the failure mode the pipeline's
+        explicit invalidate calls exist to prevent."""
+        func, cache = make_cache()
+        nest = cache.loop_nest()
+        loop = func.block("loop")
+        loop.instrs.remove(loop.instrs[-1])  # CFG changed underneath
+        assert cache.loop_nest() is nest     # ...but the cache can't know
+        cache.invalidate()
+        assert len(cache.loop_nest().loops) == 0

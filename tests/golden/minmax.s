@@ -1,0 +1,46 @@
+function minmax
+entry.0:
+    (I3)    LI    r5=1
+    (I4)    C     cr0=r5,r1
+    (I1)    L     r3=a(r0,0)
+    (I41)   SL    r15=r5,2                           ; strength-reduce init
+    (I39)   LI    r13=0
+    (I2)    LR    r4=r3
+    (I42)   A     r14=r0,r15                         ; strength-reduce init
+    (I5)    BF    LX.3,cr0,0x1/lt
+LH.1:
+    (I8)    L     r6=a(r14,0)
+    (I12)   L     r9=a(r14,4)
+    (I33)   AI    r5=r5,2
+    (I13)   C     cr1=r6,r9
+    (I35)   C     cr6=r5,r1
+    (I43)   AI    r14=r14,8                          ; strength-reduce step
+    (I15)   C     cr2=r6,r4
+    (I14)   BF    L.6,cr1,0x2/gt
+L.4:
+    (I19)   C     cr3=r9,r3
+    (I16)   BF    L.8,cr2,0x2/gt
+L.7:
+    (I17)   LR    r4=r6
+L.8:
+    (I20)   BF    L.5,cr3,0x1/lt
+L.9:
+    (I21)   LR    r3=r9
+    (I22)   B     L.5
+L.6:
+    (I24)   C     cr4=r9,r4
+    (I28)   C     cr5=r6,r3
+    (I25)   BF    L.12,cr4,0x2/gt
+L.11:
+    (I26)   LR    r4=r9
+L.12:
+    (I29)   BF    L.5,cr5,0x1/lt
+L.13:
+    (I30)   LR    r3=r6
+L.5:
+    (I36)   BT    LH.1,cr6,0x1/lt
+LX.3:
+    (I37)   ST    r3=>out(r2,0)
+    (I38)   ST    r4=>out(r2,4)
+    (I40)   RET   r13
+

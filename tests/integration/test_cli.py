@@ -1,5 +1,7 @@
 """Command-line interface tests (python -m repro ...)."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -107,6 +109,103 @@ class TestDot:
     def test_cfg_with_instructions(self, c_file, capsys):
         main(["dot", c_file, "--instructions"])
         assert "\\l" in capsys.readouterr().out
+
+
+class TestStats:
+    def test_prints_paper_style_report(self, c_file, capsys):
+        assert main(["stats", c_file]) == 0
+        out = capsys.readouterr().out
+        assert "scheduling report" in out
+        assert "function minmax" in out
+        assert "speculation rate" in out
+        assert "ready-list pressure" in out
+        assert "phase times (ms)" in out
+
+    def test_respects_level_and_machine(self, c_file, capsys):
+        assert main(["stats", c_file, "--level", "useful",
+                     "--machine", "ss2"]) == 0
+        out = capsys.readouterr().out
+        assert "machine ss2, level useful" in out
+        assert "speculative motions performed         0" in out
+
+
+class TestTraceOutputs:
+    def test_jsonl_trace(self, c_file, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        assert main(["compile", c_file, "--trace-out", str(path)]) == 0
+        lines = path.read_text().splitlines()
+        assert lines
+        kinds = [json.loads(line)["ev"] for line in lines]
+        assert kinds[0] == "function_begin"
+        assert "issue" in kinds and "motion" in kinds
+
+    def test_jsonl_round_trips_to_typed_events(self, c_file, tmp_path):
+        from repro.obs import read_jsonl
+
+        path = tmp_path / "trace.jsonl"
+        main(["compile", c_file, "--trace-out", str(path)])
+        events = list(read_jsonl(str(path)))
+        assert events[0].kind == "function_begin"
+        assert any(e.kind == "motion" and e.speculative for e in events)
+
+    def test_chrome_trace(self, c_file, tmp_path):
+        path = tmp_path / "trace.json"
+        assert main(["stats", c_file, "--trace-chrome", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        assert any(e.get("cat") == "issue" for e in doc["traceEvents"])
+
+    def test_both_sinks_together(self, c_file, tmp_path):
+        jsonl = tmp_path / "t.jsonl"
+        chrome = tmp_path / "t.json"
+        assert main(["compile", c_file, "--trace-out", str(jsonl),
+                     "--trace-chrome", str(chrome)]) == 0
+        assert jsonl.read_text()
+        json.loads(chrome.read_text())
+
+
+class TestFuzzMetrics:
+    def test_metrics_out(self, tmp_path, capsys):
+        path = tmp_path / "metrics.json"
+        assert main(["fuzz", "--n", "2", "--seed", "7",
+                     "--metrics-out", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        assert doc["master_seed"] == 7
+        assert doc["attempted"] == 2
+        assert [p["index"] for p in doc["programs"]] == [0, 1]
+        for program in doc["programs"]:
+            assert {"motions_useful", "motions_speculative",
+                    "spec_rejected", "ready_mean",
+                    "ready_max"} <= set(program)
+
+
+class TestMissingInputFiles:
+    """Satellite fix: one-line stderr error + exit 2, never a traceback."""
+
+    COMMANDS = [
+        ["compile", "{path}"],
+        ["run", "{path}", "minmax", "1,2", "2", "0,0"],
+        ["schedule", "{path}"],
+        ["dot", "{path}"],
+        ["verify", "{path}"],
+        ["stats", "{path}"],
+    ]
+
+    @pytest.mark.parametrize("argv", COMMANDS, ids=lambda a: a[0])
+    def test_missing_file(self, argv, tmp_path, capsys):
+        missing = str(tmp_path / "no" / "such.c")
+        argv = [a.format(path=missing) for a in argv]
+        assert main(argv) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: cannot read")
+        assert missing in captured.err
+        assert len(captured.err.strip().splitlines()) == 1
+        assert "Traceback" not in captured.err
+
+    def test_directory_as_input(self, tmp_path, capsys):
+        assert main(["compile", str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: cannot read")
 
 
 def test_parser_requires_command():

@@ -1,0 +1,138 @@
+"""Golden + conformance tests for the paper's running example.
+
+Two layers of locking:
+
+* **golden files** (``tests/golden/minmax.*``): the exact rs6k assembly
+  and motion list for ``examples/minmax.c`` at the paper's default level.
+  Refresh intentionally with ``pytest --update-goldens``.
+* **conformance**: the decision trace must *show* the Section 2 story --
+  the compare->branch delay window of the loop header is filled by
+  compares moved up speculatively from the conditional arms (Figure 2's
+  "instructions that will be executed with high probability"), exactly as
+  Figure 6 schedules I5 and I12 into BL1 between I3 and I4.
+"""
+
+from pathlib import Path
+
+from repro.compiler import compile_c
+from repro.machine import rs6k
+from repro.machine.configs import CONFIGS
+from repro.obs import CollectingTracer
+from repro.sched import ScheduleLevel, global_schedule
+from repro.xform.pipeline import PipelineConfig
+
+from ..conftest import block_uids
+
+MINMAX_C = Path("examples/minmax.c").read_text()
+
+
+def _compile_traced():
+    trace = CollectingTracer()
+    result = compile_c(MINMAX_C, machine=CONFIGS["rs6k"](),
+                       level=ScheduleLevel.SPECULATIVE,
+                       config=PipelineConfig(trace=trace))
+    return result, trace
+
+
+def _format_motions(motions):
+    lines = []
+    for m in motions:
+        kind = "speculative" if m.speculative else "useful"
+        if m.duplicated:
+            kind = f"duplicated[{','.join(m.duplicated_into)}]"
+        lines.append(f"I{m.uid} {m.opcode} {m.src} -> {m.dst}  {kind}")
+    return "\n".join(lines) + "\n"
+
+
+class TestGoldenFiles:
+    def test_assembly(self, golden):
+        result, _trace = _compile_traced()
+        text = "\n\n".join(unit.assembly() for unit in result) + "\n"
+        golden("minmax.s", text)
+
+    def test_motions(self, golden):
+        result, _trace = _compile_traced()
+        unit = result["minmax"]
+        golden("minmax.motions.txt", _format_motions(unit.report.motions))
+
+
+class TestFigure2Conformance:
+    """The trace of the Figure 2 IR replays the Figure 6 schedule."""
+
+    def _schedule(self, figure2):
+        trace = CollectingTracer()
+        global_schedule(figure2, rs6k(), ScheduleLevel.SPECULATIVE,
+                        tracer=trace)
+        return trace
+
+    def test_speculative_compares_fill_the_delay_window(self, figure2):
+        trace = self._schedule(figure2)
+        issues = [e for e in trace.of_kind("issue") if e.label == "CL.0"]
+        by_uid = {e.uid: e for e in issues}
+        compare, branch = by_uid[3], by_uid[4]
+        spec_fillers = [e for e in issues
+                        if e.klass == "speculative"
+                        and compare.cycle < e.cycle < branch.cycle]
+        # Figure 6: I5 (from BL2) and I12 (from BL6) sit between I3's
+        # issue and I4's, covering the 3-cycle compare->branch delay
+        assert {e.uid for e in spec_fillers} == {5, 12}
+        assert all(e.opcode == "C" for e in spec_fillers)
+        assert {e.home for e in spec_fillers} == {"BL2", "CL.4"}
+
+    def test_issue_order_matches_figure6(self, figure2):
+        trace = self._schedule(figure2)
+        header_issues = [e.uid for e in trace.of_kind("issue")
+                         if e.label == "CL.0"]
+        assert header_issues == [1, 2, 18, 3, 19, 5, 12, 4]
+        # ... and the function the trace describes is the function we got
+        assert block_uids(figure2)["CL.0"] == header_issues
+
+    def test_motions_traced_match_report(self, figure2):
+        trace = CollectingTracer()
+        report = global_schedule(figure2, rs6k(),
+                                 ScheduleLevel.SPECULATIVE, tracer=trace)
+        traced = {(e.uid, e.src, e.dst, e.speculative)
+                  for e in trace.of_kind("motion")}
+        reported = {(m.uid, m.src, m.dst, m.speculative)
+                    for m in report.motions}
+        assert traced == reported
+        assert (5, "BL2", "CL.0", True) in traced
+        assert (12, "CL.4", "CL.0", True) in traced
+
+    def test_region_events_bracket_the_loop(self, figure2):
+        trace = self._schedule(figure2)
+        enters = trace.of_kind("region_enter")
+        exits = trace.of_kind("region_exit")
+        assert len(enters) == len(exits) == 1
+        assert enters[0].header == "CL.0"
+        assert enters[0].region_kind == "loop"
+        assert "CL.0" in enters[0].blocks
+        assert exits[0].motions == len(
+            [e for e in trace.of_kind("motion")])
+        assert exits[0].speculative_motions == 2
+
+
+class TestMinmaxCConformance:
+    """The compiled mini-C version tells the same story, one level up."""
+
+    def test_speculative_motion_into_loop_header(self):
+        result, trace = _compile_traced()
+        spec = [e for e in trace.of_kind("motion") if e.speculative]
+        assert len(spec) == 1
+        motion = spec[0]
+        # a compare from a conditional arm moves into the loop header
+        assert motion.opcode == "C"
+        assert motion.dst.startswith("LH.")
+        issue = next(e for e in trace.of_kind("issue")
+                     if e.uid == motion.uid and e.label == motion.dst)
+        assert issue.klass == "speculative"
+
+    def test_speculative_issue_precedes_the_branch(self):
+        _result, trace = _compile_traced()
+        motion = next(e for e in trace.of_kind("motion") if e.speculative)
+        header = motion.dst
+        issues = [e for e in trace.of_kind("issue") if e.label == header]
+        branch_cycle = max(e.cycle for e in issues
+                           if e.unit == "branch")
+        spec_issue = next(e for e in issues if e.uid == motion.uid)
+        assert spec_issue.cycle < branch_cycle

@@ -1,0 +1,113 @@
+"""Chrome-trace export: document shape, lanes, determinism."""
+
+import json
+
+from repro.compiler import compile_c
+from repro.machine.configs import CONFIGS
+from repro.obs.chrome import CYCLE_US, chrome_trace, write_chrome_trace
+from repro.obs.events import (
+    BlockBegin,
+    BlockEnd,
+    CycleAdvance,
+    FunctionBegin,
+    FunctionEnd,
+    Issue,
+    MotionRecorded,
+    RegionSkipped,
+    SpeculationRejected,
+)
+from repro.obs.tracer import CollectingTracer
+from repro.sched.candidates import ScheduleLevel
+from repro.xform.pipeline import PipelineConfig
+
+SMALL_TRACE = [
+    FunctionBegin(function="f", level="useful"),
+    BlockBegin(label="B", carry_cycles=None),
+    CycleAdvance(label="B", cycle=0, ready=2),
+    Issue(label="B", cycle=0, uid=1, opcode="AI", unit="fixed", home="B",
+          klass="own", exec_cycles=1),
+    Issue(label="B", cycle=0, uid=2, opcode="C", unit="fixed", home="C",
+          klass="useful", exec_cycles=3),
+    MotionRecorded(uid=2, opcode="C", src="C", dst="B", speculative=False,
+                   duplicated_into=()),
+    SpeculationRejected(label="B", uid=3, opcode="LR", home="C",
+                        regs=("r4",)),
+    RegionSkipped(header="L.9", reason="too-large"),
+    BlockEnd(label="B", cycles=4),
+    FunctionEnd(function="f", elapsed_ms=1.0),
+]
+
+
+def _minmax_events():
+    source = open("examples/minmax.c").read()
+    trace = CollectingTracer()
+    compile_c(source, machine=CONFIGS["rs6k"](),
+              level=ScheduleLevel.SPECULATIVE,
+              config=PipelineConfig(trace=trace))
+    return trace.events
+
+
+def test_document_shape():
+    doc = chrome_trace(SMALL_TRACE)
+    assert set(doc) == {"traceEvents", "displayTimeUnit"}
+    assert doc["displayTimeUnit"] == "ms"
+    for entry in doc["traceEvents"]:
+        assert entry["ph"] in "BEXiCM"
+        assert entry["pid"] == 1
+        if entry["ph"] not in ("M", "C"):
+            assert isinstance(entry["tid"], int)
+        if entry["ph"] != "M":
+            assert entry["ts"] >= 0
+
+
+def test_balanced_begin_end_frames():
+    doc = chrome_trace(SMALL_TRACE)
+    phs = [e["ph"] for e in doc["traceEvents"]]
+    assert phs.count("B") == phs.count("E")
+
+
+def test_issue_slices_land_in_unit_lanes():
+    doc = chrome_trace(SMALL_TRACE)
+    lanes = {e["args"]["name"]: e["tid"] for e in doc["traceEvents"]
+             if e["ph"] == "M" and e["name"] == "thread_name"}
+    assert lanes["pipeline"] == 0
+    assert "unit fixed" in lanes
+    issues = [e for e in doc["traceEvents"] if e.get("cat") == "issue"]
+    assert len(issues) == 2
+    for slice_ in issues:
+        assert slice_["tid"] == lanes["unit fixed"]
+        assert slice_["dur"] >= CYCLE_US
+
+
+def test_block_slice_spans_its_cycles():
+    doc = chrome_trace(SMALL_TRACE)
+    block = next(e for e in doc["traceEvents"] if e.get("cat") == "block")
+    assert block["ph"] == "X"
+    assert block["dur"] == 4 * CYCLE_US
+    assert block["args"]["cycles"] == 4
+
+
+def test_counter_track_reports_ready_pressure():
+    doc = chrome_trace(SMALL_TRACE)
+    counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+    assert counters and counters[0]["args"] == {"ready": 2}
+
+
+def test_instants_for_motions_vetoes_and_skips():
+    doc = chrome_trace(SMALL_TRACE)
+    instants = {e["name"] for e in doc["traceEvents"] if e["ph"] == "i"}
+    assert "I2 C C->B" in instants
+    assert "I3 LR vetoed (live-on-exit)" in instants
+    assert "region L.9 skipped: too-large" in instants
+
+
+def test_full_compile_trace_is_deterministic_and_serialisable(tmp_path):
+    doc_a = chrome_trace(_minmax_events())
+    doc_b = chrome_trace(_minmax_events())
+    # elapsed_ms never reaches the chrome doc, so reruns are identical
+    assert doc_a == doc_b
+    path = tmp_path / "trace.json"
+    write_chrome_trace(_minmax_events(), str(path))
+    loaded = json.loads(path.read_text())
+    assert loaded == doc_a
+    assert len(loaded["traceEvents"]) > 50

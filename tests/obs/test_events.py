@@ -1,0 +1,84 @@
+"""Event taxonomy: dict round-trips, registry completeness, stability."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.obs.events import (
+    EVENT_TYPES,
+    CandidateBlocksComputed,
+    CycleAdvance,
+    Issue,
+    MotionRecorded,
+    PhaseEnd,
+    PriorityDecision,
+    RegionEnter,
+    SpeculationRejected,
+    TraceEvent,
+    UnitOccupancy,
+    event_from_dict,
+)
+
+SAMPLES = [
+    RegionEnter(header="LH.1", region_kind="loop", level="speculative",
+                blocks=("LH.1", "L.4", "L.7")),
+    CandidateBlocksComputed(label="LH.1", equiv=("CL.9",),
+                            speculative=("BL2", "CL.4")),
+    CycleAdvance(label="LH.1", cycle=3, ready=4),
+    Issue(label="LH.1", cycle=3, uid=15, opcode="C", unit="fixed",
+          home="L.4", klass="speculative", exec_cycles=1),
+    UnitOccupancy(label="LH.1", cycle=3, used={"fixed": 2, "branch": 1},
+                  issued=3),
+    PriorityDecision(label="LH.1", cycle=3, winner_uid=15, runner_up_uid=8,
+                     step="delay-heuristic"),
+    SpeculationRejected(label="L.4", uid=17, opcode="LR", home="L.7",
+                        regs=("r4",)),
+    MotionRecorded(uid=15, opcode="C", src="L.4", dst="LH.1",
+                   speculative=True, duplicated_into=()),
+    PhaseEnd(function="minmax", phase="global-pass-1", elapsed_ms=2.5),
+]
+
+
+@pytest.mark.parametrize("event", SAMPLES, ids=lambda e: e.kind)
+def test_round_trip(event):
+    rebuilt = event_from_dict(event.to_dict())
+    assert rebuilt == event
+    assert type(rebuilt) is type(event)
+
+
+@pytest.mark.parametrize("event", SAMPLES, ids=lambda e: e.kind)
+def test_to_dict_is_json_ready(event):
+    text = json.dumps(event.to_dict())
+    assert json.loads(text)["ev"] == event.kind
+
+
+def test_registry_covers_every_concrete_event():
+    concrete = {cls for cls in TraceEvent.__subclasses__()}
+    assert set(EVENT_TYPES.values()) == concrete
+    for kind, cls in EVENT_TYPES.items():
+        assert cls.kind == kind
+
+
+def test_kinds_are_unique():
+    kinds = [cls.kind for cls in TraceEvent.__subclasses__()]
+    assert len(kinds) == len(set(kinds))
+
+
+def test_events_are_frozen():
+    event = CycleAdvance(label="B", cycle=0, ready=1)
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        event.cycle = 1
+
+
+def test_to_dict_converts_tuples_to_lists():
+    event = RegionEnter(header="H", region_kind="loop", level="useful",
+                        blocks=("a", "b"))
+    assert event.to_dict()["blocks"] == ["a", "b"]
+    # ...and from_dict restores tuples so events stay hashable/comparable
+    assert event_from_dict(event.to_dict()).blocks == ("a", "b")
+
+
+def test_unknown_kind_raises():
+    with pytest.raises(KeyError):
+        event_from_dict({"ev": "no-such-event"})

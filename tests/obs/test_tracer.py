@@ -1,0 +1,88 @@
+"""Tracer sinks: null, collecting, JSONL, tee; JSONL interchange."""
+
+import io
+import json
+
+from repro.obs.events import CycleAdvance, Issue, RegionSkipped
+from repro.obs.tracer import (
+    NULL_TRACER,
+    CollectingTracer,
+    JsonlTracer,
+    NullTracer,
+    TeeTracer,
+    Tracer,
+    dump_jsonl,
+    read_jsonl,
+)
+
+EVENTS = [
+    RegionSkipped(header="L.9", reason="too-large"),
+    CycleAdvance(label="B", cycle=0, ready=2),
+    Issue(label="B", cycle=0, uid=1, opcode="AI", unit="fixed", home="B",
+          klass="own", exec_cycles=1),
+]
+
+
+def test_null_tracer_is_disabled_singleton():
+    assert isinstance(NULL_TRACER, NullTracer)
+    assert NULL_TRACER.enabled is False
+    NULL_TRACER.emit(EVENTS[0])  # accepted and dropped
+    NULL_TRACER.close()
+
+
+def test_sinks_satisfy_the_protocol():
+    for sink in (NULL_TRACER, CollectingTracer(),
+                 JsonlTracer(io.StringIO()), TeeTracer()):
+        assert isinstance(sink, Tracer)
+
+
+def test_collecting_tracer_preserves_order_and_filters():
+    sink = CollectingTracer()
+    for event in EVENTS:
+        sink.emit(event)
+    assert sink.events == EVENTS
+    assert sink.of_kind("cycle") == [EVENTS[1]]
+    assert sink.of_kind("nope") == []
+
+
+def test_jsonl_tracer_writes_one_valid_object_per_line(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    with JsonlTracer(str(path)) as sink:
+        for event in EVENTS:
+            sink.emit(event)
+    lines = path.read_text().splitlines()
+    assert len(lines) == len(EVENTS)
+    for line, event in zip(lines, EVENTS):
+        assert json.loads(line) == event.to_dict()
+
+
+def test_jsonl_tracer_on_borrowed_stream_does_not_close_it():
+    stream = io.StringIO()
+    sink = JsonlTracer(stream)
+    sink.emit(EVENTS[0])
+    sink.close()
+    assert not stream.closed  # flushed, not closed
+    assert stream.getvalue().count("\n") == 1
+
+
+def test_read_jsonl_round_trips(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    dump_jsonl(EVENTS, str(path))
+    assert list(read_jsonl(str(path))) == EVENTS
+    # also from an open stream / iterable of lines
+    assert list(read_jsonl(io.StringIO(path.read_text()))) == EVENTS
+
+
+def test_read_jsonl_skips_blank_lines():
+    text = "\n" + json.dumps(EVENTS[0].to_dict()) + "\n\n"
+    assert list(read_jsonl(io.StringIO(text))) == [EVENTS[0]]
+
+
+def test_tee_tracer_fans_out_in_order():
+    a, b = CollectingTracer(), CollectingTracer()
+    tee = TeeTracer(a, b)
+    for event in EVENTS:
+        tee.emit(event)
+    assert a.events == EVENTS
+    assert b.events == EVENTS
+    tee.close()

@@ -79,3 +79,75 @@ def test_carry_expires_after_one_block():
     state.begin_block(carry_cycles=5)
     state.begin_block(carry_cycles=1)
     assert state.earliest_start(bt) == 0  # two blocks later: neutral
+
+
+# -- DDG-version cache invalidation ------------------------------------------
+
+def test_version_bump_drops_derived_caches():
+    from repro.pdg.data_deps import DepKind
+
+    block, state = make_state()
+    load, ai, cmp_i, bt = block.instrs
+    # warm the caches: bt is blocked only by cmp_i (and transitively)
+    state.mark_issued(load, 0)
+    state.mark_issued(ai, 2)
+    assert not state.deps_satisfied(bt)
+    assert state.invalidations == 0
+    # a mid-region mutation (what renaming/duplication do) bumps version
+    before = state.ddg.version
+    state.ddg.add_edge(load, bt, DepKind.ANTI, 0)
+    assert state.ddg.version > before
+    # the next query resyncs: caches dropped exactly once, fulfilment kept
+    state.mark_issued(cmp_i, 3)
+    assert state.deps_satisfied(bt)          # load already fulfilled
+    assert state.earliest_start(bt) == 7     # flow edge still dominates
+    assert state.invalidations == 1
+
+
+def test_new_edge_visible_after_invalidation():
+    from repro.ir import parse_function
+    from repro.pdg.data_deps import DepKind
+
+    func = parse_function("""
+function g
+a:
+    LI r1=1
+    LI r2=2
+""")
+    block = func.block("a")
+    machine = rs6k()
+    ddg = build_block_ddg(block, machine)
+    one, two = block.instrs
+    state = DependenceState(ddg, machine)
+    state.begin_block()
+    # independent at first: both are ready roots
+    assert state.deps_satisfied(one) and state.deps_satisfied(two)
+    ddg.add_edge(one, two, DepKind.FLOW, 0)
+    # version resync makes the new constraint visible immediately
+    assert not state.deps_satisfied(two)
+    state.mark_issued(one, 0)
+    assert state.deps_satisfied(two)
+    assert state.earliest_start(two) == 1    # exec time of LI
+    assert state.invalidations == 1
+
+
+def test_mutation_without_version_bump_serves_stale_answers():
+    """The documented failure mode: a graph mutation that bypasses
+    ``add_edge``/``remove_edge`` (and so never bumps ``version``) leaves
+    the incremental caches stale -- queries keep answering from the old
+    edge set until something legitimate bumps the version."""
+    from repro.pdg.data_deps import DepEdge, DepKind
+
+    block, state = make_state()
+    load, ai, cmp_i, bt = block.instrs
+    assert state.deps_satisfied(load)
+    assert not state.deps_satisfied(ai)      # caches warmed
+    # sneak an edge in behind the graph's back: no version bump
+    rogue = DepEdge(cmp_i, load, DepKind.ANTI, 0, None)
+    state.ddg._preds[id(load)].append(rogue)
+    state.ddg._succs[id(cmp_i)].append(rogue)
+    assert state.deps_satisfied(load)        # stale: rogue edge invisible
+    # any honest mutation resyncs and the rogue edge takes effect
+    state.ddg.add_edge(ai, bt, DepKind.ANTI, 0)
+    assert not state.deps_satisfied(load)
+    assert state.invalidations == 1

@@ -18,3 +18,27 @@ def test_fuzz_100_programs_fixed_seed():
     report = fuzz(100, seed=1991, shrink=False, jobs=2)
     assert report.attempted == 100
     assert report.ok, "\n\n".join(f.format() for f in report.failures)
+
+
+class TestMetricSummaries:
+    def test_collected_per_program(self):
+        from repro.verify.fuzz import fuzz
+
+        report = fuzz(3, 7, shrink=False, collect_metrics=True)
+        assert [s["index"] for s in report.metric_summaries] == [0, 1, 2]
+        for summary in report.metric_summaries:
+            assert summary["ready_max"] >= 1
+            assert summary["motions_speculative"] >= 0
+
+    def test_off_by_default(self):
+        from repro.verify.fuzz import fuzz
+
+        report = fuzz(1, 7, shrink=False)
+        assert report.metric_summaries == []
+
+    def test_parallel_matches_sequential(self):
+        from repro.verify.fuzz import fuzz
+
+        seq = fuzz(4, 7, shrink=False, collect_metrics=True)
+        par = fuzz(4, 7, shrink=False, collect_metrics=True, jobs=2)
+        assert par.metric_summaries == seq.metric_summaries
