@@ -63,6 +63,9 @@ MASTER_SEED = 1991
 #: acceptance gates (mirrored in ``thresholds`` of the JSON output)
 REGION_DDG_MIN_SPEEDUP = 2.0
 FUZZ_MIN_SPEEDUP = 1.5
+#: an *inert* resilient pipeline (no budgets, no fault plan) may cost at
+#: most this much over the plain pipeline
+RESILIENCE_MAX_OVERHEAD_PCT = 2.0
 
 
 def _best_of(repeats: int, fn) -> float:
@@ -214,6 +217,57 @@ def bench_fuzz(n: int, jobs: int) -> dict:
     }
 
 
+def bench_resilience_overhead(corpus, sample: int, repeats: int) -> dict:
+    """Inert resilient pipeline vs plain pipeline, same corpus sample.
+
+    With no budgets and no fault plan the resilience layer costs one
+    pristine clone per function plus a few context managers; the gate
+    keeps that under :data:`RESILIENCE_MAX_OVERHEAD_PCT`.
+    """
+    from repro.resilience import ResilienceConfig
+
+    sources = [p.source for p in corpus[:sample]]
+    # A single corpus compile is ~tens of ms -- far too small to resolve
+    # a 2% gate against scheduler jitter.  Loop it so each timed sample
+    # is a few hundred ms, and interleave the arms so drift hits both.
+    loops = 10
+
+    def compile_all(config_factory) -> None:
+        for _ in range(loops):
+            for source in sources:
+                compile_c(source, machine=CONFIGS["rs6k"](),
+                          level=ScheduleLevel.SPECULATIVE,
+                          config=config_factory())
+
+    def plain_config() -> PipelineConfig:
+        return PipelineConfig(level=ScheduleLevel.SPECULATIVE)
+
+    def resilient_config() -> PipelineConfig:
+        return PipelineConfig(level=ScheduleLevel.SPECULATIVE,
+                              resilience=ResilienceConfig())
+
+    compile_all(plain_config)      # warm-up
+    compile_all(resilient_config)
+    plain_times: list[float] = []
+    resilient_times: list[float] = []
+    for _ in range(max(repeats, 4)):
+        started = time.perf_counter()
+        compile_all(plain_config)
+        plain_times.append(time.perf_counter() - started)
+        started = time.perf_counter()
+        compile_all(resilient_config)
+        resilient_times.append(time.perf_counter() - started)
+    plain_s = min(plain_times)
+    resilient_s = min(resilient_times)
+    overhead_pct = (resilient_s / plain_s - 1.0) * 100.0
+    return {
+        "programs": len(sources),
+        "plain_s": plain_s,
+        "resilient_s": resilient_s,
+        "overhead_pct": overhead_pct,
+    }
+
+
 def check_schedule_identity(program) -> dict:
     """Both arms must emit byte-identical verified assembly everywhere."""
     compiles = 0
@@ -286,11 +340,21 @@ def run(quick: bool, jobs: int) -> dict:
     print(f"  {fuzz_res['seed_s']:.2f} s -> {fuzz_res['new_s']:.2f} s "
           f"({fuzz_res['speedup']:.2f}x)")
 
+    print("benchmarking disabled-resilience overhead ...", flush=True)
+    resilience = bench_resilience_overhead(corpus, sample=3 if quick else 5,
+                                           repeats=repeats)
+    print(f"  {resilience['plain_s']:.2f} s -> "
+          f"{resilience['resilient_s']:.2f} s "
+          f"({resilience['overhead_pct']:+.2f}%)")
+
     thresholds = {
         "region_ddg_min_speedup": REGION_DDG_MIN_SPEEDUP,
         "fuzz_min_speedup": FUZZ_MIN_SPEEDUP,
+        "resilience_max_overhead_pct": RESILIENCE_MAX_OVERHEAD_PCT,
         "region_ddg_ok": region_ddg["speedup"] >= REGION_DDG_MIN_SPEEDUP,
         "fuzz_ok": fuzz_res["speedup"] >= FUZZ_MIN_SPEEDUP,
+        "resilience_ok": (resilience["overhead_pct"]
+                          < RESILIENCE_MAX_OVERHEAD_PCT),
     }
     return {
         "meta": {
@@ -308,6 +372,7 @@ def run(quick: bool, jobs: int) -> dict:
         "compile": compile_res,
         "schedule": schedule,
         "fuzz": fuzz_res,
+        "resilience": resilience,
         "thresholds": thresholds,
     }
 
@@ -330,11 +395,14 @@ def main(argv: list[str] | None = None) -> int:
     out.write_text(json.dumps(results, indent=2) + "\n")
     print(f"\nwrote {out}")
 
-    ok = all(results["thresholds"][k] for k in ("region_ddg_ok", "fuzz_ok"))
+    ok = all(results["thresholds"][k]
+             for k in ("region_ddg_ok", "fuzz_ok", "resilience_ok"))
     print(f"region_ddg: {results['region_ddg']['speedup']:.2f}x "
           f"(gate {REGION_DDG_MIN_SPEEDUP}x)  "
           f"fuzz: {results['fuzz']['speedup']:.2f}x "
-          f"(gate {FUZZ_MIN_SPEEDUP}x)  -> "
+          f"(gate {FUZZ_MIN_SPEEDUP}x)  "
+          f"resilience: {results['resilience']['overhead_pct']:+.2f}% "
+          f"(gate <{RESILIENCE_MAX_OVERHEAD_PCT}%)  -> "
           f"{'OK' if ok else 'BELOW THRESHOLD'}")
     return 0 if ok else 1
 

@@ -16,7 +16,21 @@ Commands:
   pressure, per-block schedule lengths);
 * ``fuzz --n 500 --seed 1991`` -- differential fuzzing: generated programs
   compiled at every level on several machines, outputs compared, failures
-  minimised (``--reproduce SEED:INDEX`` re-runs one case).
+  minimised (``--reproduce SEED:INDEX`` re-runs one case).  Campaigns can
+  bound each program (``--timeout``), park repeat offenders instead of
+  aborting (on unless ``--no-quarantine``; ``--quarantine-out`` writes the
+  report), and checkpoint/resume (``--checkpoint FILE`` / ``--resume
+  FILE``) with results identical to an uninterrupted run;
+* ``chaos --n 200 --seed 1991`` -- fault injection: seeded faults (pass
+  crashes/hangs, corrupted dependence graphs, stale analyses, blinded
+  live-on-exit sets) against the resilient pipeline, asserting every one
+  is absorbed at a verified degradation rung or reported as a typed
+  error -- never an uncaught traceback or a surviving miscompile.
+
+``compile`` and ``stats`` accept ``--resilient`` (fail-soft pipeline:
+pass isolation plus the speculative -> useful -> bb -> identity
+degradation ladder) and ``--pass-budget`` / ``--program-budget``
+(wall-clock seconds, implying ``--resilient``).
 
 ``compile`` and ``stats`` accept ``--trace-out trace.jsonl`` (the JSONL
 decision trace) and ``--trace-chrome trace.json`` (the same trace in
@@ -76,6 +90,29 @@ def _add_trace_flags(parser: argparse.ArgumentParser) -> None:
                         help="write a Chrome-trace/Perfetto JSON to FILE")
 
 
+def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--resilient", action="store_true",
+                        help="fail-soft pipeline: pass isolation + the "
+                             "degradation ladder")
+    parser.add_argument("--pass-budget", type=float, metavar="SECONDS",
+                        help="wall-clock budget per pipeline stage "
+                             "(implies --resilient)")
+    parser.add_argument("--program-budget", type=float, metavar="SECONDS",
+                        help="wall-clock budget per function, across all "
+                             "ladder rungs (implies --resilient)")
+
+
+def _resilience_config(args):
+    """The ResilienceConfig the flags ask for, or None (inert pipeline)."""
+    if not (args.resilient or args.pass_budget is not None
+            or args.program_budget is not None):
+        return None
+    from .resilience import ResilienceConfig
+
+    return ResilienceConfig(pass_budget_s=args.pass_budget,
+                            program_budget_s=args.program_budget)
+
+
 class _TraceOutputs:
     """Resolves --trace-out/--trace-chrome into one tracer + a finaliser."""
 
@@ -113,7 +150,8 @@ def cmd_compile(args) -> int:
     outputs = _TraceOutputs(args.trace_out, args.trace_chrome)
     result = _compile(args.file, args.level, args.machine,
                       use_counter_register=args.ctr,
-                      trace=outputs.tracer)
+                      trace=outputs.tracer,
+                      resilience=_resilience_config(args))
     outputs.finish()
     for unit in result:
         if args.function and unit.name != args.function:
@@ -135,7 +173,8 @@ def cmd_stats(args) -> int:
     metrics = MetricsCollector()
     outputs = _TraceOutputs(args.trace_out, args.trace_chrome)
     result = _compile(args.file, args.level, args.machine,
-                      trace=outputs.tracer, metrics=metrics)
+                      trace=outputs.tracer, metrics=metrics,
+                      resilience=_resilience_config(args))
     outputs.finish()
     units = [(unit.name, unit.report) for unit in result]
     print(format_stats(args.file, args.machine, args.level, units, metrics))
@@ -163,12 +202,15 @@ def cmd_run(args) -> int:
 
 
 def cmd_schedule(args) -> int:
-    from .ir.parser import parse_function
+    from .ir.parser import ParseError, parse_function
     from .ir.printer import format_function
     from .machine.configs import CONFIGS as MACHINES
     from .sched.driver import global_schedule
 
-    func = parse_function(_read_source(args.file))
+    try:
+        func = parse_function(_read_source(args.file))
+    except ParseError as exc:
+        raise CLIError(f"error: {args.file}: {exc}") from exc
     report = global_schedule(func, MACHINES[args.machine](),
                              _LEVELS[args.level])
     print(format_function(func))
@@ -224,6 +266,7 @@ def cmd_verify(args) -> int:
 
 
 def cmd_fuzz(args) -> int:
+    from .resilience.errors import BudgetExceeded, CheckpointError
     from .verify import fuzz, reproduce
     from .verify.differential import DEFAULT_MACHINES
     from .verify.generator import GenProgram
@@ -252,25 +295,53 @@ def cmd_fuzz(args) -> int:
             print(f"--reproduce wants SEED:INDEX (two integers), "
                   f"got {args.reproduce!r}", file=sys.stderr)
             return 2
-        outcome = reproduce(int(seed_text), int(index_text),
-                            machines=machines, shrink=not args.no_shrink)
-        if isinstance(outcome, GenProgram):
+        try:
+            outcome = reproduce(int(seed_text), int(index_text),
+                                machines=machines,
+                                shrink=not args.no_shrink,
+                                timeout_s=args.timeout)
+        except BudgetExceeded as exc:
+            print(f"reproduce timed out: {exc}", file=sys.stderr)
+            return 1
+        program = (outcome if isinstance(outcome, GenProgram) else None)
+        if program is not None:
             print(f"program {index_text} of seed {seed_text} passes")
-            print(outcome.source)
-            return 0
-        print(outcome.format())
-        return 1
+            print(program.source)
+            code = 0
+        else:
+            print(outcome.format())
+            code = 1
+        from .verify.fuzz import degradation_rung, derive_seed
+        from .verify.generator import generate_program
+
+        if program is None:
+            program = generate_program(
+                derive_seed(int(seed_text), int(index_text)))
+        print("degradation ladder rung: "
+              f"{degradation_rung(program, timeout_s=args.timeout)}")
+        return code
 
     def progress(done: int, failures: int) -> None:
         if done % 50 == 0 or done == args.n:
             print(f"  {done}/{args.n} programs, {failures} failure(s)",
                   flush=True)
 
-    report = fuzz(args.n, args.seed, machines=machines,
-                  shrink=not args.no_shrink, on_progress=progress,
-                  jobs=args.jobs, collect_metrics=bool(args.metrics_out))
+    try:
+        report = fuzz(args.n, args.seed, machines=machines,
+                      shrink=not args.no_shrink, on_progress=progress,
+                      jobs=args.jobs,
+                      collect_metrics=bool(args.metrics_out),
+                      timeout_s=args.timeout,
+                      quarantine=not args.no_quarantine,
+                      checkpoint_path=args.checkpoint,
+                      resume_path=args.resume,
+                      interrupt_after=args.interrupt_after)
+    except CheckpointError as exc:
+        raise CLIError(f"error: {exc}") from exc
     for failure in report.failures:
         print(failure.format())
+    for parked in report.quarantined:
+        print(parked.format())
     if args.metrics_out:
         payload = {
             "master_seed": report.master_seed,
@@ -284,6 +355,36 @@ def cmd_fuzz(args) -> int:
         print(f"wrote per-program metrics for "
               f"{len(report.metric_summaries)} programs to "
               f"{args.metrics_out}")
+    if args.quarantine_out:
+        from dataclasses import asdict
+
+        payload = {
+            "master_seed": report.master_seed,
+            "attempted": report.attempted,
+            "quarantined": [asdict(q) for q in report.quarantined],
+        }
+        with open(args.quarantine_out, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote quarantine report "
+              f"({len(report.quarantined)} program(s)) to "
+              f"{args.quarantine_out}")
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def cmd_chaos(args) -> int:
+    from .resilience import run_chaos
+
+    def progress(result) -> None:
+        if args.verbose:
+            print(result.format(), flush=True)
+
+    report = run_chaos(args.n, args.seed, machine_name=args.machine,
+                       on_progress=progress)
+    if not args.verbose:
+        for violation in report.violations:
+            print(violation.format())
     print(report.summary())
     return 0 if report.ok else 1
 
@@ -303,6 +404,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="enable counter-register loops (footnote 3)")
     _add_common(p)
     _add_trace_flags(p)
+    _add_resilience_flags(p)
     p.set_defaults(fn=cmd_compile)
 
     p = sub.add_parser("stats",
@@ -310,6 +412,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file")
     _add_common(p)
     _add_trace_flags(p)
+    _add_resilience_flags(p)
     p.set_defaults(fn=cmd_stats)
 
     p = sub.add_parser("run", help="compile and execute on the simulator")
@@ -367,7 +470,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics-out", metavar="FILE",
                    help="write per-program scheduling metric summaries "
                         "(JSON) to FILE")
+    p.add_argument("--timeout", type=float, metavar="SECONDS",
+                   help="wall-clock budget per program (default: none)")
+    p.add_argument("--no-quarantine", action="store_true",
+                   help="legacy fail-fast mode: a crashed worker aborts "
+                        "the campaign instead of quarantining the program")
+    p.add_argument("--quarantine-out", metavar="FILE",
+                   help="write the quarantine report (JSON) to FILE")
+    p.add_argument("--checkpoint", metavar="FILE",
+                   help="save campaign state to FILE after every program")
+    p.add_argument("--resume", metavar="FILE",
+                   help="resume a campaign from a --checkpoint FILE")
+    p.add_argument("--interrupt-after", type=int, metavar="N",
+                   help="stop after N programs this run (for exercising "
+                        "--checkpoint/--resume)")
     p.set_defaults(fn=cmd_fuzz)
+
+    p = sub.add_parser("chaos",
+                       help="seeded fault injection against the "
+                            "resilient pipeline")
+    p.add_argument("--n", type=int, default=50,
+                   help="number of fault plans (default: 50)")
+    p.add_argument("--seed", type=int, default=1991,
+                   help="master seed (default: 1991)")
+    p.add_argument("--machine", choices=sorted(CONFIGS), default="rs6k",
+                   help="machine configuration (default: rs6k)")
+    p.add_argument("--verbose", action="store_true",
+                   help="print every case as it completes")
+    p.set_defaults(fn=cmd_chaos)
 
     return parser
 

@@ -213,6 +213,22 @@ class Function:
                 copy.append(dup)
         return out
 
+    def restore_from(self, snapshot: "Function") -> None:
+        """Reset this function, in place, to a prior :meth:`clone`.
+
+        The resilience layer's pass isolation uses this to roll back a
+        failed transform: the ``Function`` object identity (held by
+        callers and reports) survives, while its blocks, labels and
+        counters revert to the snapshot's.  The snapshot is re-cloned so
+        it stays pristine for further restores.
+        """
+        fresh = snapshot.clone()
+        self.blocks = fresh.blocks
+        self._labels = fresh._labels
+        self._next_uid = fresh._next_uid
+        self._next_reg = fresh._next_reg
+        self._next_label = fresh._next_label
+
     # -- misc ------------------------------------------------------------------
 
     def size(self) -> int:

@@ -28,11 +28,16 @@ from .operand import CR_NAME_BITS, MemRef, Reg, parse_reg
 
 
 class ParseError(ValueError):
-    """Raised for malformed IR text, with a line number."""
+    """Raised for malformed IR text, with a line number and (when the
+    offending token can be located) a 1-based column."""
 
-    def __init__(self, lineno: int, message: str):
-        super().__init__(f"line {lineno}: {message}")
+    def __init__(self, lineno: int, message: str,
+                 column: int | None = None):
+        where = (f"line {lineno}, col {column}" if column is not None
+                 else f"line {lineno}")
+        super().__init__(f"{where}: {message}")
         self.lineno = lineno
+        self.column = column
 
 
 _LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):$")
@@ -186,27 +191,40 @@ def parse_function(text: str) -> Function:
         stripped = line[0].strip()
         if not stripped:
             continue
+        column = raw.index(stripped[0]) + 1
         if stripped.startswith("function "):
             if func is not None:
-                raise ParseError(lineno, "second 'function' line")
+                raise ParseError(lineno, "second 'function' line", column)
             func = Function(stripped[len("function "):].strip())
             continue
         if func is None:
-            raise ParseError(lineno, "expected a 'function <name>' line first")
+            raise ParseError(lineno,
+                             "expected a 'function <name>' line first",
+                             column)
         label_match = _LABEL_RE.match(stripped)
         if label_match is not None:
             block = func.add_block(label_match.group(1))
             continue
         ins_match = _INS_RE.match(stripped)
         if ins_match is None:
-            raise ParseError(lineno, f"unrecognised line: {stripped!r}")
+            raise ParseError(lineno, f"unrecognised line: {stripped!r}",
+                             column)
         uid_text, mnemonic, operands = ins_match.groups()
         opcode = MNEMONIC_TO_OPCODE.get(mnemonic)
         if opcode is None:
-            raise ParseError(lineno, f"unknown mnemonic {mnemonic!r}")
+            raise ParseError(lineno, f"unknown mnemonic {mnemonic!r}",
+                             column + stripped.index(mnemonic))
         if block is None:
             block = func.add_block()
-        ins = _parse_operands(opcode, operands, lineno)
+        found = raw.find(operands) if operands else -1
+        operand_column = found + 1 if found >= 0 else column
+        try:
+            ins = _parse_operands(opcode, operands, lineno)
+        except ParseError:
+            raise
+        except ValueError as exc:
+            # stray int()/parse_reg failures become located errors too
+            raise ParseError(lineno, str(exc), operand_column) from None
         ins.comment = comment
         func.emit(block, ins)
         if uid_text is not None:

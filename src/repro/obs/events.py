@@ -21,7 +21,9 @@ The taxonomy follows the paper's own vocabulary:
 * legality -- :class:`SpeculationRejected` (the Section 5.3 live-on-exit
   veto, with the blocking registers), :class:`SpeculationRenamed`
   (Section 4.2 renaming admitted the motion);
-* outcomes -- :class:`MotionRecorded`.
+* outcomes -- :class:`MotionRecorded`;
+* resilience -- :class:`DegradationEvent` (the fail-soft pipeline skipped
+  a pass or fell down a degradation-ladder rung).
 """
 
 from __future__ import annotations
@@ -231,6 +233,28 @@ class MotionRecorded(TraceEvent):
     duplicated_into: tuple[str, ...]
 
 
+# -- resilience --------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DegradationEvent(TraceEvent):
+    """The fail-soft pipeline absorbed a fault: a pass was skipped in
+    place or the whole function fell to a lower ladder rung (see
+    :mod:`repro.resilience`)."""
+
+    kind: ClassVar[str] = "degradation"
+    function: str
+    #: where the fault surfaced: ``"pass:<phase>"`` or ``"pipeline"``
+    site: str
+    #: "pass-skipped" | "rung-descent"
+    action: str
+    from_rung: str
+    to_rung: str
+    #: "exception" | "timeout" | "verify-failed" | "injected"
+    reason: str
+    #: one-line description of the underlying fault
+    detail: str
+
+
 #: every concrete event type, keyed by its ``kind`` tag
 EVENT_TYPES: dict[str, type[TraceEvent]] = {
     cls.kind: cls
@@ -240,6 +264,7 @@ EVENT_TYPES: dict[str, type[TraceEvent]] = {
         BlockBegin, BlockEnd, CandidateBlocksComputed, CandidatesCollected,
         CycleAdvance, Issue, UnitOccupancy, PriorityDecision,
         SpeculationRejected, SpeculationRenamed, MotionRecorded,
+        DegradationEvent,
     )
 }
 

@@ -127,6 +127,13 @@ def format_stats(title: str, machine_name: str, level_name: str,
         lines.append("")
         lines.append(f"function {name}  "
                      f"({report.elapsed_seconds * 1e3:.1f} ms)")
+        final_rung = getattr(report, "final_rung", None)
+        if final_rung is not None:
+            degradations = getattr(report, "degradations", ())
+            suffix = (f"  ({len(degradations)} degradation event"
+                      f"{'s' if len(degradations) != 1 else ''})"
+                      if degradations else "")
+            lines.append(f"  resilience rung: {final_rung}{suffix}")
         lines.append(f"  {'pass':<18}{'motions':>7}{'useful':>8}"
                      f"{'speculative':>13}{'duplicated':>12}")
         first = report.first_pass.motions if report.first_pass else []
@@ -173,6 +180,14 @@ def format_stats(title: str, machine_name: str, level_name: str,
             lines.append(f"ready-list pressure  avg {metrics.mean('sched.ready'):.2f}"
                          f"  max {metrics.peak('sched.ready'):.0f}"
                          f"  over {ready_n} cycles")
+        resilience = {name: count for name, count in sorted(c.items())
+                      if name.startswith("resilience.") and count}
+        if resilience:
+            lines.append("")
+            lines.append("resilience")
+            for name, count in resilience.items():
+                label = name[len("resilience."):].replace("_", " ")
+                lines.append(f"  {label:<33}{count:>6}")
         if metrics.timers:
             lines.append("")
             lines.append("phase times (ms)  " + "  ".join(

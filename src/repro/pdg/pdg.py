@@ -84,6 +84,7 @@ class RegionPDG:
         subloops: list[SubloopSummary] = (),
         *,
         reduce_ddg: bool = True,
+        ddg_builder=None,
     ):
         self.func = func
         self.machine = machine
@@ -114,7 +115,11 @@ class RegionPDG:
             if n != REGION_EXIT
         ]
         self.reachable_pairs = self._reachable_pairs()
-        self.ddg: DataDependenceGraph = build_region_ddg(
+        # module-global lookup by default so reference/chaos tooling can
+        # swap the builder; callers that must not see such patches (the
+        # schedule verifier) inject their own ``ddg_builder``
+        builder = ddg_builder if ddg_builder is not None else build_region_ddg
+        self.ddg: DataDependenceGraph = builder(
             self._ddg_blocks(), self.reachable_pairs, machine,
             reduce=reduce_ddg,
         )

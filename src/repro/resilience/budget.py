@@ -1,0 +1,130 @@
+"""Monotonic-clock budgets and the pass/program watchdog.
+
+:class:`Deadline` measures against :func:`time.monotonic`, so budgets are
+immune to wall-clock adjustments.  :func:`watchdog` bounds a block of code
+by one:
+
+* **preemptively** when possible -- on a Unix main thread it arms
+  ``SIGALRM`` (via ``setitimer``) so even a pass stuck in a loop that
+  never returns is interrupted mid-flight with
+  :class:`~repro.resilience.errors.BudgetExceeded`;
+* **cooperatively** otherwise (non-main threads, platforms without
+  ``SIGALRM``) -- the overrun is detected when the block finishes.
+
+Watchdogs nest: the pipeline arms a per-program deadline around each
+ladder attempt and a per-pass deadline inside it; the alarm always tracks
+the soonest-expiring deadline on the stack, and an expired *outer*
+deadline wins over an inner one (a program that is out of budget must not
+be saved by a pass that still has some).
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from contextlib import contextmanager
+
+from .errors import BudgetExceeded
+
+#: the ``site`` of the whole-program deadline -- stage guards treat it
+#: specially (it is never absorbed by skipping a pass)
+PROGRAM_SITE = "program"
+
+#: active deadlines, outermost first (single scheduler thread by design)
+_stack: list["Deadline"] = []
+_previous_handler = None
+
+
+class Deadline:
+    """One named wall-clock budget, started at construction."""
+
+    __slots__ = ("site", "budget_s", "started")
+
+    def __init__(self, budget_s: float, site: str = "budget"):
+        self.site = site
+        self.budget_s = float(budget_s)
+        self.started = time.monotonic()
+
+    @property
+    def elapsed(self) -> float:
+        return time.monotonic() - self.started
+
+    @property
+    def remaining(self) -> float:
+        return self.budget_s - self.elapsed
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining <= 0.0
+
+    def check(self) -> None:
+        """Raise :class:`BudgetExceeded` if the budget is spent."""
+        if self.expired:
+            raise BudgetExceeded(self.site, self.budget_s, self.elapsed)
+
+    def __repr__(self) -> str:
+        return (f"<Deadline {self.site}: {self.remaining * 1e3:.0f} ms of "
+                f"{self.budget_s * 1e3:.0f} ms left>")
+
+
+def can_preempt() -> bool:
+    """Is the preemptive (SIGALRM) watchdog available right now?"""
+    return (hasattr(signal, "SIGALRM")
+            and threading.current_thread() is threading.main_thread())
+
+
+def _arm() -> None:
+    """(Re)arm the alarm for the soonest deadline on the stack."""
+    if not _stack:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        return
+    soonest = min(d.remaining for d in _stack)
+    # an already-expired deadline still needs a positive timer value
+    signal.setitimer(signal.ITIMER_REAL, max(soonest, 1e-4))
+
+
+def _fire(signum, frame) -> None:
+    # outermost-first: an exhausted program budget outranks a pass budget
+    for deadline in _stack:
+        if deadline.expired:
+            raise BudgetExceeded(deadline.site, deadline.budget_s,
+                                 deadline.elapsed)
+    _arm()  # raced a pop/re-push: nothing actually expired, keep watching
+
+
+@contextmanager
+def watchdog(budget, site: str = "budget", *, preemptive: bool = True,
+             check_on_exit: bool = True):
+    """Bound the enclosed block by a wall-clock budget.
+
+    ``budget`` is seconds, an existing :class:`Deadline` (shared across
+    several blocks, e.g. the per-program deadline spanning ladder rungs),
+    or None (no-op).  ``check_on_exit=False`` suppresses the cooperative
+    post-hoc check -- used for the program deadline so an attempt that
+    *finished* just past its budget still ships its verified result.
+    """
+    if budget is None:
+        yield None
+        return
+    deadline = budget if isinstance(budget, Deadline) else Deadline(budget,
+                                                                    site)
+    use_alarm = preemptive and can_preempt()
+    global _previous_handler
+    if use_alarm:
+        if not _stack:
+            _previous_handler = signal.signal(signal.SIGALRM, _fire)
+        _stack.append(deadline)
+        _arm()
+    try:
+        yield deadline
+        if check_on_exit:
+            deadline.check()
+    finally:
+        if use_alarm:
+            _stack.remove(deadline)
+            _arm()
+            if not _stack:
+                signal.signal(signal.SIGALRM,
+                              _previous_handler or signal.SIG_DFL)
+                _previous_handler = None

@@ -1,0 +1,58 @@
+"""Typed errors of the resilience subsystem.
+
+Everything the fail-soft pipeline can signal is one of the classes below:
+a caller that catches :class:`ResilienceError` has, by construction,
+caught every non-bug outcome of a guarded compile.  The chaos property
+tests lean on this -- "typed, reported error" means an instance of this
+hierarchy (or a :class:`~repro.verify.ScheduleVerificationError`), never a
+bare traceback.
+"""
+
+from __future__ import annotations
+
+
+class ResilienceError(Exception):
+    """Base of every typed error the resilience layer raises."""
+
+
+class BudgetExceeded(ResilienceError):
+    """A pass or program ran past its wall-clock budget.
+
+    ``site`` names what overran (``"pass:<phase>"`` or ``"program"``);
+    chaos-injected hangs reuse this type because a simulated hang *is* a
+    watchdog firing.
+    """
+
+    def __init__(self, site: str, budget_s: float, elapsed_s: float):
+        super().__init__(
+            f"{site}: exceeded {budget_s * 1e3:.0f} ms budget "
+            f"after {elapsed_s * 1e3:.0f} ms")
+        self.site = site
+        self.budget_s = budget_s
+        self.elapsed_s = elapsed_s
+
+
+class InjectedFault(ResilienceError):
+    """A chaos-plan fault fired at a named site (see
+    :mod:`repro.resilience.faults`)."""
+
+    def __init__(self, site: str):
+        super().__init__(f"chaos: injected fault at {site}")
+        self.site = site
+
+
+class DegradationExhausted(ResilienceError):
+    """Every ladder rung failed -- should be unreachable while the
+    identity rung exists, so reaching it indicates a resilience bug."""
+
+    def __init__(self, function: str, attempts: list[tuple[str, str]]):
+        detail = "; ".join(f"{rung}: {reason}" for rung, reason in attempts)
+        super().__init__(f"{function}: every degradation rung failed "
+                         f"({detail})")
+        self.function = function
+        self.attempts = attempts
+
+
+class CheckpointError(ResilienceError):
+    """A fuzz checkpoint file is unreadable, corrupt, or belongs to a
+    different campaign (seed/size/machine mismatch)."""

@@ -142,7 +142,8 @@ def region_is_reducible(func: Function, spec: RegionSpec,
 
 
 def build_region_pdg(func: Function, machine: MachineModel,
-                     spec: RegionSpec, *, reduce_ddg: bool = True) -> RegionPDG:
+                     spec: RegionSpec, *, reduce_ddg: bool = True,
+                     ddg_builder=None) -> RegionPDG:
     """Materialise the PDG of one region (collapsing its sub-loops)."""
     summaries: list[SubloopSummary] = []
     for loop in spec.subloops:
@@ -161,4 +162,5 @@ def build_region_pdg(func: Function, machine: MachineModel,
         ))
     member_blocks = [func.block(label) for label in spec.member_labels]
     return RegionPDG(func, machine, member_blocks, spec.header_node,
-                     summaries, reduce_ddg=reduce_ddg)
+                     summaries, reduce_ddg=reduce_ddg,
+                     ddg_builder=ddg_builder)

@@ -103,7 +103,8 @@ class Executor:
 
     def run(self) -> ExecutionResult:
         func = self.func
-        block: BasicBlock | None = func.entry
+        # an empty function executes zero instructions and returns nothing
+        block: BasicBlock | None = func.entry if func.blocks else None
         block_trace: list[str] = []
         instr_trace: list[Instruction] = []
         calls: list[tuple[str, tuple[int, ...]]] = []

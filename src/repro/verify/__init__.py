@@ -23,6 +23,8 @@ from .fuzz import (
     FuzzFailure,
     FuzzReport,
     FuzzWorkerError,
+    QuarantinedProgram,
+    degradation_rung,
     derive_seed,
     fuzz,
     reproduce,
@@ -44,9 +46,11 @@ __all__ = [
     "FuzzReport",
     "FuzzWorkerError",
     "GenProgram",
+    "QuarantinedProgram",
     "ScheduleVerificationError",
     "VerifyIssue",
     "VerifyReport",
+    "degradation_rung",
     "derive_seed",
     "fuzz",
     "generate_program",

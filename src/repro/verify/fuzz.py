@@ -16,27 +16,48 @@ Campaigns parallelise cleanly because each program is a pure function of
 ``(S, i)``: with ``jobs > 1`` the indices are farmed out to a
 :mod:`multiprocessing` pool, results are collected as they finish, and the
 final report is sorted by index -- a campaign's failure list is identical
-for every job count (only ``on_progress`` interleaving differs).  A worker
-that *crashes* (as opposed to finding a differential failure, which is a
-normal result) surfaces as :class:`FuzzWorkerError` carrying the program
-index and the worker traceback.
+for every job count (only ``on_progress`` interleaving differs).
+
+Campaigns are *resilient* by default: each program runs under an optional
+wall-clock ``timeout_s``, and a program that crashes or times out is
+retried once (with a short exponential backoff) and then **quarantined**
+-- recorded in ``report.quarantined`` while the campaign continues.  The
+legacy fail-fast behaviour (a crash aborts the campaign as
+:class:`FuzzWorkerError`) is available with ``quarantine=False``.  Long
+campaigns can write an atomic JSON checkpoint after every program
+(``checkpoint_path``) and later resume from it (``resume_path``); a
+resumed campaign's sorted result lists are identical to an uninterrupted
+run's, for any job count.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import time
 import traceback
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Callable
 
+from ..resilience.budget import watchdog
+from ..resilience.errors import BudgetExceeded, CheckpointError
 from .differential import DEFAULT_MACHINES, DiffResult, run_differential
 from .generator import GenProgram, generate_program
 from .shrink import shrink_program
 
 _SEED_STRIDE = 1_000_003
+#: sleep before the retry of a crashed/timed-out program, doubled per
+#: attempt (transient faults -- memory pressure, signal races -- get one
+#: breath of air before we give up on the index)
+_RETRY_BACKOFF_S = 0.05
+#: attempts per program before quarantine: the first run plus one retry
+_MAX_ATTEMPTS = 2
+_CHECKPOINT_VERSION = 1
 
 
 class FuzzWorkerError(RuntimeError):
-    """A fuzz worker process died on an unexpected exception."""
+    """A fuzz worker process died on an unexpected exception
+    (``quarantine=False`` campaigns only)."""
 
     def __init__(self, index: int, worker_traceback: str):
         super().__init__(
@@ -77,12 +98,33 @@ class FuzzFailure:
 
 
 @dataclass
+class QuarantinedProgram:
+    """A program whose *harness* run kept failing (crash or timeout) --
+    parked after :data:`_MAX_ATTEMPTS` so the campaign can continue."""
+
+    index: int
+    seed: int
+    attempts: int
+    #: "crash" | "timeout"
+    reason: str
+    detail: str
+
+    def format(self) -> str:
+        return (f"--- quarantined #{self.index} (seed {self.seed}, "
+                f"{self.reason} after {self.attempts} attempts) ---\n"
+                f"{self.detail}")
+
+
+@dataclass
 class FuzzReport:
     """Outcome of one fuzzing campaign."""
 
     master_seed: int
     attempted: int = 0
     failures: list[FuzzFailure] = field(default_factory=list)
+    #: programs parked after repeated crashes/timeouts (campaigns with
+    #: ``quarantine=True``, the default)
+    quarantined: list[QuarantinedProgram] = field(default_factory=list)
     #: per-program scheduling summaries (``collect_metrics=True`` only),
     #: sorted by index; see :func:`_program_metrics` for the keys
     metric_summaries: list[dict] = field(default_factory=list)
@@ -93,8 +135,10 @@ class FuzzReport:
 
     def summary(self) -> str:
         status = "ok" if self.ok else f"{len(self.failures)} FAILURE(S)"
+        quarantine = (f", {len(self.quarantined)} quarantined"
+                      if self.quarantined else "")
         return (f"fuzz: {self.attempted} programs, seed "
-                f"{self.master_seed}: {status}")
+                f"{self.master_seed}: {status}{quarantine}")
 
 
 def _program_metrics(index: int, program: GenProgram) -> dict:
@@ -130,6 +174,113 @@ def _program_metrics(index: int, program: GenProgram) -> dict:
     }
 
 
+# -- checkpointing ------------------------------------------------------------
+
+def _checkpoint_state(report: FuzzReport, *, n: int,
+                      machines: tuple[str, ...], shrink: bool,
+                      collect_metrics: bool, done: set[int]) -> dict:
+    return {
+        "version": _CHECKPOINT_VERSION,
+        "master_seed": report.master_seed,
+        "n": n,
+        "machines": list(machines),
+        "shrink": shrink,
+        "collect_metrics": collect_metrics,
+        "done": sorted(done),
+        "failures": [asdict(f) for f in report.failures],
+        "quarantined": [asdict(q) for q in report.quarantined],
+        "metric_summaries": report.metric_summaries,
+    }
+
+
+def _save_checkpoint(path: str, state: dict) -> None:
+    """Write atomically: a crash mid-write never corrupts the file."""
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(state, fh)
+    os.replace(tmp, path)
+
+
+def _load_checkpoint(path: str, *, n: int, seed: int,
+                     machines: tuple[str, ...], shrink: bool,
+                     collect_metrics: bool) -> dict:
+    try:
+        with open(path, encoding="utf-8") as fh:
+            state = json.load(fh)
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") \
+            from exc
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(f"corrupt checkpoint {path}: {exc}") from exc
+    if not isinstance(state, dict) \
+            or state.get("version") != _CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path} has unsupported version "
+            f"{state.get('version')!r}" if isinstance(state, dict)
+            else f"corrupt checkpoint {path}: not a JSON object")
+    expected = {"master_seed": seed, "n": n, "machines": list(machines),
+                "shrink": shrink, "collect_metrics": collect_metrics}
+    for key, want in expected.items():
+        if state.get(key) != want:
+            raise CheckpointError(
+                f"checkpoint {path} belongs to a different campaign: "
+                f"{key}={state.get(key)!r}, this campaign has {want!r}")
+    return state
+
+
+# -- per-program execution ----------------------------------------------------
+
+def _attempt(master_seed: int, index: int, machines: tuple[str, ...],
+             shrink: bool, collect_metrics: bool,
+             timeout_s: float | None,
+             ) -> tuple[FuzzFailure | None, dict | None]:
+    """One harness run of one campaign index, bounded by ``timeout_s``."""
+    with watchdog(timeout_s, f"fuzz:program-{index}"):
+        program = generate_program(derive_seed(master_seed, index))
+        outcome = run_differential(program, machines=machines)
+        summary = (_program_metrics(index, program)
+                   if collect_metrics else None)
+        if outcome.ok:
+            return None, summary
+        return (_build_failure(index, program, outcome, machines, shrink),
+                summary)
+
+
+def _run_one(
+    task: tuple[int, int, tuple[str, ...], bool, bool, float | None, bool],
+) -> tuple[int, FuzzFailure | None, QuarantinedProgram | None,
+           str | None, dict | None]:
+    """Pool entry point: run one campaign index, never raise.
+
+    Returns ``(index, failure, quarantined, crash-traceback, metrics)``.
+    In quarantine mode a crash or timeout is retried once with backoff
+    and then parked as a :class:`QuarantinedProgram`; in legacy mode the
+    traceback is returned for the parent to raise as
+    :class:`FuzzWorkerError`.
+    """
+    (master_seed, index, machines, shrink, collect_metrics,
+     timeout_s, quarantine) = task
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            failure, summary = _attempt(master_seed, index, machines,
+                                        shrink, collect_metrics, timeout_s)
+            return index, failure, None, None, summary
+        except BudgetExceeded as exc:
+            reason, detail = "timeout", str(exc)
+        except Exception:
+            reason, detail = "crash", traceback.format_exc()
+        if not quarantine:
+            return index, None, None, detail, None
+        if attempts >= _MAX_ATTEMPTS:
+            record = QuarantinedProgram(
+                index=index, seed=derive_seed(master_seed, index),
+                attempts=attempts, reason=reason, detail=detail)
+            return index, None, record, None, None
+        time.sleep(_RETRY_BACKOFF_S * (2 ** (attempts - 1)))
+
+
 def fuzz(
     n: int,
     seed: int,
@@ -140,6 +291,11 @@ def fuzz(
     stop_after: int | None = None,
     jobs: int = 1,
     collect_metrics: bool = False,
+    timeout_s: float | None = None,
+    quarantine: bool = True,
+    checkpoint_path: str | None = None,
+    resume_path: str | None = None,
+    interrupt_after: int | None = None,
 ) -> FuzzReport:
     """Run ``n`` generated programs through the differential matrix.
 
@@ -152,74 +308,92 @@ def fuzz(
     when completion order differs).  ``collect_metrics`` additionally
     compiles each program with a metrics collector and records a
     per-program scheduling summary in ``report.metric_summaries``.
+
+    ``timeout_s`` bounds each program's harness run; ``quarantine``
+    (default) parks repeat offenders instead of aborting.
+    ``checkpoint_path`` saves the campaign state atomically after every
+    program; ``resume_path`` seeds the campaign from such a file and only
+    runs the remaining indices -- the finished report is identical to an
+    uninterrupted run's.  ``interrupt_after`` stops the campaign after
+    that many programs *this run* (exercises the checkpoint/resume path).
     """
     if jobs < 1:
         raise ValueError(f"jobs must be a positive integer, got {jobs}")
     report = FuzzReport(master_seed=seed)
-    if jobs == 1:
-        for index in range(n):
-            program = generate_program(derive_seed(seed, index))
-            outcome = run_differential(program, machines=machines)
-            report.attempted += 1
-            if not outcome.ok:
-                report.failures.append(
-                    _build_failure(index, program, outcome, machines, shrink))
-            if collect_metrics:
-                report.metric_summaries.append(
-                    _program_metrics(index, program))
-            if on_progress is not None:
-                on_progress(report.attempted, len(report.failures))
-            if stop_after is not None and len(report.failures) >= stop_after:
-                break
+    done: set[int] = set()
+    if resume_path is not None:
+        state = _load_checkpoint(resume_path, n=n, seed=seed,
+                                 machines=machines, shrink=shrink,
+                                 collect_metrics=collect_metrics)
+        done = set(state["done"])
+        report.attempted = len(done)
+        report.failures = [FuzzFailure(**f) for f in state["failures"]]
+        report.quarantined = [QuarantinedProgram(**q)
+                              for q in state["quarantined"]]
+        report.metric_summaries = list(state["metric_summaries"])
+    pending = [index for index in range(n) if index not in done]
+
+    completed_this_run = 0
+
+    def complete(index: int, failure, quarantined, error, summary) -> bool:
+        """Fold one result into the report; False stops the campaign."""
+        nonlocal completed_this_run
+        if error is not None:
+            raise FuzzWorkerError(index, error)
+        done.add(index)
+        report.attempted += 1
+        completed_this_run += 1
+        if failure is not None:
+            report.failures.append(failure)
+        if quarantined is not None:
+            report.quarantined.append(quarantined)
+        if summary is not None:
+            report.metric_summaries.append(summary)
+        if checkpoint_path is not None:
+            _save_checkpoint(checkpoint_path, _checkpoint_state(
+                report, n=n, machines=machines, shrink=shrink,
+                collect_metrics=collect_metrics, done=done))
+        if on_progress is not None:
+            on_progress(report.attempted, len(report.failures))
+        if stop_after is not None and len(report.failures) >= stop_after:
+            return False
+        if (interrupt_after is not None
+                and completed_this_run >= interrupt_after):
+            return False
+        return True
+
+    def finish() -> FuzzReport:
+        report.failures.sort(key=lambda f: f.index)
+        report.quarantined.sort(key=lambda q: q.index)
+        report.metric_summaries.sort(key=lambda s: s["index"])
         return report
+
+    if jobs == 1:
+        for index in pending:
+            if quarantine:
+                _, failure, parked, error, summary = _run_one(
+                    (seed, index, machines, shrink, collect_metrics,
+                     timeout_s, True))
+            else:
+                # legacy fail-fast: exceptions propagate to the caller raw
+                failure, summary = _attempt(seed, index, machines, shrink,
+                                            collect_metrics, timeout_s)
+                parked = error = None
+            if not complete(index, failure, parked, error, summary):
+                break
+        return finish()
 
     import multiprocessing
 
-    tasks = [(seed, index, machines, shrink, collect_metrics)
-             for index in range(n)]
+    tasks = [(seed, index, machines, shrink, collect_metrics,
+              timeout_s, quarantine) for index in pending]
     with multiprocessing.get_context().Pool(processes=jobs) as pool:
-        for index, failure, error, summary in pool.imap_unordered(
-                _fuzz_worker, tasks, chunksize=4):
-            if error is not None:
-                raise FuzzWorkerError(index, error)
-            report.attempted += 1
-            if failure is not None:
-                report.failures.append(failure)
-            if summary is not None:
-                report.metric_summaries.append(summary)
-            if on_progress is not None:
-                on_progress(report.attempted, len(report.failures))
-            if stop_after is not None and len(report.failures) >= stop_after:
+        for index, failure, parked, error, summary in pool.imap_unordered(
+                _run_one, tasks, chunksize=4):
+            if not complete(index, failure, parked, error, summary):
                 break
         # leaving the with-block terminates any still-running workers
-    report.failures.sort(key=lambda f: f.index)
-    report.metric_summaries.sort(key=lambda s: s["index"])
-    return report
-
-
-def _fuzz_worker(
-    task: tuple[int, int, tuple[str, ...], bool, bool],
-) -> tuple[int, FuzzFailure | None, str | None, dict | None]:
-    """Pool entry point: run one campaign index, never raise.
-
-    Returns ``(index, failure-or-None, crash-traceback-or-None,
-    metric-summary-or-None)``; the parent re-raises crashes as
-    :class:`FuzzWorkerError` so one bad program aborts the campaign loudly
-    instead of hanging the pool.
-    """
-    master_seed, index, machines, shrink, collect_metrics = task
-    try:
-        program = generate_program(derive_seed(master_seed, index))
-        outcome = run_differential(program, machines=machines)
-        summary = (_program_metrics(index, program)
-                   if collect_metrics else None)
-        if outcome.ok:
-            return index, None, None, summary
-        return (index,
-                _build_failure(index, program, outcome, machines, shrink),
-                None, summary)
-    except Exception:
-        return index, None, traceback.format_exc(), None
+    return finish()
 
 
 def _build_failure(
@@ -250,12 +424,35 @@ def _build_failure(
 
 def reproduce(master_seed: int, index: int,
               *, machines: tuple[str, ...] = DEFAULT_MACHINES,
-              shrink: bool = True) -> FuzzFailure | GenProgram:
-    """Re-run one campaign program.  Returns the :class:`FuzzFailure`
-    (shrunk if requested) when it still fails, or the passing
-    :class:`GenProgram` otherwise."""
-    program = generate_program(derive_seed(master_seed, index))
-    outcome = run_differential(program, machines=machines)
-    if outcome.ok:
-        return program
-    return _build_failure(index, program, outcome, machines, shrink)
+              shrink: bool = True,
+              timeout_s: float | None = None,
+              ) -> FuzzFailure | GenProgram:
+    """Re-run one campaign program, bounded by the same per-program
+    ``timeout_s`` a campaign would apply.  Returns the
+    :class:`FuzzFailure` (shrunk if requested) when it still fails, or
+    the passing :class:`GenProgram` otherwise."""
+    with watchdog(timeout_s, f"fuzz:program-{index}"):
+        program = generate_program(derive_seed(master_seed, index))
+        outcome = run_differential(program, machines=machines)
+        if outcome.ok:
+            return program
+        return _build_failure(index, program, outcome, machines, shrink)
+
+
+def degradation_rung(program: GenProgram, *, machine_name: str = "rs6k",
+                     timeout_s: float | None = None) -> str:
+    """Compile ``program`` once through the *resilient* pipeline and
+    report the degradation-ladder rung it lands on (worst across the
+    unit's functions) -- ``repro fuzz --reproduce`` prints this."""
+    from ..compiler import compile_c
+    from ..machine.configs import CONFIGS
+    from ..resilience.ladder import ResilienceConfig, worst_rung
+    from ..sched.candidates import ScheduleLevel
+    from ..xform.pipeline import PipelineConfig
+
+    config = PipelineConfig(
+        verify=True,
+        resilience=ResilienceConfig(program_budget_s=timeout_s))
+    unit = compile_c(program.source, machine=CONFIGS[machine_name](),
+                     level=ScheduleLevel.SPECULATIVE, config=config)
+    return worst_rung(u.report.final_rung for u in unit)

@@ -226,9 +226,15 @@ def verify_schedule(
     def pdg_of(spec: RegionSpec):
         if spec.header_node not in pdgs:
             # un-reduced: the verifier must see every natural edge, not the
-            # transitive reduction the scheduler works from
+            # transitive reduction the scheduler works from.  The builder
+            # is injected from data_deps directly so namespace patches of
+            # ``repro.pdg.pdg.build_region_ddg`` (chaos fault injection,
+            # reference-mode swaps) cannot corrupt the judge.
+            from ..pdg.data_deps import build_region_ddg
+
             pdgs[spec.header_node] = build_region_pdg(
-                before, machine, spec, reduce_ddg=False)
+                before, machine, spec, reduce_ddg=False,
+                ddg_builder=build_region_ddg)
         return pdgs[spec.header_node]
 
     _check_placement(report, before, before_at, after_at, dup_uids,

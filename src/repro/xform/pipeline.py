@@ -20,6 +20,8 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from dataclasses import fields as dataclass_fields
+from typing import TYPE_CHECKING
 
 from ..dataflow.cache import AnalysisCache
 from ..ir.function import Function
@@ -38,6 +40,10 @@ from .rename import RenameReport, rename_function
 from .rotate import RotateReport, rotatable, rotate_loop
 from .strength import StrengthReductionReport, strength_reduce
 from .unroll import UnrollReport, unroll_loop, unrollable_inner_loops
+
+if TYPE_CHECKING:  # import cycle: repro.resilience.runner imports this module
+    from ..resilience.guard import StageGuard
+    from ..resilience.ladder import ResilienceConfig
 
 
 @dataclass
@@ -87,6 +93,11 @@ class PipelineConfig:
     #: tracing off must be byte-identical to tracing on.
     trace: Tracer | None = None
     metrics: MetricsCollector | None = None
+    #: fail-soft mode (see :mod:`repro.resilience`): pass isolation,
+    #: per-pass/per-program budgets, and the degradation ladder
+    #: speculative -> useful -> bb -> identity.  None (the default) keeps
+    #: the pipeline exactly as fast and as brittle as before.
+    resilience: "ResilienceConfig | None" = None
 
 
 @dataclass
@@ -122,8 +133,33 @@ def optimize(
     *,
     live_at_exit: frozenset[Reg] | None = None,
 ) -> PipelineReport:
-    """Run the full global-scheduling flow on ``func`` in place."""
+    """Run the full global-scheduling flow on ``func`` in place.
+
+    With ``config.resilience`` set this delegates to the fail-soft driver
+    (:func:`repro.resilience.runner.resilient_optimize`), which wraps the
+    same flow in pass isolation, budgets and the degradation ladder and
+    returns a :class:`~repro.resilience.runner.ResilientPipelineReport`
+    (a :class:`PipelineReport` subclass).
+    """
     config = config or PipelineConfig()
+    if config.resilience is not None:
+        from ..resilience.runner import resilient_optimize
+
+        return resilient_optimize(func, machine, config,
+                                  live_at_exit=live_at_exit)
+    return _optimize_once(func, machine, config, live_at_exit=live_at_exit)
+
+
+def _optimize_once(
+    func: Function,
+    machine: MachineModel,
+    config: PipelineConfig,
+    *,
+    live_at_exit: frozenset[Reg] | None = None,
+    guard: "StageGuard | None" = None,
+) -> PipelineReport:
+    """One un-laddered run of the flow; ``guard`` (when present) brackets
+    every stage with the resilience layer's pass isolation."""
     report = PipelineReport(level=config.level)
     tracer = config.trace if config.trace is not None else NULL_TRACER
     metrics = config.metrics if config.metrics is not None else NULL_METRICS
@@ -133,14 +169,38 @@ def optimize(
                                   level=config.level.value))
 
     @contextmanager
-    def phase(name: str):
-        """Bracket one Section 6 stage with trace + timer events."""
+    def phase(name: str, *, skippable: bool = False, on_restore=None):
+        """Bracket one Section 6 stage with trace + timer events (and,
+        under a guard, fault injection / budgets / rollback-on-failure --
+        a skipped stage resumes *after* the with-block, so stage bodies
+        mutate ``report`` as their final statement only)."""
         if tracer.enabled:
             tracer.emit(PhaseBegin(function=func.name, phase=name))
         phase_started = time.perf_counter()
         try:
-            with metrics.phase(name):
-                yield
+            if guard is not None:
+                if guard.armed:
+                    # On a skip the guard restores func from its snapshot;
+                    # restore the report's fields alongside so a post-body
+                    # injection cannot leave entries for rolled-back work.
+                    saved = {f.name: getattr(report, f.name)
+                             for f in dataclass_fields(report)}
+
+                    def restore() -> None:
+                        for key, value in saved.items():
+                            setattr(report, key, value)
+                        if on_restore is not None:
+                            on_restore()
+                else:
+                    # unarmed guards never skip, so nothing to roll back
+                    restore = on_restore
+                with guard.stage(name, skippable=skippable,
+                                 on_restore=restore):
+                    with metrics.phase(name):
+                        yield
+            else:
+                with metrics.phase(name):
+                    yield
         finally:
             if tracer.enabled:
                 tracer.emit(PhaseEnd(
@@ -180,16 +240,22 @@ def optimize(
             ))
 
     # Machine-independent optimizations the BASE compiler also performs.
+    # Optional transforms are `skippable`: under a guard a failure inside
+    # the with-block rolls the function back and execution resumes after
+    # it, so each body assigns into `report` as its very last statement.
     if config.strength_reduce:
-        with phase("strength-reduce"):
-            report.strength = strength_reduce(
+        with phase("strength-reduce", skippable=True,
+                   on_restore=analyses.invalidate):
+            strength = strength_reduce(
                 func, live_at_exit=live_at_exit or frozenset())
             verify_function(func)
+            report.strength = strength
         analyses.invalidate()
     if config.use_counter_register:
-        with phase("ctr"):
-            report.ctr = convert_counted_loops(func)
+        with phase("ctr", skippable=True, on_restore=analyses.invalidate):
+            ctr = convert_counted_loops(func)
             verify_function(func)
+            report.ctr = ctr
         analyses.invalidate()
 
     if config.level is ScheduleLevel.NONE:
@@ -197,26 +263,32 @@ def optimize(
         if config.post_bb_pass:
             before = snapshot()
             with phase("bb-post"):
-                report.bb_cycles = schedule_function_blocks(func, machine)
+                bb_cycles = schedule_function_blocks(func, machine)
                 verify_function(func)
+                report.bb_cycles = bb_cycles
             check(before, level=ScheduleLevel.NONE)
         return finish()
 
     if config.rename_ahead:
-        with phase("rename-ahead"):
-            report.rename = rename_function(
+        with phase("rename-ahead", skippable=True,
+                   on_restore=analyses.invalidate):
+            rename = rename_function(
                 func, live_at_exit=live_at_exit or frozenset())
             verify_function(func)
+            report.rename = rename
         analyses.invalidate_liveness()
 
     # Step 1: unroll small inner loops.
     if config.unroll_max_blocks:
-        with phase("unroll"):
+        with phase("unroll", skippable=True,
+                   on_restore=analyses.invalidate):
+            unrolled = []
             nest = analyses.loop_nest()
             for loop in unrollable_inner_loops(func, nest.loops,
                                                config.unroll_max_blocks):
-                report.unrolled.append(unroll_loop(func, loop))
+                unrolled.append(unroll_loop(func, loop))
             verify_function(func)
+            report.unrolled = unrolled
         if report.unrolled:
             analyses.invalidate()
 
@@ -226,7 +298,7 @@ def optimize(
     # Step 2: first global pass, inner regions only.
     before = snapshot()
     with phase("global-pass-1"):
-        report.first_pass = global_schedule(
+        first_pass = global_schedule(
             func, machine, config.level,
             live_at_exit=live_at_exit,
             max_speculation=config.max_speculation,
@@ -242,22 +314,25 @@ def optimize(
             metrics=metrics,
         )
         verify_function(func)
+        report.first_pass = first_pass
     analyses.invalidate_liveness()
     check(before, level=config.level, motions=report.first_pass.motions)
 
     # Step 3: rotate small inner loops.
     rotated_headers: set[str] = set()
     if config.rotate_max_blocks:
-        with phase("rotate"):
+        with phase("rotate", skippable=True,
+                   on_restore=analyses.invalidate):
+            rotated = []
             nest = analyses.loop_nest()
             for loop in list(nest.loops):
                 if loop.children:
                     continue
                 if rotatable(func, loop, config.rotate_max_blocks):
-                    rotated = rotate_loop(func, loop)
-                    report.rotated.append(rotated)
-                    rotated_headers.add(rotated.new_loop_header)
+                    rotated.append(rotate_loop(func, loop))
             verify_function(func)
+            report.rotated = rotated
+            rotated_headers = {r.new_loop_header for r in rotated}
         if report.rotated:
             analyses.invalidate()
 
@@ -270,7 +345,7 @@ def optimize(
 
     before = snapshot()
     with phase("global-pass-2"):
-        report.second_pass = global_schedule(
+        second_pass = global_schedule(
             func, machine, config.level,
             live_at_exit=live_at_exit,
             max_speculation=config.max_speculation,
@@ -286,6 +361,7 @@ def optimize(
             metrics=metrics,
         )
         verify_function(func)
+        report.second_pass = second_pass
     analyses.invalidate_liveness()
     check(before, level=config.level, motions=report.second_pass.motions)
 
@@ -293,8 +369,9 @@ def optimize(
     if config.post_bb_pass:
         before = snapshot()
         with phase("bb-post"):
-            report.bb_cycles = schedule_function_blocks(func, machine)
+            bb_cycles = schedule_function_blocks(func, machine)
             verify_function(func)
+            report.bb_cycles = bb_cycles
         check(before, level=ScheduleLevel.NONE)
 
     return finish()

@@ -208,6 +208,53 @@ class TestMissingInputFiles:
         assert err.startswith("error: cannot read")
 
 
+class TestMalformedIR:
+    """Satellite fix: a :class:`repro.ir.parser.ParseError` surfaces as a
+    located one-line stderr message with exit 2, never a traceback."""
+
+    def test_unknown_mnemonic_with_line_and_column(self, tmp_path, capsys):
+        path = tmp_path / "bad.ir"
+        path.write_text("function f\nCL.0:\n    BOGUS r1=r2,r3\n")
+        assert main(["schedule", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith(f"error: {path}: line 3, col 5:")
+        assert "unknown mnemonic 'BOGUS'" in err
+        assert len(err.strip().splitlines()) == 1
+        assert "Traceback" not in err
+
+    def test_bad_operand_is_located(self, tmp_path, capsys):
+        path = tmp_path / "bad.ir"
+        path.write_text("function f\nCL.0:\n    A r1=zz,r3\n")
+        assert main(["schedule", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "line 3, col 7" in err
+        assert "not a register name" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_missing_function_line(self, tmp_path, capsys):
+        path = tmp_path / "bad.ir"
+        path.write_text("CL.0:\n    NOP\n")
+        assert main(["schedule", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "line 1" in err
+        assert "'function <name>'" in err
+
+
+class TestChaosCommand:
+    def test_smoke_sweep_exits_zero(self, capsys):
+        assert main(["chaos", "--n", "2", "--seed", "1991"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos: 2 fault plans, seed 1991" in out
+        assert "ok" in out
+
+    def test_verbose_prints_every_case(self, capsys):
+        assert main(["chaos", "--n", "2", "--seed", "1991",
+                     "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("seed ") >= 2
+        assert "->" in out
+
+
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         main([])

@@ -1,0 +1,102 @@
+"""Deadlines and the pass/program watchdog.
+
+The watchdog is the only thing standing between a hung pass and a hung
+compile, so the tests exercise both delivery paths: the preemptive
+SIGALRM alarm that interrupts a loop which never returns, and the
+cooperative on-exit check used where alarms are unavailable.
+"""
+
+from __future__ import annotations
+
+import signal
+import time
+
+import pytest
+
+from repro.resilience import BudgetExceeded, Deadline, can_preempt, watchdog
+from repro.resilience.budget import PROGRAM_SITE, _stack
+
+
+def test_deadline_accounting():
+    deadline = Deadline(60.0, "pass:test")
+    assert deadline.site == "pass:test"
+    assert not deadline.expired
+    assert 0.0 <= deadline.elapsed < 1.0
+    assert deadline.remaining > 59.0
+    deadline.check()  # plenty left: no raise
+    assert "pass:test" in repr(deadline)
+
+
+def test_deadline_expiry_and_check():
+    deadline = Deadline(0.0, "pass:test")
+    assert deadline.expired
+    with pytest.raises(BudgetExceeded) as excinfo:
+        deadline.check()
+    assert excinfo.value.site == "pass:test"
+    assert excinfo.value.budget_s == 0.0
+
+
+def test_watchdog_none_budget_is_a_noop():
+    with watchdog(None) as deadline:
+        assert deadline is None
+
+
+def test_watchdog_cooperative_detects_overrun_on_exit():
+    with pytest.raises(BudgetExceeded) as excinfo:
+        with watchdog(0.01, "pass:slow", preemptive=False):
+            time.sleep(0.03)
+    assert excinfo.value.site == "pass:slow"
+    assert excinfo.value.elapsed_s >= 0.01
+
+
+def test_watchdog_check_on_exit_false_lets_finished_work_ship():
+    # a block that *finished* just past its budget still returns normally
+    with watchdog(0.01, "program", preemptive=False, check_on_exit=False):
+        time.sleep(0.03)
+
+
+def test_watchdog_fast_block_passes():
+    with watchdog(30.0, "pass:fast"):
+        pass
+    assert not _stack  # stack restored
+
+
+@pytest.mark.skipif(not can_preempt(), reason="needs SIGALRM + main thread")
+def test_watchdog_preempts_a_hung_loop():
+    started = time.monotonic()
+    with pytest.raises(BudgetExceeded) as excinfo:
+        with watchdog(0.05, "pass:hung"):
+            while True:  # never returns without preemption
+                pass
+    assert excinfo.value.site == "pass:hung"
+    assert time.monotonic() - started < 5.0
+    assert not _stack
+    # the previous handler is restored once the stack drains
+    assert signal.getsignal(signal.SIGALRM) in (signal.SIG_DFL,
+                                                signal.SIG_IGN,
+                                                signal.default_int_handler)
+
+
+@pytest.mark.skipif(not can_preempt(), reason="needs SIGALRM + main thread")
+def test_expired_outer_deadline_outranks_inner():
+    # program budget exhausted while a pass still has time: the program
+    # site must win (a function out of budget is not saved by its pass)
+    program = Deadline(0.05, PROGRAM_SITE)
+    with pytest.raises(BudgetExceeded) as excinfo:
+        with watchdog(program, PROGRAM_SITE, check_on_exit=False):
+            with watchdog(30.0, "pass:inner"):
+                while True:
+                    pass
+    assert excinfo.value.site == PROGRAM_SITE
+
+
+def test_shared_deadline_spans_blocks():
+    deadline = Deadline(0.04, PROGRAM_SITE)
+    with watchdog(deadline, PROGRAM_SITE, preemptive=False,
+                  check_on_exit=False):
+        pass  # first attempt: cheap
+    time.sleep(0.05)
+    assert deadline.expired  # second attempt would see the spent budget
+    with pytest.raises(BudgetExceeded):
+        with watchdog(deadline, PROGRAM_SITE, preemptive=False):
+            pass

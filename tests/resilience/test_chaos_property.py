@@ -1,0 +1,114 @@
+"""The chaos property: injected faults never escape the safety net.
+
+Every case compiles a generated program twice -- clean, then with a
+seeded fault armed and the resilient pipeline on -- and demands one of
+two outcomes: the compile finishes with a verified (or identity)
+schedule whose observable behaviour matches the clean build, or a typed
+error is reported.  Tracebacks and surviving miscompiles are property
+violations.
+
+The fast sweep here keeps the tier-1 suite honest; the acceptance-sized
+200-plan sweep is marked ``slow`` (CI runs a 50-plan smoke via
+``repro chaos``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience import plan_for_seed, run_chaos, run_chaos_case
+from repro.resilience.chaos import ChaosReport, ChaosResult
+from repro.resilience.faults import SITES
+from repro.verify.fuzz import derive_seed
+
+FAST_N = 24
+MASTER_SEED = 1991
+
+
+def _fail_message(report: ChaosReport) -> str:
+    return "\n".join(r.format() for r in report.violations)
+
+
+def test_fast_chaos_sweep_holds_the_property():
+    report = run_chaos(FAST_N, MASTER_SEED)
+    assert report.ok, _fail_message(report)
+    assert len(report.results) == FAST_N
+    # the sweep is only meaningful if faults actually trigger
+    assert sum(r.fired for r in report.results) >= FAST_N // 2
+    assert "fault plans" in report.summary()
+
+
+def test_every_site_is_reachable_by_some_seed():
+    seen = set()
+    for index in range(200):
+        seen.add(plan_for_seed(derive_seed(MASTER_SEED, index)).site)
+        if seen == set(SITES):
+            break
+    assert seen == set(SITES)
+
+
+def test_case_seeds_reproduce():
+    seed = derive_seed(MASTER_SEED, 3)
+    first = run_chaos_case(seed)
+    second = run_chaos_case(seed)
+    assert first.outcome == second.outcome
+    assert first.final_rung == second.final_rung
+    assert first.degradations == second.degradations
+
+
+def test_ddg_corruption_is_caught_not_shipped():
+    """A dropped-edge miscompile must be rejected by the verifier (a
+    rung descent), never survive into the output: scan the first seeds
+    whose plan is ddg.drop-edge and require absorbed-or-typed."""
+    checked = 0
+    for index in range(400):
+        seed = derive_seed(MASTER_SEED, index)
+        if plan_for_seed(seed).site != "ddg.drop-edge":
+            continue
+        result = run_chaos_case(seed)
+        assert result.ok, result.format()
+        if result.fired and result.outcome == "absorbed":
+            # the corrupted schedule was rejected somewhere on the way
+            # down; the shipped rung is below the corrupted one
+            assert result.degradations >= 1, result.format()
+        checked += 1
+        if checked == 3:
+            break
+    assert checked == 3
+
+
+def test_injected_crash_always_degrades_to_verified_schedule():
+    """pass.exception cases must absorb in place (skippable stage) or
+    descend rungs -- either way the compile finishes and matches."""
+    checked = 0
+    for index in range(400):
+        seed = derive_seed(MASTER_SEED, index)
+        if plan_for_seed(seed).site != "pass.exception":
+            continue
+        result = run_chaos_case(seed)
+        assert result.outcome in ("absorbed", "typed-error"), result.format()
+        checked += 1
+        if checked == 4:
+            break
+    assert checked == 4
+
+
+def test_chaos_result_formatting():
+    result = ChaosResult(case_seed=7, plan=plan_for_seed(7),
+                         outcome="VIOLATION", detail="boom")
+    assert not result.ok
+    assert "seed 7" in result.format()
+    assert "boom" in result.format()
+    report = ChaosReport(master_seed=7, results=[result])
+    assert not report.ok
+    assert report.violations == [result]
+    assert "PROPERTY VIOLATION" in report.summary()
+
+
+@pytest.mark.slow
+def test_acceptance_sweep_200_plans():
+    """ISSUE acceptance criterion: the property holds over >= 200 seeded
+    fault plans."""
+    report = run_chaos(200, MASTER_SEED)
+    assert report.ok, _fail_message(report)
+    assert sum(r.fired for r in report.results) >= 100

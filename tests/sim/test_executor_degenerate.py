@@ -1,0 +1,90 @@
+"""Degenerate programs the executor must survive (robustness PR satellite).
+
+The functional interpreter is the correctness oracle the whole verify
+stack leans on, so its behaviour on pathological inputs matters: an
+empty function must execute zero steps (not crash), a single-block
+infinite loop must hit the step cap with :class:`ExecutionError`, and a
+block containing only a branch must route control without touching any
+architectural state.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir.function import Function
+from repro.ir.instruction import Instruction
+from repro.ir.opcodes import Opcode
+from repro.ir.operand import CR_GT, parse_reg
+from repro.sim.executor import ExecutionError, execute
+
+
+def test_empty_function_executes_zero_steps():
+    func = Function("empty")
+    result = execute(func)
+    assert result.steps == 0
+    assert result.block_trace == []
+    assert result.instr_trace == []
+    assert result.return_value is None
+    assert result.regs == {}
+    assert result.memory == {}
+
+
+def test_function_with_one_empty_block():
+    func = Function("hollow")
+    func.add_block("entry.0")
+    result = execute(func)
+    assert result.block_trace == ["entry.0"]
+    assert result.steps == 0
+    assert result.return_value is None
+
+
+def test_single_block_infinite_loop_hits_step_cap():
+    func = Function("spin")
+    block = func.add_block("CL.0")
+    func.emit(block, Instruction(Opcode.B, target="CL.0"))
+    with pytest.raises(ExecutionError, match="exceeded 64 steps"):
+        execute(func, max_steps=64)
+
+
+def test_infinite_loop_with_body_hits_step_cap():
+    r1 = parse_reg("r1")
+    func = Function("spin_add")
+    block = func.add_block("CL.0")
+    func.emit(block, Instruction(Opcode.AI, defs=(r1,), uses=(r1,), imm=1))
+    func.emit(block, Instruction(Opcode.B, target="CL.0"))
+    with pytest.raises(ExecutionError, match="infinite loop"):
+        execute(func, max_steps=100)
+
+
+def test_branch_only_block_routes_without_state_changes():
+    cr0 = parse_reg("cr0")
+    r2 = parse_reg("r2")
+    func = Function("route")
+    hub = func.add_block("hub.0")
+    func.emit(hub, Instruction(Opcode.BT, uses=(cr0,), target="out.1",
+                               mask=CR_GT))
+    skipped = func.add_block("skip.2")
+    func.emit(skipped, Instruction(Opcode.LI, defs=(r2,), imm=99))
+    out = func.add_block("out.1")
+    func.emit(out, Instruction(Opcode.RET, uses=(r2,)))
+
+    taken = execute(func, regs={cr0: CR_GT})
+    assert taken.block_trace == ["hub.0", "out.1"]
+    assert taken.return_value == 0  # skip.2 never wrote r2
+    assert taken.memory == {}
+
+    fallthrough = execute(func, regs={cr0: 0})
+    assert fallthrough.block_trace == ["hub.0", "skip.2", "out.1"]
+    assert fallthrough.return_value == 99
+
+
+def test_last_block_falls_off_the_end():
+    r1 = parse_reg("r1")
+    func = Function("dropout")
+    block = func.add_block("entry.0")
+    func.emit(block, Instruction(Opcode.LI, defs=(r1,), imm=7))
+    result = execute(func)
+    # no RET: execution ends after the last block with no return value
+    assert result.return_value is None
+    assert result.reg(r1) == 7

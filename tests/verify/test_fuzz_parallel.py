@@ -60,9 +60,11 @@ def test_worker_crash_surfaces_as_fuzz_worker_error(monkeypatch):
 
     # fork-based workers inherit the patched module, so the crash happens
     # inside the pool and must be relayed back with its traceback
+    # (quarantine=False selects the legacy fail-fast behaviour)
     monkeypatch.setattr(fuzz_module, "generate_program", exploding_generate)
     with pytest.raises(FuzzWorkerError) as excinfo:
-        fuzz(CAMPAIGN_N, CAMPAIGN_SEED, shrink=False, jobs=2)
+        fuzz(CAMPAIGN_N, CAMPAIGN_SEED, shrink=False, jobs=2,
+             quarantine=False)
     assert excinfo.value.index == 2
     assert "injected worker crash" in excinfo.value.worker_traceback
 
@@ -73,7 +75,7 @@ def test_serial_crash_propagates_directly(monkeypatch):
 
     monkeypatch.setattr(fuzz_module, "generate_program", exploding_generate)
     with pytest.raises(RuntimeError, match="injected serial crash"):
-        fuzz(2, CAMPAIGN_SEED, shrink=False)
+        fuzz(2, CAMPAIGN_SEED, shrink=False, quarantine=False)
 
 
 def test_cli_rejects_bad_jobs(capsys):
