@@ -1,0 +1,155 @@
+"""Scheduler inner-loop microbench: event-driven queue vs seed scan.
+
+Times ``global_schedule`` alone -- no parsing, no lowering, no register
+allocation -- on synthetic programs whose block size scales geometrically,
+and writes ``BENCH_sched_micro.json``::
+
+    PYTHONPATH=src python benchmarks/perf/run_sched_microbench.py
+    PYTHONPATH=src python benchmarks/perf/run_sched_microbench.py --quick
+
+Each size is one C function with a loop body split by a branch, so the
+region scheduler sees equivalent *and* speculative candidates; the two
+arms are the default event-driven engine and the preserved seed inner
+loop (:func:`repro.sched.reference.reference_scheduler`: full candidate
+rescans per issue slot + per-motion liveness traversals).  Both arms
+schedule freshly parsed copies of the same function and must agree on
+the printed schedule before their timings are reported.
+
+The point of the scaling sweep is the *trend*: the seed scan loop is
+quadratic-ish in block size (every issue slot rescans every pending
+candidate), the event queue pushes each candidate exactly once, so the
+speedup column grows with size before plateauing where the shared
+region-DDG construction (identical in both arms here) starts to
+dominate the timed window.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+from repro.compiler import compile_c
+from repro.ir.parser import parse_function
+from repro.ir.printer import format_function
+from repro.machine.configs import CONFIGS
+from repro.sched.candidates import ScheduleLevel
+from repro.sched.driver import global_schedule
+from repro.sched.reference import reference_scheduler
+
+#: statements per straight-line chunk, one function per entry; the top
+#: size keeps the loop region just under ``regions.MAX_REGION_INSTRS``
+#: (a larger region is skipped outright and would time nothing)
+SIZES = (4, 8, 16, 24, 30)
+SIZES_QUICK = (4, 16, 30)
+
+
+def make_source(k: int) -> str:
+    """A loop whose body holds ~4*k statements across a diamond."""
+    decl = [f"        int t{i} = a[i] * {i + 2} + s;" for i in range(k)]
+    acc = [f"        s = s + t{i};" for i in range(k)]
+    then = [f"            s = s + t{i % k} * 2;" for i in range(k)]
+    els = [f"            s = s - t{i % k};" for i in range(k)]
+    body = "\n".join(
+        decl + acc
+        + ["        if (s > n) {"] + then
+        + ["        } else {"] + els + ["        }"]
+    )
+    return (
+        "int bench(int a[], int n) {\n"
+        "    int s = 0;\n"
+        "    int i = 0;\n"
+        "    while (i < n) {\n"
+        f"{body}\n"
+        "        i = i + 1;\n"
+        "    }\n"
+        "    return s;\n"
+        "}\n"
+    )
+
+
+def _best_of(repeats: int, fn) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_size(k: int, repeats: int) -> dict:
+    machine = CONFIGS["rs6k"]()
+    unit = compile_c(make_source(k), machine=machine,
+                     level=ScheduleLevel.NONE)["bench"]
+    text = format_function(unit.func)
+    instrs = sum(len(b.instrs) for b in unit.func.blocks)
+
+    def run():
+        func = parse_function(text)
+        global_schedule(func, machine, ScheduleLevel.SPECULATIVE)
+        return func
+
+    # both arms must produce the same schedule for the timing to mean
+    # anything (the full equivalence proof lives in the test suite)
+    event_out = format_function(run())
+    with reference_scheduler():
+        scan_out = format_function(run())
+    if event_out != scan_out:
+        raise SystemExit(f"engine divergence at size {k}")
+
+    parse_s = _best_of(repeats, lambda: parse_function(text))
+    new_s = _best_of(repeats, run) - parse_s
+    with reference_scheduler():
+        ref_s = _best_of(repeats, run) - parse_s
+    return {
+        "chunk": k,
+        "instrs": instrs,
+        "new_ms": new_s * 1e3,
+        "reference_ms": ref_s * 1e3,
+        "speedup": ref_s / new_s,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="scheduler inner-loop microbench "
+                    "(emits BENCH_sched_micro.json)")
+    parser.add_argument("--out", default=str(REPO_ROOT /
+                                             "BENCH_sched_micro.json"))
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer sizes / fewer repeats (CI smoke)")
+    args = parser.parse_args(argv)
+
+    sizes = SIZES_QUICK if args.quick else SIZES
+    repeats = 3 if args.quick else 5
+    rows = []
+    for k in sizes:
+        row = bench_size(k, repeats)
+        rows.append(row)
+        print(f"  chunk {row['chunk']:3d} ({row['instrs']:4d} instrs): "
+              f"{row['reference_ms']:8.1f} ms -> {row['new_ms']:7.1f} ms "
+              f"({row['speedup']:.2f}x)", flush=True)
+
+    results = {
+        "meta": {
+            "suite": "sched_micro",
+            "quick": args.quick,
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+        },
+        "sizes": rows,
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"\nwrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

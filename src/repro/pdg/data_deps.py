@@ -52,9 +52,15 @@ class DepKind(Enum):
         return f"DepKind.{self.name}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class DepEdge:
     """A dependence ``src -> dst``: dst must start >= start(src) + weight.
+
+    Compares (and hashes) by identity: ``src``/``dst`` are
+    identity-compared instructions and ``_by_pair`` keeps a single edge
+    per pair, so value equality could only ever match the same object --
+    while making every ``list.remove`` in the graph a field-by-field
+    scan.
 
     ``weight = exec_time(src) + delay`` for flow edges; for anti/output/
     memory edges the paper's delays are zero, but ``dst`` must still start
@@ -110,19 +116,26 @@ class DataDependenceGraph:
         """Insert an edge; parallel edges keep only the strongest delay."""
         if src is dst:
             return
-        self.add_instruction(src)
-        self.add_instruction(dst)
-        key = (id(src), id(dst))
+        src_id = id(src)
+        dst_id = id(dst)
+        # inline the known-instruction checks: edge insertion is the
+        # single hottest call of region-DDG construction and endpoints
+        # are almost always registered already
+        if src_id not in self._known:
+            self.add_instruction(src)
+        if dst_id not in self._known:
+            self.add_instruction(dst)
+        key = (src_id, dst_id)
         existing = self._by_pair.get(key)
         if existing is not None and existing.delay >= delay:
             return
         edge = DepEdge(src, dst, kind, delay, reg)
         if existing is not None:
-            self._succs[id(src)].remove(existing)
-            self._preds[id(dst)].remove(existing)
+            self._succs[src_id].remove(existing)
+            self._preds[dst_id].remove(existing)
         self._by_pair[key] = edge
-        self._succs[id(src)].append(edge)
-        self._preds[id(dst)].append(edge)
+        self._succs[src_id].append(edge)
+        self._preds[dst_id].append(edge)
         self.version += 1
 
     def remove_edge(self, edge: DepEdge) -> None:
@@ -195,6 +208,8 @@ def _scan_block(ddg: DataDependenceGraph, block: BasicBlock,
     state = _BlockScanState()
     last_def = state.last_def
     uses_since_def = state.uses_since_def
+    add_edge = ddg.add_edge
+    flow_delay = machine.flow_delay
     for ins in block.instrs:
         ddg.add_instruction(ins)
         uses = ins.reg_uses()
@@ -203,23 +218,23 @@ def _scan_block(ddg: DataDependenceGraph, block: BasicBlock,
         for reg in uses:
             producer = last_def.get(reg)
             if producer is not None:
-                delay = machine.flow_delay(producer, ins, reg)
-                ddg.add_edge(producer, ins, DepKind.FLOW, delay, reg)
+                delay = flow_delay(producer, ins, reg)
+                add_edge(producer, ins, DepKind.FLOW, delay, reg)
         # memory ordering
         if ins.opcode.touches_memory:
             addr = (state.tracker.address_of(ins.mem)
                     if ins.mem is not None else None)
             for prev, prev_addr in state.mem_ops:
                 if may_conflict(prev, prev_addr, ins, addr):
-                    ddg.add_edge(prev, ins, DepKind.MEM, 0)
+                    add_edge(prev, ins, DepKind.MEM, 0)
             state.mem_ops.append((ins, addr))
         # anti and output
         for reg in defs:
             for user in uses_since_def.get(reg, ()):
-                ddg.add_edge(user, ins, DepKind.ANTI, 0, reg)
+                add_edge(user, ins, DepKind.ANTI, 0, reg)
             previous = last_def.get(reg)
             if previous is not None:
-                ddg.add_edge(previous, ins, DepKind.OUTPUT, 0, reg)
+                add_edge(previous, ins, DepKind.OUTPUT, 0, reg)
         # update state
         for reg in uses:
             uses_since_def.setdefault(reg, []).append(ins)
@@ -247,64 +262,69 @@ class _BlockSummary:
                 self.mem_ops.append(a)
 
 
-def _merge_reg_maps(
-    maps: list[dict[Reg, list[Instruction]]],
-) -> dict[Reg, list[Instruction]]:
-    """Union of per-block register maps, earlier blocks first.
-
-    Single-owner entries alias the summary's own list (never mutated);
-    contested entries get a fresh concatenation.
-    """
-    merged: dict[Reg, list[Instruction]] = {}
-    owned: set[Reg] = set()
-    for one in maps:
-        for reg, instrs in one.items():
-            current = merged.get(reg)
-            if current is None:
-                merged[reg] = instrs
-            elif reg in owned:
-                current.extend(instrs)
-            else:
-                merged[reg] = current + instrs
-                owned.add(reg)
-    return merged
-
-
 def _interblock_edges(
     ddg: DataDependenceGraph,
-    sources: list[_BlockSummary],
-    later: BasicBlock,
+    blocks: list[BasicBlock],
+    reachable_pairs: set[tuple[str, str]],
     machine: MachineModel,
 ) -> None:
-    """Dependences into ``later`` from the merged summaries of every
-    forward-reachable earlier block.
+    """Dependences into each block from every forward-reachable earlier
+    block, matched through per-register posting lists.
+
+    Each register maps to the (block index, instruction list) postings of
+    the blocks that define or use it, so a later block only ever touches
+    the registers its own instructions mention -- re-merging every source
+    summary per later block visited every register of every earlier block
+    instead.  Postings are in topological block order, which keeps the
+    edge insertion sequence identical to a per-source merge.
 
     Conservative on memory: cross-block references are never disambiguated
     (the base registers' values at block entry depend on the path taken).
     """
-    if len(sources) == 1:
-        only = sources[0]
-        defs_of, uses_of, mem_ops = only.defs_of, only.uses_of, only.mem_ops
-    else:
-        defs_of = _merge_reg_maps([s.defs_of for s in sources])
-        uses_of = _merge_reg_maps([s.uses_of for s in sources])
-        mem_ops = [a for s in sources for a in s.mem_ops]
+    summaries = [_BlockSummary(block) for block in blocks]
+    defs_at: dict[Reg, list[tuple[int, list[Instruction]]]] = {}
+    uses_at: dict[Reg, list[tuple[int, list[Instruction]]]] = {}
+    mem_at: list[tuple[int, list[Instruction]]] = []
+    for i, summary in enumerate(summaries):
+        for reg, instrs in summary.defs_of.items():
+            defs_at.setdefault(reg, []).append((i, instrs))
+        for reg, instrs in summary.uses_of.items():
+            uses_at.setdefault(reg, []).append((i, instrs))
+        if summary.mem_ops:
+            mem_at.append((i, summary.mem_ops))
 
-    for b in later.instrs:
-        ddg.add_instruction(b)
-        for reg in b.reg_uses():
-            for a in defs_of.get(reg, ()):
-                ddg.add_edge(a, b, DepKind.FLOW,
-                             machine.flow_delay(a, b, reg), reg)
-        for reg in b.reg_defs():
-            for a in uses_of.get(reg, ()):
-                ddg.add_edge(a, b, DepKind.ANTI, 0, reg)
-            for a in defs_of.get(reg, ()):
-                ddg.add_edge(a, b, DepKind.OUTPUT, 0, reg)
-        if b.opcode.touches_memory:
-            for a in mem_ops:
-                if may_conflict(a, None, b, None):
-                    ddg.add_edge(a, b, DepKind.MEM, 0)
+    labels = [block.label for block in blocks]
+    flow_delay = machine.flow_delay
+    add_edge = ddg.add_edge
+    no_postings: list[tuple[int, list[Instruction]]] = []
+    for j, later in enumerate(blocks):
+        later_label = later.label
+        srcs = {i for i in range(j)
+                if (labels[i], later_label) in reachable_pairs}
+        if not srcs:
+            continue
+        for b in later.instrs:
+            for reg in b.reg_uses():
+                for i, instrs in defs_at.get(reg, no_postings):
+                    if i in srcs:
+                        for a in instrs:
+                            add_edge(a, b, DepKind.FLOW,
+                                     flow_delay(a, b, reg), reg)
+            for reg in b.reg_defs():
+                for i, instrs in uses_at.get(reg, no_postings):
+                    if i in srcs:
+                        for a in instrs:
+                            add_edge(a, b, DepKind.ANTI, 0, reg)
+                for i, instrs in defs_at.get(reg, no_postings):
+                    if i in srcs:
+                        for a in instrs:
+                            add_edge(a, b, DepKind.OUTPUT, 0, reg)
+            if b.opcode.touches_memory:
+                for i, instrs in mem_at:
+                    if i in srcs:
+                        for a in instrs:
+                            if may_conflict(a, None, b, None):
+                                add_edge(a, b, DepKind.MEM, 0)
 
 
 def build_block_ddg(block: BasicBlock, machine: MachineModel,
@@ -332,21 +352,15 @@ def build_region_ddg(
     A ... the interblock data dependences are computed").
 
     Each block is scanned exactly once (intra-block edges + its summary);
-    the summaries of a block's reachable predecessors are then merged and
-    matched against the block in one pass, instead of re-scanning every
+    cross-block dependences are then matched through per-register posting
+    lists (:func:`_interblock_edges`), instead of re-scanning every
     ``(earlier, later)`` pair.
     """
     ddg = DataDependenceGraph()
     for block in blocks:
         _scan_block(ddg, block, machine)
-    summaries = [_BlockSummary(block) for block in blocks]
-    for j, later in enumerate(blocks):
-        sources = [
-            summaries[i] for i in range(j)
-            if (blocks[i].label, later.label) in reachable_pairs
-        ]
-        if sources:
-            _interblock_edges(ddg, sources, later, machine)
+    if len(blocks) > 1:
+        _interblock_edges(ddg, blocks, reachable_pairs, machine)
     if reduce:
         transitive_reduce(ddg, machine)
     return ddg
@@ -367,55 +381,75 @@ def transitive_reduce(ddg: DataDependenceGraph,
     and shared by every source; each source's longest-path sweep is a
     linear scan over the topological slice up to its furthest direct
     successor (no priority queue, no work past the last edge it can
-    possibly remove).  Removing a redundant edge never shortens a longest
-    path -- the implying path stays -- so sharing these tables across
-    sources is sound.  Single-successor sources are skipped outright: a
-    parallel multi-edge path would need a second out-edge to start from.
+    possibly remove).  The whole pass runs on a dense position-indexed
+    snapshot of the adjacency taken before any removal: a removed edge is
+    by construction dominated by its (remaining) implying path, so every
+    longest-path value and every "best multi-hop path" maximum computed
+    from the snapshot equals the one computed from the live graph, and
+    the removal set is identical -- while the inner loops touch plain
+    list-of-int-tuples instead of edge objects and id() dictionaries.
+    Single-successor sources are skipped outright: a parallel multi-edge
+    path would need a second out-edge to start from.
     """
     order = topo_order(ddg)
+    count = len(order)
     position = {id(ins): i for i, ins in enumerate(order)}
     exec_time = machine.exec_time
     flow = DepKind.FLOW
-    weight_of: dict[int, int] = {
-        id(edge): (exec_time(edge.src) + edge.delay
-                   if edge.kind is flow else 0)
-        for edge in ddg.iter_edges()
-    }
+    #: per-position adjacency snapshots; weights inlined
+    out_at: list[list] = [[] for _ in range(count)]   # (dst_pos, w, edge)
+    in_at: list[list] = [[] for _ in range(count)]    # (src_pos, w)
+    for edge in ddg.iter_edges():
+        w = (exec_time(edge.src) + edge.delay
+             if edge.kind is flow else 0)
+        src_pos = position[id(edge.src)]
+        dst_pos = position[id(edge.dst)]
+        out_at[src_pos].append((dst_pos, w, edge))
+        in_at[dst_pos].append((src_pos, w))
     removed = 0
-    for a in order:
-        out_view = ddg.succs(a)
-        if len(out_view) < 2:
+    dist = [-1] * count  # reused per source; -1 = unreached
+    for a_pos in range(count):
+        outs = out_at[a_pos]
+        if len(outs) < 2:
             continue
         # Longest-path DP from ``a`` over the topo slice that can matter:
         # every removable edge ends at a direct successor, and every
         # implying path stays strictly within the slice before it.
-        limit = max(position[id(edge.dst)] for edge in out_view)
-        dist: dict[int, int] = {id(a): 0}
-        for ins in order[position[id(a)]:limit]:
-            d = dist.get(id(ins))
-            if d is None:
+        limit = a_pos
+        for dst_pos, _, _ in outs:
+            if dst_pos > limit:
+                limit = dst_pos
+        dist[a_pos] = 0
+        touched = [a_pos]
+        for here in range(a_pos, limit):
+            d = dist[here]
+            if d < 0:
                 continue
-            for edge in ddg.succs(ins):
-                key = id(edge.dst)
-                if position[key] > limit:
+            for dst_pos, w, _ in out_at[here]:
+                if dst_pos > limit:
                     continue
-                cand = d + weight_of[id(edge)]
-                if cand > dist.get(key, -1):
-                    dist[key] = cand
-        for edge in list(out_view):  # snapshot: removals mutate the view
-            w = weight_of[id(edge)]
-            # Longest a->b path whose final hop is (m, b) with m != a.
-            best_multi = max(
-                (
-                    dist[id(in_edge.src)] + weight_of[id(in_edge)]
-                    for in_edge in ddg.preds(edge.dst)
-                    if in_edge.src is not a and id(in_edge.src) in dist
-                ),
-                default=None,
-            )
-            if best_multi is not None and best_multi >= w:
+                cand = d + w
+                if cand > dist[dst_pos]:
+                    if dist[dst_pos] < 0:
+                        touched.append(dst_pos)
+                    dist[dst_pos] = cand
+        for dst_pos, w, edge in outs:
+            # Longest a->b path whose final hop is (m, b) with m != a;
+            # -1 stands for "no such path" (all real weights are >= 0).
+            best_multi = -1
+            for src_pos, in_w in in_at[dst_pos]:
+                if src_pos == a_pos:
+                    continue
+                d = dist[src_pos]
+                if d >= 0:
+                    cand = d + in_w
+                    if cand > best_multi:
+                        best_multi = cand
+            if best_multi >= w:
                 ddg.remove_edge(edge)
                 removed += 1
+        for here in touched:
+            dist[here] = -1
     return removed
 
 

@@ -407,13 +407,16 @@ def seed_pipeline():
     from ..ir import verify as ir_verify
     from ..lang import lower as lang_lower
     from ..sched import bb_sched, driver, global_sched
+    from ..sched.reference import LiveOnExitTrackerReference
     from ..verify import verifier as sched_verifier
     from ..xform import pipeline as xform_pipeline
 
     uncached = _make_uncached_analyses()
     patches = [
+        (global_sched, "_ENGINE", "scan"),
         (global_sched, "DependenceState", DependenceStateReference),
         (bb_sched, "DependenceState", DependenceStateReference),
+        (driver, "LiveOnExitTracker", LiveOnExitTrackerReference),
         (xform_pipeline, "verify_function", verify_function_reference),
         (ir_verify, "verify_function", verify_function_reference),
         (sched_verifier, "verify_function", verify_function_reference),

@@ -114,19 +114,28 @@ def collect_candidates(
     equiv: list[str],
     speculative: list[str],
 ) -> list[Candidate]:
-    """All candidate instructions for block ``label``, own block included."""
+    """All candidate instructions for block ``label``, own block included.
+
+    Collection order is the scheduler's tie-break order (the event-driven
+    ready queue stamps it as each candidate's sequence number): own block
+    first, then equivalent homes, then speculative homes.  Foreign
+    branches never appear -- ``can_move_globally`` is false for every
+    branch opcode.
+    """
     out: list[Candidate] = []
-    own = pdg.block(label)
-    for ins in own.instrs:
-        out.append(Candidate(ins, label, useful=True))
+    append = out.append
+    block = pdg.block
+    for ins in block(label).instrs:
+        append(Candidate(ins, label, useful=True))
     for home in equiv:
-        for ins in pdg.block(home).instrs:
+        for ins in block(home).instrs:
             if ins.opcode.can_move_globally:
-                out.append(Candidate(ins, home, useful=True))
+                append(Candidate(ins, home, useful=True))
     for home in speculative:
-        for ins in pdg.block(home).instrs:
-            if ins.opcode.can_move_globally and ins.opcode.can_speculate:
-                out.append(Candidate(ins, home, useful=False))
+        for ins in block(home).instrs:
+            opcode = ins.opcode
+            if opcode.can_move_globally and opcode.can_speculate:
+                append(Candidate(ins, home, useful=False))
     return out
 
 

@@ -19,10 +19,24 @@ Blocks of a region are visited in topological order.  For each block ``A``:
 
 The result: "the instructions in A are reordered and there might be
 instructions external to A that are physically moved into A."
+
+Step 3's inner loop is **event-driven** (:class:`repro.sched.ready.ReadyQueue`):
+instead of re-deriving readiness, priority keys and Section 5.3 vetoes for
+every unscheduled candidate at every scan point, candidates enter per-unit
+ready heaps exactly once -- when their last dependence predecessor
+fulfills -- with keys precomputed at collection time, future earliest
+starts absorbed by a timing wheel, and speculative candidates re-judged
+only when a motion actually grew a live-on-exit set their definitions
+appear in.  The seed's scan-driven loop is preserved verbatim in
+:mod:`repro.sched.reference` and selected by ``REPRO_SCHED_ENGINE=scan``
+or automatically when a dynamic ``priority_fn`` makes keys uncacheable;
+both engines produce byte-identical schedules, motions and traces
+(``tests/sched/test_event_scan_equivalence.py``).
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from ..ir.instruction import Instruction
@@ -57,14 +71,27 @@ from .heuristics import (
     PRIORITY_STEPS,
     compute_region_priorities,
     deciding_step,
+    full_priority_key,
     priority_key,
 )
-from .ready import DependenceState
+from .ready import DependenceState, ReadyQueue
+from .ready import _ISSUED as _ENTRY_ISSUED
 from .speculation import LiveOnExitTracker, try_rename_for_motion
+
+#: fixed unit order for the flattened per-cycle free-slot arrays
+_UNIT_LIST = tuple(UnitType)
 
 #: the full decision order of the sorted ready list: duplication class
 #: first (a global_sched refinement), then the Section 5.2 steps
 _FULL_PRIORITY_STEPS = ("duplication-class", *PRIORITY_STEPS)
+
+#: Which block-pass inner loop to run: ``"event"`` (the heap/wheel ready
+#: queue) or ``"scan"`` (the preserved seed loop in
+#: :mod:`repro.sched.reference`).  Overridable per-process via the
+#: ``REPRO_SCHED_ENGINE`` environment variable, per-extent via
+#: :func:`repro.sched.reference.scan_scheduler`, and forced to the scan
+#: path whenever a custom ``priority_fn`` makes keys dynamic.
+_ENGINE = os.environ.get("REPRO_SCHED_ENGINE", "event")
 
 #: Safety valve: a block pass that stalls this many consecutive cycles
 #: without issuing anything indicates a dependence-state bug.
@@ -160,6 +187,14 @@ def schedule_region(
     ddg_blocks = [pdg.block(label) for label in pdg.topo_labels]
     priorities = compute_region_priorities(ddg_blocks, pdg.ddg, pdg.machine)
 
+    if priority_fn is not None or _ENGINE != "event":
+        # custom priority functions produce dynamic keys the event queue
+        # cannot precompute; ablation benches (and the forced reference
+        # arm) take the preserved scan-driven pass
+        from .reference import schedule_block_scan as block_pass
+    else:
+        block_pass = _schedule_block
+
     previous: str | None = None
     for node in pdg.topo_labels:
         if pdg.is_abstract(node):
@@ -174,10 +209,10 @@ def schedule_region(
         carry = None
         if previous is not None and previous in pdg.forward.preds(node):
             carry = report.block_cycles.get(previous)
-        _schedule_block(pdg, node, level, live_tracker, state, priorities,
-                        max_speculation, rename_on_demand, carry, report,
-                        priority_fn or priority_key, allow_duplication,
-                        block_filter, tracer, metrics)
+        block_pass(pdg, node, level, live_tracker, state, priorities,
+                   max_speculation, rename_on_demand, carry, report,
+                   priority_fn or priority_key, allow_duplication,
+                   block_filter, tracer, metrics)
         previous = node
     if metrics.enabled and state.invalidations:
         metrics.inc("sched.ddg_invalidations", state.invalidations)
@@ -207,6 +242,7 @@ def _schedule_block(
 ) -> None:
     func = pdg.func
     block = func.block(label)
+    machine = pdg.machine
     state.begin_block(carry_cycles=carry_cycles)
 
     equiv, speculative = candidate_blocks(pdg, label, level,
@@ -219,142 +255,181 @@ def _schedule_block(
     if allow_duplication:
         for cand in collect_duplication_candidates(pdg, label):
             pending.setdefault(id(cand.ins), cand)
-    if tracer.enabled or metrics.enabled:
+    observing = tracer.enabled or metrics.enabled
+    if observing:
         _note_block_entry(tracer, metrics, label, carry_cycles,
                           equiv, speculative, pending)
     #: ids of instructions whose live-on-exit veto was already reported
-    #: this pass (the readiness scan re-evaluates them every cycle)
+    #: this pass (re-judgments would otherwise repeat it)
     vetoes_logged: set[int] = set()
     terminator = block.terminator
+    term_id = id(terminator) if terminator is not None else None
     own_remaining = {id(ins) for ins in block.instrs}
     issued_order: list[Instruction] = []
-    machine = pdg.machine
+
+    # priority keys are static per block pass (usefulness, D/CP and the
+    # uid tie-break never change; renames keep the uid): compute each
+    # candidate's full sort tuple exactly once, at collection time
+    queue = ReadyQueue(
+        state,
+        ((cand, full_priority_key(cand, priorities))
+         for cand in pending.values()),
+        terminator, metrics)
+    term_entry = queue.terminator_entry
+    dup_entries = queue.duplication_entries
+    #: how many candidates the seed scan would revisit per scan point
+    unissued = len(pending)
 
     # Definition 6 extension: a block may stay open for a few extra
     # cycles to catch join instructions that are about to become ready
     # (otherwise blocks whose own work finishes instantly -- an arm's
     # single AI plus its jump -- would never host a duplicated motion).
-    fill_budget = _DUP_FILL_WINDOW if any(
-        c.duplicate_into for c in pending.values()) else 0
+    fill_budget = _DUP_FILL_WINDOW if dup_entries else 0
 
     def dup_fill_wanted(at_cycle: int) -> bool:
         if fill_budget <= 0:
             return False
-        return any(
-            c.duplicate_into
-            and state.deps_satisfied(c.ins)
-            and state.earliest_start(c.ins) <= at_cycle + 1
-            for c in pending.values()
-        )
+        limit = at_cycle + 1
+        for entry in dup_entries:
+            ins = entry.cand.ins
+            if (entry.status != _ENTRY_ISSUED
+                    and state.deps_satisfied(ins)
+                    and state.earliest_start(ins) <= limit):
+                return True
+        return False
 
-    def sort_key(c: Candidate):
-        # duplication is the costliest class: it ranks after useful
-        # and speculative candidates (the paper's conservative order)
-        return (1 if c.duplicate_into else 0,
-                priority_fn(c.ins, useful=c.useful, priorities=priorities))
-
+    unit_counts = [machine.unit_count(unit) for unit in _UNIT_LIST]
     cycle = 0
     stall = 0
     done = not own_remaining
-    while not done:
-        free = {unit: machine.unit_count(unit) for unit in UnitType}
-        budget = machine.total_issue_width
-        issued_this_cycle = False
-        issued_count = 0
-        cycle_traced = False
-        hold_for_dup = dup_fill_wanted(cycle)
+    try:
+        while not done:
+            queue.begin_cycle(cycle)
+            free = unit_counts.copy()
+            budget = machine.total_issue_width
+            issued_this_cycle = False
+            issued_count = 0
+            cycle_traced = False
+            hold_for_dup = dup_fill_wanted(cycle)
 
-        progress = True
-        while progress and budget > 0:
-            progress = False
-            ready = _ready_candidates(
-                pending, state, cycle, terminator, own_remaining,
-                live_tracker, label, pdg, rename_on_demand,
-                hold_terminator=hold_for_dup,
-                tracer=tracer, metrics=metrics, vetoes_logged=vetoes_logged,
-            )
-            ready.sort(key=sort_key)
-            if not cycle_traced and (tracer.enabled or metrics.enabled):
-                # the first readiness scan of the cycle is the pressure
-                # snapshot: later scans see candidates unlocked mid-cycle
-                cycle_traced = True
-                if tracer.enabled:
-                    tracer.emit(CycleAdvance(label=label, cycle=cycle,
-                                             ready=len(ready)))
+            progress = True
+            while progress and budget > 0:
+                progress = False
+                queue.scan_start()
+                while True:
+                    entry = queue.next_evaluation()
+                    if entry is None:
+                        break
+                    _judge_speculative(entry, queue, live_tracker, label,
+                                       pdg, rename_on_demand, vetoes_logged,
+                                       tracer, metrics)
+                term_ready = (
+                    terminator is not None
+                    and not hold_for_dup
+                    and own_remaining == {term_id}
+                    and state.deps_satisfied(terminator)
+                    and state.earliest_start(terminator) <= cycle
+                )
                 if metrics.enabled:
-                    metrics.observe("sched.ready", len(ready))
-            for pos, cand in enumerate(ready):
-                unit = cand.ins.unit
-                if free.get(unit, 0) <= 0:
-                    continue
-                # issue!
-                free[unit] -= 1
-                budget -= 1
-                state.mark_issued(cand.ins, cycle)
-                issued_order.append(cand.ins)
-                del pending[id(cand.ins)]
-                own_remaining.discard(id(cand.ins))
-                issued_this_cycle = True
-                issued_count += 1
-                progress = True
-                if tracer.enabled:
-                    _trace_issue(tracer, label, cycle, cand, machine, ready,
-                                 pos, sort_key)
-                if cand.home != label:
-                    is_spec = not cand.useful and not cand.duplicate_into
-                    report.motions.append(Motion(
-                        cand.ins.uid, cand.ins.opcode.mnemonic,
-                        cand.home, label, is_spec,
-                        duplicated_into=cand.duplicate_into or (),
-                    ))
+                    metrics.inc("sched.queue.scan_points")
+                    metrics.inc("sched.queue.seed_scan_visits", unissued)
+                if not cycle_traced and observing:
+                    # the first scan point of the cycle is the pressure
+                    # snapshot: later ones see candidates unlocked mid-cycle
+                    cycle_traced = True
+                    n_ready = queue.ready_count + (1 if term_ready else 0)
                     if tracer.enabled:
-                        tracer.emit(MotionRecorded(
-                            uid=cand.ins.uid,
-                            opcode=cand.ins.opcode.mnemonic,
-                            src=cand.home, dst=label, speculative=is_spec,
-                            duplicated_into=cand.duplicate_into or ()))
+                        tracer.emit(CycleAdvance(label=label, cycle=cycle,
+                                                 ready=n_ready))
                     if metrics.enabled:
-                        metrics.inc(
-                            "sched.motions.speculative" if is_spec
-                            else "sched.motions.duplicated"
-                            if cand.duplicate_into else "sched.motions.useful")
-                    func.block(cand.home).remove(cand.ins)
-                    if cand.duplicate_into:
-                        _place_duplicates(pdg, state, cand, report)
-                    # Any upward motion extends the moved definition's live
-                    # range down to its old home; record it so later
-                    # speculative legality checks see fresh liveness.
-                    live_tracker.record_motion(cand.ins, cand.home, label)
-                if cand.ins is terminator:
+                        metrics.observe("sched.ready", n_ready)
+                entry = queue.select(free)
+                if (term_ready and free[term_entry.unit_idx] > 0
+                        and (entry is None or term_entry.key < entry.key)):
+                    entry = term_entry
+                if entry is not None:
+                    # issue!
+                    cand = entry.cand
+                    ins = cand.ins
+                    free[entry.unit_idx] -= 1
+                    budget -= 1
+                    if tracer.enabled:
+                        ready_cands, pos, key_fn = queue.sorted_ready_snapshot(
+                            entry, term_entry if term_ready else None)
+                    if entry is term_entry:
+                        entry.status = _ENTRY_ISSUED
+                    else:
+                        queue.pop_issue(entry)
+                    state.mark_issued(ins, cycle)
+                    issued_order.append(ins)
+                    unissued -= 1
+                    own_remaining.discard(id(ins))
+                    issued_this_cycle = True
+                    issued_count += 1
+                    progress = True
+                    if tracer.enabled:
+                        _trace_issue(tracer, label, cycle, cand, machine,
+                                     ready_cands, pos, key_fn)
+                    if cand.home != label:
+                        is_spec = not cand.useful and not cand.duplicate_into
+                        report.motions.append(Motion(
+                            ins.uid, ins.opcode.mnemonic,
+                            cand.home, label, is_spec,
+                            duplicated_into=cand.duplicate_into or (),
+                        ))
+                        if tracer.enabled:
+                            tracer.emit(MotionRecorded(
+                                uid=ins.uid,
+                                opcode=ins.opcode.mnemonic,
+                                src=cand.home, dst=label, speculative=is_spec,
+                                duplicated_into=cand.duplicate_into or ()))
+                        if metrics.enabled:
+                            metrics.inc(
+                                "sched.motions.speculative" if is_spec
+                                else "sched.motions.duplicated"
+                                if cand.duplicate_into
+                                else "sched.motions.useful")
+                        func.block(cand.home).remove(ins)
+                        if cand.duplicate_into:
+                            _place_duplicates(pdg, state, cand, report)
+                        # Any upward motion extends the moved definition's
+                        # live range down to its old home; record it so later
+                        # speculative legality checks see fresh liveness.
+                        live_tracker.record_motion(ins, cand.home, label)
+                        queue.note_liveness_grown(ins.reg_defs())
+                    if ins is terminator:
+                        done = True
+                if (not own_remaining and terminator is None
+                        and not dup_fill_wanted(cycle)):
                     done = True
-                break  # re-evaluate readiness (0-weight edges) and priorities
-            if (not own_remaining and terminator is None
-                    and not dup_fill_wanted(cycle)):
-                done = True
-                break
-            if done:
-                break
+                    break
+                if done:
+                    break
 
-        if tracer.enabled and issued_count:
-            used = {
-                unit.value: machine.unit_count(unit) - free.get(unit, 0)
-                for unit in UnitType
-                if machine.unit_count(unit) - free.get(unit, 0) > 0
-            }
-            tracer.emit(UnitOccupancy(label=label, cycle=cycle, used=used,
-                                      issued=issued_count))
-        if done:
-            report.block_cycles[label] = cycle + 1
-            break
-        if not own_remaining or own_remaining == {id(terminator)}:
-            fill_budget -= 1  # this cycle was borrowed for duplication
-        stall = 0 if issued_this_cycle else stall + 1
-        if stall > _MAX_STALL:
-            raise RuntimeError(
-                f"scheduler stalled in block {label}: remaining own "
-                f"instructions {sorted(own_remaining)} never became ready"
-            )
-        cycle += 1
+            if tracer.enabled and issued_count:
+                used = {}
+                for unit_idx, unit in enumerate(_UNIT_LIST):
+                    busy = unit_counts[unit_idx] - free[unit_idx]
+                    if busy > 0:
+                        used[unit.value] = busy
+                tracer.emit(UnitOccupancy(label=label, cycle=cycle, used=used,
+                                          issued=issued_count))
+            if done:
+                report.block_cycles[label] = cycle + 1
+                break
+            if not own_remaining or own_remaining == {term_id}:
+                fill_budget -= 1  # this cycle was borrowed for duplication
+            stall = 0 if issued_this_cycle else stall + 1
+            if stall > _MAX_STALL:
+                stuck = sorted(f"I{pending[i].ins.uid}"
+                               for i in own_remaining)
+                raise RuntimeError(
+                    f"scheduler stalled in block {label}: remaining own "
+                    f"instructions {stuck} never became ready"
+                )
+            cycle += 1
+    finally:
+        queue.detach()
 
     block.instrs = issued_order
     if tracer.enabled:
@@ -362,6 +437,45 @@ def _schedule_block(
                              cycles=report.block_cycles.get(label, 0)))
     if metrics.enabled:
         metrics.inc("sched.blocks")
+
+
+def _judge_speculative(entry, queue, live_tracker, label, pdg,
+                       rename_on_demand, vetoes_logged, tracer, metrics):
+    """Judge one speculative candidate's Section 5.3 veto, exactly as the
+    scan engine would at the same scan point: pass -> heap, veto ->
+    rename attempt (Section 4.2) or park."""
+    cand = entry.cand
+    ins = cand.ins
+    if not live_tracker.blocks_motion(ins, label):
+        queue.promote(entry)
+        return
+    if not rename_on_demand:
+        _note_veto(tracer, metrics, vetoes_logged, live_tracker, cand, label)
+        queue.park(entry)
+        return
+    observing = tracer.enabled or metrics.enabled
+    regs = live_tracker.blocking_regs(ins, label) if observing else ()
+    renamed = try_rename_for_motion(
+        ins, pdg.func.block(cand.home), label, live_tracker,
+        pdg.ddg, pdg.func, pdg.machine,
+    )
+    if not renamed:
+        _note_veto(tracer, metrics, vetoes_logged, live_tracker,
+                   cand, label, regs=regs)
+        queue.park(entry)
+        return
+    # the rename mutated the instruction (and the DDG), so this veto
+    # cannot re-trigger: one event per successful rename
+    if observing:
+        if tracer.enabled:
+            tracer.emit(SpeculationRenamed(
+                label=label, uid=ins.uid,
+                opcode=ins.opcode.mnemonic, home=cand.home,
+                regs=tuple(str(r) for r in regs)))
+        if metrics.enabled:
+            metrics.inc("sched.speculation.renamed")
+    queue.promote(entry)
+    queue.note_graph_mutation()
 
 
 def _note_block_entry(tracer, metrics, label: str, carry_cycles: int | None,
@@ -418,77 +532,6 @@ def _trace_issue(tracer, label: str, cycle: int, cand: Candidate, machine,
         tracer.emit(PriorityDecision(
             label=label, cycle=cycle, winner_uid=cand.ins.uid,
             runner_up_uid=runner_up.ins.uid, step=step))
-
-
-def _ready_candidates(
-    pending: dict[int, Candidate],
-    state: DependenceState,
-    cycle: int,
-    terminator: Instruction | None,
-    own_remaining: set[int],
-    live_tracker: LiveOnExitTracker,
-    label: str,
-    pdg: RegionPDG,
-    rename_on_demand: bool,
-    hold_terminator: bool = False,
-    tracer=NULL_TRACER,
-    metrics=NULL_METRICS,
-    vetoes_logged: set[int] | None = None,
-) -> list[Candidate]:
-    """Candidates issuable at ``cycle``.
-
-    The terminator is held back until it is the only own instruction left
-    (branches close their block; their original order is preserved), and
-    additionally while ``hold_terminator`` keeps the block open for an
-    imminent duplicated motion.  Speculative candidates must pass the
-    live-on-exit test *now* -- the sets grow as motions happen, so this is
-    re-checked at issue time; a candidate blocked only by that test may
-    get its definition renamed (Section 4.2's SSA-like renaming) when its
-    def-use web is block-local.
-    """
-    ready: list[Candidate] = []
-    for cand in pending.values():
-        ins = cand.ins
-        if terminator is not None and ins is terminator:
-            if own_remaining != {id(ins)} or hold_terminator:
-                continue
-        elif ins.is_branch:
-            continue  # foreign branches never move
-        if not state.deps_satisfied(ins):
-            continue
-        if state.earliest_start(ins) > cycle:
-            continue
-        if (not cand.useful and not cand.duplicate_into
-                and live_tracker.blocks_motion(ins, label)):
-            # duplication needs no liveness test: every path into the
-            # join still executes (a copy of) the definition
-            if not rename_on_demand:
-                _note_veto(tracer, metrics, vetoes_logged, live_tracker,
-                           cand, label)
-                continue
-            observing = tracer.enabled or metrics.enabled
-            regs = (live_tracker.blocking_regs(ins, label)
-                    if observing else ())
-            renamed = try_rename_for_motion(
-                ins, pdg.func.block(cand.home), label, live_tracker,
-                pdg.ddg, pdg.func, pdg.machine,
-            )
-            if not renamed:
-                _note_veto(tracer, metrics, vetoes_logged, live_tracker,
-                           cand, label, regs=regs)
-                continue
-            # the rename mutated the instruction, so this branch cannot
-            # re-trigger: one event per successful rename
-            if observing:
-                if tracer.enabled:
-                    tracer.emit(SpeculationRenamed(
-                        label=label, uid=ins.uid,
-                        opcode=ins.opcode.mnemonic, home=cand.home,
-                        regs=tuple(str(r) for r in regs)))
-                if metrics.enabled:
-                    metrics.inc("sched.speculation.renamed")
-        ready.append(cand)
-    return ready
 
 
 def _note_veto(tracer, metrics, vetoes_logged: set[int] | None,

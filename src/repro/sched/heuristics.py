@@ -46,16 +46,26 @@ def local_priorities(
     """
     member_ids = {id(ins) for ins in block.instrs}
     result: dict[int, tuple[int, int]] = {}
+    succs = ddg.succs
+    exec_time = machine.exec_time
     for ins in reversed(block.instrs):
         best_d = 0
         best_cp = 0
-        for edge in ddg.succs(ins):
-            if id(edge.dst) not in member_ids:
+        for edge in succs(ins):
+            key = id(edge.dst)
+            if key not in member_ids:
                 continue
-            succ_d, succ_cp = result.get(id(edge.dst), (0, 0))
-            best_d = max(best_d, succ_d + edge.delay)
-            best_cp = max(best_cp, succ_cp + edge.delay)
-        result[id(ins)] = (best_d, best_cp + machine.exec_time(ins))
+            pair = result.get(key)
+            if pair is None:
+                succ_d = succ_cp = 0
+            else:
+                succ_d, succ_cp = pair
+            delay = edge.delay
+            if succ_d + delay > best_d:
+                best_d = succ_d + delay
+            if succ_cp + delay > best_cp:
+                best_cp = succ_cp + delay
+        result[id(ins)] = (best_d, best_cp + exec_time(ins))
     return result
 
 
@@ -82,6 +92,22 @@ def priority_key(
     (``A`` itself or a block equivalent to it)."""
     d, cp = priorities.get(id(ins), (0, machine_free_exec(ins)))
     return (0 if useful else 1, -d, -cp, ins.uid)
+
+
+def full_priority_key(cand, priorities: dict[int, tuple[int, int]]):
+    """The complete static decision tuple for one scheduling candidate:
+    duplication class first (Definition 6 motion is the costliest, it
+    ranks after useful and speculative candidates -- the paper's
+    conservative order), then :func:`priority_key`.
+
+    Every component is invariant for the duration of a block pass (a
+    Section 4.2 rename keeps the uid and the precomputed D/CP), so the
+    event-driven ready queue computes this exactly once per candidate at
+    collection time instead of per readiness scan.
+    """
+    return (1 if cand.duplicate_into else 0,
+            priority_key(cand.ins, useful=cand.useful,
+                         priorities=priorities))
 
 
 def machine_free_exec(ins: Instruction) -> int:

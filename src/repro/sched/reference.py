@@ -1,0 +1,362 @@
+"""Reference (seed) implementations for the scheduling layer.
+
+Companion to :mod:`repro.pdg.reference`, same contract: the code here is
+the *behavioural baseline* for the event-driven scheduler inner loop, kept
+byte-for-byte equivalent in observable output (schedules, motions, traces)
+and deliberately scan-driven in cost.
+
+* :func:`schedule_block_scan` -- the original Section 5.1 block pass: every
+  inner iteration of every cycle rescans **all** pending candidates
+  (readiness, earliest start, live-on-exit veto) and re-sorts the ready
+  list.  ``schedule_region`` dispatches here when a custom ``priority_fn``
+  is in play (ablation benches produce dynamic keys the event queue cannot
+  precompute) or when the scan engine is forced via
+  ``REPRO_SCHED_ENGINE=scan`` / :func:`scan_scheduler`.
+
+* :class:`LiveOnExitTrackerReference` -- the seed liveness tracker whose
+  ``record_motion`` runs two full ``reachable_from`` traversals per motion
+  (the optimized tracker intersects precomputed reachability bitsets).
+
+``pdg.reference.seed_pipeline()`` patches both in (plus
+``DependenceStateReference``) so the perf suite measures the full seed
+inner loop; ``tests/sched/test_event_scan_equivalence.py`` proves the two
+engines produce identical assembly, motions and decision traces.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from ..ir.instruction import Instruction
+from ..ir.opcodes import UnitType
+from ..obs.events import CycleAdvance, MotionRecorded, SpeculationRenamed
+from ..obs.metrics import NULL_METRICS
+from ..obs.tracer import NULL_TRACER
+from ..pdg.pdg import RegionPDG
+from .candidates import (
+    Candidate,
+    candidate_blocks,
+    collect_candidates,
+    collect_duplication_candidates,
+)
+from .ready import DependenceState
+from .speculation import LiveOnExitTracker, try_rename_for_motion
+
+
+@contextmanager
+def scan_scheduler():
+    """Force the preserved scan-driven block pass for the dynamic extent.
+
+    The equivalence suite and the CI fuzz-smoke reference arm use this to
+    run the whole pipeline on the seed inner loop without touching the
+    environment.
+    """
+    from . import global_sched
+
+    saved = global_sched._ENGINE
+    global_sched._ENGINE = "scan"
+    try:
+        yield
+    finally:
+        global_sched._ENGINE = saved
+
+
+@contextmanager
+def reference_scheduler():
+    """The full seed scheduler arm: scan-driven block pass *and* the
+    traversal-based liveness tracker, for the dynamic extent.  This is
+    the scheduler slice of ``pdg.reference.seed_pipeline()`` -- the
+    microbench and equivalence tests use it when they want the seed
+    inner loop without the reference DDG / uncached-analyses patches."""
+    from . import driver
+
+    with scan_scheduler():
+        saved = driver.LiveOnExitTracker
+        driver.LiveOnExitTracker = LiveOnExitTrackerReference
+        try:
+            yield
+        finally:
+            driver.LiveOnExitTracker = saved
+
+
+class LiveOnExitTrackerReference(LiveOnExitTracker):
+    """Seed live-on-exit tracker: per-motion graph traversals.
+
+    ``record_motion`` re-walks the forward graph from the motion target and
+    the reverse graph from the source on *every* motion, exactly as the
+    original tracker did before reachability was precomputed as bitsets.
+    """
+
+    def __init__(self, live_out, forward):
+        super().__init__(live_out, forward)
+        self._reverse = forward.reversed()
+
+    def record_motion(self, ins: Instruction, src: str, dst: str) -> None:
+        defs = ins.reg_defs()
+        if not defs:
+            return
+        downstream = self._forward.reachable_from(dst)
+        upstream = self._reverse.reachable_from(src)
+        between = (downstream & upstream) - {src}
+        between.add(dst)
+        for label in between:
+            live = self._live_out.setdefault(label, set())
+            live.update(defs)
+
+
+def schedule_block_scan(
+    pdg: RegionPDG,
+    label: str,
+    level,
+    live_tracker: LiveOnExitTracker,
+    state: DependenceState,
+    priorities: dict[int, tuple[int, int]],
+    max_speculation: int,
+    rename_on_demand: bool,
+    carry_cycles: int | None,
+    report,
+    priority_fn,
+    allow_duplication: bool,
+    block_filter=None,
+    tracer=NULL_TRACER,
+    metrics=NULL_METRICS,
+) -> None:
+    """One block pass of Section 5.1, scan-driven (the seed inner loop)."""
+    from .global_sched import (
+        _DUP_FILL_WINDOW,
+        _MAX_STALL,
+        Motion,
+        _note_block_entry,
+        _place_duplicates,
+        _trace_issue,
+    )
+    from ..obs.events import BlockEnd, UnitOccupancy
+
+    func = pdg.func
+    block = func.block(label)
+    state.begin_block(carry_cycles=carry_cycles)
+
+    equiv, speculative = candidate_blocks(pdg, label, level,
+                                          max_speculation=max_speculation,
+                                          block_filter=block_filter)
+    pending: dict[int, Candidate] = {
+        id(c.ins): c
+        for c in collect_candidates(pdg, label, equiv, speculative)
+    }
+    if allow_duplication:
+        for cand in collect_duplication_candidates(pdg, label):
+            pending.setdefault(id(cand.ins), cand)
+    if tracer.enabled or metrics.enabled:
+        _note_block_entry(tracer, metrics, label, carry_cycles,
+                          equiv, speculative, pending)
+    #: ids of instructions whose live-on-exit veto was already reported
+    #: this pass (the readiness scan re-evaluates them every cycle)
+    vetoes_logged: set[int] = set()
+    terminator = block.terminator
+    own_remaining = {id(ins) for ins in block.instrs}
+    issued_order: list[Instruction] = []
+    machine = pdg.machine
+
+    fill_budget = _DUP_FILL_WINDOW if any(
+        c.duplicate_into for c in pending.values()) else 0
+
+    def dup_fill_wanted(at_cycle: int) -> bool:
+        if fill_budget <= 0:
+            return False
+        return any(
+            c.duplicate_into
+            and state.deps_satisfied(c.ins)
+            and state.earliest_start(c.ins) <= at_cycle + 1
+            for c in pending.values()
+        )
+
+    def sort_key(c: Candidate):
+        # duplication is the costliest class: it ranks after useful
+        # and speculative candidates (the paper's conservative order)
+        return (1 if c.duplicate_into else 0,
+                priority_fn(c.ins, useful=c.useful, priorities=priorities))
+
+    cycle = 0
+    stall = 0
+    done = not own_remaining
+    while not done:
+        free = {unit: machine.unit_count(unit) for unit in UnitType}
+        budget = machine.total_issue_width
+        issued_this_cycle = False
+        issued_count = 0
+        cycle_traced = False
+        hold_for_dup = dup_fill_wanted(cycle)
+
+        progress = True
+        while progress and budget > 0:
+            progress = False
+            ready = _ready_candidates(
+                pending, state, cycle, terminator, own_remaining,
+                live_tracker, label, pdg, rename_on_demand,
+                hold_terminator=hold_for_dup,
+                tracer=tracer, metrics=metrics, vetoes_logged=vetoes_logged,
+            )
+            ready.sort(key=sort_key)
+            if not cycle_traced and (tracer.enabled or metrics.enabled):
+                # the first readiness scan of the cycle is the pressure
+                # snapshot: later scans see candidates unlocked mid-cycle
+                cycle_traced = True
+                if tracer.enabled:
+                    tracer.emit(CycleAdvance(label=label, cycle=cycle,
+                                             ready=len(ready)))
+                if metrics.enabled:
+                    metrics.observe("sched.ready", len(ready))
+            for pos, cand in enumerate(ready):
+                unit = cand.ins.unit
+                if free.get(unit, 0) <= 0:
+                    continue
+                # issue!
+                free[unit] -= 1
+                budget -= 1
+                state.mark_issued(cand.ins, cycle)
+                issued_order.append(cand.ins)
+                del pending[id(cand.ins)]
+                own_remaining.discard(id(cand.ins))
+                issued_this_cycle = True
+                issued_count += 1
+                progress = True
+                if tracer.enabled:
+                    _trace_issue(tracer, label, cycle, cand, machine, ready,
+                                 pos, sort_key)
+                if cand.home != label:
+                    is_spec = not cand.useful and not cand.duplicate_into
+                    report.motions.append(Motion(
+                        cand.ins.uid, cand.ins.opcode.mnemonic,
+                        cand.home, label, is_spec,
+                        duplicated_into=cand.duplicate_into or (),
+                    ))
+                    if tracer.enabled:
+                        tracer.emit(MotionRecorded(
+                            uid=cand.ins.uid,
+                            opcode=cand.ins.opcode.mnemonic,
+                            src=cand.home, dst=label, speculative=is_spec,
+                            duplicated_into=cand.duplicate_into or ()))
+                    if metrics.enabled:
+                        metrics.inc(
+                            "sched.motions.speculative" if is_spec
+                            else "sched.motions.duplicated"
+                            if cand.duplicate_into else "sched.motions.useful")
+                    func.block(cand.home).remove(cand.ins)
+                    if cand.duplicate_into:
+                        _place_duplicates(pdg, state, cand, report)
+                    # Any upward motion extends the moved definition's live
+                    # range down to its old home; record it so later
+                    # speculative legality checks see fresh liveness.
+                    live_tracker.record_motion(cand.ins, cand.home, label)
+                if cand.ins is terminator:
+                    done = True
+                break  # re-evaluate readiness (0-weight edges) and priorities
+            if (not own_remaining and terminator is None
+                    and not dup_fill_wanted(cycle)):
+                done = True
+                break
+            if done:
+                break
+
+        if tracer.enabled and issued_count:
+            used = {
+                unit.value: machine.unit_count(unit) - free.get(unit, 0)
+                for unit in UnitType
+                if machine.unit_count(unit) - free.get(unit, 0) > 0
+            }
+            tracer.emit(UnitOccupancy(label=label, cycle=cycle, used=used,
+                                      issued=issued_count))
+        if done:
+            report.block_cycles[label] = cycle + 1
+            break
+        if not own_remaining or own_remaining == {id(terminator)}:
+            fill_budget -= 1  # this cycle was borrowed for duplication
+        stall = 0 if issued_this_cycle else stall + 1
+        if stall > _MAX_STALL:
+            stuck = sorted(f"I{pending[i].ins.uid}"
+                           for i in own_remaining)
+            raise RuntimeError(
+                f"scheduler stalled in block {label}: remaining own "
+                f"instructions {stuck} never became ready"
+            )
+        cycle += 1
+
+    block.instrs = issued_order
+    if tracer.enabled:
+        tracer.emit(BlockEnd(label=label,
+                             cycles=report.block_cycles.get(label, 0)))
+    if metrics.enabled:
+        metrics.inc("sched.blocks")
+
+
+def _ready_candidates(
+    pending: dict[int, Candidate],
+    state: DependenceState,
+    cycle: int,
+    terminator: Instruction | None,
+    own_remaining: set[int],
+    live_tracker: LiveOnExitTracker,
+    label: str,
+    pdg: RegionPDG,
+    rename_on_demand: bool,
+    hold_terminator: bool = False,
+    tracer=NULL_TRACER,
+    metrics=NULL_METRICS,
+    vetoes_logged: set[int] | None = None,
+) -> list[Candidate]:
+    """Candidates issuable at ``cycle``.
+
+    The terminator is held back until it is the only own instruction left
+    (branches close their block; their original order is preserved), and
+    additionally while ``hold_terminator`` keeps the block open for an
+    imminent duplicated motion.  Speculative candidates must pass the
+    live-on-exit test *now* -- the sets grow as motions happen, so this is
+    re-checked at issue time; a candidate blocked only by that test may
+    get its definition renamed (Section 4.2's SSA-like renaming) when its
+    def-use web is block-local.
+    """
+    from .global_sched import _note_veto
+
+    ready: list[Candidate] = []
+    for cand in pending.values():
+        ins = cand.ins
+        if terminator is not None and ins is terminator:
+            if own_remaining != {id(ins)} or hold_terminator:
+                continue
+        elif ins.is_branch:
+            continue  # foreign branches never move
+        if not state.deps_satisfied(ins):
+            continue
+        if state.earliest_start(ins) > cycle:
+            continue
+        if (not cand.useful and not cand.duplicate_into
+                and live_tracker.blocks_motion(ins, label)):
+            # duplication needs no liveness test: every path into the
+            # join still executes (a copy of) the definition
+            if not rename_on_demand:
+                _note_veto(tracer, metrics, vetoes_logged, live_tracker,
+                           cand, label)
+                continue
+            observing = tracer.enabled or metrics.enabled
+            regs = (live_tracker.blocking_regs(ins, label)
+                    if observing else ())
+            renamed = try_rename_for_motion(
+                ins, pdg.func.block(cand.home), label, live_tracker,
+                pdg.ddg, pdg.func, pdg.machine,
+            )
+            if not renamed:
+                _note_veto(tracer, metrics, vetoes_logged, live_tracker,
+                           cand, label, regs=regs)
+                continue
+            # the rename mutated the instruction, so this branch cannot
+            # re-trigger: one event per successful rename
+            if observing:
+                if tracer.enabled:
+                    tracer.emit(SpeculationRenamed(
+                        label=label, uid=ins.uid,
+                        opcode=ins.opcode.mnemonic, home=cand.home,
+                        regs=tuple(str(r) for r in regs)))
+                if metrics.enabled:
+                    metrics.inc("sched.speculation.renamed")
+        ready.append(cand)
+    return ready

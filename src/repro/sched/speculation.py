@@ -25,7 +25,18 @@ from ..pdg.data_deps import DataDependenceGraph, DepKind
 
 
 class LiveOnExitTracker:
-    """Dynamically-updated live-on-exit sets for one region."""
+    """Dynamically-updated live-on-exit sets for one region.
+
+    :meth:`record_motion` is on the scheduler's issue path (every upward
+    motion calls it), so the "blocks between source and target" query is
+    answered from per-region reachability bitsets: block labels are
+    interned to dense bit positions on first use, each node gets a
+    downstream mask (all nodes reachable from it) and an upstream mask
+    (all nodes that reach it, the transpose), and the between-set is one
+    mask intersection -- instead of two full graph traversals per motion
+    (preserved in
+    :class:`repro.sched.reference.LiveOnExitTrackerReference`).
+    """
 
     def __init__(self, live_out: dict[str, set[Reg]], forward: Digraph):
         """``live_out`` maps block label -> registers live on exit (a
@@ -34,7 +45,11 @@ class LiveOnExitTracker:
         find the blocks between a motion's source and target."""
         self._live_out = live_out
         self._forward = forward
-        self._reverse = forward.reversed()
+        self._reverse: Digraph | None = None  # fallback path only
+        self._bit: dict | None = None   # label -> dense bit position
+        self._labels: tuple = ()        # bit position -> label
+        self._down: list[int] = []      # node -> mask reachable from it
+        self._up: list[int] = []        # node -> mask reaching it
 
     def live_out_of(self, label: str) -> set[Reg]:
         return self._live_out.setdefault(label, set())
@@ -64,6 +79,70 @@ class LiveOnExitTracker:
         defs = ins.reg_defs()
         if not defs:
             return
+        if self._bit is None:
+            self._build_masks()
+        bit_src = self._bit.get(src)
+        bit_dst = self._bit.get(dst)
+        if bit_src is None or bit_dst is None:
+            self._record_motion_traversal(defs, src, dst)
+            return
+        # blocks on a forward path dst -> ... -> src, minus src, plus dst
+        mask = self._down[bit_dst] & self._up[bit_src]
+        mask &= ~(1 << bit_src)
+        mask |= 1 << bit_dst
+        labels = self._labels
+        live_out = self._live_out
+        while mask:
+            low = mask & -mask
+            mask ^= low
+            label = labels[low.bit_length() - 1]
+            live = live_out.get(label)
+            if live is None:
+                live_out[label] = set(defs)
+            else:
+                live.update(defs)
+
+    def _build_masks(self) -> None:
+        """Intern the forward graph's labels to dense bits and precompute
+        per-node downstream/upstream reachability masks (both include the
+        node itself, matching ``Digraph.reachable_from``)."""
+        nodes = self._forward.nodes
+        bit = {label: pos for pos, label in enumerate(nodes)}
+        succ_bits = [
+            [bit[succ] for succ in self._forward.succs(label)]
+            for label in nodes
+        ]
+        count = len(nodes)
+        down = [0] * count
+        for pos in range(count):
+            seen = 1 << pos
+            stack = [pos]
+            while stack:
+                here = stack.pop()
+                for nxt in succ_bits[here]:
+                    nxt_bit = 1 << nxt
+                    if not (seen & nxt_bit):
+                        seen |= nxt_bit
+                        stack.append(nxt)
+            down[pos] = seen
+        up = [0] * count
+        for pos in range(count):
+            mask = down[pos]
+            pos_bit = 1 << pos
+            while mask:
+                low = mask & -mask
+                mask ^= low
+                up[low.bit_length() - 1] |= pos_bit
+        self._bit = bit
+        self._labels = tuple(nodes)
+        self._down = down
+        self._up = up
+
+    def _record_motion_traversal(self, defs, src: str, dst: str) -> None:
+        """Traversal fallback for labels outside the interned graph
+        (identical to the seed tracker's behaviour)."""
+        if self._reverse is None:
+            self._reverse = self._forward.reversed()
         downstream = self._forward.reachable_from(dst)
         upstream = self._reverse.reachable_from(src)
         between = (downstream & upstream) - {src}
