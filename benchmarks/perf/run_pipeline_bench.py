@@ -23,6 +23,9 @@ Four metrics, all on a fixed-seed generated corpus (fully reproducible):
 * ``fuzz``         -- differential fuzz-campaign throughput: optimized
   pipeline with ``--jobs 4`` vs the seed pipeline serially.
   Gate: >= 1.5x.
+* ``service_throughput`` -- ``repro serve`` batch throughput with a warm
+  content-addressed artifact cache vs compiling the same requests cold
+  and serially.  Gate: >= 5.0x.
 
 The suite also replays the largest corpus program through both arms at
 every scheduling level on every default machine and asserts byte-identical
@@ -66,6 +69,9 @@ MASTER_SEED = 1991
 REGION_DDG_MIN_SPEEDUP = 2.0
 SCHEDULE_MIN_SPEEDUP = 2.5
 FUZZ_MIN_SPEEDUP = 1.5
+#: a warm artifact cache answers a batch at least this much faster than
+#: compiling the same requests cold, one at a time
+SERVICE_MIN_SPEEDUP = 5.0
 #: an *inert* resilient pipeline (no budgets, no fault plan) may cost at
 #: most this much over the plain pipeline
 RESILIENCE_MAX_OVERHEAD_PCT = 2.0
@@ -227,6 +233,53 @@ def bench_fuzz(n: int, jobs: int) -> dict:
     }
 
 
+def bench_service(corpus, sample: int, repeats: int) -> dict:
+    """``repro serve`` warm-cache batch throughput vs cold serial compiles.
+
+    The cold arm compiles every request one at a time with no cache --
+    what a build loop without the daemon pays on every run.  The warm
+    arm answers the same batch from an already-seeded daemon, where
+    every response is a content-addressed cache hit; the identity
+    assertion pins the hits byte-identical to the compiles that seeded
+    them, so the speedup is bought with zero drift.
+    """
+    from repro.service import Daemon, ServeConfig
+    from repro.service import worker as service_worker
+
+    sources = [p.source for p in corpus[:sample]]
+    lines = [json.dumps({"id": i, "source": source})
+             for i, source in enumerate(sources)]
+
+    def cold_all() -> None:
+        for source in sources:
+            service_worker.compile_request({
+                "source": source, "machine": "rs6k",
+                "level": "speculative", "config": {}, "resilient": False})
+
+    cold_s = _best_of(repeats, cold_all)
+
+    with Daemon(ServeConfig(jobs=1,
+                            cache_entries=max(64, len(lines)))) as daemon:
+        seeded = daemon.serve_batch_lines(lines)   # cold: fills the cache
+        warm_s = _best_of(max(repeats, 5),
+                          lambda: daemon.serve_batch_lines(lines))
+        warm = daemon.serve_batch_lines(lines)
+        assert all(r["status"] == "cache-hit" for r in warm), (
+            "warm batch was not served from the cache")
+        assert ([r["assembly"] for r in warm]
+                == [r["assembly"] for r in seeded]), (
+            "cache hits diverged from the compiles that seeded them")
+
+    return {
+        "requests": len(lines),
+        "cold_serial_s": cold_s,
+        "warm_batch_s": warm_s,
+        "requests_per_s_cold": len(lines) / cold_s,
+        "requests_per_s_warm": len(lines) / warm_s,
+        "speedup": cold_s / warm_s,
+    }
+
+
 def bench_resilience_overhead(corpus, sample: int, repeats: int) -> dict:
     """Inert resilient pipeline vs plain pipeline, same corpus sample.
 
@@ -372,6 +425,13 @@ def run(quick: bool, jobs: int) -> dict:
     print(f"  {fuzz_res['seed_s']:.2f} s -> {fuzz_res['new_s']:.2f} s "
           f"({fuzz_res['speedup']:.2f}x)")
 
+    print("benchmarking warm-cache service throughput ...", flush=True)
+    service = bench_service(corpus, sample=8 if quick else 16,
+                            repeats=repeats)
+    print(f"  {service['cold_serial_s']:.3f} s cold -> "
+          f"{service['warm_batch_s']:.3f} s warm "
+          f"({service['speedup']:.1f}x)")
+
     print("benchmarking disabled-resilience overhead ...", flush=True)
     resilience = bench_resilience_overhead(corpus, sample=3 if quick else 5,
                                            repeats=repeats)
@@ -383,10 +443,12 @@ def run(quick: bool, jobs: int) -> dict:
         "region_ddg_min_speedup": REGION_DDG_MIN_SPEEDUP,
         "schedule_min_speedup": SCHEDULE_MIN_SPEEDUP,
         "fuzz_min_speedup": FUZZ_MIN_SPEEDUP,
+        "service_min_speedup": SERVICE_MIN_SPEEDUP,
         "resilience_max_overhead_pct": RESILIENCE_MAX_OVERHEAD_PCT,
         "region_ddg_ok": region_ddg["speedup"] >= REGION_DDG_MIN_SPEEDUP,
         "schedule_ok": schedule["speedup"] >= SCHEDULE_MIN_SPEEDUP,
         "fuzz_ok": fuzz_res["speedup"] >= FUZZ_MIN_SPEEDUP,
+        "service_ok": service["speedup"] >= SERVICE_MIN_SPEEDUP,
         "resilience_ok": (resilience["overhead_pct"]
                           < RESILIENCE_MAX_OVERHEAD_PCT),
     }
@@ -406,6 +468,7 @@ def run(quick: bool, jobs: int) -> dict:
         "compile": compile_res,
         "schedule": schedule,
         "fuzz": fuzz_res,
+        "service_throughput": service,
         "resilience": resilience,
         "thresholds": thresholds,
     }
@@ -431,13 +494,15 @@ def main(argv: list[str] | None = None) -> int:
 
     ok = all(results["thresholds"][k]
              for k in ("region_ddg_ok", "schedule_ok", "fuzz_ok",
-                       "resilience_ok"))
+                       "service_ok", "resilience_ok"))
     print(f"region_ddg: {results['region_ddg']['speedup']:.2f}x "
           f"(gate {REGION_DDG_MIN_SPEEDUP}x)  "
           f"schedule: {results['schedule']['speedup']:.2f}x "
           f"(gate {SCHEDULE_MIN_SPEEDUP}x)  "
           f"fuzz: {results['fuzz']['speedup']:.2f}x "
           f"(gate {FUZZ_MIN_SPEEDUP}x)  "
+          f"service: {results['service_throughput']['speedup']:.1f}x "
+          f"(gate {SERVICE_MIN_SPEEDUP}x)  "
           f"resilience: {results['resilience']['overhead_pct']:+.2f}% "
           f"(gate <{RESILIENCE_MAX_OVERHEAD_PCT}%)  -> "
           f"{'OK' if ok else 'BELOW THRESHOLD'}")

@@ -21,6 +21,12 @@ Commands:
   aborting (on unless ``--no-quarantine``; ``--quarantine-out`` writes the
   report), and checkpoint/resume (``--checkpoint FILE`` / ``--resume
   FILE``) with results identical to an uninterrupted run;
+* ``serve`` -- batch compile-as-a-service: JSONL requests on stdin (or
+  ``--socket PATH``), JSONL responses in request order, backed by a
+  sharded job pool (``--jobs``) and a content-addressed artifact cache
+  (``--cache-entries`` / ``--cache-dir``); responses are identical for
+  every job count, and ``--scorecard`` prints the live operator report
+  (QPS, cache hit rate, rung histogram, queue depth) after every batch;
 * ``chaos --n 200 --seed 1991`` -- fault injection: seeded faults (pass
   crashes/hangs, corrupted dependence graphs, stale analyses, blinded
   live-on-exit sets) against the resilient pipeline, asserting every one
@@ -373,6 +379,46 @@ def cmd_fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_serve(args) -> int:
+    from .service import Daemon, ServeConfig
+
+    if args.jobs < 1:
+        raise CLIError(f"error: --jobs must be a positive integer, "
+                       f"got {args.jobs}")
+    if args.batch_size < 1:
+        raise CLIError(f"error: --batch-size must be a positive integer, "
+                       f"got {args.batch_size}")
+    config = ServeConfig(
+        jobs=args.jobs, machine=args.machine, level=args.level,
+        timeout_s=args.timeout, resilient=args.resilient,
+        cache_entries=args.cache_entries, cache_dir=args.cache_dir,
+        batch_size=args.batch_size, queue_size=args.queue_size,
+        allow_chaos=args.chaos, scorecard=args.scorecard,
+    )
+    with Daemon(config) as daemon:
+        daemon.install_signal_handlers()
+        if args.socket:
+            summary = daemon.serve_socket(args.socket, sys.stderr)
+        else:
+            # own stdin outright: read a private dup and blank
+            # sys.stdin, so pool workers forked while the reader thread
+            # holds the buffer lock never touch it in _close_stdin
+            import os
+
+            in_stream = os.fdopen(os.dup(sys.stdin.fileno()), "r",
+                                  encoding="utf-8", errors="replace")
+            sys.stdin = None
+            summary = daemon.serve_stream(in_stream, sys.stdout,
+                                          sys.stderr)
+    statuses = summary["statuses"]
+    print(f"serve: {summary['requests']} request(s) in "
+          f"{summary['batches']} batch(es), "
+          f"{summary['cache_hits']} cache hit(s), "
+          f"{statuses.get('quarantined', 0)} quarantined, "
+          f"{statuses.get('error', 0)} error(s)", file=sys.stderr)
+    return 0
+
+
 def cmd_chaos(args) -> int:
     from .resilience import run_chaos
 
@@ -485,6 +531,37 @@ def build_parser() -> argparse.ArgumentParser:
                    help="stop after N programs this run (for exercising "
                         "--checkpoint/--resume)")
     p.set_defaults(fn=cmd_fuzz)
+
+    p = sub.add_parser("serve",
+                       help="batch compile-as-a-service: JSONL requests "
+                            "in, JSONL responses out")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="compile worker processes (default: 1; responses "
+                        "are identical for any job count)")
+    p.add_argument("--timeout", type=float, metavar="SECONDS",
+                   help="wall-clock deadline per request (default: none)")
+    p.add_argument("--cache-entries", type=int, default=256, metavar="N",
+                   help="in-memory artifact-cache capacity (default: 256)")
+    p.add_argument("--cache-dir", metavar="DIR",
+                   help="also persist cached artifacts under DIR")
+    p.add_argument("--batch-size", type=int, default=32, metavar="N",
+                   help="max requests answered per batch (default: 32)")
+    p.add_argument("--queue-size", type=int, default=64, metavar="N",
+                   help="job-queue bound before submit blocks "
+                        "(default: 64)")
+    p.add_argument("--socket", metavar="PATH",
+                   help="listen on a Unix socket instead of stdin/stdout")
+    p.add_argument("--scorecard", action="store_true",
+                   help="print the live service scorecard to stderr "
+                        "after every batch")
+    p.add_argument("--chaos", action="store_true",
+                   help="admit the 'chaos_hang_s' fault-injection "
+                        "request hook (tests/CI only)")
+    p.add_argument("--resilient", action="store_true",
+                   help="default requests to the fail-soft pipeline "
+                        "(requests may override per line)")
+    _add_common(p)
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("chaos",
                        help="seeded fault injection against the "

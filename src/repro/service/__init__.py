@@ -1,0 +1,44 @@
+"""Compile-as-a-service: the job layer, artifact cache, and daemon.
+
+The reusable pieces (see DESIGN.md section 10):
+
+* :mod:`repro.service.jobs` -- bounded-queue, sharded, quarantining
+  :class:`JobPool`, generalized out of the PR-2/PR-4 fuzz machinery;
+* :mod:`repro.service.cache` -- content-addressed :class:`ArtifactCache`
+  (SHA-256 of source x machine x level x config);
+* :mod:`repro.service.daemon` -- the JSONL front door behind
+  ``python -m repro serve``;
+* :mod:`repro.service.scorecard` -- the live operator report.
+"""
+
+from .cache import Artifact, ArtifactCache, cache_key, config_fingerprint
+from .daemon import Daemon, ServeConfig
+from .jobs import (
+    CRASHED,
+    ERROR,
+    OK,
+    QUARANTINED,
+    JobPool,
+    JobResult,
+    JobSpec,
+    JobWorkerError,
+)
+from .scorecard import format_scorecard
+
+__all__ = [
+    "Artifact",
+    "ArtifactCache",
+    "cache_key",
+    "config_fingerprint",
+    "Daemon",
+    "ServeConfig",
+    "JobPool",
+    "JobResult",
+    "JobSpec",
+    "JobWorkerError",
+    "OK",
+    "ERROR",
+    "QUARANTINED",
+    "CRASHED",
+    "format_scorecard",
+]

@@ -1,0 +1,174 @@
+"""Content-addressed artifact cache: compile once, serve forever.
+
+A compile's output is a pure function of ``(source text, machine, level,
+pipeline configuration)``, so the service keys artifacts by the SHA-256
+of exactly that tuple.  :func:`config_fingerprint` folds **every**
+:class:`~repro.xform.pipeline.PipelineConfig` field that can change what
+the pipeline emits into the key -- new fields join the fingerprint
+automatically, so a config knob can never silently alias two different
+outputs (the cache-key soundness property in
+``tests/service/test_cache_properties.py``).  Only the observability
+sinks (``trace``/``metrics``) are excluded: tracing on is proven
+byte-identical to tracing off.
+
+An :class:`Artifact` is everything a response needs -- per-function
+assembly, the decision trace (timer-free JSONL lines), the deterministic
+metrics counters, and the resilience rung.  Only full-quality (``ok``)
+compiles are cached; degraded results are timing-dependent and must be
+re-earned.
+
+The store is a two-tier affair: an in-memory LRU (dict ordered by
+recency) in front of an optional on-disk directory (one JSON file per
+key, written atomically), so warm artifacts survive daemon restarts.
+Hits and misses are counted locally and surfaced through the
+:class:`~repro.obs.metrics.MetricsCollector` as ``service.cache.hit`` /
+``service.cache.miss``.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import json
+import os
+from collections import OrderedDict
+from dataclasses import dataclass, field, fields as dataclass_fields
+from dataclasses import is_dataclass
+
+from ..obs.metrics import NULL_METRICS
+from ..xform.pipeline import PipelineConfig
+
+#: PipelineConfig fields that cannot change what the pipeline emits
+#: (observability is noninterfering by construction -- see
+#: ``tests/obs/``'s tracing-noninterference property tests)
+NON_OUTPUT_FIELDS = frozenset({"trace", "metrics"})
+
+
+def _encode(value):
+    """A deterministic, JSON-able projection of one config value."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, enum.Enum):
+        return value.value
+    if is_dataclass(value) and not isinstance(value, type):
+        return {f.name: _encode(getattr(value, f.name))
+                for f in dataclass_fields(value)}
+    if isinstance(value, (list, tuple)):
+        return [_encode(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _encode(v) for k, v in sorted(value.items())}
+    if isinstance(value, (set, frozenset)):
+        return sorted(_encode(v) for v in value)
+    return repr(value)
+
+
+def config_fingerprint(config: PipelineConfig) -> dict:
+    """Every output-affecting PipelineConfig field, deterministically
+    encoded.  Fields added to the config in the future are included by
+    construction."""
+    return {f.name: _encode(getattr(config, f.name))
+            for f in dataclass_fields(PipelineConfig)
+            if f.name not in NON_OUTPUT_FIELDS}
+
+
+def cache_key(source: str, machine_name: str,
+              config: PipelineConfig) -> str:
+    """SHA-256 content address of one compile request."""
+    doc = {
+        "source": source,
+        "machine": machine_name,
+        "config": config_fingerprint(config),
+    }
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class Artifact:
+    """One cached compile: everything a service response is made of."""
+
+    #: function name -> Figure-2-style assembly listing
+    assembly: dict[str, str] = field(default_factory=dict)
+    #: decision trace, one compact-JSON line per event (timer fields
+    #: stripped so an artifact is byte-stable across recompiles)
+    trace: list[str] = field(default_factory=list)
+    #: deterministic metrics counters (no timers, no series)
+    counters: dict[str, int] = field(default_factory=dict)
+    #: worst degradation-ladder rung across the unit's functions
+    rung: str = "speculative"
+
+    def to_json(self) -> dict:
+        return {"assembly": self.assembly, "trace": self.trace,
+                "counters": self.counters, "rung": self.rung}
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "Artifact":
+        return cls(assembly=dict(doc["assembly"]), trace=list(doc["trace"]),
+                   counters=dict(doc["counters"]), rung=doc["rung"])
+
+
+class ArtifactCache:
+    """In-memory LRU over an optional on-disk store, hit/miss counted."""
+
+    def __init__(self, max_entries: int = 256, *,
+                 disk_dir: str | None = None, metrics=None):
+        if max_entries < 1:
+            raise ValueError(
+                f"max_entries must be a positive integer, got {max_entries}")
+        self.max_entries = max_entries
+        self.disk_dir = disk_dir
+        self._metrics = metrics if metrics is not None else NULL_METRICS
+        self._entries: OrderedDict[str, Artifact] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        if disk_dir is not None:
+            os.makedirs(disk_dir, exist_ok=True)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _disk_path(self, key: str) -> str:
+        return os.path.join(self.disk_dir, f"{key}.json")
+
+    def get(self, key: str) -> Artifact | None:
+        artifact = self._entries.get(key)
+        if artifact is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            self._metrics.inc("service.cache.hit")
+            return artifact
+        if self.disk_dir is not None:
+            try:
+                with open(self._disk_path(key), encoding="utf-8") as fh:
+                    artifact = Artifact.from_json(json.load(fh))
+            except (OSError, ValueError, KeyError):
+                artifact = None  # absent or corrupt: treat as a miss
+            if artifact is not None:
+                self._remember(key, artifact)  # promote to memory
+                self.hits += 1
+                self._metrics.inc("service.cache.hit")
+                return artifact
+        self.misses += 1
+        self._metrics.inc("service.cache.miss")
+        return None
+
+    def put(self, key: str, artifact: Artifact) -> None:
+        self._remember(key, artifact)
+        if self.disk_dir is not None:
+            # atomic: a crash mid-write never corrupts the store
+            path = self._disk_path(key)
+            tmp = f"{path}.tmp"
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(artifact.to_json(), fh)
+            os.replace(tmp, path)
+
+    def _remember(self, key: str, artifact: Artifact) -> None:
+        self._entries[key] = artifact
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,453 @@
+"""The ``repro serve`` front door: JSONL requests in, JSONL responses out.
+
+A *request* is one JSON object per line::
+
+    {"id": 7, "source": "int f(int x) { return x + 1; }",
+     "machine": "rs6k", "level": "speculative",
+     "config": {"unroll_max_blocks": 0}, "resilient": true}
+
+Only ``source`` is required; ``machine``/``level``/``resilient`` default
+to the daemon's flags, ``config`` may override scalar
+:class:`~repro.xform.pipeline.PipelineConfig` fields, and ``trace: true``
+asks for the decision trace in the response.  A *response* echoes the
+request ``id`` (or its ordinal when absent) and carries a status:
+
+* ``ok``         -- compiled at the requested aggressiveness;
+* ``degraded``   -- compiled, but the PR-4 ladder had to fall back;
+* ``cache-hit``  -- served from the content-addressed artifact cache
+  (byte-identical to the compile that seeded it), including duplicates
+  inside one batch, which compile once and share the artifact;
+* ``quarantined`` -- the job crashed or hung twice and was parked;
+* ``error``      -- a malformed request or a typed front-end error
+  (parse/lowering), reported without retry.
+
+Responses always come back **in request order**, and -- because every
+status above is decided by batch position, never by completion order --
+a batch's responses are byte-identical for every ``--jobs`` value.
+
+Shutdown is graceful: SIGTERM/SIGINT stop the intake, every request
+already read is still compiled and answered, then the pool drains and
+the daemon exits -- an accepted job is never lost.  A malformed or
+hanging request can never take the daemon down: malformed lines become
+``error`` responses, hangs are bounded by the per-job deadline and
+quarantined by the job layer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import signal
+import socket
+import threading
+import time
+from dataclasses import dataclass, fields as dataclass_fields
+
+from ..machine.configs import CONFIGS
+from ..obs.metrics import MetricsCollector
+from ..sched.candidates import ScheduleLevel
+from ..xform.pipeline import PipelineConfig
+from . import worker
+from .cache import Artifact, ArtifactCache, cache_key
+from .jobs import ERROR, OK, QUARANTINED, JobPool, JobSpec
+from .scorecard import format_scorecard
+
+_LEVELS = {level.value: level for level in ScheduleLevel}
+
+#: PipelineConfig fields a request's ``config`` object may override --
+#: the scalar knobs; level/observability/resilience have dedicated keys
+_OVERRIDABLE = frozenset(
+    f.name for f in dataclass_fields(PipelineConfig)
+    if f.name not in {"level", "trace", "metrics", "profile", "resilience"})
+
+
+@dataclass
+class ServeConfig:
+    """Knobs of one daemon instance (the ``repro serve`` flags)."""
+
+    jobs: int = 1
+    machine: str = "rs6k"
+    level: str = "speculative"
+    #: per-job wall-clock deadline (None = unbounded)
+    timeout_s: float | None = None
+    #: default for requests that do not carry ``resilient``
+    resilient: bool = False
+    cache_entries: int = 256
+    cache_dir: str | None = None
+    batch_size: int = 32
+    queue_size: int = 64
+    #: admit the ``chaos_hang_s`` fault-injection hook (tests/CI only)
+    allow_chaos: bool = False
+    #: print a scorecard to stderr after every batch
+    scorecard: bool = False
+
+
+class _BadRequest(ValueError):
+    """A request the daemon refuses before compiling anything."""
+
+
+def _read_lines(stream, sink: queue.SimpleQueue) -> None:
+    """Reader-thread body: forward lines, then an EOF sentinel.  Keeping
+    the blocking read off the main thread lets SIGTERM drain promptly
+    even while the peer holds the stream open."""
+    try:
+        for line in stream:
+            sink.put(line)
+    except (OSError, ValueError):
+        pass  # peer vanished mid-read: treat as EOF
+    sink.put(None)
+
+
+class Daemon:
+    """A long-lived batch-compile service over one :class:`JobPool`."""
+
+    def __init__(self, config: ServeConfig | None = None,
+                 metrics: MetricsCollector | None = None):
+        self.config = config or ServeConfig()
+        self.metrics = metrics if metrics is not None else MetricsCollector()
+        self.cache = ArtifactCache(self.config.cache_entries,
+                                   disk_dir=self.config.cache_dir,
+                                   metrics=self.metrics)
+        self._pool: JobPool | None = None
+        self._shutdown = threading.Event()
+        self._seq = 0
+        self._started = time.perf_counter()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def pool(self) -> JobPool:
+        if self._pool is None:
+            self._pool = JobPool(
+                worker.compile_request,
+                jobs=self.config.jobs,
+                queue_size=self.config.queue_size,
+                timeout_s=self.config.timeout_s,
+                typed_errors=worker.TYPED_ERRORS,
+                metrics=self.metrics,
+            )
+        return self._pool
+
+    def request_shutdown(self) -> None:
+        """Stop accepting new requests; already-accepted work drains."""
+        self._shutdown.set()
+
+    @property
+    def shutting_down(self) -> bool:
+        return self._shutdown.is_set()
+
+    def install_signal_handlers(self) -> None:
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            signal.signal(signum, lambda *_: self.request_shutdown())
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "Daemon":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- request parsing -----------------------------------------------------
+
+    def _parse_request(self, line: str):
+        """(id, payload, wants_trace) -- raises :class:`_BadRequest`."""
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise _BadRequest(f"not valid JSON: {exc}") from exc
+        if not isinstance(doc, dict):
+            raise _BadRequest("request must be a JSON object")
+        source = doc.get("source")
+        if not isinstance(source, str):
+            raise _BadRequest("request needs a string 'source'")
+        machine = doc.get("machine", self.config.machine)
+        if machine not in CONFIGS:
+            raise _BadRequest(f"unknown machine {machine!r}; choose from "
+                              f"{sorted(CONFIGS)}")
+        level = doc.get("level", self.config.level)
+        if level not in _LEVELS:
+            raise _BadRequest(f"unknown level {level!r}; choose from "
+                              f"{sorted(_LEVELS)}")
+        overrides = doc.get("config") or {}
+        if not isinstance(overrides, dict):
+            raise _BadRequest("'config' must be a JSON object")
+        for key, value in overrides.items():
+            if key not in _OVERRIDABLE:
+                raise _BadRequest(
+                    f"config field {key!r} is not overridable; allowed: "
+                    f"{sorted(_OVERRIDABLE)}")
+            if not isinstance(value, (bool, int)):
+                raise _BadRequest(
+                    f"config field {key!r} must be a scalar, "
+                    f"got {type(value).__name__}")
+        resilient = bool(doc.get("resilient", self.config.resilient))
+        payload = {"source": source, "machine": machine, "level": level,
+                   "config": dict(sorted(overrides.items())),
+                   "resilient": resilient}
+        hang_s = doc.get("chaos_hang_s")
+        if hang_s is not None:
+            if not self.config.allow_chaos:
+                raise _BadRequest(
+                    "'chaos_hang_s' requires the daemon's --chaos flag")
+            if not isinstance(hang_s, (int, float)) \
+                    or isinstance(hang_s, bool):
+                raise _BadRequest("'chaos_hang_s' must be a number")
+            payload["chaos_hang_s"] = float(hang_s)
+        return doc.get("id"), payload, bool(doc.get("trace", False))
+
+    # -- the batch engine ----------------------------------------------------
+
+    def serve_batch_lines(self, lines: list[str]) -> list[dict]:
+        """Answer one batch of raw JSONL request lines, in order.
+
+        Requests sharing a cache key compile once: the first occurrence
+        runs (or hits the cache), every duplicate shares its outcome --
+        so the status vector is a function of the batch alone, identical
+        for any pool width.
+        """
+        entries = []  # (response_id, payload|None, error|None, trace?)
+        for line in lines:
+            rid = self._seq
+            self._seq += 1
+            self.metrics.inc("service.requests")
+            try:
+                req_id, payload, wants_trace = self._parse_request(line)
+                if req_id is not None:
+                    rid = req_id
+                entries.append((rid, payload, None, wants_trace))
+            except _BadRequest as exc:
+                entries.append((rid, None, str(exc), False))
+
+        # content-address every compile and dedupe within the batch
+        first_of: dict[str, int] = {}
+        jobs: list[JobSpec] = []
+        keyed = []  # per entry: (key, is_first, cached_artifact|None)
+        for index, (rid, payload, err, _) in enumerate(entries):
+            if err is not None:
+                keyed.append((None, False, None))
+                continue
+            key = cache_key(payload["source"], payload["machine"],
+                            worker.build_config(payload["level"],
+                                                payload["config"],
+                                                payload["resilient"]))
+            if key in first_of:
+                keyed.append((key, False, None))
+                continue
+            first_of[key] = index
+            artifact = self.cache.get(key)
+            if artifact is None:
+                jobs.append(JobSpec(id=index, payload=payload))
+            keyed.append((key, True, artifact))
+
+        for spec in jobs:
+            self.pool.submit(spec)
+        by_index = {result.id: result for result in self.pool.drain()}
+
+        # fold outcomes back into request order
+        outcomes: dict[str, dict] = {}
+        responses = []
+        for index, (rid, payload, err, wants_trace) in enumerate(entries):
+            if err is not None:
+                responses.append(self._finish(
+                    {"id": rid, "status": "error", "reason": "bad-request",
+                     "error": err}))
+                continue
+            key, is_first, cached = keyed[index]
+            if is_first:
+                outcomes[key] = self._first_outcome(key, payload, cached,
+                                                    by_index.get(index))
+            elif outcomes[key].get("artifact") is not None:
+                # a shared in-batch artifact is a cache hit in all but
+                # timing; count it so the hit rate reflects work saved
+                self.cache.hits += 1
+                self.metrics.inc("service.cache.hit")
+            responses.append(self._finish(self._respond(
+                rid, outcomes[key], is_first=is_first,
+                wants_trace=wants_trace)))
+        self.metrics.inc("service.batches")
+        return responses
+
+    def _first_outcome(self, key: str, payload: dict,
+                       cached: Artifact | None, result) -> dict:
+        """Classify the first occurrence of a cache key in this batch."""
+        if cached is not None:
+            return {"status": "cache-hit", "artifact": cached}
+        if result is None:  # defensive: the pool lost track of the job
+            return {"status": "error", "reason": "internal",
+                    "error": "job result missing"}
+        if result.status == OK:
+            artifact = Artifact.from_json(result.value)
+            requested = worker.start_rung(worker.build_config(
+                payload["level"], payload["config"],
+                payload["resilient"])).value
+            if artifact.rung == requested:
+                self.cache.put(key, artifact)
+                return {"status": "ok", "artifact": artifact}
+            return {"status": "degraded", "artifact": artifact}
+        if result.status == ERROR:
+            return {"status": "error", "reason": result.reason,
+                    "error": result.detail}
+        if result.status == QUARANTINED:
+            return {"status": "quarantined", "reason": result.reason}
+        # CRASHED only happens on quarantine=False pools; the daemon
+        # always quarantines, but fail soft if it ever surfaces
+        return {"status": "error", "reason": "crash", "error": result.detail}
+
+    def _respond(self, rid, outcome: dict, *, is_first: bool,
+                 wants_trace: bool) -> dict:
+        status = outcome["status"]
+        if not is_first and status in ("ok", "degraded", "cache-hit"):
+            # duplicates share the first occurrence's artifact; a shared
+            # full-quality artifact is by definition a cache hit
+            status = "cache-hit" if status != "degraded" else "degraded"
+        response = {"id": rid, "status": status}
+        artifact = outcome.get("artifact")
+        if artifact is not None:
+            response["rung"] = artifact.rung
+            response["assembly"] = artifact.assembly
+            response["counters"] = artifact.counters
+            if wants_trace:
+                response["trace"] = artifact.trace
+        if "reason" in outcome:
+            response["reason"] = outcome["reason"]
+        if "error" in outcome:
+            response["error"] = outcome["error"]
+        return response
+
+    def _finish(self, response: dict) -> dict:
+        self.metrics.inc(f"service.status.{response['status']}")
+        if "rung" in response:
+            self.metrics.inc(f"service.rung.{response['rung']}")
+        return response
+
+    # -- stream / socket front ends ------------------------------------------
+
+    def serve_stream(self, in_stream, out_stream,
+                     err_stream=None) -> dict:
+        """Serve JSONL from a text stream until EOF or shutdown.
+
+        Lines are gathered into batches of at most ``batch_size`` (or
+        whatever has arrived when the stream goes quiet) and answered in
+        order; responses are flushed per batch so a live client sees
+        progress.  On shutdown, every line already read is still
+        answered before the daemon stops.
+        """
+        # fork the workers *before* the reader thread can block holding
+        # ``in_stream``'s buffer lock: a worker forked mid-read inherits
+        # the locked (possibly sys.stdin) buffer and its bootstrap
+        # deadlocks in multiprocessing's _close_stdin
+        self.pool
+        lines: queue.SimpleQueue = queue.SimpleQueue()
+        reader = threading.Thread(target=_read_lines,
+                                  args=(in_stream, lines), daemon=True)
+        reader.start()
+        eof = False
+        while not eof and not self.shutting_down:
+            batch: list[str] = []
+            while len(batch) < self.config.batch_size:
+                try:
+                    line = (lines.get(timeout=0.1) if not batch
+                            else lines.get_nowait())
+                except queue.Empty:
+                    if batch or self.shutting_down:
+                        break
+                    continue
+                if line is None:
+                    eof = True
+                    break
+                if line.strip():
+                    batch.append(line)
+            if batch:
+                self._emit(batch, out_stream, err_stream)
+        # drain: answer every line the reader already handed us
+        final: list[str] = []
+        while True:
+            try:
+                line = lines.get_nowait()
+            except queue.Empty:
+                break
+            if line is None:
+                break
+            if line.strip():
+                final.append(line)
+        if final:
+            self._emit(final, out_stream, err_stream)
+        return self.summary()
+
+    def _emit(self, batch: list[str], out_stream, err_stream) -> None:
+        for response in self.serve_batch_lines(batch):
+            out_stream.write(json.dumps(response, separators=(",", ":")))
+            out_stream.write("\n")
+        out_stream.flush()
+        if self.config.scorecard and err_stream is not None:
+            print(self.scorecard(), file=err_stream, flush=True)
+
+    def serve_socket(self, path: str, err_stream=None,
+                     *, ready: threading.Event | None = None) -> dict:
+        """Serve JSONL sessions on a Unix socket, one client at a time."""
+        # fork the workers before any client connects: a worker forked
+        # after accept() inherits the connection fd and holds it open,
+        # so the client never sees EOF when its session ends
+        self.pool
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            listener.bind(path)
+            listener.listen(1)
+            listener.settimeout(0.2)
+            if ready is not None:
+                ready.set()
+            while not self.shutting_down:
+                try:
+                    conn, _addr = listener.accept()
+                except socket.timeout:
+                    continue
+                with conn:
+                    rfile = conn.makefile("r", encoding="utf-8")
+                    wfile = conn.makefile("w", encoding="utf-8")
+                    try:
+                        self.serve_stream(rfile, wfile, err_stream)
+                    finally:
+                        # the makefile wrappers keep the socket fd alive
+                        # past ``conn.close()``; close them so the client
+                        # sees EOF once its session is answered
+                        for stream in (wfile, rfile):
+                            try:
+                                stream.close()
+                            except OSError:
+                                pass
+        finally:
+            listener.close()
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        return self.summary()
+
+    # -- reporting -----------------------------------------------------------
+
+    def summary(self) -> dict:
+        counters = self.metrics.counters
+        return {
+            "requests": counters.get("service.requests", 0),
+            "batches": counters.get("service.batches", 0),
+            "statuses": {name.rsplit(".", 1)[1]: count
+                         for name, count in sorted(counters.items())
+                         if name.startswith("service.status.")},
+            "cache_hits": self.cache.hits,
+            "cache_misses": self.cache.misses,
+            "cache_hit_rate": self.cache.hit_rate,
+            "elapsed_s": time.perf_counter() - self._started,
+        }
+
+    def scorecard(self) -> str:
+        return format_scorecard(self.metrics, self.cache, self.config,
+                                elapsed_s=time.perf_counter() - self._started)

@@ -1,0 +1,48 @@
+"""The ``repro stats``-style live service scorecard.
+
+Rendered to stderr after every batch (``repro serve --scorecard``) and
+once at shutdown: requests and QPS, per-status counts, cache hit rate,
+the degradation-rung histogram, and queue-depth pressure -- the numbers
+an operator watches to know whether the service is keeping up.
+"""
+
+from __future__ import annotations
+
+#: ladder order for the rung histogram (most aggressive first)
+_RUNGS = ("speculative", "useful", "bb", "identity")
+_STATUSES = ("ok", "cache-hit", "degraded", "quarantined", "error")
+
+
+def format_scorecard(metrics, cache, config, *, elapsed_s: float) -> str:
+    c = metrics.counters
+    requests = c.get("service.requests", 0)
+    batches = c.get("service.batches", 0)
+    lines = ["== service scorecard =="]
+    qps = requests / elapsed_s if elapsed_s > 0 else 0.0
+    lines.append(f"  requests   {requests:>7}  in {batches} batch(es), "
+                 f"{elapsed_s:.2f} s  ({qps:.1f} req/s)")
+    status_bits = "  ".join(
+        f"{name} {c.get(f'service.status.{name}', 0)}"
+        for name in _STATUSES if c.get(f"service.status.{name}", 0))
+    if status_bits:
+        lines.append(f"  statuses   {status_bits}")
+    total_lookups = cache.hits + cache.misses
+    if total_lookups:
+        lines.append(f"  cache      {cache.hits} hit(s), "
+                     f"{cache.misses} miss(es)  "
+                     f"({cache.hit_rate:.1%} hit rate, "
+                     f"{len(cache)} entr{'y' if len(cache) == 1 else 'ies'} "
+                     f"resident)")
+    rung_bits = "  ".join(
+        f"{rung} {c.get(f'service.rung.{rung}', 0)}"
+        for rung in _RUNGS if c.get(f"service.rung.{rung}", 0))
+    if rung_bits:
+        lines.append(f"  rungs      {rung_bits}")
+    depth_n, _total, depth_peak = metrics.series.get(
+        "service.queue.depth", (0, 0.0, 0.0))
+    if depth_n:
+        lines.append(f"  queue      depth avg "
+                     f"{metrics.mean('service.queue.depth'):.1f}, "
+                     f"peak {depth_peak:.0f}, bound {config.queue_size} "
+                     f"(pool: {config.jobs} worker(s))")
+    return "\n".join(lines)

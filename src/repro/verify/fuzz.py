@@ -13,10 +13,12 @@ the entry arguments, so a failing case can be pasted straight into a
 regression test.
 
 Campaigns parallelise cleanly because each program is a pure function of
-``(S, i)``: with ``jobs > 1`` the indices are farmed out to a
-:mod:`multiprocessing` pool, results are collected as they finish, and the
-final report is sorted by index -- a campaign's failure list is identical
-for every job count (only ``on_progress`` interleaving differs).
+``(S, i)``: the indices become jobs on a
+:class:`repro.service.jobs.JobPool` (the service job layer this module's
+PR-2/PR-4 pool machinery was generalized into), results are collected as
+they finish, and the final report is sorted by index -- a campaign's
+failure list is identical for every job count (only ``on_progress``
+interleaving differs).
 
 Campaigns are *resilient* by default: each program runs under an optional
 wall-clock ``timeout_s``, and a program that crashes or times out is
@@ -34,13 +36,11 @@ from __future__ import annotations
 
 import json
 import os
-import time
-import traceback
 from dataclasses import asdict, dataclass, field
 from typing import Callable
 
 from ..resilience.budget import watchdog
-from ..resilience.errors import BudgetExceeded, CheckpointError
+from ..resilience.errors import CheckpointError
 from .differential import DEFAULT_MACHINES, DiffResult, run_differential
 from .generator import GenProgram, generate_program
 from .shrink import shrink_program
@@ -201,6 +201,39 @@ def _save_checkpoint(path: str, state: dict) -> None:
     os.replace(tmp, path)
 
 
+#: required checkpoint fields and the types a v1 file must carry them
+#: with (``bool`` is checked before ``int`` -- JSON ``true`` is not a
+#: valid program count)
+_CHECKPOINT_SCHEMA: dict[str, type | tuple[type, ...]] = {
+    "master_seed": int,
+    "n": int,
+    "machines": list,
+    "shrink": bool,
+    "collect_metrics": bool,
+    "done": list,
+    "failures": list,
+    "quarantined": list,
+    "metric_summaries": list,
+}
+
+
+def _check_schema(path: str, state: dict) -> None:
+    """Reject a version-tagged file whose body is not a v1 checkpoint
+    (hand-edited, truncated-then-repaired, or from a different tool)."""
+    for key, want in _CHECKPOINT_SCHEMA.items():
+        if key not in state:
+            raise CheckpointError(
+                f"checkpoint {path} does not match the "
+                f"v{_CHECKPOINT_VERSION} schema: missing field {key!r}")
+        value = state[key]
+        bad_bool = want is int and isinstance(value, bool)
+        if bad_bool or not isinstance(value, want):
+            raise CheckpointError(
+                f"checkpoint {path} does not match the "
+                f"v{_CHECKPOINT_VERSION} schema: field {key!r} should be "
+                f"{want.__name__}, got {type(value).__name__}")
+
+
 def _load_checkpoint(path: str, *, n: int, seed: int,
                      machines: tuple[str, ...], shrink: bool,
                      collect_metrics: bool) -> dict:
@@ -218,6 +251,7 @@ def _load_checkpoint(path: str, *, n: int, seed: int,
             f"checkpoint {path} has unsupported version "
             f"{state.get('version')!r}" if isinstance(state, dict)
             else f"corrupt checkpoint {path}: not a JSON object")
+    _check_schema(path, state)
     expected = {"master_seed": seed, "n": n, "machines": list(machines),
                 "shrink": shrink, "collect_metrics": collect_metrics}
     for key, want in expected.items():
@@ -236,49 +270,32 @@ def _attempt(master_seed: int, index: int, machines: tuple[str, ...],
              ) -> tuple[FuzzFailure | None, dict | None]:
     """One harness run of one campaign index, bounded by ``timeout_s``."""
     with watchdog(timeout_s, f"fuzz:program-{index}"):
-        program = generate_program(derive_seed(master_seed, index))
-        outcome = run_differential(program, machines=machines)
-        summary = (_program_metrics(index, program)
-                   if collect_metrics else None)
-        if outcome.ok:
-            return None, summary
-        return (_build_failure(index, program, outcome, machines, shrink),
-                summary)
+        return _harness(master_seed, index, machines, shrink,
+                        collect_metrics)
 
 
-def _run_one(
-    task: tuple[int, int, tuple[str, ...], bool, bool, float | None, bool],
-) -> tuple[int, FuzzFailure | None, QuarantinedProgram | None,
-           str | None, dict | None]:
-    """Pool entry point: run one campaign index, never raise.
+def _harness(master_seed: int, index: int, machines: tuple[str, ...],
+             shrink: bool, collect_metrics: bool,
+             ) -> tuple[FuzzFailure | None, dict | None]:
+    """The differential harness proper (deadline applied by the caller)."""
+    program = generate_program(derive_seed(master_seed, index))
+    outcome = run_differential(program, machines=machines)
+    summary = (_program_metrics(index, program)
+               if collect_metrics else None)
+    if outcome.ok:
+        return None, summary
+    return (_build_failure(index, program, outcome, machines, shrink),
+            summary)
 
-    Returns ``(index, failure, quarantined, crash-traceback, metrics)``.
-    In quarantine mode a crash or timeout is retried once with backoff
-    and then parked as a :class:`QuarantinedProgram`; in legacy mode the
-    traceback is returned for the parent to raise as
-    :class:`FuzzWorkerError`.
+
+def _fuzz_job(payload) -> tuple[FuzzFailure | None, dict | None]:
+    """:class:`~repro.service.jobs.JobPool` handler: one campaign index.
+
+    The job layer supplies the per-job deadline, the retry-with-backoff,
+    and the quarantine bookkeeping that used to live here.
     """
-    (master_seed, index, machines, shrink, collect_metrics,
-     timeout_s, quarantine) = task
-    attempts = 0
-    while True:
-        attempts += 1
-        try:
-            failure, summary = _attempt(master_seed, index, machines,
-                                        shrink, collect_metrics, timeout_s)
-            return index, failure, None, None, summary
-        except BudgetExceeded as exc:
-            reason, detail = "timeout", str(exc)
-        except Exception:
-            reason, detail = "crash", traceback.format_exc()
-        if not quarantine:
-            return index, None, None, detail, None
-        if attempts >= _MAX_ATTEMPTS:
-            record = QuarantinedProgram(
-                index=index, seed=derive_seed(master_seed, index),
-                attempts=attempts, reason=reason, detail=detail)
-            return index, None, record, None, None
-        time.sleep(_RETRY_BACKOFF_S * (2 ** (attempts - 1)))
+    master_seed, index, machines, shrink, collect_metrics = payload
+    return _harness(master_seed, index, machines, shrink, collect_metrics)
 
 
 def fuzz(
@@ -368,28 +385,37 @@ def fuzz(
         report.metric_summaries.sort(key=lambda s: s["index"])
         return report
 
-    if jobs == 1:
+    if jobs == 1 and not quarantine:
+        # legacy fail-fast: exceptions propagate to the caller raw
         for index in pending:
-            if quarantine:
-                _, failure, parked, error, summary = _run_one(
-                    (seed, index, machines, shrink, collect_metrics,
-                     timeout_s, True))
-            else:
-                # legacy fail-fast: exceptions propagate to the caller raw
-                failure, summary = _attempt(seed, index, machines, shrink,
-                                            collect_metrics, timeout_s)
-                parked = error = None
-            if not complete(index, failure, parked, error, summary):
+            failure, summary = _attempt(seed, index, machines, shrink,
+                                        collect_metrics, timeout_s)
+            if not complete(index, failure, None, None, summary):
                 break
         return finish()
 
-    import multiprocessing
+    from ..service.jobs import CRASHED, OK, QUARANTINED, JobPool, JobSpec
 
-    tasks = [(seed, index, machines, shrink, collect_metrics,
-              timeout_s, quarantine) for index in pending]
-    with multiprocessing.get_context().Pool(processes=jobs) as pool:
-        for index, failure, parked, error, summary in pool.imap_unordered(
-                _run_one, tasks, chunksize=4):
+    specs = [JobSpec(id=index,
+                     payload=(seed, index, machines, shrink,
+                              collect_metrics))
+             for index in pending]
+    with JobPool(_fuzz_job, jobs=jobs, queue_size=max(16, 4 * jobs),
+                 timeout_s=timeout_s, quarantine=quarantine,
+                 max_attempts=_MAX_ATTEMPTS,
+                 retry_backoff_s=_RETRY_BACKOFF_S) as pool:
+        for result in pool.run(specs):
+            index = result.id
+            failure = parked = error = summary = None
+            if result.status == OK:
+                failure, summary = result.value
+            elif result.status == QUARANTINED:
+                parked = QuarantinedProgram(
+                    index=index, seed=derive_seed(seed, index),
+                    attempts=result.attempts, reason=result.reason,
+                    detail=result.detail)
+            elif result.status == CRASHED:
+                error = result.detail
             if not complete(index, failure, parked, error, summary):
                 break
         # leaving the with-block terminates any still-running workers

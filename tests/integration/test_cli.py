@@ -240,6 +240,79 @@ class TestMalformedIR:
         assert "'function <name>'" in err
 
 
+class TestBadCheckpointResume:
+    """Satellite fix: ``fuzz --resume`` on a damaged checkpoint is a
+    one-line stderr error with exit 2, never a traceback."""
+
+    def _resume(self, path):
+        return ["fuzz", "--n", "2", "--seed", "7", "--no-shrink",
+                "--resume", str(path)]
+
+    def _good_state(self):
+        return {"version": 1, "master_seed": 7, "n": 2,
+                "machines": ["rs6k", "scalar", "ss2"], "shrink": False,
+                "collect_metrics": False, "done": [0, 1],
+                "failures": [], "quarantined": [], "metric_summaries": []}
+
+    def _expect_one_line_error(self, capsys, *needles):
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        for needle in needles:
+            assert needle in err
+        assert len(err.strip().splitlines()) == 1
+        assert "Traceback" not in err
+        return err
+
+    def test_truncated_checkpoint(self, tmp_path, capsys):
+        path = tmp_path / "campaign.json"
+        path.write_text(json.dumps(self._good_state())[:40])
+        assert main(self._resume(path)) == 2
+        self._expect_one_line_error(capsys, "corrupt checkpoint",
+                                    str(path))
+
+    def test_missing_checkpoint(self, tmp_path, capsys):
+        path = tmp_path / "nope.json"
+        assert main(self._resume(path)) == 2
+        self._expect_one_line_error(capsys, "cannot read checkpoint",
+                                    str(path))
+
+    def test_wrong_schema_missing_field(self, tmp_path, capsys):
+        state = self._good_state()
+        del state["done"]
+        path = tmp_path / "campaign.json"
+        path.write_text(json.dumps(state))
+        assert main(self._resume(path)) == 2
+        self._expect_one_line_error(capsys, "does not match the v1 schema",
+                                    "'done'")
+
+    def test_wrong_schema_bad_type(self, tmp_path, capsys):
+        state = self._good_state()
+        state["failures"] = "none"
+        path = tmp_path / "campaign.json"
+        path.write_text(json.dumps(state))
+        assert main(self._resume(path)) == 2
+        self._expect_one_line_error(capsys, "does not match the v1 schema",
+                                    "'failures'", "should be list")
+
+    def test_bool_is_not_a_program_count(self, tmp_path, capsys):
+        state = self._good_state()
+        state["n"] = True
+        path = tmp_path / "campaign.json"
+        path.write_text(json.dumps(state))
+        assert main(self._resume(path)) == 2
+        self._expect_one_line_error(capsys, "does not match the v1 schema",
+                                    "'n'", "should be int")
+
+    def test_different_campaign(self, tmp_path, capsys):
+        state = self._good_state()
+        state["master_seed"] = 8
+        path = tmp_path / "campaign.json"
+        path.write_text(json.dumps(state))
+        assert main(self._resume(path)) == 2
+        self._expect_one_line_error(capsys, "different campaign",
+                                    "master_seed")
+
+
 class TestChaosCommand:
     def test_smoke_sweep_exits_zero(self, capsys):
         assert main(["chaos", "--n", "2", "--seed", "1991"]) == 0

@@ -1,0 +1,220 @@
+"""Daemon concurrency/stress battery (ISSUE 6 satellite).
+
+The service determinism claim, under fire: a seeded 200-request batch
+mixing valid programs, parse errors, hanging chaos requests, raw
+garbage, and duplicates gets **identical responses in request order**
+from a ``--jobs 1`` daemon and a ``--jobs 4`` daemon.  Plus graceful
+drain: shutdown mid-stream answers every request already read, and a
+SIGTERM'd ``python -m repro serve`` process exits cleanly with nothing
+lost.
+
+The full 200-request run is ``slow``; a ~24-request subset keeps the
+property in the fast tier.
+"""
+
+import io
+import json
+import os
+import random
+import signal
+import subprocess
+import sys
+
+import pytest
+
+from repro.service import Daemon, ServeConfig
+
+_SRC_DIR = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir,
+                        "src")
+
+#: per-request deadline for chaos runs: two attempts + backoff per hang
+_TIMEOUT_S = 0.15
+
+_BAD_SOURCES = (
+    "int broken(",
+    "int f(int x) { return x + ; }",
+    "float f() { return 1.5; }",
+)
+
+
+def _mixed_lines(n: int, seed: int) -> list[str]:
+    """A seeded batch: valid programs (some duplicated), parse errors,
+    raw non-JSON lines, and hanging chaos requests."""
+    rng = random.Random(seed)
+    lines: list[str] = []
+    sources: list[str] = []
+    for i in range(n):
+        kind = rng.choices(("valid", "dup", "bad", "garbage", "chaos"),
+                           weights=(5, 3, 1, 1, 1))[0]
+        if kind == "dup" and sources:
+            doc = {"id": i, "source": rng.choice(sources)}
+        elif kind == "bad":
+            doc = {"id": i, "source": rng.choice(_BAD_SOURCES)}
+        elif kind == "garbage":
+            lines.append(rng.choice((
+                "not json at all",
+                '{"id": %d}' % i,                    # no source
+                '{"id": %d, "source": 42}' % i,      # non-string source
+                '{"id": %d, "source": "int f(int x) { return x; }", '
+                '"machine": "cray"}' % i,            # unknown machine
+            )))
+            continue
+        elif kind == "chaos":
+            doc = {"id": i,
+                   "source": f"int hang{i}(int x) {{ return x; }}",
+                   "chaos_hang_s": 30.0}
+        else:
+            k = rng.randrange(max(4, n // 8))
+            source = (f"int f{k}(int a, int b) "
+                      f"{{ return a * {k} + b; }}")
+            sources.append(source)
+            doc = {"id": i, "source": source}
+            if rng.random() < 0.2:
+                doc["level"] = rng.choice(("none", "useful"))
+            if rng.random() < 0.2:
+                doc["config"] = {"unroll_max_blocks": 0}
+        lines.append(json.dumps(doc))
+    return lines
+
+
+def _serve(lines: list[str], jobs: int) -> list[dict]:
+    config = ServeConfig(jobs=jobs, timeout_s=_TIMEOUT_S,
+                         allow_chaos=True)
+    with Daemon(config) as daemon:
+        return daemon.serve_batch_lines(lines)
+
+
+def _assert_identical_and_ordered(lines, responses_serial,
+                                  responses_parallel):
+    assert responses_serial == responses_parallel
+    # responses come back in request order (ids echo the batch ordinal)
+    assert [r["id"] for r in responses_serial] == list(range(len(lines)))
+
+
+class TestMixedBatchDeterminism:
+    def test_fast_subset_jobs_1_vs_4(self):
+        lines = _mixed_lines(24, seed=1991)
+        serial = _serve(lines, jobs=1)
+        parallel = _serve(lines, jobs=4)
+        _assert_identical_and_ordered(lines, serial, parallel)
+        statuses = {r["status"] for r in serial}
+        assert {"ok", "error"} <= statuses
+
+    @pytest.mark.slow
+    def test_200_request_batch_jobs_1_vs_4(self):
+        lines = _mixed_lines(200, seed=1991)
+        serial = _serve(lines, jobs=1)
+        parallel = _serve(lines, jobs=4)
+        _assert_identical_and_ordered(lines, serial, parallel)
+        statuses = [r["status"] for r in serial]
+        # the batch genuinely exercised every service path
+        assert "ok" in statuses
+        assert "cache-hit" in statuses
+        assert "error" in statuses
+        assert "quarantined" in statuses
+
+    def test_duplicates_share_the_artifact_byte_identically(self):
+        source = "int twice(int x) { return 2 * x; }"
+        lines = [json.dumps({"id": i, "source": source}) for i in range(3)]
+        (cold, dup1, dup2) = _serve(lines, jobs=2)
+        assert cold["status"] == "ok"
+        assert dup1["status"] == dup2["status"] == "cache-hit"
+        for dup in (dup1, dup2):
+            assert dup["assembly"] == cold["assembly"]
+            assert dup["counters"] == cold["counters"]
+            assert dup["rung"] == cold["rung"]
+
+
+class TestGracefulDrain:
+    def test_shutdown_mid_stream_answers_every_line_read(self):
+        """request_shutdown() between intake and processing loses no
+        accepted request: everything already read is still answered."""
+        lines = _mixed_lines(12, seed=7)
+        config = ServeConfig(jobs=2, timeout_s=_TIMEOUT_S,
+                             allow_chaos=True, batch_size=4)
+        with Daemon(config) as daemon:
+            def stream():
+                for line in lines:
+                    yield line + "\n"
+                # the reader thread runs this after the last line is in
+                # its queue: from here on the daemon is shutting down
+                daemon.request_shutdown()
+
+            out = io.StringIO()
+            summary = daemon.serve_stream(stream(), out)
+        responses = [json.loads(line)
+                     for line in out.getvalue().splitlines()]
+        assert [r["id"] for r in responses] == list(range(len(lines)))
+        assert summary["requests"] == len(lines)
+
+    @pytest.mark.slow
+    def test_sigterm_drains_the_serve_process_cleanly(self):
+        """A SIGTERM'd ``repro serve`` answers everything it accepted and
+        exits 0 -- an accepted job is never lost."""
+        lines = _mixed_lines(10, seed=3)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (_SRC_DIR, env.get("PYTHONPATH")) if p)
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--jobs", "2",
+             "--timeout", str(_TIMEOUT_S), "--chaos"],
+            stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE, text=True, env=env)
+        try:
+            for line in lines:
+                proc.stdin.write(line + "\n")
+            proc.stdin.flush()
+            # stdin stays open: only SIGTERM can end the session.  Wait
+            # for every accepted request to be answered first.
+            responses = [json.loads(proc.stdout.readline())
+                         for _ in range(len(lines))]
+            proc.send_signal(signal.SIGTERM)
+            _out, err = proc.communicate(timeout=60)
+        finally:
+            proc.kill()
+        assert proc.returncode == 0, err
+        assert [r["id"] for r in responses] == list(range(len(lines)))
+        assert f"serve: {len(lines)} request(s)" in err
+
+
+class TestSocketSession:
+    def test_socket_client_sees_eof_after_its_session_is_answered(self,
+                                                                  tmp_path):
+        """One socket session: responses arrive, then EOF -- the daemon
+        must close the makefile-wrapped fds, not just the connection."""
+        import socket
+        import threading
+
+        # jobs=2 matters: forked workers must not inherit (and hold
+        # open) the accepted connection's fd
+        path = str(tmp_path / "repro.sock")
+        config = ServeConfig(jobs=2, timeout_s=_TIMEOUT_S)
+        with Daemon(config) as daemon:
+            ready = threading.Event()
+            server = threading.Thread(
+                target=daemon.serve_socket, args=(path,),
+                kwargs={"ready": ready}, daemon=True)
+            server.start()
+            assert ready.wait(timeout=10)
+            try:
+                client = socket.socket(socket.AF_UNIX)
+                client.settimeout(30)
+                client.connect(path)
+                client.sendall(
+                    b'{"id": 0, "source": "int g(int x) { return x * 7; }"}\n'
+                    b'{"id": 1, "source": "int broken("}\n')
+                client.shutdown(socket.SHUT_WR)
+                data = b""
+                while True:  # a hang here is the regression
+                    chunk = client.recv(65536)
+                    if not chunk:
+                        break
+                    data += chunk
+                client.close()
+            finally:
+                daemon.request_shutdown()
+                server.join(timeout=30)
+        responses = [json.loads(line) for line in data.splitlines()]
+        assert [r["id"] for r in responses] == [0, 1]
+        assert responses[0]["status"] == "ok"
+        assert responses[1]["status"] == "error"
