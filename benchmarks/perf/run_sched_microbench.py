@@ -1,26 +1,34 @@
-"""Scheduler inner-loop microbench: event-driven queue vs seed scan.
+"""Scheduler inner-loop microbench: SoA engine vs seed scan.
 
-Times ``global_schedule`` alone -- no parsing, no lowering, no register
-allocation -- on synthetic programs whose block size scales geometrically,
-and writes ``BENCH_sched_micro.json``::
+Times the *engine only* -- ``schedule_region`` as invoked by the driver,
+no parsing, no region finding, no liveness setup -- on synthetic
+programs whose block size scales geometrically, and writes
+``BENCH_sched_micro.json``::
 
     PYTHONPATH=src python benchmarks/perf/run_sched_microbench.py
     PYTHONPATH=src python benchmarks/perf/run_sched_microbench.py --quick
 
 Each size is one C function with a loop body split by a branch, so the
 region scheduler sees equivalent *and* speculative candidates; the two
-arms are the default event-driven engine and the preserved seed inner
-loop (:func:`repro.sched.reference.reference_scheduler`: full candidate
-rescans per issue slot + per-motion liveness traversals).  Both arms
-schedule freshly parsed copies of the same function and must agree on
-the printed schedule before their timings are reported.
+arms are the default struct-of-arrays engine (interned ints, CSR
+adjacency, packed priority keys, bitmask liveness) and the preserved
+seed inner loop (:func:`repro.sched.reference.reference_scheduler`: full
+candidate rescans per issue slot + per-motion liveness traversals).
+Both arms schedule freshly parsed copies of the same function and must
+agree on the printed schedule before their timings are reported.
 
-The point of the scaling sweep is the *trend*: the seed scan loop is
-quadratic-ish in block size (every issue slot rescans every pending
-candidate), the event queue pushes each candidate exactly once, so the
-speedup column grows with size before plateauing where the shared
-region-DDG construction (identical in both arms here) starts to
-dominate the timed window.
+The engine is timed through an accumulating wrapper around
+``repro.sched.driver.schedule_region`` -- the exact seam the two engines
+differ behind -- so the shared fixed costs (parsing, CFG analyses,
+region-DDG construction) no longer dilute the ratio the way whole-
+``global_schedule`` timing did.
+
+The per-size speedups are **gated**: ``meta.engine`` records which
+engine the run measured, and when it is the SoA engine (the default),
+any size whose speedup falls below its floor in :data:`GATE_MIN_SPEEDUP`
+fails the run with exit status 1.  A run forced onto the scan engine
+(``REPRO_SCHED_ENGINE=scan`` -- CI's side-by-side control arm) times
+scan-vs-scan and is exempt.
 """
 
 from __future__ import annotations
@@ -31,16 +39,18 @@ import os
 import platform
 import sys
 import time
+from contextlib import contextmanager
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
+import repro.sched.driver as drv
 from repro.compiler import compile_c
 from repro.ir.parser import parse_function
 from repro.ir.printer import format_function
 from repro.machine.configs import CONFIGS
+from repro.sched import global_sched
 from repro.sched.candidates import ScheduleLevel
-from repro.sched.driver import global_schedule
 from repro.sched.reference import reference_scheduler
 
 #: statements per straight-line chunk, one function per entry; the top
@@ -48,6 +58,18 @@ from repro.sched.reference import reference_scheduler
 #: (a larger region is skipped outright and would time nothing)
 SIZES = (4, 8, 16, 24, 30)
 SIZES_QUICK = (4, 16, 30)
+
+#: CI regression floors per chunk size, SoA engine only.  Set well below
+#: the measured speedups (see README's performance table) so scheduler
+#: jitter on loaded runners does not flake the gate, but far above the
+#: pre-SoA event engine -- a silent fallback to object-graph storage or
+#: a packing regression trips them immediately.
+GATE_MIN_SPEEDUP = {4: 1.1, 8: 1.8, 16: 3.0, 24: 6.0, 30: 10.0}
+
+
+def engine_name() -> str:
+    """The engine ``schedule_region`` dispatches to by default."""
+    return "soa" if global_sched._ENGINE in ("soa", "event") else "scan"
 
 
 def make_source(k: int) -> str:
@@ -74,12 +96,37 @@ def make_source(k: int) -> str:
     )
 
 
-def _best_of(repeats: int, fn) -> float:
+@contextmanager
+def region_timer():
+    """Accumulate time spent inside ``schedule_region`` calls.
+
+    The driver resolves the symbol through its module global, so
+    rebinding ``drv.schedule_region`` intercepts every region of every
+    sweep; the accumulator sums them (a function schedules several
+    regions per pass)."""
+    real = drv.schedule_region
+    acc = {"s": 0.0}
+
+    def timed(*args, **kwargs):
+        t0 = time.perf_counter()
+        try:
+            return real(*args, **kwargs)
+        finally:
+            acc["s"] += time.perf_counter() - t0
+
+    drv.schedule_region = timed
+    try:
+        yield acc
+    finally:
+        drv.schedule_region = real
+
+
+def _best_engine_of(repeats: int, fn) -> float:
     best = float("inf")
     for _ in range(repeats):
-        t0 = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - t0)
+        with region_timer() as acc:
+            fn()
+        best = min(best, acc["s"])
     return best
 
 
@@ -92,28 +139,39 @@ def bench_size(k: int, repeats: int) -> dict:
 
     def run():
         func = parse_function(text)
-        global_schedule(func, machine, ScheduleLevel.SPECULATIVE)
+        drv.global_schedule(func, machine, ScheduleLevel.SPECULATIVE)
         return func
 
     # both arms must produce the same schedule for the timing to mean
     # anything (the full equivalence proof lives in the test suite)
-    event_out = format_function(run())
+    soa_out = format_function(run())
     with reference_scheduler():
         scan_out = format_function(run())
-    if event_out != scan_out:
+    if soa_out != scan_out:
         raise SystemExit(f"engine divergence at size {k}")
 
-    parse_s = _best_of(repeats, lambda: parse_function(text))
-    new_s = _best_of(repeats, run) - parse_s
+    soa_s = _best_engine_of(repeats, run)
     with reference_scheduler():
-        ref_s = _best_of(repeats, run) - parse_s
+        scan_s = _best_engine_of(repeats, run)
     return {
         "chunk": k,
         "instrs": instrs,
-        "new_ms": new_s * 1e3,
-        "reference_ms": ref_s * 1e3,
-        "speedup": ref_s / new_s,
+        "soa_ms": soa_s * 1e3,
+        "scan_ms": scan_s * 1e3,
+        "speedup": scan_s / soa_s,
     }
+
+
+def gate(rows: list[dict]) -> list[str]:
+    """Regression messages for every row below its floor (SoA arm only)."""
+    failures = []
+    for row in rows:
+        floor = GATE_MIN_SPEEDUP.get(row["chunk"])
+        if floor is not None and row["speedup"] < floor:
+            failures.append(
+                f"chunk {row['chunk']}: speedup {row['speedup']:.2f}x "
+                f"below gate floor {floor:.1f}x")
+    return failures
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -124,8 +182,11 @@ def main(argv: list[str] | None = None) -> int:
                                              "BENCH_sched_micro.json"))
     parser.add_argument("--quick", action="store_true",
                         help="fewer sizes / fewer repeats (CI smoke)")
+    parser.add_argument("--no-gate", action="store_true",
+                        help="report only, never fail on a floor miss")
     args = parser.parse_args(argv)
 
+    engine = engine_name()
     sizes = SIZES_QUICK if args.quick else SIZES
     repeats = 3 if args.quick else 5
     rows = []
@@ -133,21 +194,35 @@ def main(argv: list[str] | None = None) -> int:
         row = bench_size(k, repeats)
         rows.append(row)
         print(f"  chunk {row['chunk']:3d} ({row['instrs']:4d} instrs): "
-              f"{row['reference_ms']:8.1f} ms -> {row['new_ms']:7.1f} ms "
-              f"({row['speedup']:.2f}x)", flush=True)
+              f"scan {row['scan_ms']:8.2f} ms -> {engine} "
+              f"{row['soa_ms']:7.2f} ms ({row['speedup']:.2f}x)",
+              flush=True)
 
+    gated = engine != "scan" and not args.no_gate
+    failures = gate(rows) if gated else []
     results = {
         "meta": {
             "suite": "sched_micro",
+            "engine": engine,
             "quick": args.quick,
+            "gated": gated,
             "python": platform.python_version(),
             "cpu_count": os.cpu_count(),
         },
+        "gate_min_speedup": {str(k): v for k, v in GATE_MIN_SPEEDUP.items()},
         "sizes": rows,
     }
     out = Path(args.out)
     out.write_text(json.dumps(results, indent=2) + "\n")
     print(f"\nwrote {out}")
+    if not gated:
+        print(f"gate skipped (engine={engine})")
+    elif failures:
+        for message in failures:
+            print(f"GATE FAIL: {message}", file=sys.stderr)
+        return 1
+    else:
+        print("gate ok: all sizes at or above their speedup floors")
     return 0
 
 

@@ -101,6 +101,8 @@ class DataDependenceGraph:
         self._known: set[int] = set()
         #: bumped on every edge insertion/removal (for cache invalidation)
         self.version = 0
+        #: (version, machine, DenseDDG) cache for :meth:`to_dense`
+        self._dense: tuple | None = None
 
     # -- construction --------------------------------------------------------
 
@@ -175,9 +177,133 @@ class DataDependenceGraph:
     def edge(self, src: Instruction, dst: Instruction) -> DepEdge | None:
         return self._by_pair.get((id(src), id(dst)))
 
+    def to_dense(self, machine: MachineModel) -> "DenseDDG":
+        """A struct-of-arrays snapshot of this graph (see :class:`DenseDDG`).
+
+        Cached per ``(version, machine)``: mutation bumps :attr:`version`
+        and the next call rebuilds.  Because :attr:`instructions` is
+        append-only, an instruction's dense index is stable across
+        rebuilds -- consumers may keep per-index facts (fulfilment flags,
+        issue cycles) alive over graph mutations and only extend them.
+        """
+        cached = self._dense
+        if (cached is not None and cached[0] == self.version
+                and cached[1] is machine):
+            return cached[2]
+        dense = DenseDDG(self, machine)
+        self._dense = (self.version, machine, dense)
+        return dense
+
     def __repr__(self) -> str:
         return (f"<DataDependenceGraph {len(self.instructions)} instrs, "
                 f"{len(self._by_pair)} edges>")
+
+
+class DenseDDG:
+    """Read-only struct-of-arrays view of one :class:`DataDependenceGraph`.
+
+    Instructions are interned to dense indices (``index``: ``id(ins) ->
+    position in the append-only instruction list``) and the adjacency is
+    flattened to CSR posting lists: the successors of instruction ``i``
+    are ``succ_idx[succ_off[i]:succ_off[i+1]]`` with the minimum
+    start-to-start separations in the parallel ``succ_w`` slice
+    (``exec_time(src) + delay`` for flow edges, 0 otherwise -- the weights
+    are machine-dependent, which is why the snapshot is taken against a
+    machine model).  ``pred_*`` is the transpose.  The scheduler's hot
+    loop runs entirely on these int arrays; edge *kind*/*reg* metadata
+    stays behind on the object graph, which remains the source of truth
+    for mutation.
+    """
+
+    __slots__ = ("version", "n", "instrs", "index",
+                 "succ_off", "succ_idx", "succ_w",
+                 "pred_off", "_pi", "_pw")
+
+    def __init__(self, ddg: DataDependenceGraph, machine: MachineModel):
+        from array import array
+
+        instrs = ddg.instructions
+        n = len(instrs)
+        index = {id(ins): i for i, ins in enumerate(instrs)}
+        exec_time = machine.exec_time
+        flow = DepKind.FLOW
+        succ_off = [0] * (n + 1)
+        si: list[int] = []
+        sw: list[int] = []
+        for i, ins in enumerate(instrs):
+            exec_i = exec_time(ins)
+            for edge in ddg._succs[id(ins)]:
+                si.append(index[id(edge.dst)])
+                sw.append(exec_i + edge.delay if edge.kind is flow else 0)
+            succ_off[i + 1] = len(si)
+        # predecessor *degrees* (pred_off) are cheap and always needed
+        # (the fresh-state fast path reads only them); the transposed
+        # posting lists are built lazily on first pred_idx/pred_w access
+        # -- a block pass with no carried timing never pays for them
+        pred_off = [0] * (n + 1)
+        for j in si:
+            pred_off[j + 1] += 1
+        for j in range(n):
+            pred_off[j + 1] += pred_off[j]
+        self.version = ddg.version
+        self.n = n
+        self.instrs = list(instrs)
+        self.index = index
+        self.succ_off = array("i", succ_off)
+        self.succ_idx = array("i", si)
+        self.succ_w = array("i", sw)
+        self.pred_off = array("i", pred_off)
+        self._pi = None
+        self._pw = None
+
+    def _transpose(self):
+        """Counting-sort transpose of the succ CSR -- pure int work, no
+        second walk of the edge objects (within one node's pred list the
+        order is by source index; no consumer is order-sensitive)."""
+        from array import array
+
+        succ_off = self.succ_off
+        si = self.succ_idx
+        sw = self.succ_w
+        cursor = list(self.pred_off)
+        m = len(si)
+        pi = [0] * m
+        pw = [0] * m
+        for i in range(self.n):
+            for k in range(succ_off[i], succ_off[i + 1]):
+                j = si[k]
+                p = cursor[j]
+                pi[p] = i
+                pw[p] = sw[k]
+                cursor[j] = p + 1
+        self._pi = array("i", pi)
+        self._pw = array("i", pw)
+
+    @property
+    def pred_idx(self):
+        if self._pi is None:
+            self._transpose()
+        return self._pi
+
+    @property
+    def pred_w(self):
+        if self._pw is None:
+            self._transpose()
+        return self._pw
+
+    def nbytes(self) -> int:
+        """Approximate footprint of the *materialized* flat tables
+        (observability; does not force the lazy transpose)."""
+        total = 0
+        for arr in (self.succ_off, self.succ_idx, self.succ_w,
+                    self.pred_off, self._pi, self._pw):
+            if arr is not None:
+                total += arr.itemsize * len(arr)
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<DenseDDG {self.n} instrs, {len(self.succ_idx)} edges, "
+                f"v{self.version}>")
 
 
 def _edge_weight(machine: MachineModel, edge: DepEdge) -> int:
@@ -412,13 +538,27 @@ def transitive_reduce(ddg: DataDependenceGraph,
         outs = out_at[a_pos]
         if len(outs) < 2:
             continue
-        # Longest-path DP from ``a`` over the topo slice that can matter:
-        # every removable edge ends at a direct successor, and every
-        # implying path stays strictly within the slice before it.
+        # An edge (a, b) is only removable when some *other* edge enters
+        # b: restrict the check set (and the DP horizon) to successors
+        # with a second in-edge in the snapshot.  Sources whose
+        # successors are all single-predecessor skip the DP outright.
+        check = None
         limit = a_pos
-        for dst_pos, _, _ in outs:
-            if dst_pos > limit:
-                limit = dst_pos
+        for item in outs:
+            dst_pos = item[0]
+            if len(in_at[dst_pos]) >= 2:
+                if check is None:
+                    check = [item]
+                else:
+                    check.append(item)
+                if dst_pos > limit:
+                    limit = dst_pos
+        if check is None:
+            continue
+        outs = check
+        # Longest-path DP from ``a`` over the topo slice that can matter:
+        # every removable edge ends at a checked successor, and every
+        # implying path stays strictly within the slice before it.
         dist[a_pos] = 0
         touched = [a_pos]
         for here in range(a_pos, limit):

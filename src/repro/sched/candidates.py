@@ -16,8 +16,8 @@ preserved), and abstract inner-loop nodes contribute nothing.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from enum import Enum
+from typing import NamedTuple
 
 from ..ir.instruction import Instruction
 from ..pdg.pdg import RegionPDG
@@ -34,9 +34,13 @@ class ScheduleLevel(Enum):
     SPECULATIVE = "speculative"
 
 
-@dataclass(frozen=True)
-class Candidate:
-    """One instruction considered for scheduling into block ``A``."""
+class Candidate(NamedTuple):
+    """One instruction considered for scheduling into block ``A``.
+
+    A NamedTuple rather than a dataclass: collection builds one per
+    candidate instruction per block pass, squarely on the scheduler's
+    allocation path.
+    """
 
     ins: Instruction
     home: str

@@ -115,6 +115,10 @@ def global_schedule(
     if live_at_exit is None:
         live_at_exit = default_live_at_exit(func)
     live_out_map = analyses.liveness(live_at_exit).live_out_map()
+    # one interning cache for the whole function: every region's tracker
+    # shares the same live-out store, so label masks built for one region
+    # stay valid for the next (the dual-write invariant is store-wide)
+    intern_cache = ({}, {})
 
     for spec in regions:
         if region_filter is not None and not region_filter(spec):
@@ -133,7 +137,9 @@ def global_schedule(
                 metrics.inc("sched.regions.skipped")
             continue
         pdg = build_region_pdg(func, machine, spec)
-        tracker = LiveOnExitTracker(live_out_map, pdg.forward)
+        tracker = LiveOnExitTracker(live_out_map, pdg.forward,
+                                    metrics=metrics,
+                                    intern_cache=intern_cache)
         region_report = schedule_region(
             pdg, level, tracker,
             max_speculation=max_speculation,

@@ -20,16 +20,19 @@ Blocks of a region are visited in topological order.  For each block ``A``:
 The result: "the instructions in A are reordered and there might be
 instructions external to A that are physically moved into A."
 
-Step 3's inner loop is **event-driven** (:class:`repro.sched.ready.ReadyQueue`):
-instead of re-deriving readiness, priority keys and Section 5.3 vetoes for
-every unscheduled candidate at every scan point, candidates enter per-unit
-ready heaps exactly once -- when their last dependence predecessor
-fulfills -- with keys precomputed at collection time, future earliest
-starts absorbed by a timing wheel, and speculative candidates re-judged
-only when a motion actually grew a live-on-exit set their definitions
-appear in.  The seed's scan-driven loop is preserved verbatim in
-:mod:`repro.sched.reference` and selected by ``REPRO_SCHED_ENGINE=scan``
-or automatically when a dynamic ``priority_fn`` makes keys uncacheable;
+Step 3's inner loop is **event-driven** and runs on **struct-of-arrays
+storage** (:mod:`repro.sched.soa`): the region's instructions are interned
+to dense ints, dependence counters and earliest starts live in flat
+``array('i')`` tables over a CSR snapshot of the DDG, and candidates enter
+per-unit ready heaps exactly once -- when their last dependence
+predecessor fulfills -- keyed by priority tuples *packed into single
+ints* at collection time, with future earliest starts absorbed by a
+timing wheel and speculative candidates re-judged only when a motion
+actually grew a live-on-exit set their definitions appear in.  The seed's
+scan-driven loop is preserved verbatim in :mod:`repro.sched.reference`
+and selected by ``REPRO_SCHED_ENGINE=scan`` or automatically when a
+dynamic ``priority_fn`` makes keys uncacheable (static all-int custom
+orders can opt in via :class:`repro.sched.heuristics.StaticBlockPriority`);
 both engines produce byte-identical schedules, motions and traces
 (``tests/sched/test_event_scan_equivalence.py``).
 """
@@ -71,11 +74,12 @@ from .heuristics import (
     PRIORITY_STEPS,
     compute_region_priorities,
     deciding_step,
-    full_priority_key,
+    machine_free_exec,
     priority_key,
 )
-from .ready import DependenceState, ReadyQueue
-from .ready import _ISSUED as _ENTRY_ISSUED
+from .ready import DependenceState
+from .soa import DenseDependenceState, DenseReadyQueue, pack_rows
+from .soa import _ISSUED as _SEQ_ISSUED
 from .speculation import LiveOnExitTracker, try_rename_for_motion
 
 #: fixed unit order for the flattened per-cycle free-slot arrays
@@ -85,13 +89,14 @@ _UNIT_LIST = tuple(UnitType)
 #: first (a global_sched refinement), then the Section 5.2 steps
 _FULL_PRIORITY_STEPS = ("duplication-class", *PRIORITY_STEPS)
 
-#: Which block-pass inner loop to run: ``"event"`` (the heap/wheel ready
-#: queue) or ``"scan"`` (the preserved seed loop in
+#: Which block-pass inner loop to run: ``"soa"`` (the struct-of-arrays
+#: event engine; ``"event"`` is accepted as an alias from the previous
+#: generation) or ``"scan"`` (the preserved seed loop in
 #: :mod:`repro.sched.reference`).  Overridable per-process via the
 #: ``REPRO_SCHED_ENGINE`` environment variable, per-extent via
 #: :func:`repro.sched.reference.scan_scheduler`, and forced to the scan
 #: path whenever a custom ``priority_fn`` makes keys dynamic.
-_ENGINE = os.environ.get("REPRO_SCHED_ENGINE", "event")
+_ENGINE = os.environ.get("REPRO_SCHED_ENGINE", "soa")
 
 #: Safety valve: a block pass that stalls this many consecutive cycles
 #: without issuing anything indicates a dependence-state bug.
@@ -183,17 +188,21 @@ def schedule_region(
     if metrics.enabled:
         metrics.inc("sched.regions")
 
-    state = DependenceState(pdg.ddg, pdg.machine)
     ddg_blocks = [pdg.block(label) for label in pdg.topo_labels]
     priorities = compute_region_priorities(ddg_blocks, pdg.ddg, pdg.machine)
 
-    if priority_fn is not None or _ENGINE != "event":
-        # custom priority functions produce dynamic keys the event queue
-        # cannot precompute; ablation benches (and the forced reference
-        # arm) take the preserved scan-driven pass
+    if _ENGINE not in ("soa", "event") or (
+            priority_fn is not None
+            and not getattr(priority_fn, "static_block_keys", False)):
+        # custom priority functions with dynamic keys cannot be packed at
+        # collection time; ablation benches (and the forced reference
+        # arm) take the preserved scan-driven pass.  Static all-int
+        # custom orders (StaticBlockPriority) stay on the dense engine.
         from .reference import schedule_block_scan as block_pass
+        state = DependenceState(pdg.ddg, pdg.machine)
     else:
         block_pass = _schedule_block
+        state = DenseDependenceState(pdg.ddg, pdg.machine, metrics)
 
     previous: str | None = None
     for node in pdg.topo_labels:
@@ -228,7 +237,7 @@ def _schedule_block(
     label: str,
     level: ScheduleLevel,
     live_tracker: LiveOnExitTracker,
-    state: DependenceState,
+    state: DenseDependenceState,
     priorities: dict[int, tuple[int, int]],
     max_speculation: int,
     rename_on_demand: bool,
@@ -267,16 +276,39 @@ def _schedule_block(
     own_remaining = {id(ins) for ins in block.instrs}
     issued_order: list[Instruction] = []
 
-    # priority keys are static per block pass (usefulness, D/CP and the
+    # priority rows are static per block pass (usefulness, D/CP and the
     # uid tie-break never change; renames keep the uid): compute each
-    # candidate's full sort tuple exactly once, at collection time
-    queue = ReadyQueue(
-        state,
-        ((cand, full_priority_key(cand, priorities))
-         for cand in pending.values()),
-        terminator, metrics)
-    term_entry = queue.terminator_entry
-    dup_entries = queue.duplication_entries
+    # candidate's full sort tuple exactly once at collection time, then
+    # pack the rows into single ints so the heaps compare machine ints
+    cands = list(pending.values())
+    if priority_fn is priority_key:
+        get_pr = priorities.get
+        rows = []
+        for c in cands:
+            ins = c.ins
+            pr = get_pr(id(ins))
+            d, cp = pr if pr is not None else (0, machine_free_exec(ins))
+            rows.append((1 if c.duplicate_into else 0,
+                         0 if c.useful else 1, -d, -cp, ins.uid))
+    else:
+        # a StaticBlockPriority custom order: all-int rows, packable
+        rows = [(1 if c.duplicate_into else 0,
+                 *priority_fn(c.ins, useful=c.useful, priorities=priorities))
+                for c in cands]
+    pkeys = pack_rows(rows)
+    if metrics.enabled:
+        metrics.inc("sched.soa.packed_keys", len(rows))
+    if tracer.enabled:
+        # decision tracing wants the unpacked (dup-class, priority-tuple)
+        # form; rebuilt off the hot path, only when a tracer listens
+        nested_keys = [(row[0], tuple(row[1:])) for row in rows]
+
+    queue = DenseReadyQueue(state, cands, pkeys, terminator, metrics)
+    term_seq = queue.term_seq
+    dup_seqs = queue.duplication_seqs
+    seq_status = queue.status
+    seq_units = queue.units
+    seq_idx = queue.seq_idx
     #: how many candidates the seed scan would revisit per scan point
     unissued = len(pending)
 
@@ -284,20 +316,31 @@ def _schedule_block(
     # cycles to catch join instructions that are about to become ready
     # (otherwise blocks whose own work finishes instantly -- an arm's
     # single AI plus its jump -- would never host a duplicated motion).
-    fill_budget = _DUP_FILL_WINDOW if dup_entries else 0
+    fill_budget = _DUP_FILL_WINDOW if dup_seqs else 0
 
     def dup_fill_wanted(at_cycle: int) -> bool:
         if fill_budget <= 0:
             return False
+        state._sync()  # a duplication may just have mutated the graph
         limit = at_cycle + 1
-        for entry in dup_entries:
-            ins = entry.cand.ins
-            if (entry.status != _ENTRY_ISSUED
-                    and state.deps_satisfied(ins)
-                    and state.earliest_start(ins) <= limit):
+        for s in dup_seqs:
+            if seq_status[s] == _SEQ_ISSUED:
+                continue
+            i = seq_idx[s]
+            if i < 0 or (state.deps_satisfied_idx(i)
+                         and state.earliest_start_idx(i) <= limit):
                 return True
         return False
 
+    def trace_snapshot(chosen_seq: int, with_term: bool):
+        """The seed scheduler's sorted ready list, for issue tracing."""
+        snap = queue.ready_seqs(include_term=with_term)
+        pos = snap.index(chosen_seq)
+        keys = {id(queue.cands[s].ins): nested_keys[s] for s in snap}
+        return ([queue.cands[s] for s in snap], pos,
+                lambda c: keys[id(c.ins)])
+
+    term_idx = -1 if terminator is None else state.index_of(terminator)
     unit_counts = [machine.unit_count(unit) for unit in _UNIT_LIST]
     cycle = 0
     stall = 0
@@ -317,18 +360,20 @@ def _schedule_block(
                 progress = False
                 queue.scan_start()
                 while True:
-                    entry = queue.next_evaluation()
-                    if entry is None:
+                    seq = queue.next_evaluation()
+                    if seq < 0:
                         break
-                    _judge_speculative(entry, queue, live_tracker, label,
+                    _judge_speculative(seq, queue, live_tracker, label,
                                        pdg, rename_on_demand, vetoes_logged,
                                        tracer, metrics)
                 term_ready = (
                     terminator is not None
                     and not hold_for_dup
                     and own_remaining == {term_id}
-                    and state.deps_satisfied(terminator)
-                    and state.earliest_start(terminator) <= cycle
+                    and (term_idx < 0
+                         or (state.deps_satisfied_idx(term_idx)
+                             and state.earliest_start_idx(term_idx)
+                             <= cycle))
                 )
                 if metrics.enabled:
                     metrics.inc("sched.queue.scan_points")
@@ -343,24 +388,26 @@ def _schedule_block(
                                                  ready=n_ready))
                     if metrics.enabled:
                         metrics.observe("sched.ready", n_ready)
-                entry = queue.select(free)
-                if (term_ready and free[term_entry.unit_idx] > 0
-                        and (entry is None or term_entry.key < entry.key)):
-                    entry = term_entry
-                if entry is not None:
+                seq = queue.select(free)
+                if (term_ready and free[seq_units[term_seq]] > 0
+                        and (seq < 0 or pkeys[term_seq] < pkeys[seq])):
+                    seq = term_seq
+                if seq >= 0:
                     # issue!
-                    cand = entry.cand
+                    cand = queue.cands[seq]
                     ins = cand.ins
-                    free[entry.unit_idx] -= 1
+                    free[seq_units[seq]] -= 1
                     budget -= 1
                     if tracer.enabled:
-                        ready_cands, pos, key_fn = queue.sorted_ready_snapshot(
-                            entry, term_entry if term_ready else None)
-                    if entry is term_entry:
-                        entry.status = _ENTRY_ISSUED
+                        ready_cands, pos, key_fn = trace_snapshot(
+                            seq, term_ready)
+                    if seq == term_seq:
+                        queue.retire_terminator()
                     else:
-                        queue.pop_issue(entry)
-                    state.mark_issued(ins, cycle)
+                        queue.pop_issue(seq)
+                    i = seq_idx[seq]
+                    if i >= 0:
+                        state.mark_issued_idx(i, cycle)
                     issued_order.append(ins)
                     unissued -= 1
                     own_remaining.discard(id(ins))
@@ -439,19 +486,19 @@ def _schedule_block(
         metrics.inc("sched.blocks")
 
 
-def _judge_speculative(entry, queue, live_tracker, label, pdg,
+def _judge_speculative(seq, queue, live_tracker, label, pdg,
                        rename_on_demand, vetoes_logged, tracer, metrics):
     """Judge one speculative candidate's Section 5.3 veto, exactly as the
     scan engine would at the same scan point: pass -> heap, veto ->
     rename attempt (Section 4.2) or park."""
-    cand = entry.cand
+    cand = queue.cands[seq]
     ins = cand.ins
     if not live_tracker.blocks_motion(ins, label):
-        queue.promote(entry)
+        queue.promote(seq)
         return
     if not rename_on_demand:
         _note_veto(tracer, metrics, vetoes_logged, live_tracker, cand, label)
-        queue.park(entry)
+        queue.park(seq)
         return
     observing = tracer.enabled or metrics.enabled
     regs = live_tracker.blocking_regs(ins, label) if observing else ()
@@ -462,7 +509,7 @@ def _judge_speculative(entry, queue, live_tracker, label, pdg,
     if not renamed:
         _note_veto(tracer, metrics, vetoes_logged, live_tracker,
                    cand, label, regs=regs)
-        queue.park(entry)
+        queue.park(seq)
         return
     # the rename mutated the instruction (and the DDG), so this veto
     # cannot re-trigger: one event per successful rename
@@ -474,7 +521,7 @@ def _judge_speculative(entry, queue, live_tracker, label, pdg,
                 regs=tuple(str(r) for r in regs)))
         if metrics.enabled:
             metrics.inc("sched.speculation.renamed")
-    queue.promote(entry)
+    queue.promote(seq)
     queue.note_graph_mutation()
 
 
@@ -554,7 +601,7 @@ def _note_veto(tracer, metrics, vetoes_logged: set[int] | None,
         metrics.inc("sched.speculation.rejected_live")
 
 
-def _place_duplicates(pdg: RegionPDG, state: DependenceState,
+def _place_duplicates(pdg: RegionPDG, state,
                       cand: Candidate, report: RegionScheduleReport) -> None:
     """Append copies of a duplicated instruction to the join's other
     predecessors and thread them into the dependence graph so later block

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 from ..ir.function import Function
 from ..sim.executor import ExecutionResult
+from .heuristics import StaticBlockPriority
 
 #: number of probability buckets; coarse so D/CP still break near-ties
 _BUCKETS = 8
@@ -104,6 +105,12 @@ def make_profile_priority_fn(profile: BranchProfile, func: Function):
     bucket, then the paper's D, CP, and original order.  Frequencies are
     normalised against the hottest block so loop nests keep sensible
     relative weights.
+
+    The returned function is a
+    :class:`~repro.sched.heuristics.StaticBlockPriority`: every component
+    (bucket included -- homes and counts are snapshotted here) is an int
+    fixed for the duration of a block pass, so the struct-of-arrays
+    engine packs these keys instead of falling back to the scan loop.
     """
     home_of = {id(ins): block.label
                for block in func.blocks for ins in block.instrs}
@@ -123,4 +130,4 @@ def make_profile_priority_fn(profile: BranchProfile, func: Function):
         bucket = _BUCKETS if useful else bucket_of(ins)
         return (0 if useful else 1, -bucket, -d, -cp, ins.uid)
 
-    return priority_fn
+    return StaticBlockPriority(priority_fn)

@@ -22,26 +22,20 @@ keyed to :attr:`DataDependenceGraph.version`, so graph mutation mid-region
 (speculative renaming rewrites edges, Definition-6 duplication adds them)
 transparently drops and lazily rebuilds them.
 
-On top of the counters sits :class:`ReadyQueue`, the event-driven ready
-structure of the global scheduler: per-unit-type heaps of issuable
-candidates keyed by their precomputed Section 5.2 priority tuple, a
-time-indexed pending wheel for candidates whose dependences are satisfied
-but whose earliest start lies in the future, and a parked set for
-speculative candidates vetoed by the live-on-exit test.  A candidate is
-pushed when its last predecessor fulfills (the :class:`DependenceState`
-listener fires as the unfulfilled-pred counter reaches zero) and its
-earliest-start cycle arrives -- instead of the seed scheduler's rescan of
-every pending candidate at every scan point.
+This dict-based state serves the scan-driven oracle
+(:mod:`repro.sched.reference`) and the basic-block scheduler; the global
+scheduler's hot path runs on its struct-of-arrays twin,
+:class:`repro.sched.soa.DenseDependenceState`, and the event-driven ready
+structure lives in :class:`repro.sched.soa.DenseReadyQueue` (per-unit
+heaps of packed int keys, a time-indexed wheel, targeted liveness
+re-flags).  The two states are behaviourally identical; only the storage
+differs.
 """
 
 from __future__ import annotations
 
-from heapq import heappop, heappush
-
 from ..ir.instruction import Instruction
-from ..ir.opcodes import UnitType
 from ..machine.model import MachineModel
-from ..obs.metrics import NULL_METRICS
 from ..pdg.data_deps import DataDependenceGraph, DepEdge, DepKind
 
 
@@ -77,8 +71,8 @@ class DependenceState:
         (a lazily computed count of zero is visible to the subscriber via
         :meth:`deps_satisfied` at subscription time); after a DDG version
         bump the cleared cache fires nothing until the subscriber
-        re-queries, which is exactly the rebuild protocol
-        :class:`ReadyQueue` follows.
+        re-queries, which is exactly the rebuild protocol the ready
+        structure follows.
         """
         self._listener = listener
 
@@ -217,364 +211,3 @@ class DependenceState:
         """Issue cycle within the current pass (None if not issued here)."""
         return self._local_start.get(id(ins))
 
-
-# -- event-driven ready structure --------------------------------------------
-
-#: entry lifecycle states (module-level ints: attribute loads off the hot path)
-_WAITING = 0   #: some dependence predecessor is still unfulfilled
-_TIMED = 1     #: dependences satisfied, earliest start is in the future (wheel)
-_PENDING = 2   #: issuable once judged -- sitting in an evaluation queue
-_READY = 3     #: judged issuable, resident in its unit heap
-_PARKED = 4    #: vetoed by the live-on-exit test (or rename failed)
-_ISSUED = 5    #: scheduled; terminal
-
-
-class _QueueEntry:
-    """One candidate's queue-resident state (identity-keyed, mutable)."""
-
-    __slots__ = ("cand", "key", "seq", "unit_idx", "needs_veto",
-                 "status", "epoch", "queued", "flagged")
-
-    def __init__(self, cand, key, seq, unit_idx, needs_veto):
-        self.cand = cand
-        self.key = key              # full static sort key, computed once
-        self.seq = seq              # collection order == seed scan order
-        self.unit_idx = unit_idx
-        self.needs_veto = needs_veto
-        self.status = _WAITING
-        self.epoch = 0              # stamps heap items for lazy deletion
-        self.queued = False         # resident in an evaluation queue?
-        self.flagged = False        # liveness grew under a heap resident
-
-    def __repr__(self):  # pragma: no cover - debugging aid
-        return (f"<_QueueEntry I{self.cand.ins.uid} seq={self.seq} "
-                f"status={self.status}>")
-
-
-class ReadyQueue:
-    """Event-driven ready bookkeeping for one Section 5.1 block pass.
-
-    Equivalence contract with the scan engine
-    (:func:`repro.sched.reference.schedule_block_scan`): at every scan
-    point the set of heap residents equals the seed scheduler's ready
-    list, heap order equals its sorted order (keys are total: source
-    order breaks every tie), and the veto/rename evaluations performed
-    between scan points happen for exactly the candidates the seed scan
-    would have *re-judged to a different answer* -- in the seed's
-    iteration order (``seq``).  Three mechanisms carry that contract:
-
-    * activations: :class:`DependenceState` notifies when a candidate's
-      last predecessor fulfills; the earliest-start delay is absorbed by
-      a time-indexed wheel.  Activations are staged and judged at the
-      next scan point, like the seed scan would first see them.
-    * liveness flags: a reg -> candidate inverted index marks only the
-      heap residents whose definitions actually became live for
-      re-judgment (live-on-exit sets grow monotonically, so a veto or a
-      failed rename is otherwise permanent between graph mutations).
-    * rebuilds: any DDG version bump (Section 4.2 rename, Definition 6
-      duplication) reclassifies every unissued candidate.  A mid-scan
-      rename rebuild gates re-activations on ``seq``: the seed scan
-      judges candidates before the renamer on the pre-rename graph and
-      candidates after it on the post-rename graph, so judgments at
-      ``seq <= drain_seq`` are preserved for the rest of the scan and
-      requalified at the next scan point.
-    """
-
-    def __init__(self, state: DependenceState, items, terminator,
-                 metrics=NULL_METRICS):
-        """``items``: iterable of ``(candidate, key)`` in collection
-        order, the key being the full precomputed sort tuple.  The
-        terminator (pull-checked by the scheduler, never queued) and
-        foreign branches (never issuable) are filtered here but still
-        receive entries/sequence numbers so comparisons stay aligned."""
-        self._state = state
-        self._m = metrics if metrics.enabled else None
-        self._heaps: list[list] = [[] for _ in UnitType]
-        unit_index = {unit: idx for idx, unit in enumerate(UnitType)}
-        self._wheel: dict[int, list[_QueueEntry]] = {}
-        self._current: list = []          # (seq, entry): judged this scan
-        self._staged: list[_QueueEntry] = []  # judged at the next scan point
-        self._by_id: dict[int, _QueueEntry] = {}
-        self._entries: list[_QueueEntry] = []
-        self._index: dict = {}            # Reg -> [speculative heap entries]
-        self._live = 0                    # heap residents == seed ready count
-        self._cycle = 0
-        self._drain_seq = -1              # last seq judged this scan
-        self._requalify = False           # stale pre-mutation judgments exist
-        self.terminator_entry: _QueueEntry | None = None
-        self.duplication_entries: list[_QueueEntry] = []
-
-        seq = 0
-        for cand, key in items:
-            ins = cand.ins
-            entry = _QueueEntry(
-                cand, key, seq, unit_index[ins.unit],
-                not cand.useful and not cand.duplicate_into)
-            seq += 1
-            if terminator is not None and ins is terminator:
-                self.terminator_entry = entry
-                continue
-            if ins.is_branch:
-                continue  # foreign branches never move
-            self._entries.append(entry)
-            self._by_id[id(ins)] = entry
-            if cand.duplicate_into:
-                self.duplication_entries.append(entry)
-
-        self._version = state.ddg.version
-        for entry in self._entries:
-            self._classify(entry)
-        state.set_listener(self._on_deps_ready)
-
-    def detach(self) -> None:
-        """Unsubscribe from the dependence state (end of the block pass)."""
-        self._state.set_listener(None)
-
-    # -- scan-point lifecycle ------------------------------------------------
-
-    def begin_cycle(self, cycle: int) -> None:
-        """Advance the clock; drain the wheel slot that just matured."""
-        self._cycle = cycle
-        batch = self._wheel.pop(cycle, None)
-        if batch:
-            for entry in batch:
-                if entry.status == _TIMED:
-                    entry.status = _PENDING
-                    self._enqueue_eval(entry, now=False)
-
-    def scan_start(self) -> None:
-        """Open a scan point: rebuild if the graph moved, then make the
-        staged activations/flags judgeable."""
-        self._drain_seq = -1
-        if self._state.ddg.version != self._version or self._requalify:
-            self._rebuild()
-        if self._staged:
-            current = self._current
-            for entry in self._staged:
-                heappush(current, (entry.seq, entry))
-            self._staged.clear()
-
-    def next_evaluation(self):
-        """Next candidate the scheduler must judge (veto / rename), in
-        seed scan order.  Non-speculative activations are promoted
-        straight to their heap here -- they need no judgment and the
-        seed scan emits nothing for them."""
-        current = self._current
-        while current:
-            seq, entry = heappop(current)
-            entry.queued = False
-            status = entry.status
-            if status == _PENDING:
-                self._drain_seq = seq
-                if entry.needs_veto:
-                    if self._m is not None:
-                        self._m.inc("sched.queue.veto_rechecks")
-                    return entry
-                self._push_heap(entry)
-                continue
-            if status == _READY and entry.flagged:
-                self._drain_seq = seq
-                entry.flagged = False
-                if self._m is not None:
-                    self._m.inc("sched.queue.veto_rechecks")
-                return entry
-            # stale: demoted/parked/issued since it was enqueued
-        return None
-
-    # -- judgment outcomes ---------------------------------------------------
-
-    def promote(self, entry: _QueueEntry) -> None:
-        """The candidate passed (or renamed its way past) the veto."""
-        if entry.status != _READY:
-            self._push_heap(entry)
-
-    def park(self, entry: _QueueEntry) -> None:
-        """The candidate is vetoed and unrenameable: out of play until
-        liveness flags it again or the graph mutates."""
-        if entry.status == _READY:
-            self._live -= 1
-        entry.status = _PARKED
-        entry.epoch += 1
-
-    # -- selection -----------------------------------------------------------
-
-    @property
-    def ready_count(self) -> int:
-        return self._live
-
-    def select(self, free: list[int]):
-        """Best heap resident whose unit still has a free slot (the seed
-        scan's first issuable candidate in sorted order), or None."""
-        best = None
-        for unit_idx, heap in enumerate(self._heaps):
-            if free[unit_idx] <= 0:
-                continue
-            top = self._peek(heap)
-            if top is not None and (
-                    best is None
-                    or (top.key, top.seq) < (best.key, best.seq)):
-                best = top
-        return best
-
-    def pop_issue(self, entry: _QueueEntry) -> None:
-        entry.status = _ISSUED
-        entry.epoch += 1
-        self._live -= 1
-        if self._m is not None:
-            self._m.inc("sched.queue.heap_pops")
-
-    def sorted_ready_snapshot(self, chosen: _QueueEntry, term_entry):
-        """The seed scheduler's full sorted ready list, for issue tracing
-        only: ``(candidates, position_of_chosen, key_fn)``."""
-        entries = []
-        for heap in self._heaps:
-            for _key, _seq, epoch, entry in heap:
-                if entry.status == _READY and entry.epoch == epoch:
-                    entries.append(entry)
-        if term_entry is not None:
-            entries.append(term_entry)
-        entries.sort(key=lambda e: (e.key, e.seq))
-        pos = next(i for i, e in enumerate(entries) if e is chosen)
-        keys = {id(e.cand.ins): e.key for e in entries}
-        return ([e.cand for e in entries], pos,
-                lambda c: keys[id(c.ins)])
-
-    # -- external events -----------------------------------------------------
-
-    def note_liveness_grown(self, regs) -> None:
-        """A motion extended live ranges: flag only the speculative heap
-        residents defining one of ``regs`` for re-judgment at the next
-        scan point (the targeted veto invalidation)."""
-        index = self._index
-        flagged = 0
-        for reg in regs:
-            bucket = index.get(reg)
-            if not bucket:
-                continue
-            keep = []
-            for entry in bucket:
-                if entry.status != _READY:
-                    continue  # prune lazily
-                keep.append(entry)
-                if not entry.flagged:
-                    entry.flagged = True
-                    flagged += 1
-                    self._enqueue_eval(entry, now=False)
-            index[reg] = keep
-        if flagged and self._m is not None:
-            self._m.inc("sched.queue.liveness_flags", flagged)
-
-    def note_graph_mutation(self) -> None:
-        """Called right after a judgment mutated the DDG (a successful
-        Section 4.2 rename): rebuild now, gated on the drain position."""
-        if self._state.ddg.version != self._version:
-            self._rebuild()
-
-    # -- internals -----------------------------------------------------------
-
-    def _classify(self, entry: _QueueEntry) -> None:
-        ins = entry.cand.ins
-        state = self._state
-        if not state.deps_satisfied(ins):
-            entry.status = _WAITING
-            return
-        start = state.earliest_start(ins)
-        if start > self._cycle:
-            entry.status = _TIMED
-            self._wheel.setdefault(start, []).append(entry)
-            if self._m is not None:
-                self._m.inc("sched.queue.wheel_holds")
-            return
-        entry.status = _PENDING
-        self._enqueue_eval(entry, now=False)
-
-    def _enqueue_eval(self, entry: _QueueEntry, *, now: bool) -> None:
-        if entry.queued:
-            return
-        entry.queued = True
-        if now:
-            heappush(self._current, (entry.seq, entry))
-        else:
-            self._staged.append(entry)
-
-    def _push_heap(self, entry: _QueueEntry) -> None:
-        entry.status = _READY
-        entry.epoch += 1
-        heappush(self._heaps[entry.unit_idx],
-                 (entry.key, entry.seq, entry.epoch, entry))
-        self._live += 1
-        if self._m is not None:
-            self._m.inc("sched.queue.ready_pushes")
-        if entry.needs_veto:
-            index = self._index
-            for reg in entry.cand.ins.reg_defs():
-                index.setdefault(reg, []).append(entry)
-
-    @staticmethod
-    def _peek(heap):
-        while heap:
-            _key, _seq, epoch, entry = heap[0]
-            if entry.status == _READY and entry.epoch == epoch:
-                return entry
-            heappop(heap)
-        return None
-
-    def _on_deps_ready(self, ins) -> None:
-        entry = self._by_id.get(id(ins))
-        if entry is None or entry.status != _WAITING:
-            return
-        start = self._state.earliest_start(ins)
-        if start > self._cycle:
-            entry.status = _TIMED
-            self._wheel.setdefault(start, []).append(entry)
-            if self._m is not None:
-                self._m.inc("sched.queue.wheel_holds")
-            return
-        entry.status = _PENDING
-        self._enqueue_eval(entry, now=False)
-
-    def _rebuild(self) -> None:
-        """Reclassify every unissued candidate against the current graph.
-
-        ``gate == -1`` (a scan-point rebuild) reclassifies everything.
-        A mid-scan rebuild (``gate >= 0``, a rename fired while judging)
-        preserves the judgments already made this scan -- the seed scan
-        judged those candidates on the pre-rename graph -- and schedules
-        a requalifying rebuild for the next scan point.
-        """
-        gate = self._drain_seq
-        self._version = self._state.ddg.version
-        self._requalify = gate >= 0
-        for heap in self._heaps:
-            heap.clear()
-        self._wheel.clear()
-        self._current.clear()
-        self._staged.clear()
-        self._index.clear()
-        self._live = 0
-        if self._m is not None:
-            self._m.inc("sched.queue.rebuilds")
-        for entry in self._entries:
-            status = entry.status
-            if status == _ISSUED:
-                continue
-            entry.queued = False
-            if entry.seq <= gate:
-                # judged this scan, pre-mutation: keep the judgment live
-                # for the remainder of the scan (requalified next scan)
-                if status == _READY:
-                    was_flagged = entry.flagged
-                    self._push_heap(entry)
-                    if was_flagged:
-                        self._enqueue_eval(entry, now=True)
-                elif status in (_TIMED, _PENDING):
-                    # wheel slot / eval queue just cleared; requalify
-                    entry.status = _WAITING
-                continue
-            entry.flagged = False
-            self._classify(entry)
-            if entry.status == _PENDING:
-                # eligible for judgment in this very scan: the seed scan
-                # reaches these positions only after the mutation
-                self._staged.pop()  # _classify staged it as the last element
-                heappush(self._current, (entry.seq, entry))

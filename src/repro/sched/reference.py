@@ -87,9 +87,18 @@ class LiveOnExitTrackerReference(LiveOnExitTracker):
     original tracker did before reachability was precomputed as bitsets.
     """
 
-    def __init__(self, live_out, forward):
+    def __init__(self, live_out, forward, metrics=NULL_METRICS,
+                 intern_cache=None):
+        # intern_cache is accepted for interface compatibility with the
+        # optimized tracker and ignored: the reference re-walks per motion
         super().__init__(live_out, forward)
         self._reverse = forward.reversed()
+
+    def blocks_motion(self, ins: Instruction, target: str) -> bool:
+        """Seed Section 5.3 veto: a set-membership loop per query (the
+        optimized tracker answers from interned register bitmasks)."""
+        live = self._live_out.get(target, set())
+        return any(reg in live for reg in ins.reg_defs())
 
     def record_motion(self, ins: Instruction, src: str, dst: str) -> None:
         defs = ins.reg_defs()

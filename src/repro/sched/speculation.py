@@ -11,6 +11,18 @@ The tracker holds a mutable copy of the liveness solution and applies the
 dynamic updates: after moving ``I`` (defining ``R``) from ``B`` up to
 ``A``, ``R`` becomes live on exit of ``A`` and of every block on a forward
 path from ``A`` to ``B``.
+
+Two dense interned layers keep the hot queries off Python sets:
+
+* block labels -> bit positions with per-node reachability masks, so the
+  "blocks between source and target" of :meth:`~LiveOnExitTracker.record_motion`
+  is one mask intersection;
+* registers -> bit positions with a per-label live-on-exit *bitmask*
+  maintained alongside the canonical sets, so the Section 5.3 veto
+  :meth:`~LiveOnExitTracker.blocks_motion` is one AND of two ints instead
+  of a set-membership loop.  The sets remain authoritative (they are the
+  function-wide store shared across region passes); masks are built
+  lazily per label and dual-written on every motion.
 """
 
 from __future__ import annotations
@@ -21,6 +33,7 @@ from ..ir.function import Function
 from ..ir.instruction import Instruction
 from ..ir.operand import Reg
 from ..machine.model import MachineModel
+from ..obs.metrics import NULL_METRICS
 from ..pdg.data_deps import DataDependenceGraph, DepKind
 
 
@@ -38,27 +51,75 @@ class LiveOnExitTracker:
     :class:`repro.sched.reference.LiveOnExitTrackerReference`).
     """
 
-    def __init__(self, live_out: dict[str, set[Reg]], forward: Digraph):
+    def __init__(self, live_out: dict[str, set[Reg]], forward: Digraph,
+                 metrics=NULL_METRICS, intern_cache=None):
         """``live_out`` maps block label -> registers live on exit (a
         mutable copy; :meth:`repro.dataflow.LivenessInfo.live_out_map`
         provides one).  ``forward`` is the region's forward CFG, used to
-        find the blocks between a motion's source and target."""
+        find the blocks between a motion's source and target.
+
+        ``intern_cache`` is an optional ``(regbit, rmask)`` pair shared
+        by every tracker over the *same* ``live_out`` store: label masks
+        then survive across regions instead of being re-interned per
+        tracker.  Safe because all mutations of the store go through a
+        tracker (the dual-write invariant below is store-wide)."""
         self._live_out = live_out
         self._forward = forward
+        self._m = metrics if metrics.enabled else None
         self._reverse: Digraph | None = None  # fallback path only
         self._bit: dict | None = None   # label -> dense bit position
         self._labels: tuple = ()        # bit position -> label
         self._down: list[int] = []      # node -> mask reachable from it
         self._up: list[int] = []        # node -> mask reaching it
+        #: register interning for the live-on-exit bitmasks.  Invariant:
+        #: for every label in ``_rmask``, the mask equals the OR of the
+        #: interned bits of that label's canonical set, and every register
+        #: of that set is interned (``_mask_of`` interns on build,
+        #: ``record_motion`` dual-writes set and mask).
+        if intern_cache is None:
+            self._regbit: dict[Reg, int] = {}
+            self._rmask: dict[str, int] = {}
+        else:
+            self._regbit, self._rmask = intern_cache
 
     def live_out_of(self, label: str) -> set[Reg]:
         return self._live_out.setdefault(label, set())
 
+    def _mask_of(self, label: str) -> int:
+        """The label's live-on-exit set as an int bitmask (lazily built;
+        interns every register of the set)."""
+        mask = self._rmask.get(label)
+        if mask is None:
+            regbit = self._regbit
+            mask = 0
+            for reg in self._live_out.get(label, ()):
+                bit = regbit.get(reg)
+                if bit is None:
+                    bit = len(regbit)
+                    regbit[reg] = bit
+                mask |= 1 << bit
+            self._rmask[label] = mask
+        return mask
+
     def blocks_motion(self, ins: Instruction, target: str) -> bool:
         """Would moving ``ins`` speculatively into ``target`` clobber a
-        live register?  (Definition of illegality, Section 5.3.)"""
-        live = self._live_out.get(target, set())
-        return any(reg in live for reg in ins.reg_defs())
+        live register?  (Definition of illegality, Section 5.3.)
+
+        Answered as ``defs_mask & live_mask``: a register of ``ins`` with
+        no interned bit cannot be in the target's set (building the
+        target's mask interned that whole set, and later insertions
+        intern through :meth:`record_motion`)."""
+        mask = self._mask_of(target)
+        if self._m is not None:
+            self._m.inc("sched.soa.mask_queries")
+        if not mask:
+            return False
+        regbit = self._regbit
+        for reg in ins.reg_defs():
+            bit = regbit.get(reg)
+            if bit is not None and (mask >> bit) & 1:
+                return True
+        return False
 
     def blocking_regs(self, ins: Instruction, target: str) -> tuple[Reg, ...]:
         """The registers that make :meth:`blocks_motion` true -- the
@@ -90,8 +151,12 @@ class LiveOnExitTracker:
         mask = self._down[bit_dst] & self._up[bit_src]
         mask &= ~(1 << bit_src)
         mask |= 1 << bit_dst
+        defbits = self._defbits(defs)
         labels = self._labels
         live_out = self._live_out
+        rmask = self._rmask
+        if self._m is not None:
+            self._m.inc("sched.soa.mask_updates")
         while mask:
             low = mask & -mask
             mask ^= low
@@ -101,6 +166,8 @@ class LiveOnExitTracker:
                 live_out[label] = set(defs)
             else:
                 live.update(defs)
+            if label in rmask:
+                rmask[label] |= defbits
 
     def _build_masks(self) -> None:
         """Intern the forward graph's labels to dense bits and precompute
@@ -138,18 +205,35 @@ class LiveOnExitTracker:
         self._down = down
         self._up = up
 
+    def _defbits(self, defs) -> int:
+        """The defined registers as an interned bitmask (assigns bits)."""
+        regbit = self._regbit
+        bits = 0
+        for reg in defs:
+            bit = regbit.get(reg)
+            if bit is None:
+                bit = len(regbit)
+                regbit[reg] = bit
+            bits |= 1 << bit
+        return bits
+
     def _record_motion_traversal(self, defs, src: str, dst: str) -> None:
         """Traversal fallback for labels outside the interned graph
-        (identical to the seed tracker's behaviour)."""
+        (identical to the seed tracker's behaviour, plus the bitmask
+        dual-write)."""
         if self._reverse is None:
             self._reverse = self._forward.reversed()
         downstream = self._forward.reachable_from(dst)
         upstream = self._reverse.reachable_from(src)
         between = (downstream & upstream) - {src}
         between.add(dst)
+        defbits = self._defbits(defs)
+        rmask = self._rmask
         for label in between:
             live = self._live_out.setdefault(label, set())
             live.update(defs)
+            if label in rmask:
+                rmask[label] |= defbits
 
 
 def try_rename_for_motion(

@@ -81,3 +81,61 @@ def test_committed_scorecard_is_well_formed():
     assert data["identity"]["mismatches"] == []
     assert data["thresholds"]["region_ddg_ok"] is True
     assert data["thresholds"]["fuzz_ok"] is True
+    assert data["thresholds"]["schedule_ok"] is True
+
+
+@pytest.fixture(scope="module")
+def micro():
+    spec = importlib.util.spec_from_file_location(
+        "run_sched_microbench",
+        REPO_ROOT / "benchmarks" / "perf" / "run_sched_microbench.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_committed_microbench_names_engine_and_passes_its_gate(micro):
+    """The committed ``BENCH_sched_micro.json`` must say which engine it
+    measured, carry the floors it was gated against, and actually clear
+    them -- a regression committed alongside a code change fails here
+    even before CI reruns the bench."""
+    data = json.loads((REPO_ROOT / "BENCH_sched_micro.json").read_text())
+    assert data["meta"]["engine"] == "soa"
+    assert data["meta"]["gated"] is True
+    assert data["gate_min_speedup"] == {
+        str(k): v for k, v in micro.GATE_MIN_SPEEDUP.items()}
+    assert micro.gate(data["sizes"]) == []
+    by_chunk = {row["chunk"]: row for row in data["sizes"]}
+    # the ISSUE-level target: >= 10x over the scan engine at chunk 30
+    assert by_chunk[30]["speedup"] >= 10.0
+
+
+def test_microbench_gate_flags_floor_misses(micro):
+    rows = [{"chunk": 30, "speedup": 9.0}, {"chunk": 4, "speedup": 1.3}]
+    messages = micro.gate(rows)
+    assert len(messages) == 1 and "chunk 30" in messages[0]
+
+
+def test_microbench_region_timer_times_engine_only(micro):
+    """The accumulator charges time spent inside ``schedule_region``
+    (restoring the real binding afterwards) and nothing else."""
+    import repro.sched.driver as drv
+    from repro.compiler import compile_c
+    from repro.machine.configs import CONFIGS
+    from repro.sched.candidates import ScheduleLevel
+
+    real = drv.schedule_region
+    machine = CONFIGS["rs6k"]()
+    unit = compile_c(
+        "int f(int a[], int n) {\n"
+        "    int s = 0; int i = 0;\n"
+        "    while (i < n) { s = s + a[i]; i = i + 1; }\n"
+        "    return s;\n"
+        "}\n",
+        machine=machine, level=ScheduleLevel.NONE)["f"]
+    with micro.region_timer() as acc:
+        assert drv.schedule_region is not real
+        assert acc["s"] == 0.0
+        drv.global_schedule(unit.func, machine, ScheduleLevel.SPECULATIVE)
+    assert acc["s"] > 0.0
+    assert drv.schedule_region is real

@@ -1,8 +1,8 @@
 """The event-driven scheduler must be indistinguishable from the seed scan.
 
 PR contract for the ready-queue rewrite: the event-driven inner loop
-(:mod:`repro.sched.ready`'s ``ReadyQueue`` + the bitset liveness tracker)
-and the preserved scan-driven baseline
+(:mod:`repro.sched.soa`'s ``DenseReadyQueue`` over interned int state +
+the bitset/bitmask liveness tracker) and the preserved scan-driven baseline
 (:mod:`repro.sched.reference`) produce **byte-identical** output at every
 observable level -- assembly, recorded motions, and the full decision
 trace (PriorityDecision runner-ups, SpeculationRejected, CycleAdvance
@@ -119,23 +119,63 @@ def test_scan_scheduler_restores_engine():
     assert global_sched._ENGINE == before
 
 
-def test_custom_priority_fn_uses_scan_path():
-    """A dynamic priority function (here from a branch profile) cannot be
-    precomputed at collection time, so ``schedule_region`` must fall back
-    to the scan pass -- and produce the same schedule the forced scan
-    engine does."""
+def test_profile_priority_fn_runs_on_soa_engine():
+    """The branch-profile priority function advertises static all-int
+    per-block-pass keys (:class:`repro.sched.heuristics.StaticBlockPriority`),
+    so the SoA engine packs them and keeps the dense path -- byte-identical
+    to the forced scan engine, traces included."""
     from repro.sched.profiling import BranchProfile
 
     profile = BranchProfile({"LH.1": 10, "L.4": 9, "L.6": 1}, runs=1)
 
     def build():
+        trace = CollectingTracer()
+        metrics = MetricsCollector()
         config = PipelineConfig(level=ScheduleLevel.SPECULATIVE,
-                                profile=profile)
+                                profile=profile, trace=trace,
+                                metrics=metrics)
         result = compile_c(MINMAX, machine=CONFIGS["rs6k"](),
                            level=ScheduleLevel.SPECULATIVE, config=config)
-        return "\n\n".join(unit.assembly() for unit in result)
+        assembly = "\n\n".join(unit.assembly() for unit in result)
+        events = [{**e.to_dict(), "elapsed_ms": None}
+                  for e in trace.events]
+        return assembly, events, metrics
 
-    default_engine = build()
+    default_asm, default_trace, metrics = build()
+    # the profile fn really ran on the dense engine, not a silent fallback
+    assert metrics.counters.get("sched.soa.packed_keys", 0) > 0
     with scan_scheduler():
-        forced_scan = build()
-    assert default_engine == forced_scan
+        scan_asm, scan_trace, scan_metrics = build()
+    assert scan_metrics.counters.get("sched.soa.packed_keys", 0) == 0
+    assert default_asm == scan_asm
+    assert default_trace == scan_trace
+
+
+def test_dynamic_priority_fn_falls_back_to_scan():
+    """A plain callable cannot promise static per-block keys, so
+    ``schedule_region`` must take the scan pass -- and still produce the
+    schedule the forced scan engine does."""
+    from repro.ir.parser import parse_function
+    from repro.ir.printer import format_function
+    from repro.sched.driver import global_schedule
+
+    def dynamic_fn(ins, *, useful, priorities):
+        d, cp = priorities.get(id(ins), (0, 0))
+        return (0 if useful else 1, -d, -cp, ins.uid)
+
+    source = compile_c(MINMAX, machine=CONFIGS["rs6k"](),
+                       level=ScheduleLevel.NONE)["minmax"]
+    text = format_function(source.func)
+
+    def build():
+        func = parse_function(text)
+        metrics = MetricsCollector()
+        global_schedule(func, CONFIGS["rs6k"](), ScheduleLevel.SPECULATIVE,
+                        priority_fn=dynamic_fn, metrics=metrics)
+        return format_function(func), metrics
+
+    default_out, metrics = build()
+    assert metrics.counters.get("sched.soa.packed_keys", 0) == 0
+    with scan_scheduler():
+        forced_out, _ = build()
+    assert default_out == forced_out

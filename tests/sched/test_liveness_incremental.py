@@ -135,37 +135,37 @@ def test_targeted_invalidation_flags_exactly_the_affected_residents():
     from repro.ir.basic_block import BasicBlock
     from repro.obs.metrics import MetricsCollector
     from repro.sched.candidates import Candidate
-    from repro.sched.ready import DependenceState, ReadyQueue, _READY
+    from repro.sched.soa import _READY, DenseDependenceState, DenseReadyQueue
 
     machine = CONFIGS["rs6k"]()
     home = BasicBlock("H", [defining([gpr(1)]), defining([gpr(2)])])
     spec_a, spec_b = home.instrs
     ddg = build_block_ddg(home, machine)
-    state = DependenceState(ddg, machine)
+    state = DenseDependenceState(ddg, machine)
     state.begin_block()
     metrics = MetricsCollector()
-    queue = ReadyQueue(
+    queue = DenseReadyQueue(
         state,
-        [(Candidate(spec_a, "H", useful=False), (1, 0)),
-         (Candidate(spec_b, "H", useful=False), (1, 1))],
+        [Candidate(spec_a, "H", useful=False),
+         Candidate(spec_b, "H", useful=False)],
+        [0, 1],
         None, metrics)
+    seq_a, seq_b = 0, 1
     try:
         queue.begin_cycle(0)
         queue.scan_start()
         # both speculative candidates need judgment; promote both
-        while (entry := queue.next_evaluation()) is not None:
-            queue.promote(entry)
+        while (seq := queue.next_evaluation()) >= 0:
+            queue.promote(seq)
         assert queue.ready_count == 2
         queue.note_liveness_grown([gpr(1)])    # only spec_a's def
-        a_entry = queue._by_id[id(spec_a)]
-        b_entry = queue._by_id[id(spec_b)]
-        assert a_entry.flagged and not b_entry.flagged
+        assert queue._flagged[seq_a] and not queue._flagged[seq_b]
         queue.scan_start()
         flagged = queue.next_evaluation()
-        assert flagged is a_entry              # re-judged...
+        assert flagged == seq_a                # re-judged...
         queue.promote(flagged)
-        assert queue.next_evaluation() is None  # ...and nothing else
-        assert b_entry.status == _READY
+        assert queue.next_evaluation() < 0     # ...and nothing else
+        assert queue.status[seq_b] == _READY
         assert metrics.counters["sched.queue.liveness_flags"] == 1
     finally:
         queue.detach()

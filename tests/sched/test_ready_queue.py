@@ -1,4 +1,4 @@
-"""Unit tests for the event-driven ready queue (the PR-5 tentpole).
+"""Unit tests for the event-driven dense ready queue (the SoA core).
 
 The equivalence suite proves the queue reproduces the seed scan
 end-to-end; these tests pin the *mechanisms* in isolation: each
@@ -12,10 +12,16 @@ from repro.ir import parse_function
 from repro.machine import rs6k
 from repro.obs.metrics import MetricsCollector
 from repro.pdg import build_block_ddg
-from repro.sched import DependenceState
 from repro.sched.candidates import Candidate
 from repro.sched.heuristics import compute_region_priorities, full_priority_key
-from repro.sched.ready import _PARKED, _READY, _WAITING, ReadyQueue
+from repro.sched.soa import (
+    _PARKED,
+    _READY,
+    _WAITING,
+    DenseDependenceState,
+    DenseReadyQueue,
+    pack_rows,
+)
 
 
 def make_queue(metrics=None):
@@ -31,32 +37,40 @@ a:
     block = func.block("a")
     machine = rs6k()
     ddg = build_block_ddg(block, machine)
-    state = DependenceState(ddg, machine)
+    state = DenseDependenceState(ddg, machine)
     state.begin_block()
     priorities = compute_region_priorities([block], ddg, machine)
     cands = [Candidate(ins, "a", useful=True) for ins in block.instrs]
-    queue = ReadyQueue(
+    rows = [full_priority_key(c, priorities) for c in cands]
+    pkeys = pack_rows([(dup, *rest) for dup, rest in rows])
+    queue = DenseReadyQueue(
         state,
-        ((c, full_priority_key(c, priorities)) for c in cands),
+        cands,
+        pkeys,
         block.terminator,
         metrics if metrics is not None else MetricsCollector(),
     )
     return block, state, queue
 
 
+def seq_of(queue, ins):
+    """The collection sequence number of ``ins`` in ``queue``."""
+    return next(s for s, c in enumerate(queue.cands) if c.ins is ins)
+
+
 def drain(queue):
     """Judge everything judgeable at the current scan point."""
     queue.scan_start()
-    while (entry := queue.next_evaluation()) is not None:
-        queue.promote(entry)
+    while (seq := queue.next_evaluation()) >= 0:
+        queue.promote(seq)
 
 
 def test_terminator_is_held_out_and_foreign_branches_dropped():
     block, state, queue = make_queue()
-    term = queue.terminator_entry
-    assert term is not None and term.cand.ins is block.terminator
-    assert id(block.terminator) not in queue._by_id
-    assert len(queue._entries) == 3          # L, AI, C
+    term_seq = queue.term_seq
+    assert term_seq >= 0 and queue.cands[term_seq].ins is block.terminator
+    assert term_seq not in queue._active
+    assert len(queue._active) == 3           # L, AI, C
 
 
 def test_only_roots_become_ready_and_exactly_once():
@@ -77,14 +91,14 @@ def test_listener_fires_on_last_predecessor_and_wheel_delays_entry():
     load, ai, cmp_i, bt = block.instrs
     queue.begin_cycle(0)
     drain(queue)
-    entry_ai = queue._by_id[id(ai)]
-    assert entry_ai.status == _WAITING
+    seq_ai = seq_of(queue, ai)
+    assert queue.status[seq_ai] == _WAITING
     # issuing the load fulfils AI's last predecessor mid-cycle; its
     # earliest start (cycle 2: exec 1 + delay 1) lands it on the wheel
     state.mark_issued(load, 0)
-    queue.pop_issue(queue._by_id[id(load)])
-    assert entry_ai.status != _WAITING
-    assert entry_ai.status != _READY
+    queue.pop_issue(seq_of(queue, load))
+    assert queue.status[seq_ai] != _WAITING
+    assert queue.status[seq_ai] != _READY
     assert metrics.counters["sched.queue.wheel_holds"] == 1
     queue.begin_cycle(1)
     drain(queue)
@@ -92,7 +106,7 @@ def test_listener_fires_on_last_predecessor_and_wheel_delays_entry():
     queue.begin_cycle(2)
     drain(queue)
     assert queue.ready_count == 1            # matured exactly on time
-    assert entry_ai.status == _READY
+    assert queue.status[seq_ai] == _READY
 
 
 def test_select_respects_unit_capacity():
@@ -104,9 +118,9 @@ def test_select_respects_unit_capacity():
     drain(queue)
     free = [1] * len(list(UnitType))
     chosen = queue.select(free)
-    assert chosen.cand.ins is load
-    free[chosen.unit_idx] = 0                # unit exhausted
-    assert queue.select(free) is None
+    assert chosen >= 0 and queue.cands[chosen].ins is load
+    free[queue.units[chosen]] = 0            # unit exhausted
+    assert queue.select(free) < 0
 
 
 def test_parked_entry_leaves_heap_until_reflagged():
@@ -114,12 +128,12 @@ def test_parked_entry_leaves_heap_until_reflagged():
     load, ai, cmp_i, bt = block.instrs
     queue.begin_cycle(0)
     drain(queue)
-    entry = queue._by_id[id(load)]
-    queue.park(entry)
+    seq = seq_of(queue, load)
+    queue.park(seq)
     assert queue.ready_count == 0
-    assert entry.status == _PARKED
+    assert queue.status[seq] == _PARKED
     from repro.ir.opcodes import UnitType
-    assert queue.select([1] * len(list(UnitType))) is None
+    assert queue.select([1] * len(list(UnitType))) < 0
 
 
 def test_version_bump_triggers_rebuild_at_scan_start():
@@ -144,4 +158,4 @@ def test_detach_unsubscribes_the_listener():
     queue.detach()
     assert state._listener is None
     state.mark_issued(load, 0)               # must not touch the queue
-    assert queue._by_id[id(block.instrs[1])].status == _WAITING
+    assert queue.status[seq_of(queue, block.instrs[1])] == _WAITING
