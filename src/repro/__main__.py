@@ -9,6 +9,10 @@ Commands:
 * ``dot FILE.c --graph cfg|cspdg|ddg`` -- emit Graphviz for the graphs of
   the paper's Figures 3 and 4;
 * ``figures`` -- regenerate the paper's Figure 7/8 tables;
+* ``scorecard`` -- regenerate the Figure-8-style ``program x machine x
+  level`` matrix across the whole machine zoo, with the static verifier,
+  the event-vs-scan engine diff and the BSP cost cross-check run on every
+  cell (``--out matrix.json`` writes the deterministic JSON artifact);
 * ``verify FILE.c`` -- compile with the static schedule verifier enabled
   and report every sweep's verification result;
 * ``stats FILE.c`` -- compile with metrics on and print the paper-style
@@ -70,6 +74,16 @@ class CLIError(Exception):
     """A user-facing error: printed as one line, exits with status 2."""
 
 
+def _machine_factory(name: str):
+    """Resolve a machine name, or fail with the one-line CLI idiom."""
+    try:
+        return CONFIGS[name]
+    except KeyError:
+        raise CLIError(
+            f"error: unknown machine {name!r}; available: "
+            f"{', '.join(sorted(CONFIGS))}") from None
+
+
 def _read_source(path: str) -> str:
     """Read an input file, turning OS errors into one-line CLI errors."""
     try:
@@ -84,9 +98,9 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--level", choices=sorted(_LEVELS),
                         default="speculative",
                         help="scheduling level (default: speculative)")
-    parser.add_argument("--machine", choices=sorted(CONFIGS),
-                        default="rs6k",
-                        help="machine configuration (default: rs6k)")
+    parser.add_argument("--machine", default="rs6k", metavar="NAME",
+                        help="machine configuration (default: rs6k; "
+                             "see the machine zoo in repro.machine.configs)")
 
 
 def _add_trace_flags(parser: argparse.ArgumentParser) -> None:
@@ -146,9 +160,10 @@ class _TraceOutputs:
 
 
 def _compile(path: str, level: str, machine: str, **config_kwargs):
+    factory = _machine_factory(machine)
     source = _read_source(path)
     config = PipelineConfig(level=_LEVELS[level], **config_kwargs)
-    return compile_c(source, machine=CONFIGS[machine](),
+    return compile_c(source, machine=factory(),
                      level=_LEVELS[level], config=config)
 
 
@@ -210,15 +225,14 @@ def cmd_run(args) -> int:
 def cmd_schedule(args) -> int:
     from .ir.parser import ParseError, parse_function
     from .ir.printer import format_function
-    from .machine.configs import CONFIGS as MACHINES
     from .sched.driver import global_schedule
 
+    machine = _machine_factory(args.machine)()
     try:
         func = parse_function(_read_source(args.file))
     except ParseError as exc:
         raise CLIError(f"error: {args.file}: {exc}") from exc
-    report = global_schedule(func, MACHINES[args.machine](),
-                             _LEVELS[args.level])
+    report = global_schedule(func, machine, _LEVELS[args.level])
     print(format_function(func))
     for motion in report.motions:
         print(f"; {motion!r}")
@@ -256,6 +270,25 @@ def cmd_figures(args) -> int:
     return 0
 
 
+def cmd_scorecard(args) -> int:
+    from .bench.scorecard import format_scorecard, run_scorecard
+    from .machine.configs import ZOO
+
+    machines = (tuple(args.machines.split(",")) if args.machines else ZOO)
+    for name in machines:
+        _machine_factory(name)
+    progress = (lambda line: print(line, flush=True)) if args.verbose \
+        else None
+    card = run_scorecard(machines, seed=args.seed, progress=progress)
+    print(format_scorecard(card))
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(card.to_json())
+        print(f"wrote scorecard JSON ({len(card.cells)} cells) to "
+              f"{args.out}")
+    return 0 if card.ok else 1
+
+
 def cmd_verify(args) -> int:
     from .verify import ScheduleVerificationError
 
@@ -280,10 +313,7 @@ def cmd_fuzz(args) -> int:
     machines = (tuple(args.machines.split(","))
                 if args.machines else DEFAULT_MACHINES)
     for name in machines:
-        if name not in CONFIGS:
-            print(f"unknown machine {name!r}; choose from "
-                  f"{sorted(CONFIGS)}", file=sys.stderr)
-            return 2
+        _machine_factory(name)
     if args.jobs < 1:
         print(f"--jobs must be a positive integer, got {args.jobs}",
               file=sys.stderr)
@@ -382,6 +412,7 @@ def cmd_fuzz(args) -> int:
 def cmd_serve(args) -> int:
     from .service import Daemon, ServeConfig
 
+    _machine_factory(args.machine)
     if args.jobs < 1:
         raise CLIError(f"error: --jobs must be a positive integer, "
                        f"got {args.jobs}")
@@ -421,6 +452,8 @@ def cmd_serve(args) -> int:
 
 def cmd_chaos(args) -> int:
     from .resilience import run_chaos
+
+    _machine_factory(args.machine)
 
     def progress(result) -> None:
         if args.verbose:
@@ -489,6 +522,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="regenerate the paper's Figure 7/8 tables")
     p.add_argument("--repeats", type=int, default=3)
     p.set_defaults(fn=cmd_figures)
+
+    p = sub.add_parser("scorecard",
+                       help="regenerate the program x machine x level "
+                            "matrix across the machine zoo")
+    p.add_argument("--machines", metavar="NAMES",
+                   help="comma-separated machine names "
+                        "(default: the full zoo)")
+    p.add_argument("--seed", type=int, default=1991,
+                   help="workload-input seed (default: 1991)")
+    p.add_argument("--out", metavar="FILE",
+                   help="write the deterministic JSON matrix to FILE")
+    p.add_argument("--verbose", action="store_true",
+                   help="print every cell as it is measured")
+    p.set_defaults(fn=cmd_scorecard)
 
     p = sub.add_parser("verify",
                        help="compile with the schedule verifier enabled")
@@ -570,7 +617,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="number of fault plans (default: 50)")
     p.add_argument("--seed", type=int, default=1991,
                    help="master seed (default: 1991)")
-    p.add_argument("--machine", choices=sorted(CONFIGS), default="rs6k",
+    p.add_argument("--machine", default="rs6k", metavar="NAME",
                    help="machine configuration (default: rs6k)")
     p.add_argument("--verbose", action="store_true",
                    help="print every case as it completes")

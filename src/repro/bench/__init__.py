@@ -10,6 +10,13 @@ from .harness import (
     measure_cto,
     measure_rti,
 )
+from .scorecard import (
+    SCORECARD_WORKLOADS,
+    Scorecard,
+    ScorecardCell,
+    format_scorecard,
+    run_scorecard,
+)
 from .programs import (
     EQNTOTT_LIKE_C,
     ESPRESSO_LIKE_C,
@@ -30,8 +37,13 @@ __all__ = [
     "MINMAX_C",
     "MINMAX_WORKLOAD",
     "RTIRow",
+    "SCORECARD_WORKLOADS",
+    "Scorecard",
+    "ScorecardCell",
     "WORKLOADS",
     "Workload",
+    "format_scorecard",
+    "run_scorecard",
     "figure7_table",
     "figure8_table",
     "format_figure7",

@@ -142,6 +142,7 @@ class CompiledUnit:
             instructions=len(issue_cycles),
             issue_cycles=issue_cycles,
             icache_misses=sim.icache_misses,
+            buffer_drains=sim.buffer_drains,
         )
         arrays = [
             [execution.memory.get(base + 4 * i, 0) for i in range(length)]

@@ -1,15 +1,41 @@
 """Parametric machine descriptions (Section 2) and concrete instances."""
 
-from .configs import CONFIGS, ideal_no_delays, scalar_pipelined, superscalar, vliw_like
-from .model import DelayModel, DelayRule, MachineModel
+from .configs import (
+    CONFIGS,
+    ZOO,
+    clustered,
+    exposed_datapath,
+    ideal_no_delays,
+    scalar_pipelined,
+    superscalar,
+    vliw_like,
+)
+from .model import (
+    BufferModel,
+    Cluster,
+    DelayModel,
+    DelayRule,
+    MachineModel,
+    MachineValidationError,
+    buffers,
+    cluster,
+)
 from .rs6k import RS6K, rs6k
 
 __all__ = [
+    "BufferModel",
     "CONFIGS",
+    "Cluster",
     "DelayModel",
     "DelayRule",
     "MachineModel",
+    "MachineValidationError",
     "RS6K",
+    "ZOO",
+    "buffers",
+    "cluster",
+    "clustered",
+    "exposed_datapath",
     "ideal_no_delays",
     "rs6k",
     "scalar_pipelined",

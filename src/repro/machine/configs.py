@@ -10,8 +10,11 @@ issue-width ablation bench and the design-space example.
 from __future__ import annotations
 
 from ..ir.opcodes import Opcode, UnitType
-from .model import DelayModel, MachineModel
+from .model import DelayModel, MachineModel, buffers, cluster
 from .rs6k import rs6k
+
+#: RS/6K-style multi-cycle integer ops, shared by the whole family.
+_EXEC_TIMES = {Opcode.MUL: 5, Opcode.DIV: 19, Opcode.REM: 19}
 
 
 def scalar_pipelined() -> MachineModel:
@@ -31,12 +34,62 @@ def scalar_pipelined() -> MachineModel:
 
 
 def superscalar(width: int, name: str | None = None) -> MachineModel:
-    """``width`` fixed point units + 1 FPU + 1 BRU, RS/6K delays."""
+    """``width`` fixed point units + 1 FPU + 1 BRU, RS/6K delays.
+
+    ``ss1 -> ss2 -> ss4 -> ss8`` is the zoo's monotone-width ladder: each
+    rung strictly grows the fixed point capacity and the total issue
+    width while delays stay fixed, so for any fixed instruction trace the
+    simulator can only get faster rung over rung (the property the
+    width-monotonicity suite pins for whole scheduled programs).
+    """
     return MachineModel(
         name=name or f"ss{width}",
         units={UnitType.FXU: width, UnitType.FPU: 1, UnitType.BRU: 1},
         delays=DelayModel(),
-        exec_times={Opcode.MUL: 5, Opcode.DIV: 19, Opcode.REM: 19},
+        exec_times=dict(_EXEC_TIMES),
+    )
+
+
+def clustered(name: str = "clus2x2") -> MachineModel:
+    """A two-cluster machine with per-cluster issue constraints.
+
+    Four fixed point units split 2+2 across two clusters, each cluster
+    capped at two issues per cycle; the FPU and BRU live in cluster
+    ``c0``, so branches and floating point contend with half the integer
+    capacity.  The flat unit counts match ss4, making the cost of the
+    clustered issue restriction directly measurable in the scorecard.
+    """
+    return MachineModel(
+        name=name,
+        units={UnitType.FXU: 4, UnitType.FPU: 1, UnitType.BRU: 1},
+        delays=DelayModel(),
+        exec_times=dict(_EXEC_TIMES),
+        clusters=(
+            cluster("c0", {UnitType.FXU: 2, UnitType.FPU: 1,
+                           UnitType.BRU: 1}, issue_width=2),
+            cluster("c1", {UnitType.FXU: 2}, issue_width=2),
+        ),
+    )
+
+
+def exposed_datapath(name: str = "xdp") -> MachineModel:
+    """An exposed-datapath/buffered-unit machine after Dahlem et al.
+
+    Two fixed point units whose results park in a three-entry output
+    buffer (the FPU gets two entries) until a consumer reads them; when a
+    buffer is full the oldest result is force-drained to the register
+    file at a two-cycle issue penalty on the new producer.  Schedules
+    that consume results promptly -- what global scheduling produces --
+    pay fewer drains, so the machine rewards exactly the motions the
+    paper's Section 6 predicts pay off on richer datapaths.
+    """
+    return MachineModel(
+        name=name,
+        units={UnitType.FXU: 2, UnitType.FPU: 1, UnitType.BRU: 1},
+        delays=DelayModel(),
+        exec_times=dict(_EXEC_TIMES),
+        buffers=buffers({UnitType.FXU: 3, UnitType.FPU: 2},
+                        drain_penalty=2),
     )
 
 
@@ -65,8 +118,17 @@ def ideal_no_delays(width: int = 4) -> MachineModel:
 CONFIGS = {
     "rs6k": rs6k,
     "scalar": scalar_pipelined,
+    "ss1": lambda: superscalar(1),
     "ss2": lambda: superscalar(2),
     "ss4": lambda: superscalar(4),
+    "ss8": lambda: superscalar(8),
+    "clus2x2": clustered,
+    "xdp": exposed_datapath,
     "vliw8": vliw_like,
     "ideal4": ideal_no_delays,
 }
+
+#: The machine zoo in scorecard column order: the paper's RS/6000 first,
+#: then the monotone-width ladder, then the structured shapes.
+ZOO = ("rs6k", "scalar", "ss1", "ss2", "ss4", "ss8",
+       "clus2x2", "xdp", "vliw8", "ideal4")

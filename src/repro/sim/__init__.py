@@ -1,5 +1,13 @@
 """Execution substrate: functional interpreter + cycle-level simulator."""
 
+from .bsp import (
+    DEFAULT_HEADROOM,
+    DEFAULT_SLACK,
+    BSPBound,
+    BSPCheck,
+    bsp_bound,
+    check_bsp,
+)
 from .executor import (
     ExecutionError,
     ExecutionResult,
@@ -21,6 +29,12 @@ from .machine_sim import (
 from .timeline import format_timeline, issue_histogram, stall_cycles
 
 __all__ = [
+    "BSPBound",
+    "BSPCheck",
+    "DEFAULT_HEADROOM",
+    "DEFAULT_SLACK",
+    "bsp_bound",
+    "check_bsp",
     "ExecutionError",
     "ExecutionResult",
     "Executor",

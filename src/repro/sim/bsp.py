@@ -1,0 +1,213 @@
+"""A BSP-style DAG cost model: a simulator-independent cycle cross-check.
+
+Papp et al.'s BSP scheduling model (PAPERS.md, "DAG Scheduling in the BSP
+Model") prices a DAG schedule as a sum of supersteps, each charging the
+maximum per-processor work plus communication and a synchronisation
+latency.  This module restates an executed instruction trace in those
+terms and derives two numbers from first principles -- *without* running
+the cycle simulator:
+
+* :attr:`BSPBound.lower_bound` -- a **certified lower bound** on the
+  cycles any in-order issue of the trace can take on the given machine.
+  It is the max of three classic DAG bounds, each provable against the
+  simulator's issue rules (see :func:`bsp_bound`):
+
+  - *work*: each unit type ``u`` starts at most ``n_u`` instructions per
+    cycle, so ``cycles >= ceil(count_u / n_u)``;
+  - *width*: at most ``total_issue_width`` instructions start per cycle,
+    so ``cycles >= ceil(slots / width)`` (folded branches excluded: they
+    consume no slot);
+  - *depth*: along any register-dependence chain a consumer starts no
+    earlier than ``issue(producer) + E(producer) + delay``, so
+    ``cycles >= longest chain + 1``.
+
+  Cluster caps, result-buffer drains and the instruction cache only ever
+  *delay* issues, so the bound holds for every machine in the zoo.
+
+* :attr:`BSPBound.estimate` -- the BSP superstep-sum **estimate**: each
+  executed basic block is one superstep (the branch ending it is the
+  barrier), priced ``max(local work, local depth) + L`` with the sync
+  latency ``L`` defaulting to 0 (the paper's machine synchronises through
+  the branch unit for free).  An estimate, not a bound: within a block it
+  assumes perfect packing, across blocks it forbids overlap.
+
+The differential oracle (:func:`check_bsp`) asserts the invariant pair
+used by the fuzzer and the scorecard: **simulated cycles must never beat
+the lower bound**, and must not drift above ``slack * lower_bound +
+headroom``.  The documented tolerance (slack 24.0, headroom 32 cycles) is
+deliberately loose: unscheduled code on a wide in-order machine stalls
+the whole pipeline at every hazard, and the worst amplification measured
+across the machine zoo x the fuzz corpus is ~15x the bound (ss8, level
+``none``), so 24x leaves ~50% margin.  The check exists to catch
+catastrophic cross-model drift (a broken simulator, a degenerate
+schedule, an under-charging cost model), not to grade schedules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.instruction import Instruction
+from ..ir.opcodes import Opcode, UnitType
+from ..ir.operand import Reg
+from ..machine.model import MachineModel
+
+#: documented drift tolerance: sim may cost at most
+#: ``DEFAULT_SLACK * lower_bound + DEFAULT_HEADROOM`` cycles
+DEFAULT_SLACK = 24.0
+#: additive headroom so tiny traces (a handful of instructions) are not
+#: judged by a multiplicative tolerance alone
+DEFAULT_HEADROOM = 32
+
+
+@dataclass(frozen=True)
+class BSPBound:
+    """BSP-style cost decomposition of one executed trace."""
+
+    #: issue slots consumed (folded branches excluded)
+    slots: int
+    #: per-unit-type work bounds: ceil(count_u / n_u)
+    work: tuple[tuple[str, int], ...]
+    #: ceil(slots / total_issue_width)
+    width: int
+    #: longest register-dependence chain (cycles), + 1 for the last issue
+    depth: int
+    #: number of supersteps (executed basic blocks) in the BSP reading
+    supersteps: int
+    #: BSP superstep-sum estimate of the cycle count (not a bound)
+    estimate: int
+
+    @property
+    def lower_bound(self) -> int:
+        """Certified minimum cycles for any in-order issue of the trace."""
+        work_max = max((bound for _unit, bound in self.work), default=0)
+        return max(work_max, self.width, self.depth)
+
+
+@dataclass
+class BSPCheck:
+    """Verdict of one simulator-vs-BSP cross-check."""
+
+    bound: BSPBound
+    simulated_cycles: int
+    slack: float = DEFAULT_SLACK
+    headroom: int = DEFAULT_HEADROOM
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def limit(self) -> int:
+        return int(self.slack * self.bound.lower_bound) + self.headroom
+
+    def format(self) -> str:
+        status = "ok" if self.ok else "FAIL"
+        head = (f"bsp cross-check: {status} -- simulated "
+                f"{self.simulated_cycles} cycles, lower bound "
+                f"{self.bound.lower_bound}, drift limit {self.limit}")
+        return "\n".join([head] + [f"  {v}" for v in self.violations])
+
+
+def _superstep_cost(machine: MachineModel, counts: dict[UnitType, int],
+                    slots: int, local_depth: int) -> int:
+    """BSP price of one superstep: max resource pressure vs local depth."""
+    work = max((-(-count // machine.unit_count(unit))
+                for unit, count in counts.items() if count), default=0)
+    width = -(-slots // machine.total_issue_width)
+    return max(work, width, local_depth)
+
+
+def bsp_bound(trace: list[Instruction], machine: MachineModel, *,
+              branch_folding: bool = True, sync_latency: int = 0) -> BSPBound:
+    """Price an executed trace in the BSP model (see module docstring).
+
+    ``branch_folding`` must match the simulator config the result is
+    compared against (the default matches :class:`~repro.sim.SimConfig`):
+    a folded unconditional branch consumes no issue slot, so it carries
+    no work, but it still anchors superstep boundaries.
+    """
+    #: cycle level at which each register becomes consumable
+    reg_ready: dict[Reg, int] = {}
+    counts: dict[UnitType, int] = {}
+    slots = 0
+    depth = 0  # largest start level forced by register chains
+
+    # per-superstep (executed basic block) accumulators for the estimate
+    estimate = 0
+    supersteps = 0
+    step_counts: dict[UnitType, int] = {}
+    step_slots = 0
+    step_depth = 0
+    step_base = 0  # chain level at superstep entry
+
+    for ins in trace:
+        start = 0
+        for reg in ins.reg_uses():
+            level = reg_ready.get(reg, 0)
+            if level > start:
+                start = level
+        if start > depth:
+            depth = start
+        folded = branch_folding and ins.opcode is Opcode.B
+        if not folded:
+            slots += 1
+            step_slots += 1
+            unit = ins.unit
+            counts[unit] = counts.get(unit, 0) + 1
+            step_counts[unit] = step_counts.get(unit, 0) + 1
+        local = start - step_base
+        if local > step_depth:
+            step_depth = local
+        for reg in ins.reg_defs():
+            reg_ready[reg] = start + machine.result_latency(ins, reg)
+        if ins.opcode.is_branch:
+            # the branch is the superstep barrier: close this block
+            supersteps += 1
+            estimate += (_superstep_cost(machine, step_counts, step_slots,
+                                         step_depth) + sync_latency)
+            step_counts = {}
+            step_slots = 0
+            step_depth = 0
+            step_base = depth
+    if step_slots or step_depth:
+        supersteps += 1
+        estimate += _superstep_cost(machine, step_counts, step_slots,
+                                    step_depth)
+
+    work = tuple(
+        (unit.name, -(-count // machine.unit_count(unit)))
+        for unit, count in sorted(counts.items(), key=lambda kv: kv[0].name)
+    )
+    width = -(-slots // machine.total_issue_width)
+    return BSPBound(
+        slots=slots,
+        work=work,
+        width=width,
+        depth=depth + 1 if trace else 0,
+        supersteps=supersteps,
+        estimate=estimate,
+    )
+
+
+def check_bsp(trace: list[Instruction], machine: MachineModel,
+              simulated_cycles: int, *, slack: float = DEFAULT_SLACK,
+              headroom: int = DEFAULT_HEADROOM,
+              branch_folding: bool = True) -> BSPCheck:
+    """Cross-check a simulated cycle count against the BSP cost model."""
+    bound = bsp_bound(trace, machine, branch_folding=branch_folding)
+    check = BSPCheck(bound=bound, simulated_cycles=simulated_cycles,
+                     slack=slack, headroom=headroom)
+    if simulated_cycles < bound.lower_bound:
+        check.violations.append(
+            f"simulated {simulated_cycles} cycles beat the BSP lower bound "
+            f"{bound.lower_bound} (work "
+            f"{dict(bound.work)}, width {bound.width}, depth {bound.depth})"
+            f" -- the simulator is under-charging")
+    if simulated_cycles > check.limit:
+        check.violations.append(
+            f"simulated {simulated_cycles} cycles drift beyond the "
+            f"documented tolerance {check.limit} "
+            f"(= {slack} x lower bound {bound.lower_bound} + {headroom})")
+    return check

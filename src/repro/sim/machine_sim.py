@@ -93,6 +93,9 @@ class SimulationResult:
     block_starts: list[int] = field(default_factory=list)
     #: instruction-cache misses (0 with the default perfect cache)
     icache_misses: int = 0
+    #: forced result-buffer drains (0 unless the machine is an
+    #: exposed-datapath model with ``buffers``)
+    buffer_drains: int = 0
 
     @property
     def ipc(self) -> float:
@@ -116,6 +119,20 @@ class TraceSimulator:
         self._addresses = addresses or {}
         self._icache_tags: dict[int, int] = {}
         self.icache_misses = 0
+        #: clustered machines: per-(cluster, cycle) and per-(cluster,
+        #: unit, cycle) issue counts
+        self._clusters = machine.clusters
+        self._cluster_used: dict[tuple[int, int], int] = defaultdict(int)
+        self._cluster_unit_used: dict[tuple[int, UnitType, int], int] = (
+            defaultdict(int))
+        #: exposed-datapath machines: which register currently occupies a
+        #: result buffer, and each unit's resident (register, produced
+        #: cycle) entries oldest-first
+        self._buffers = machine.buffers
+        self._buffered_reg: dict[Reg, UnitType] = {}
+        self._buffer_fifo: dict[UnitType, list[tuple[Reg, int]]] = (
+            defaultdict(list))
+        self.buffer_drains = 0
 
     # -- core ------------------------------------------------------------
 
@@ -134,24 +151,113 @@ class TraceSimulator:
             self._issue_cycles.append(earliest)
             return earliest
 
+        drains = self._buffer_overflow(ins, earliest)
+        if drains:
+            self.buffer_drains += drains
+            earliest += drains * self._buffers.drain_penalty
+
         unit = ins.unit
         capacity = machine.unit_count(unit)
         if capacity <= 0:
             raise ValueError(
                 f"machine {machine.name!r} has no {unit.name} unit for {ins!r}"
             )
-        width = machine.total_issue_width
-        cycle = earliest
-        while (self._unit_used[(unit, cycle)] >= capacity
-               or self._total_used[cycle] >= width):
-            cycle += 1
+        cycle, cluster = self._find_slot(unit, capacity, earliest)
         self._unit_used[(unit, cycle)] += 1
         self._total_used[cycle] += 1
+        if cluster is not None:
+            self._cluster_used[(cluster, cycle)] += 1
+            self._cluster_unit_used[(cluster, unit, cycle)] += 1
         self._last_issue = cycle
         self._issue_cycles.append(cycle)
+        if self._buffers is not None:
+            self._buffer_update(ins, cycle)
         for reg in ins.reg_defs():
             self._reg_ready[reg] = cycle + machine.result_latency(ins, reg)
         return cycle
+
+    def _find_slot(self, unit: UnitType, capacity: int,
+                   earliest: int) -> tuple[int, int | None]:
+        """First cycle >= ``earliest`` with a free slot (and, on clustered
+        machines, the index of the cluster issuing it)."""
+        width = self.machine.total_issue_width
+        cycle = earliest
+        while True:
+            if (self._unit_used[(unit, cycle)] < capacity
+                    and self._total_used[cycle] < width):
+                if self._clusters is None:
+                    return cycle, None
+                cluster = self._pick_cluster(unit, cycle)
+                if cluster is not None:
+                    return cycle, cluster
+            cycle += 1
+
+    def _pick_cluster(self, unit: UnitType, cycle: int) -> int | None:
+        """Lowest-index cluster with a free ``unit`` slot this cycle."""
+        for index, cluster in enumerate(self._clusters):
+            if (self._cluster_used[(index, cycle)] < cluster.issue_width
+                    and self._cluster_unit_used[(index, unit, cycle)]
+                    < cluster.unit_count(unit)):
+                return index
+        return None
+
+    # -- exposed-datapath result buffers ----------------------------------
+
+    def _buffer_overflow(self, ins: Instruction, now: int) -> int:
+        """Forced drains of still-hot results issuing ``ins`` at ``now``
+        would cause (0 = the results fit, or every eviction is of a stale
+        result the writeback port already retired for free)."""
+        buf = self._buffers
+        if buf is None:
+            return 0
+        defs = ins.reg_defs()
+        if not defs:
+            return 0
+        cap = buf.capacity(ins.unit)
+        if cap is None:
+            return 0
+        freed = set(ins.reg_uses()) | set(defs)
+        resident = [produced for reg, produced in self._buffer_fifo[ins.unit]
+                    if reg not in freed]
+        overflow = len(resident) + len(defs) - cap
+        if overflow <= 0:
+            return 0
+        # evictions happen oldest-first; only still-hot victims cost
+        return sum(1 for produced in resident[:overflow]
+                   if now - produced < buf.free_after)
+
+    def _buffer_update(self, ins: Instruction, cycle: int) -> None:
+        """Account buffer traffic of issuing ``ins``: its reads free the
+        producers' slots, its results claim slots (evicting oldest-first
+        on overflow -- any hot-drain penalty was already charged)."""
+        buf = self._buffers
+        for reg in ins.reg_uses():
+            self._release_buffer(reg)
+        defs = ins.reg_defs()
+        for reg in defs:
+            # a redefinition invalidates any still-buffered old value,
+            # whichever unit produced it
+            self._release_buffer(reg)
+        if not defs:
+            return
+        cap = buf.capacity(ins.unit)
+        if cap is None:
+            return
+        fifo = self._buffer_fifo[ins.unit]
+        while len(fifo) + len(defs) > cap:
+            del self._buffered_reg[fifo.pop(0)[0]]
+        for reg in defs:
+            fifo.append((reg, cycle))
+            self._buffered_reg[reg] = ins.unit
+
+    def _release_buffer(self, reg: Reg) -> None:
+        unit = self._buffered_reg.pop(reg, None)
+        if unit is not None:
+            fifo = self._buffer_fifo[unit]
+            for i, (resident, _produced) in enumerate(fifo):
+                if resident == reg:
+                    del fifo[i]
+                    break
 
     def run_blocks(self, blocks: list[BasicBlock]) -> SimulationResult:
         """Simulate the instruction stream of ``blocks`` in order."""
@@ -172,6 +278,7 @@ class TraceSimulator:
             issue_cycles=list(self._issue_cycles),
             block_starts=block_starts,
             icache_misses=self.icache_misses,
+            buffer_drains=self.buffer_drains,
         )
 
     def _fetch_penalty(self, ins: Instruction) -> int:
@@ -197,13 +304,12 @@ class TraceSimulator:
             earliest = max(earliest, self._reg_ready.get(reg, 0))
         if self.config.branch_folding and ins.opcode is Opcode.B:
             return earliest
+        drains = self._buffer_overflow(ins, earliest)
+        if drains:
+            earliest += drains * self._buffers.drain_penalty
         unit = ins.unit
         capacity = max(self.machine.unit_count(unit), 1)
-        width = self.machine.total_issue_width
-        cycle = earliest
-        while (self._unit_used[(unit, cycle)] >= capacity
-               or self._total_used[cycle] >= width):
-            cycle += 1
+        cycle, _cluster = self._find_slot(unit, capacity, earliest)
         return cycle
 
 
@@ -269,5 +375,6 @@ def simulate_execution(
         instructions=len(result.instr_trace),
         issue_cycles=issue_cycles,
         icache_misses=sim.icache_misses,
+        buffer_drains=sim.buffer_drains,
     )
     return result, timing

@@ -10,7 +10,10 @@ any emitted schedule is rejected by the static verifier.
 
 Timing is *not* part of the oracle (different machines time differently by
 design), but per-combination cycle counts are collected for the
-monotonicity property tests.
+monotonicity property tests -- and every cycle count is cross-checked
+against the BSP DAG cost model (:mod:`repro.sim.bsp`): a simulated count
+that beats the BSP lower bound, or drifts beyond its documented
+tolerance, fails the combo just like a wrong answer would.
 """
 
 from __future__ import annotations
@@ -20,6 +23,7 @@ from dataclasses import dataclass, field
 from ..compiler import compile_c
 from ..machine.configs import CONFIGS
 from ..sched.candidates import ScheduleLevel
+from ..sim.bsp import check_bsp
 from ..xform.pipeline import PipelineConfig
 from .generator import GenProgram
 from .verifier import ScheduleVerificationError
@@ -43,6 +47,8 @@ class ComboResult:
     arrays: list[list[int]] = field(default_factory=list)
     calls: list[tuple[str, tuple[int, ...]]] = field(default_factory=list)
     cycles: int = 0
+    #: BSP DAG-model lower bound on the cycles of the executed trace
+    bsp_lower_bound: int = 0
     error: str | None = None
 
     @property
@@ -117,6 +123,11 @@ def run_differential(
             combo.arrays = run.arrays
             combo.calls = list(run.execution.calls)
             combo.cycles = run.cycles
+            bsp = check_bsp(run.execution.instr_trace, unit.machine,
+                            run.cycles)
+            combo.bsp_lower_bound = bsp.bound.lower_bound
+            if not bsp.ok:
+                result.failures.append(f"[{tag}] {bsp.format()}")
 
     baseline = next((c for c in result.combos if c.error is None), None)
     if baseline is None:

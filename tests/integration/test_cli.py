@@ -313,6 +313,55 @@ class TestBadCheckpointResume:
                                     "master_seed")
 
 
+class TestUnknownMachine:
+    """Satellite fix (PR 8): ``--machine``/``--machines`` with an unknown
+    name is a one-line stderr error listing the available machines, exit
+    2, never an argparse usage dump or a traceback -- uniformly across
+    every command that takes a machine."""
+
+    COMMANDS = [
+        ["compile", "{path}", "--machine", "bogus"],
+        ["run", "{path}", "minmax", "1,2", "2", "0,0",
+         "--machine", "bogus"],
+        ["schedule", "{path}", "--machine", "bogus"],
+        ["dot", "{path}", "--machine", "bogus"],
+        ["verify", "{path}", "--machine", "bogus"],
+        ["stats", "{path}", "--machine", "bogus"],
+        ["serve", "--machine", "bogus"],
+        ["chaos", "--n", "1", "--machine", "bogus"],
+        ["fuzz", "--n", "1", "--machines", "rs6k,bogus"],
+        ["scorecard", "--machines", "bogus"],
+    ]
+
+    @pytest.mark.parametrize("argv", COMMANDS, ids=lambda a: a[0])
+    def test_unknown_machine(self, argv, c_file, capsys):
+        argv = [a.format(path=c_file) for a in argv]
+        assert main(argv) == 2
+        captured = capsys.readouterr()
+        err = captured.err
+        assert err.startswith("error: unknown machine 'bogus'")
+        assert "available:" in err
+        assert "rs6k" in err and "xdp" in err  # the zoo is listed
+        assert len(err.strip().splitlines()) == 1
+        assert "Traceback" not in err
+
+    def test_known_machines_still_parse(self, c_file):
+        # no argparse choices= left behind: every zoo name is accepted
+        from repro.machine.configs import ZOO
+
+        for name in ZOO:
+            assert main(["compile", c_file, "--machine", name,
+                         "--level", "none"]) == 0
+
+
+class TestScorecardCommand:
+    def test_fast_single_machine_matrix(self, capsys):
+        assert main(["scorecard", "--machines", "ss1"]) == 0
+        out = capsys.readouterr().out
+        assert "machine ss1 [ok]" in out
+        assert "minmax" in out
+
+
 class TestChaosCommand:
     def test_smoke_sweep_exits_zero(self, capsys):
         assert main(["chaos", "--n", "2", "--seed", "1991"]) == 0

@@ -1,0 +1,230 @@
+"""Property tests: malformed machine descriptions die at construction.
+
+Before PR 8 a zero unit count or a negative delay surfaced as a deep
+scheduler or simulator error (a hang, a division by zero, a nonsense
+schedule); now :class:`MachineValidationError` rejects the description
+the moment it is built.  Hypothesis sweeps the rejection surface; the
+zoo sanity checks pin every shipped config as well-formed.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import Opcode, UnitType
+from repro.machine import (
+    CONFIGS,
+    BufferModel,
+    Cluster,
+    DelayModel,
+    MachineModel,
+    MachineValidationError,
+    buffers,
+    cluster,
+)
+
+#: anything that is not a genuine positive int: zero/negative ints,
+#: bools (Python's bool subclasses int!), floats, strings, None
+not_a_positive_int = st.one_of(
+    st.integers(max_value=0),
+    st.booleans(),
+    st.floats(),
+    st.text(max_size=3),
+    st.none(),
+)
+
+not_a_nonneg_int = st.one_of(
+    st.integers(max_value=-1),
+    st.booleans(),
+    st.floats(),
+    st.text(max_size=3),
+    st.none(),
+)
+
+unit_types = st.sampled_from(list(UnitType))
+
+#: well-formed unit tables: at least one unit type, counts 1..8
+valid_units = st.dictionaries(unit_types, st.integers(1, 8), min_size=1)
+
+
+class TestUnitValidation:
+    @given(valid_units, unit_types, not_a_positive_int)
+    @settings(max_examples=60, deadline=None)
+    def test_bad_unit_count_rejected(self, units, unit, count):
+        units[unit] = count
+        with pytest.raises(MachineValidationError):
+            MachineModel(name="bad", units=units)
+
+    def test_empty_units_rejected(self):
+        with pytest.raises(MachineValidationError):
+            MachineModel(name="bad", units={})
+
+    def test_non_unittype_key_rejected(self):
+        with pytest.raises(MachineValidationError):
+            MachineModel(name="bad", units={"FXU": 2})
+
+    @given(valid_units)
+    @settings(max_examples=40, deadline=None)
+    def test_valid_units_accepted(self, units):
+        machine = MachineModel(name="ok", units=units)
+        assert machine.total_issue_width >= 1
+        for unit, count in units.items():
+            assert machine.unit_count(unit) == count
+
+
+class TestDelayValidation:
+    FIELDS = ("load_use", "fixed_compare_branch", "float_op_use",
+              "float_compare_branch")
+
+    @given(st.sampled_from(FIELDS), not_a_nonneg_int)
+    @settings(max_examples=60, deadline=None)
+    def test_bad_delay_rejected(self, name, value):
+        with pytest.raises(MachineValidationError):
+            DelayModel(**{name: value})
+
+    @given(st.integers(0, 12), st.integers(0, 12), st.integers(0, 12),
+           st.integers(0, 12))
+    @settings(max_examples=40, deadline=None)
+    def test_nonneg_delays_accepted(self, a, b, c, d):
+        model = DelayModel(load_use=a, fixed_compare_branch=b,
+                           float_op_use=c, float_compare_branch=d)
+        assert model.load_use == a
+
+    def test_delays_must_be_a_delay_model(self):
+        with pytest.raises(MachineValidationError):
+            MachineModel(name="bad", units={UnitType.FXU: 1},
+                         delays={"load_use": 1})
+
+
+class TestIssueWidthAndExecTimes:
+    # issue_width=None is legal (no cap), so exclude it from the bads
+    bad_widths = st.one_of(st.integers(max_value=0), st.booleans(),
+                           st.floats(), st.text(max_size=3))
+
+    @given(valid_units, bad_widths)
+    @settings(max_examples=60, deadline=None)
+    def test_bad_issue_width_rejected(self, units, width):
+        with pytest.raises(MachineValidationError):
+            MachineModel(name="bad", units=units, issue_width=width)
+
+    @given(valid_units, st.integers(1, 16))
+    @settings(max_examples=40, deadline=None)
+    def test_valid_issue_width_accepted(self, units, width):
+        machine = MachineModel(name="ok", units=units, issue_width=width)
+        assert machine.total_issue_width <= width
+
+    @given(valid_units, not_a_positive_int)
+    @settings(max_examples=60, deadline=None)
+    def test_bad_exec_time_rejected(self, units, cycles):
+        with pytest.raises(MachineValidationError):
+            MachineModel(name="bad", units=units,
+                         exec_times={Opcode.MUL: cycles})
+
+
+class TestClusterValidation:
+    def _machine(self, clusters):
+        return MachineModel(name="bad", units={UnitType.FXU: 4},
+                            clusters=clusters)
+
+    def test_clusters_must_partition_units(self):
+        # 2 + 1 != the machine's 4 FXUs
+        with pytest.raises(MachineValidationError):
+            self._machine((cluster("c0", {UnitType.FXU: 2}, 2),
+                           cluster("c1", {UnitType.FXU: 1}, 2)))
+
+    def test_cluster_cannot_add_foreign_units(self):
+        with pytest.raises(MachineValidationError):
+            self._machine((cluster("c0", {UnitType.FXU: 4}, 2),
+                           cluster("c1", {UnitType.FPU: 1}, 1)))
+
+    def test_exact_partition_accepted(self):
+        machine = self._machine((cluster("c0", {UnitType.FXU: 2}, 2),
+                                 cluster("c1", {UnitType.FXU: 2}, 2)))
+        assert machine.clusters[0].unit_count(UnitType.FXU) == 2
+
+    def test_duplicate_cluster_names_rejected(self):
+        with pytest.raises(MachineValidationError):
+            self._machine((cluster("c", {UnitType.FXU: 2}, 2),
+                           cluster("c", {UnitType.FXU: 2}, 2)))
+
+    def test_empty_cluster_tuple_rejected(self):
+        with pytest.raises(MachineValidationError):
+            self._machine(())
+
+    @given(not_a_positive_int)
+    @settings(max_examples=40, deadline=None)
+    def test_bad_cluster_width_rejected(self, width):
+        with pytest.raises(MachineValidationError):
+            self._machine((cluster("c0", {UnitType.FXU: 4}, width),))
+
+    @given(not_a_positive_int)
+    @settings(max_examples=40, deadline=None)
+    def test_bad_cluster_count_rejected(self, count):
+        with pytest.raises(MachineValidationError):
+            self._machine((
+                Cluster("c0", ((UnitType.FXU, count),), 2),))
+
+    def test_cluster_without_units_rejected(self):
+        with pytest.raises(MachineValidationError):
+            self._machine((Cluster("c0", (), 2),
+                           cluster("c1", {UnitType.FXU: 4}, 2)))
+
+
+class TestBufferValidation:
+    def _machine(self, bufs):
+        return MachineModel(name="bad", units={UnitType.FXU: 2},
+                            buffers=bufs)
+
+    @given(not_a_positive_int)
+    @settings(max_examples=40, deadline=None)
+    def test_bad_capacity_rejected(self, capacity):
+        with pytest.raises(MachineValidationError):
+            self._machine(BufferModel(
+                capacities=((UnitType.FXU, capacity),)))
+
+    def test_capacity_for_missing_unit_rejected(self):
+        with pytest.raises(MachineValidationError):
+            self._machine(buffers({UnitType.FPU: 2}))
+
+    @given(not_a_nonneg_int)
+    @settings(max_examples=40, deadline=None)
+    def test_bad_drain_penalty_rejected(self, penalty):
+        with pytest.raises(MachineValidationError):
+            self._machine(BufferModel(
+                capacities=((UnitType.FXU, 2),), drain_penalty=penalty))
+
+    @given(not_a_nonneg_int)
+    @settings(max_examples=40, deadline=None)
+    def test_bad_free_after_rejected(self, free_after):
+        with pytest.raises(MachineValidationError):
+            self._machine(BufferModel(
+                capacities=((UnitType.FXU, 2),), free_after=free_after))
+
+    def test_valid_buffers_accepted(self):
+        machine = self._machine(buffers({UnitType.FXU: 3},
+                                        drain_penalty=1, free_after=2))
+        assert machine.buffers.capacity(UnitType.FXU) == 3
+        assert machine.buffers.capacity(UnitType.FPU) is None
+
+
+class TestZooIsWellFormed:
+    @pytest.mark.parametrize("name", sorted(CONFIGS))
+    def test_config_constructs(self, name):
+        machine = CONFIGS[name]()
+        assert machine.total_issue_width >= 1
+        assert machine.unit_types
+
+    def test_clustered_config_partitions(self):
+        machine = CONFIGS["clus2x2"]()
+        summed: dict = {}
+        for c in machine.clusters:
+            for unit, count in c.units:
+                summed[unit] = summed.get(unit, 0) + count
+        assert summed == machine.units
+
+    def test_exposed_datapath_has_buffers(self):
+        machine = CONFIGS["xdp"]()
+        assert machine.buffers is not None
+        assert machine.buffers.drain_penalty >= 0

@@ -1,0 +1,159 @@
+"""The BSP DAG cost model: bound components, oracle verdicts, soundness.
+
+The lower bound must be provable against the simulator's issue rules, so
+the core property here is *soundness*: across the whole machine zoo, on
+hand traces, bench programs and generated programs, simulated cycles
+never beat the bound.  Tightness is not required (the bound ignores
+in-order blocking), but the hand traces pin each component -- work,
+width, depth -- where it is exact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.programs import MINMAX_WORKLOAD
+from repro.compiler import compile_c
+from repro.ir import parse_function
+from repro.machine import CONFIGS, MachineModel, rs6k, superscalar
+from repro.machine.model import UnitType
+from repro.sim import bsp_bound, check_bsp, simulate_trace
+
+
+def _trace(text: str, machine) -> tuple[list, int]:
+    func = parse_function(text)
+    blocks = list(func.blocks)
+    result = simulate_trace(blocks, machine)
+    trace = [ins for block in blocks for ins in block.instrs]
+    return trace, result.cycles
+
+CHAIN = """
+function f
+a:
+    LI r1=1
+    AI r2=r1,1
+    AI r3=r2,1
+"""
+
+INDEPENDENT = """
+function f
+a:
+    LI r1=1
+    LI r2=2
+    LI r3=3
+    LI r4=4
+"""
+
+
+class TestBoundComponents:
+    def test_depth_bounds_a_dependence_chain(self):
+        machine = superscalar(8)
+        trace, cycles = _trace(CHAIN, machine)
+        bound = bsp_bound(trace, machine)
+        # LI result is consumable next cycle, so each link adds 1
+        assert bound.depth == 3
+        assert bound.lower_bound == 3
+        assert cycles == 3  # exact here
+
+    def test_work_bounds_unit_pressure(self):
+        machine = MachineModel(name="one", units={UnitType.FXU: 1})
+        trace, cycles = _trace(INDEPENDENT, machine)
+        bound = bsp_bound(trace, machine)
+        assert dict(bound.work)["FXU"] == 4
+        assert bound.lower_bound == 4
+        assert cycles == 4
+
+    def test_width_bounds_total_issue(self):
+        machine = MachineModel(name="capped", units={UnitType.FXU: 4},
+                               issue_width=2)
+        trace, cycles = _trace(INDEPENDENT, machine)
+        bound = bsp_bound(trace, machine)
+        assert bound.width == 2
+        assert bound.lower_bound == 2
+        assert cycles == 2
+
+    def test_folded_branch_consumes_no_slot(self):
+        machine = rs6k()
+        func = parse_function("""
+function f
+a:
+    LI r1=1
+    B b
+b:
+    LI r2=2
+""")
+        trace = [ins for block in func.blocks for ins in block.instrs]
+        folded = bsp_bound(trace, machine, branch_folding=True)
+        unfolded = bsp_bound(trace, machine, branch_folding=False)
+        assert folded.slots == 2
+        assert unfolded.slots == 3
+
+    def test_branches_delimit_supersteps(self):
+        machine = rs6k()
+        func = parse_function("""
+function f
+a:
+    LI r1=1
+    B b
+b:
+    LI r2=2
+""")
+        trace = [ins for block in func.blocks for ins in block.instrs]
+        bound = bsp_bound(trace, machine)
+        assert bound.supersteps == 2
+        assert bound.estimate >= bound.supersteps
+
+    def test_empty_trace(self):
+        bound = bsp_bound([], rs6k())
+        assert bound.lower_bound == 0
+        assert bound.estimate == 0
+        assert check_bsp([], rs6k(), 0).ok
+
+
+class TestOracleVerdicts:
+    def _setup(self):
+        machine = rs6k()
+        trace, cycles = _trace(CHAIN, machine)
+        return machine, trace, cycles
+
+    def test_honest_count_passes(self):
+        machine, trace, cycles = self._setup()
+        check = check_bsp(trace, machine, cycles)
+        assert check.ok, check.format()
+
+    def test_beating_the_bound_fails(self):
+        machine, trace, _cycles = self._setup()
+        check = check_bsp(trace, machine, 1)
+        assert not check.ok
+        assert "beat the BSP lower bound" in check.format()
+
+    def test_drifting_beyond_tolerance_fails(self):
+        machine, trace, _cycles = self._setup()
+        check = check_bsp(trace, machine, 10 ** 9)
+        assert not check.ok
+        assert "drift beyond" in check.format()
+
+    def test_tolerance_is_configurable(self):
+        machine, trace, cycles = self._setup()
+        tight = check_bsp(trace, machine, cycles + 100,
+                          slack=1.0, headroom=0)
+        assert not tight.ok
+
+
+class TestSoundnessAcrossTheZoo:
+    @pytest.mark.parametrize("name", sorted(CONFIGS))
+    def test_minmax_never_beats_the_bound(self, name):
+        machine = CONFIGS[name]()
+        unit = compile_c(MINMAX_WORKLOAD.source, machine=machine)
+        entry = unit[MINMAX_WORKLOAD.entry]
+        run = entry.run([5, 3, 9, 1, 7, 2], 4, [0, 0])
+        check = check_bsp(run.execution.instr_trace, machine, run.cycles)
+        assert run.cycles >= check.bound.lower_bound
+        assert check.ok, check.format()
+
+    @pytest.mark.parametrize("name", sorted(CONFIGS))
+    def test_hand_traces_never_beat_the_bound(self, name):
+        machine = CONFIGS[name]()
+        for text in (CHAIN, INDEPENDENT):
+            trace, cycles = _trace(text, machine)
+            assert cycles >= bsp_bound(trace, machine).lower_bound

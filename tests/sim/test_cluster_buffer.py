@@ -1,0 +1,154 @@
+"""Simulator semantics of the PR-8 machine-zoo extensions.
+
+* clustered-FU machines: per-cluster per-cycle issue caps bind even when
+  the flat unit counts would allow a wider issue group;
+* exposed-datapath machines: full result buffers delay the next producer
+  by the drain penalty, consuming reads free slots, and stale results
+  (retired by the background writeback port) evict for free.
+"""
+
+from __future__ import annotations
+
+from repro.ir import UnitType, parse_function
+from repro.machine import MachineModel, buffers, cluster
+from repro.machine.configs import clustered, exposed_datapath
+from repro.sim import simulate_trace
+
+FOUR_INDEPENDENT = """
+function f
+a:
+    LI r1=1
+    LI r2=2
+    LI r3=3
+    LI r4=4
+"""
+
+
+def _block(text: str):
+    func = parse_function(text)
+    return [func.blocks[0]]
+
+
+class TestClusteredIssue:
+    def _machine(self, *clusters) -> MachineModel:
+        total = sum(c.unit_count(UnitType.FXU) for c in clusters)
+        return MachineModel(name="c", units={UnitType.FXU: total},
+                            clusters=clusters)
+
+    def test_flat_machine_packs_four_wide(self):
+        machine = MachineModel(name="flat", units={UnitType.FXU: 4})
+        result = simulate_trace(_block(FOUR_INDEPENDENT), machine)
+        assert result.issue_cycles == [0, 0, 0, 0]
+
+    def test_cluster_caps_bind_below_unit_counts(self):
+        # same 4 FXUs, but one cluster may only start 1/cycle: the fourth
+        # instruction finds both clusters' issue ports exhausted
+        machine = self._machine(cluster("c0", {UnitType.FXU: 2}, 1),
+                                cluster("c1", {UnitType.FXU: 2}, 2))
+        result = simulate_trace(_block(FOUR_INDEPENDENT), machine)
+        assert result.issue_cycles == [0, 0, 0, 1]
+
+    def test_matching_cluster_widths_are_transparent(self):
+        # per-cluster widths equal to the cluster's unit counts change
+        # nothing relative to the flat machine
+        machine = self._machine(cluster("c0", {UnitType.FXU: 2}, 2),
+                                cluster("c1", {UnitType.FXU: 2}, 2))
+        result = simulate_trace(_block(FOUR_INDEPENDENT), machine)
+        assert result.issue_cycles == [0, 0, 0, 0]
+
+    def test_cluster_usage_resets_each_cycle(self):
+        machine = self._machine(cluster("c0", {UnitType.FXU: 1}, 1),
+                                cluster("c1", {UnitType.FXU: 1}, 1))
+        text = """
+function f
+a:
+    LI r1=1
+    LI r2=2
+    LI r3=3
+    LI r4=4
+"""
+        result = simulate_trace(_block(text), machine)
+        assert result.issue_cycles == [0, 0, 1, 1]
+
+    def test_shipped_clustered_config_never_beats_flat(self):
+        # the clustered zoo entry is a pure timing refinement: it can only
+        # be slower than the same units without cluster caps
+        machine = clustered()
+        flat = MachineModel(name="flat", units=dict(machine.units),
+                            delays=machine.delays,
+                            exec_times=dict(machine.exec_times))
+        blocks = _block(FOUR_INDEPENDENT)
+        assert (simulate_trace(blocks, machine).cycles
+                >= simulate_trace(blocks, flat).cycles)
+
+
+class TestBufferedUnits:
+    def _machine(self, capacity=1, drain_penalty=2,
+                 free_after=100) -> MachineModel:
+        return MachineModel(
+            name="b", units={UnitType.FXU: 2},
+            buffers=buffers({UnitType.FXU: capacity},
+                            drain_penalty=drain_penalty,
+                            free_after=free_after))
+
+    def test_hot_overflow_charges_drain_penalty(self):
+        # capacity 1, nothing consumes r1: the second producer must drain
+        # a still-hot result and pays the penalty on its issue
+        result = simulate_trace(_block("""
+function f
+a:
+    LI r1=1
+    LI r2=2
+"""), self._machine())
+        # both LIs would pack at cycle 0 on the 2 FXUs; the drain pushes
+        # the second producer out by drain_penalty
+        assert result.issue_cycles == [0, 2]
+        assert result.buffer_drains == 1
+
+    def test_consuming_read_frees_the_slot(self):
+        # AI reads r1, releasing its buffer slot before defining r2
+        result = simulate_trace(_block("""
+function f
+a:
+    LI r1=1
+    AI r2=r1,1
+"""), self._machine())
+        assert result.buffer_drains == 0
+
+    def test_stale_results_evict_free(self):
+        # free_after=0: the background writeback port has always retired
+        # the result already, so overflow never costs anything
+        result = simulate_trace(_block("""
+function f
+a:
+    LI r1=1
+    LI r2=2
+    LI r3=3
+"""), self._machine(free_after=0))
+        assert result.buffer_drains == 0
+        assert result.issue_cycles == [0, 0, 1]
+
+    def test_zero_penalty_still_counts_drains(self):
+        result = simulate_trace(_block("""
+function f
+a:
+    LI r1=1
+    LI r2=2
+"""), self._machine(drain_penalty=0))
+        assert result.buffer_drains == 1
+        assert result.issue_cycles == [0, 0]  # counted, but free
+
+    def test_capacity_two_absorbs_two_producers(self):
+        result = simulate_trace(_block("""
+function f
+a:
+    LI r1=1
+    LI r2=2
+"""), self._machine(capacity=2))
+        assert result.buffer_drains == 0
+
+    def test_shipped_xdp_config_runs(self):
+        machine = exposed_datapath()
+        result = simulate_trace(_block(FOUR_INDEPENDENT), machine)
+        assert result.cycles >= 1
+        assert result.buffer_drains >= 0
