@@ -1,0 +1,177 @@
+"""Supervision-overhead gate for the self-healing compile service.
+
+ISSUE 9 satellite: with supervision *on* and the journal *off* -- the
+inert, no-faults path every healthy daemon runs -- the daemon may cost
+at most 2% over the same daemon with supervision disabled
+(``--no-supervise``).  Writes ``BENCH_service.json`` for CI::
+
+    PYTHONPATH=src python benchmarks/perf/run_service_bench.py
+    PYTHONPATH=src python benchmarks/perf/run_service_bench.py --quick
+
+Two measurements, both min-of-N (the standard noise filter), both on a
+fixed request corpus:
+
+* ``cold``  -- a fresh daemon compiles the full batch through its pool
+  (this is where the supervisor's poll-timeout drain loop, PID
+  snapshots and in-flight ageing actually run);
+* ``warm``  -- the same batch re-served from the content-addressed
+  artifact cache (the steady-state serving path).
+
+Both arms serve identical requests and must return identical response
+sets -- an overhead number for a daemon that answers differently would
+be meaningless.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+from repro.service import Daemon, ServeConfig
+
+#: the acceptance gate, percent
+SUPERVISION_MAX_OVERHEAD_PCT = 2.0
+
+JOBS = 4
+BATCH = 192
+
+
+def _lines() -> list[str]:
+    out = []
+    for i in range(BATCH):
+        k = i % (BATCH * 3 // 4)  # a few duplicates, like real traffic
+        out.append(json.dumps({
+            "id": i,
+            "source": f"int s{k}(int a, int b) "
+                      f"{{ return a * {k + 2} + b * {k % 5}; }}"}))
+    return out
+
+
+def _prelude() -> list[str]:
+    # sources disjoint from the measured corpus: forks the pool and
+    # warms the workers without warming the measured cache keys
+    return [json.dumps({"id": 1000 + i,
+                        "source": f"int warm{i}(int x) {{ return x + {i}; }}"})
+            for i in range(JOBS)]
+
+
+def _config(supervise: bool) -> ServeConfig:
+    return ServeConfig(jobs=JOBS, supervise=supervise)
+
+
+def _cold_once(supervise: bool, lines: list[str]) -> tuple[float, list]:
+    with Daemon(_config(supervise)) as daemon:
+        daemon.serve_batch_lines(_prelude())
+        t0 = time.perf_counter()
+        responses = daemon.serve_batch_lines(lines)
+        return time.perf_counter() - t0, responses
+
+
+def bench_cold(repeats: int, lines: list[str]) -> dict:
+    samples = {True: [], False: []}
+    answers = {}
+    for rep in range(repeats):
+        # ABBA ordering cancels linear drift (CPU frequency, page
+        # cache); gc.collect keeps pauses out of one arm's window
+        order = (True, False) if rep % 2 == 0 else (False, True)
+        for supervise in order:
+            gc.collect()
+            elapsed, responses = _cold_once(supervise, lines)
+            samples[supervise].append(elapsed)
+            answers[supervise] = responses
+    assert answers[True] == answers[False], \
+        "supervised and raw daemons answered differently"
+    return _row("cold", samples)
+
+
+def bench_warm(repeats: int, lines: list[str]) -> dict:
+    samples = {True: [], False: []}
+    answers = {}
+    daemons = {s: Daemon(_config(s)) for s in (True, False)}
+    try:
+        for supervise, daemon in daemons.items():
+            answers[supervise] = daemon.serve_batch_lines(lines)  # warm it
+        for rep in range(repeats):
+            order = (True, False) if rep % 2 == 0 else (False, True)
+            for supervise in order:
+                daemon = daemons[supervise]
+                gc.collect()
+                t0 = time.perf_counter()
+                for _ in range(10):  # one sample = 10 serves, so the
+                    daemon.serve_batch_lines(lines)  # timer sees >15ms
+                samples[supervise].append(time.perf_counter() - t0)
+    finally:
+        for daemon in daemons.values():
+            daemon.close()
+    assert answers[True] == answers[False], \
+        "supervised and raw daemons answered differently"
+    return _row("warm", samples)
+
+
+def _row(name: str, samples: dict) -> dict:
+    # Gate on the *cleanest round's* ratio, same statistic as the
+    # pipeline bench's resilience gate: the two samples of one round run
+    # back to back under the same host conditions, so their ratio
+    # isolates supervision's cost from load that arrives mid-suite; with
+    # several rounds, at least one is usually undisturbed.  Inert
+    # supervision cannot really have negative cost, so the gate value is
+    # floored at zero; the signed measurement rides along for trends.
+    raw_overhead_pct = min(
+        (s / r - 1.0) * 100.0
+        for s, r in zip(samples[True], samples[False]))
+    return {"metric": name,
+            "supervised_s": round(min(samples[True]), 6),
+            "raw_s": round(min(samples[False]), 6),
+            "overhead_pct": round(max(0.0, raw_overhead_pct), 3),
+            "raw_overhead_pct": round(raw_overhead_pct, 3)}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="supervision-overhead gate for repro serve")
+    parser.add_argument("--out", default=str(REPO_ROOT /
+                                             "BENCH_service.json"))
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer repeats (local smoke)")
+    args = parser.parse_args(argv)
+    cold_repeats = 5 if args.quick else 9
+    warm_repeats = 5 if args.quick else 15
+
+    lines = _lines()
+    rows = [bench_cold(cold_repeats, lines),
+            bench_warm(warm_repeats, lines)]
+    results = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "jobs": JOBS,
+        "batch": BATCH,
+        "thresholds": {"max_overhead_pct": SUPERVISION_MAX_OVERHEAD_PCT},
+        "rows": rows,
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(results, indent=2) + "\n")
+
+    failed = False
+    for row in rows:
+        verdict = "ok"
+        if row["overhead_pct"] >= SUPERVISION_MAX_OVERHEAD_PCT:
+            verdict = (f"FAIL (>= {SUPERVISION_MAX_OVERHEAD_PCT}% "
+                       f"supervision overhead)")
+            failed = True
+        print(f"{row['metric']:>5}: supervised {row['supervised_s']:.4f}s"
+              f"  raw {row['raw_s']:.4f}s"
+              f"  overhead {row['overhead_pct']:+.2f}%"
+              f" (signed {row['raw_overhead_pct']:+.2f}%)  {verdict}")
+    print(f"wrote {out}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,12 +30,26 @@ Commands:
   sharded job pool (``--jobs``) and a content-addressed artifact cache
   (``--cache-entries`` / ``--cache-dir``); responses are identical for
   every job count, and ``--scorecard`` prints the live operator report
-  (QPS, cache hit rate, rung histogram, queue depth) after every batch;
+  (QPS, cache hit rate, rung histogram, queue depth) after every batch.
+  The service is self-healing: dead or hung workers are detected and
+  the pool rebuilt in place (``--hang-timeout``; repeated rebuilds trip
+  a circuit breaker into inline mode), ``--journal FILE`` keeps a
+  write-ahead journal so ``--resume-journal`` replays whatever a crash
+  interrupted, ``--high-water``/``--low-water`` shed load above a
+  queue-depth watermark (fast-fail ``overloaded`` or, with
+  ``--degrade-under-load``, one re-verified ladder rung down), and
+  ``--max-request-bytes``/``--read-deadline`` harden the framing
+  against oversized frames and stalled clients;
 * ``chaos --n 200 --seed 1991`` -- fault injection: seeded faults (pass
   crashes/hangs, corrupted dependence graphs, stale analyses, blinded
   live-on-exit sets) against the resilient pipeline, asserting every one
   is absorbed at a verified degradation rung or reported as a typed
   error -- never an uncaught traceback or a surviving miscompile.
+  ``--service`` swaps in service-boundary faults instead -- worker
+  kills/hangs, client disconnects, torn journal writes, partial frames
+  -- against a live daemon, asserting every response is the
+  BSP-cross-checked reference answer or a typed error, and the daemon
+  never hangs or dies.
 
 ``compile`` and ``stats`` accept ``--resilient`` (fail-soft pipeline:
 pass isolation plus the speculative -> useful -> bb -> identity
@@ -410,7 +424,7 @@ def cmd_fuzz(args) -> int:
 
 
 def cmd_serve(args) -> int:
-    from .service import Daemon, ServeConfig
+    from .service import Daemon, JournalError, ServeConfig
 
     _machine_factory(args.machine)
     if args.jobs < 1:
@@ -419,15 +433,48 @@ def cmd_serve(args) -> int:
     if args.batch_size < 1:
         raise CLIError(f"error: --batch-size must be a positive integer, "
                        f"got {args.batch_size}")
+    if args.resume_journal and not args.journal:
+        raise CLIError("error: --resume-journal requires --journal FILE")
+    if args.high_water is not None and args.high_water < 1:
+        raise CLIError(f"error: --high-water must be a positive integer, "
+                       f"got {args.high_water}")
+    if args.low_water is not None and args.high_water is None:
+        raise CLIError("error: --low-water requires --high-water")
+    if args.low_water is not None and args.low_water >= args.high_water:
+        raise CLIError(f"error: --low-water ({args.low_water}) must be "
+                       f"below --high-water ({args.high_water})")
+    if args.max_request_bytes is not None and args.max_request_bytes < 2:
+        raise CLIError(f"error: --max-request-bytes must be at least 2, "
+                       f"got {args.max_request_bytes}")
     config = ServeConfig(
         jobs=args.jobs, machine=args.machine, level=args.level,
         timeout_s=args.timeout, resilient=args.resilient,
         cache_entries=args.cache_entries, cache_dir=args.cache_dir,
         batch_size=args.batch_size, queue_size=args.queue_size,
         allow_chaos=args.chaos, scorecard=args.scorecard,
+        supervise=not args.no_supervise,
+        hang_timeout_s=args.hang_timeout,
+        max_rebuilds=args.max_rebuilds,
+        rebuild_window_s=args.rebuild_window,
+        journal_path=args.journal,
+        resume_journal=args.resume_journal,
+        high_water=args.high_water, low_water=args.low_water,
+        degrade_under_load=args.degrade_under_load,
+        max_request_bytes=args.max_request_bytes,
+        read_deadline_s=args.read_deadline,
     )
     with Daemon(config) as daemon:
         daemon.install_signal_handlers()
+        if args.resume_journal:
+            try:
+                replayed = daemon.resume_from_journal(sys.stdout,
+                                                      sys.stderr)
+            except JournalError as exc:
+                raise CLIError(f"error: {exc}") from exc
+            print(f"serve: replayed {replayed} journaled request(s)",
+                  file=sys.stderr)
+        elif args.journal:
+            daemon.start_journal()
         if args.socket:
             summary = daemon.serve_socket(args.socket, sys.stderr)
         else:
@@ -451,16 +498,26 @@ def cmd_serve(args) -> int:
 
 
 def cmd_chaos(args) -> int:
-    from .resilience import run_chaos
-
     _machine_factory(args.machine)
+    if args.jobs < 1:
+        raise CLIError(f"error: --jobs must be a positive integer, "
+                       f"got {args.jobs}")
 
     def progress(result) -> None:
         if args.verbose:
             print(result.format(), flush=True)
 
-    report = run_chaos(args.n, args.seed, machine_name=args.machine,
-                       on_progress=progress)
+    if args.service:
+        from .resilience.service_chaos import run_service_chaos
+
+        report = run_service_chaos(args.n, args.seed,
+                                   machine_name=args.machine,
+                                   jobs=args.jobs, on_progress=progress)
+    else:
+        from .resilience import run_chaos
+
+        report = run_chaos(args.n, args.seed, machine_name=args.machine,
+                           on_progress=progress)
     if not args.verbose:
         for violation in report.violations:
             print(violation.format())
@@ -607,6 +664,45 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resilient", action="store_true",
                    help="default requests to the fail-soft pipeline "
                         "(requests may override per line)")
+    p.add_argument("--journal", metavar="FILE",
+                   help="write-ahead journal of accepted requests and "
+                        "completions, for crash recovery")
+    p.add_argument("--resume-journal", action="store_true",
+                   help="on start, replay the journal's incomplete "
+                        "requests before serving (requires --journal)")
+    p.add_argument("--no-supervise", action="store_true",
+                   help="raw worker pool without the supervisor (bench "
+                        "baseline; a crashed worker can wedge a batch)")
+    p.add_argument("--hang-timeout", type=float, metavar="SECONDS",
+                   help="supervisor deadline for in-flight jobs; a job "
+                        "past it is quarantined and its pool rebuilt "
+                        "(default: rely on the per-job watchdog)")
+    p.add_argument("--max-rebuilds", type=int, default=3, metavar="N",
+                   help="pool rebuilds inside --rebuild-window before "
+                        "the circuit breaker trips to inline mode "
+                        "(default: 3)")
+    p.add_argument("--rebuild-window", type=float, default=60.0,
+                   metavar="SECONDS",
+                   help="sliding window for the rebuild counter "
+                        "(default: 60)")
+    p.add_argument("--high-water", type=int, metavar="N",
+                   help="unserved-request depth that starts load "
+                        "shedding (default: admission control off)")
+    p.add_argument("--low-water", type=int, metavar="N",
+                   help="depth at which shedding stops "
+                        "(default: half of --high-water)")
+    p.add_argument("--degrade-under-load", action="store_true",
+                   help="shed by compiling one ladder rung down "
+                        "(re-verified) instead of fast-failing with "
+                        "'overloaded'")
+    p.add_argument("--max-request-bytes", type=int, metavar="N",
+                   help="longest request line accepted; longer frames "
+                        "get a typed 'oversized' error (default: "
+                        "unbounded)")
+    p.add_argument("--read-deadline", type=float, metavar="SECONDS",
+                   help="per-client socket read deadline; a stalled "
+                        "client ends its own session only (default: "
+                        "patient)")
     _add_common(p)
     p.set_defaults(fn=cmd_serve)
 
@@ -619,6 +715,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="master seed (default: 1991)")
     p.add_argument("--machine", default="rs6k", metavar="NAME",
                    help="machine configuration (default: rs6k)")
+    p.add_argument("--service", action="store_true",
+                   help="inject service-boundary faults (worker kills/"
+                        "hangs, client disconnects, torn journal writes, "
+                        "partial frames) against the serve daemon "
+                        "instead of pipeline faults")
+    p.add_argument("--jobs", type=int, default=2, metavar="N",
+                   help="daemon pool width for --service plans "
+                        "(default: 2)")
     p.add_argument("--verbose", action="store_true",
                    help="print every case as it completes")
     p.set_defaults(fn=cmd_chaos)

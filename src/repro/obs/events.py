@@ -23,7 +23,11 @@ The taxonomy follows the paper's own vocabulary:
   (Section 4.2 renaming admitted the motion);
 * outcomes -- :class:`MotionRecorded`;
 * resilience -- :class:`DegradationEvent` (the fail-soft pipeline skipped
-  a pass or fell down a degradation-ladder rung).
+  a pass or fell down a degradation-ladder rung);
+* service -- :class:`SupervisorEvent` (the compile service's pool
+  supervisor lost/replaced workers, rebuilt the pool, or tripped the
+  circuit breaker) and :class:`AdmissionEvent` (load shedding started or
+  stopped at the queue watermarks).
 """
 
 from __future__ import annotations
@@ -255,6 +259,38 @@ class DegradationEvent(TraceEvent):
     detail: str
 
 
+# -- service ----------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SupervisorEvent(TraceEvent):
+    """The service supervisor acted on the worker pool (see
+    :mod:`repro.service.supervisor`)."""
+
+    kind: ClassVar[str] = "supervisor"
+    #: "worker-lost" | "worker-hung" | "pool-rebuilt" | "breaker-tripped"
+    action: str
+    #: pool rebuilds so far (including this one, for "pool-rebuilt")
+    rebuilds: int
+    #: jobs in flight when the supervisor acted
+    inflight: int
+    #: one-line description of what was observed
+    detail: str
+
+
+@dataclass(frozen=True)
+class AdmissionEvent(TraceEvent):
+    """The service crossed an admission-control watermark (see
+    :mod:`repro.service.daemon`)."""
+
+    kind: ClassVar[str] = "admission"
+    #: "shed-start" | "shed-stop"
+    action: str
+    #: queued-request depth that triggered the transition
+    depth: int
+    high_water: int
+    low_water: int
+
+
 #: every concrete event type, keyed by its ``kind`` tag
 EVENT_TYPES: dict[str, type[TraceEvent]] = {
     cls.kind: cls
@@ -264,7 +300,7 @@ EVENT_TYPES: dict[str, type[TraceEvent]] = {
         BlockBegin, BlockEnd, CandidateBlocksComputed, CandidatesCollected,
         CycleAdvance, Issue, UnitOccupancy, PriorityDecision,
         SpeculationRejected, SpeculationRenamed, MotionRecorded,
-        DegradationEvent,
+        DegradationEvent, SupervisorEvent, AdmissionEvent,
     )
 }
 

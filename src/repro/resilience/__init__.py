@@ -28,8 +28,17 @@ from .errors import (
     InjectedFault,
     ResilienceError,
 )
-from .faults import SITES, ActiveFault, FaultPlan, plan_for_seed
+from .faults import (
+    SERVICE_SITES,
+    SITES,
+    ActiveFault,
+    FaultPlan,
+    ServiceFaultPlan,
+    plan_for_seed,
+    service_plan_for_seed,
+)
 from .ladder import LADDER, ResilienceConfig, Rung, worst_rung
+from .service_chaos import run_service_chaos, run_service_chaos_case
 from .runner import (
     AttemptRecord,
     ResilientPipelineReport,
@@ -53,11 +62,16 @@ __all__ = [
     "ResilienceError",
     "ResilientPipelineReport",
     "Rung",
+    "SERVICE_SITES",
+    "ServiceFaultPlan",
     "can_preempt",
     "plan_for_seed",
     "resilient_optimize",
     "run_chaos",
     "run_chaos_case",
+    "run_service_chaos",
+    "run_service_chaos_case",
+    "service_plan_for_seed",
     "watchdog",
     "worst_rung",
 ]

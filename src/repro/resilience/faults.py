@@ -43,6 +43,37 @@ STAGES: tuple[str, ...] = (
     "global-pass-1", "rotate", "global-pass-2", "bb-post",
 )
 
+#: service-boundary fault sites (``repro chaos --service``); injected
+#: against a live daemon by :mod:`repro.resilience.service_chaos`
+SERVICE_SITES: tuple[str, ...] = (
+    "worker.kill",          # SIGKILL the pool workers mid-batch
+    "worker.hang",          # a worker wedges past the hang deadline
+    "client.disconnect",    # the client vanishes before reading replies
+    "journal.torn-write",   # the WAL's final record is half-flushed
+    "socket.partial-frame",  # frames arrive split, oversized, or cut off
+)
+
+
+@dataclass(frozen=True)
+class ServiceFaultPlan:
+    """One deterministic service-boundary fault, described by its seed."""
+
+    seed: int
+    site: str
+    #: site-specific knob (bytes torn off the journal tail, frame splits)
+    param: int
+
+    def describe(self) -> str:
+        return f"{self.site} (seed {self.seed}, param {self.param})"
+
+
+def service_plan_for_seed(seed: int) -> ServiceFaultPlan:
+    """The service fault plan of ``seed`` -- same seed, same plan."""
+    rng = random.Random(seed)
+    site = rng.choice(SERVICE_SITES)
+    param = rng.randrange(2, 6)
+    return ServiceFaultPlan(seed=seed, site=site, param=param)
+
 
 @dataclass(frozen=True)
 class FaultPlan:

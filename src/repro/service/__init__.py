@@ -1,18 +1,24 @@
-"""Compile-as-a-service: the job layer, artifact cache, and daemon.
+"""Compile-as-a-service: job layer, cache, daemon, and the healing shell.
 
-The reusable pieces (see DESIGN.md section 10):
+The reusable pieces (see DESIGN.md sections 10 and 13):
 
 * :mod:`repro.service.jobs` -- bounded-queue, sharded, quarantining
   :class:`JobPool`, generalized out of the PR-2/PR-4 fuzz machinery;
+* :mod:`repro.service.supervisor` -- :class:`SupervisedPool`, the
+  crash-only wrapper that detects dead/hung workers, rebuilds the pool
+  in place, and trips a circuit breaker into inline mode;
 * :mod:`repro.service.cache` -- content-addressed :class:`ArtifactCache`
   (SHA-256 of source x machine x level x config);
+* :mod:`repro.service.journal` -- the write-ahead :class:`Journal` that
+  makes ``kill -9`` recoverable (``--journal`` / ``--resume-journal``);
 * :mod:`repro.service.daemon` -- the JSONL front door behind
-  ``python -m repro serve``;
+  ``python -m repro serve``, with admission control and protocol
+  hardening;
 * :mod:`repro.service.scorecard` -- the live operator report.
 """
 
 from .cache import Artifact, ArtifactCache, cache_key, config_fingerprint
-from .daemon import Daemon, ServeConfig
+from .daemon import AdmissionController, Daemon, ServeConfig
 from .jobs import (
     CRASHED,
     ERROR,
@@ -23,19 +29,28 @@ from .jobs import (
     JobSpec,
     JobWorkerError,
 )
+from .journal import Journal, JournalError, JournalState, load_journal
 from .scorecard import format_scorecard
+from .supervisor import SupervisedPool, SupervisorConfig
 
 __all__ = [
     "Artifact",
     "ArtifactCache",
     "cache_key",
     "config_fingerprint",
+    "AdmissionController",
     "Daemon",
     "ServeConfig",
     "JobPool",
     "JobResult",
     "JobSpec",
     "JobWorkerError",
+    "Journal",
+    "JournalError",
+    "JournalState",
+    "load_journal",
+    "SupervisedPool",
+    "SupervisorConfig",
     "OK",
     "ERROR",
     "QUARANTINED",

@@ -235,13 +235,39 @@ class JobPool:
         self._slots.acquire()
         self._dispatch(spec)
 
-    def next_result(self) -> JobResult:
-        """Block until one accepted job finishes and return its result."""
+    def next_result(self, timeout: float | None = None) -> JobResult:
+        """Block until one accepted job finishes and return its result.
+
+        With a ``timeout`` (seconds), raises :class:`queue.Empty` when no
+        result arrives in time -- the supervisor's polling hook."""
         if self.pending <= 0:
             raise RuntimeError("no jobs outstanding")
-        result = self._completed.get()
+        result = (self._completed.get() if timeout is None
+                  else self._completed.get(timeout=timeout))
         self._collected += 1
         return result
+
+    def run_inline(self, spec: JobSpec) -> JobResult:
+        """Execute one job in the calling process, bypassing the workers
+        -- the circuit breaker's fallback path.  The job still runs under
+        the watchdog/retry/quarantine ladder; the result is returned
+        directly and never enters the pool's accounting."""
+        return _execute(self._task(spec))
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of the current worker processes ([] for inline pools).
+        The supervisor compares successive snapshots to detect deaths --
+        multiprocessing replaces a dead worker's *process*, but the job it
+        was running is lost without this layer noticing."""
+        if self._pool is None:
+            return []
+        return [p.pid for p in self._pool._pool if p.pid is not None]
+
+    def dead_workers(self) -> int:
+        """Workers whose process has exited but not yet been reaped."""
+        if self._pool is None:
+            return 0
+        return sum(1 for p in self._pool._pool if p.exitcode is not None)
 
     def drain(self) -> list[JobResult]:
         """Wait for every accepted job; results sorted by id."""
@@ -287,19 +313,41 @@ class JobPool:
 
     # -- lifecycle -----------------------------------------------------------
 
-    def close(self) -> None:
+    def close(self, *, kill: bool = False) -> None:
         """Shut the pool down.  Outstanding jobs (an early break out of
         :meth:`run`) are abandoned by terminating the workers; a drained
-        pool closes gracefully."""
+        pool closes gracefully.  ``kill=True`` SIGKILLs the workers --
+        the supervisor's rebuild path, where a worker may be too hung to
+        honour SIGTERM.  A SIGKILLed worker can die *holding the shared
+        task-queue lock*, which deadlocks ``Pool.terminate()`` (it
+        blocks acquiring that lock to flush the queue) -- so the kill
+        path never calls terminate: it disarms the pool's exit
+        finalizer, stops the worker-respawn thread, kills and reaps the
+        processes, and abandons the daemonic handler threads."""
         if self._closed:
             return
         self._closed = True
-        if self._pool is not None:
-            if self.pending > 0:
-                self._pool.terminate()
-            else:
-                self._pool.close()
-            self._pool.join()
+        if self._pool is None:
+            return
+        if kill:
+            from multiprocessing.pool import TERMINATE
+
+            self._pool._terminate.cancel()
+            self._pool._worker_handler._state = TERMINATE
+            for proc in self._pool._pool:
+                if proc.exitcode is None:
+                    try:
+                        proc.kill()
+                    except OSError:
+                        pass
+            for proc in self._pool._pool:
+                proc.join()
+            return
+        if self.pending > 0:
+            self._pool.terminate()
+        else:
+            self._pool.close()
+        self._pool.join()
 
     def __enter__(self) -> "JobPool":
         return self

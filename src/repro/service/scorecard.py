@@ -2,7 +2,9 @@
 
 Rendered to stderr after every batch (``repro serve --scorecard``) and
 once at shutdown: requests and QPS, per-status counts, cache hit rate,
-the degradation-rung histogram, and queue-depth pressure -- the numbers
+the degradation-rung histogram, queue-depth pressure, and the health of
+the self-healing layers -- supervisor rebuilds and circuit-breaker
+state, admission-control shed windows, journal records -- the numbers
 an operator watches to know whether the service is keeping up.
 """
 
@@ -10,10 +12,12 @@ from __future__ import annotations
 
 #: ladder order for the rung histogram (most aggressive first)
 _RUNGS = ("speculative", "useful", "bb", "identity")
-_STATUSES = ("ok", "cache-hit", "degraded", "quarantined", "error")
+_STATUSES = ("ok", "cache-hit", "degraded", "quarantined",
+             "overloaded", "error")
 
 
-def format_scorecard(metrics, cache, config, *, elapsed_s: float) -> str:
+def format_scorecard(metrics, cache, config, *, elapsed_s: float,
+                     supervisor: dict | None = None) -> str:
     c = metrics.counters
     requests = c.get("service.requests", 0)
     batches = c.get("service.batches", 0)
@@ -45,4 +49,19 @@ def format_scorecard(metrics, cache, config, *, elapsed_s: float) -> str:
                      f"{metrics.mean('service.queue.depth'):.1f}, "
                      f"peak {depth_peak:.0f}, bound {config.queue_size} "
                      f"(pool: {config.jobs} worker(s))")
+    if supervisor is not None:
+        breaker = "OPEN (inline mode)" if supervisor["breaker_open"] \
+            else "closed"
+        lines.append(f"  supervisor {supervisor['rebuilds']} rebuild(s), "
+                     f"{supervisor['workers_lost']} worker(s) lost, "
+                     f"{supervisor['hangs']} hang(s), breaker {breaker}")
+    shed_starts = c.get("service.admission.shed_start", 0)
+    if shed_starts:
+        lines.append(f"  admission  {shed_starts} shed window(s), "
+                     f"{c.get('service.status.overloaded', 0)} request(s) "
+                     f"fast-failed")
+    replayed = c.get("service.journal.replayed", 0)
+    if replayed:
+        lines.append(f"  journal    {replayed} request(s) replayed "
+                     f"on resume")
     return "\n".join(lines)

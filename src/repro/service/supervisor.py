@@ -1,0 +1,252 @@
+"""Worker supervision: keep the pool serving through crashes and hangs.
+
+A :class:`~repro.service.jobs.JobPool` is only as reliable as its worker
+processes: ``multiprocessing`` transparently replaces a worker that
+*dies*, but the job it was running vanishes -- ``drain()`` then waits
+forever on a result that will never arrive -- and a worker that *hangs*
+past the in-worker SIGALRM watchdog (or on a pool with no deadline at
+all) wedges the whole service.  :class:`SupervisedPool` closes both
+holes with the crash-only move: it mirrors the pool's submit/drain API,
+tracks every in-flight job, and when its health check sees a lost or
+overdue worker it **rebuilds the pool in place** -- already-completed
+results are harvested, hung jobs are parked as typed ``quarantined``
+results, and everything else is resubmitted.  Because a job's result is
+a pure function of its payload (the PR-6 determinism contract), a
+resubmitted job returns byte-identical output, so supervision never
+changes what a batch answers -- only whether it answers at all.
+
+After :attr:`SupervisorConfig.max_rebuilds` rebuilds inside a sliding
+window the pool is declared unsalvageable and the **circuit breaker**
+trips: the worker processes are abandoned and every remaining and future
+job runs inline in the daemon process -- the service-level analogue of
+the degradation ladder's ``identity`` rung (slower, but it cannot lose
+work to a worker it no longer has).  Every action is emitted as a typed
+:class:`~repro.obs.events.SupervisorEvent` through the tracer and
+counted in metrics, and the live scorecard shows the breaker state.
+
+With ``jobs == 1`` the underlying pool is inline already, so supervision
+is a pass-through -- the inert path the service bench gates below 2%.
+"""
+
+from __future__ import annotations
+
+import queue
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from ..obs.events import SupervisorEvent
+from ..obs.metrics import NULL_METRICS
+from ..obs.tracer import NULL_TRACER
+from .jobs import QUARANTINED, JobPool, JobResult, JobSpec
+
+
+@dataclass
+class SupervisorConfig:
+    """Knobs of the pool supervisor (all inert until a fault happens)."""
+
+    #: seconds between health checks while waiting on results
+    poll_interval_s: float = 0.05
+    #: a job in flight longer than this is declared hung and its pool
+    #: rebuilt (None = rely on the in-worker watchdog alone)
+    hang_timeout_s: float | None = None
+    #: rebuilds inside :attr:`rebuild_window_s` before the breaker trips
+    max_rebuilds: int = 3
+    #: sliding window for the rebuild counter, seconds
+    rebuild_window_s: float = 60.0
+
+
+class SupervisedPool:
+    """A :class:`JobPool` facade that survives its own workers.
+
+    Exposes the submit/drain shape the daemon uses; ``jobs == 1`` (or a
+    tripped breaker) degenerates to inline execution.  Not thread-safe:
+    one serving thread submits and drains, like the pool it wraps.
+    """
+
+    def __init__(self, handler, *, jobs: int = 1, queue_size: int = 64,
+                 timeout_s: float | None = None, typed_errors: tuple = (),
+                 metrics=None, tracer=None,
+                 supervisor: SupervisorConfig | None = None):
+        self.jobs = jobs
+        self.config = supervisor or SupervisorConfig()
+        self._metrics = metrics if metrics is not None else NULL_METRICS
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._pool_kwargs = dict(jobs=jobs, queue_size=queue_size,
+                                 timeout_s=timeout_s,
+                                 typed_errors=typed_errors, metrics=metrics)
+        self._inner = JobPool(handler, **self._pool_kwargs)
+        self._handler = handler
+        #: job id -> (spec, dispatch time) for every job not yet settled
+        self._inflight: dict = {}
+        #: results harvested out-of-band (rebuilds, breaker, inline runs)
+        self._ready: list[JobResult] = []
+        self._known_pids = set(self._inner.worker_pids())
+        self._rebuild_times: deque[float] = deque()
+        self.rebuilds = 0
+        self.workers_lost = 0
+        self.hangs = 0
+        self.breaker_open = False
+        self._closed = False
+
+    # -- the pool API --------------------------------------------------------
+
+    @property
+    def supervised(self) -> bool:
+        """Supervision only has work to do on a live multi-process pool."""
+        return self.jobs > 1 and not self.breaker_open
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of the current worker processes (the chaos harness's
+        target list; [] in inline/breaker mode)."""
+        return self._inner.worker_pids()
+
+    def submit(self, spec: JobSpec) -> None:
+        """Accept one job (blocking at the queue bound, like the pool)."""
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        if self.breaker_open:
+            # inline mode: run now, under the same watchdog/retry ladder
+            self._ready.append(self._inner.run_inline(spec))
+            return
+        if self.jobs > 1:
+            self._inflight[spec.id] = (spec, time.monotonic())
+        self._inner.submit(spec)
+
+    def drain(self) -> list[JobResult]:
+        """Wait for every accepted job; results sorted by id.  Unlike the
+        raw pool, this cannot wait forever: lost and hung workers are
+        detected and healed along the way."""
+        out = list(self._ready)
+        self._ready.clear()
+        if not self.supervised:
+            out.extend(self._inner.drain())
+        else:
+            while self._inflight:
+                if self._ready:
+                    out.extend(self._ready)
+                    self._ready.clear()
+                    continue
+                try:
+                    result = self._inner.next_result(
+                        timeout=self.config.poll_interval_s)
+                except queue.Empty:
+                    self._health_check()
+                    continue
+                self._inflight.pop(result.id, None)
+                out.append(result)
+            # infrastructure results synthesized with id None, plus any
+            # late harvest from a rebuild that settled the last job
+            out.extend(self._ready)
+            self._ready.clear()
+        out.sort(key=lambda r: (r.id is None, r.id))
+        return out
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._inner.close()
+
+    def __enter__(self) -> "SupervisedPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- supervision ---------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {"rebuilds": self.rebuilds,
+                "workers_lost": self.workers_lost,
+                "hangs": self.hangs,
+                "breaker_open": self.breaker_open}
+
+    def _emit(self, action: str, detail: str) -> None:
+        self._metrics.inc(f"service.supervisor.{action.replace('-', '_')}")
+        if self._tracer.enabled:
+            self._tracer.emit(SupervisorEvent(
+                action=action, rebuilds=self.rebuilds,
+                inflight=len(self._inflight), detail=detail))
+
+    def _health_check(self) -> None:
+        """One supervision beat: compare worker PIDs against the last
+        snapshot (multiprocessing silently replaces dead processes, so a
+        *changed* set means a worker died since we last looked) and age
+        every in-flight job against the hang deadline."""
+        pids = set(self._inner.worker_pids())
+        lost = len(self._known_pids - pids) + self._inner.dead_workers()
+        hung = []
+        if self.config.hang_timeout_s is not None:
+            now = time.monotonic()
+            hung = [job_id for job_id, (_spec, started)
+                    in self._inflight.items()
+                    if now - started > self.config.hang_timeout_s]
+        if lost:
+            self.workers_lost += lost
+            self._emit("worker-lost",
+                       f"{lost} worker process(es) died with "
+                       f"{len(self._inflight)} job(s) in flight")
+        for job_id in hung:
+            self.hangs += 1
+            self._emit("worker-hung",
+                       f"job {job_id} exceeded the "
+                       f"{self.config.hang_timeout_s:.1f}s hang deadline")
+        if lost or hung:
+            self._rebuild(hung)
+
+    def _rebuild(self, hung_ids) -> None:
+        """Replace the pool: harvest finished results, quarantine hung
+        jobs, kill the old workers, resubmit the remainder -- or trip the
+        breaker and finish inline."""
+        self.rebuilds += 1
+        now = time.monotonic()
+        self._rebuild_times.append(now)
+        window = self.config.rebuild_window_s
+        while self._rebuild_times and self._rebuild_times[0] < now - window:
+            self._rebuild_times.popleft()
+
+        # results that made it back before the fault are kept as-is
+        try:
+            while True:
+                result = self._inner.next_result(timeout=0)
+                self._inflight.pop(result.id, None)
+                self._ready.append(result)
+        except (queue.Empty, RuntimeError):
+            pass
+        # a job past the hang deadline is parked, not retried: resending
+        # a known-wedging payload would just wedge the next pool too
+        for job_id in hung_ids:
+            entry = self._inflight.pop(job_id, None)
+            if entry is None:
+                continue
+            self._ready.append(JobResult(
+                job_id, QUARANTINED, reason="hang",
+                detail=f"supervisor: job {job_id} still running after "
+                       f"{self.config.hang_timeout_s:.1f}s; worker killed",
+                attempts=1))
+        self._inner.close(kill=True)
+
+        survivors = [spec for spec, _started in self._inflight.values()]
+        if len(self._rebuild_times) >= self.config.max_rebuilds:
+            self.breaker_open = True
+            self._emit("breaker-tripped",
+                       f"{len(self._rebuild_times)} rebuilds inside "
+                       f"{window:.0f}s; finishing "
+                       f"{len(survivors)} job(s) inline")
+            self._inner = JobPool(self._handler,
+                                  **{**self._pool_kwargs, "jobs": 1})
+            self._known_pids = set()
+            for spec in survivors:
+                self._ready.append(self._inner.run_inline(spec))
+            self._inflight.clear()
+            return
+        self._inner = JobPool(self._handler, **self._pool_kwargs)
+        self._known_pids = set(self._inner.worker_pids())
+        self._emit("pool-rebuilt",
+                   f"fresh pool of {self.jobs}; "
+                   f"{len(survivors)} job(s) resubmitted")
+        now = time.monotonic()
+        for spec in survivors:
+            self._inflight[spec.id] = (spec, now)
+            self._inner.submit(spec)

@@ -26,10 +26,18 @@ retried once (with a short exponential backoff) and then **quarantined**
 -- recorded in ``report.quarantined`` while the campaign continues.  The
 legacy fail-fast behaviour (a crash aborts the campaign as
 :class:`FuzzWorkerError`) is available with ``quarantine=False``.  Long
-campaigns can write an atomic JSON checkpoint after every program
-(``checkpoint_path``) and later resume from it (``resume_path``); a
-resumed campaign's sorted result lists are identical to an uninterrupted
-run's, for any job count.
+campaigns can keep a crash-tolerant checkpoint (``checkpoint_path``) and
+later resume from it (``resume_path``); a resumed campaign's sorted
+result lists are identical to an uninterrupted run's, for any job count.
+
+The checkpoint is an append-only JSONL write-ahead log (v2): a header
+line pinning the campaign parameters, then one entry per finished
+program, flushed as it completes.  A ``kill -9`` can therefore tear at
+most the *final* entry -- the loader drops a torn tail and simply re-runs
+that index -- while a torn or mismatched header, or damage anywhere
+before the tail, is still rejected as a corrupt/alien checkpoint (CLI
+exit 2).  The single-document v1 format written by earlier releases is
+accepted on resume unchanged.
 """
 
 from __future__ import annotations
@@ -52,7 +60,8 @@ _SEED_STRIDE = 1_000_003
 _RETRY_BACKOFF_S = 0.05
 #: attempts per program before quarantine: the first run plus one retry
 _MAX_ATTEMPTS = 2
-_CHECKPOINT_VERSION = 1
+#: current checkpoint format: JSONL, header line + per-program entries
+_CHECKPOINT_VERSION = 2
 
 
 class FuzzWorkerError(RuntimeError):
@@ -176,40 +185,21 @@ def _program_metrics(index: int, program: GenProgram) -> dict:
 
 # -- checkpointing ------------------------------------------------------------
 
-def _checkpoint_state(report: FuzzReport, *, n: int,
-                      machines: tuple[str, ...], shrink: bool,
-                      collect_metrics: bool, done: set[int]) -> dict:
-    return {
-        "version": _CHECKPOINT_VERSION,
-        "master_seed": report.master_seed,
-        "n": n,
-        "machines": list(machines),
-        "shrink": shrink,
-        "collect_metrics": collect_metrics,
-        "done": sorted(done),
-        "failures": [asdict(f) for f in report.failures],
-        "quarantined": [asdict(q) for q in report.quarantined],
-        "metric_summaries": report.metric_summaries,
-    }
-
-
-def _save_checkpoint(path: str, state: dict) -> None:
-    """Write atomically: a crash mid-write never corrupts the file."""
-    tmp = f"{path}.tmp"
-    with open(tmp, "w", encoding="utf-8") as fh:
-        json.dump(state, fh)
-    os.replace(tmp, path)
-
-
-#: required checkpoint fields and the types a v1 file must carry them
-#: with (``bool`` is checked before ``int`` -- JSON ``true`` is not a
-#: valid program count)
-_CHECKPOINT_SCHEMA: dict[str, type | tuple[type, ...]] = {
+#: campaign parameters every checkpoint (v2 header, v1 body) must pin,
+#: and the types it must carry them with (``bool`` is checked before
+#: ``int`` -- JSON ``true`` is not a valid program count)
+_HEADER_SCHEMA: dict[str, type] = {
     "master_seed": int,
     "n": int,
     "machines": list,
     "shrink": bool,
     "collect_metrics": bool,
+}
+
+#: a legacy v1 checkpoint is the header fields plus the result lists,
+#: all in one JSON document
+_V1_SCHEMA: dict[str, type] = {
+    **_HEADER_SCHEMA,
     "done": list,
     "failures": list,
     "quarantined": list,
@@ -217,21 +207,110 @@ _CHECKPOINT_SCHEMA: dict[str, type | tuple[type, ...]] = {
 }
 
 
-def _check_schema(path: str, state: dict) -> None:
-    """Reject a version-tagged file whose body is not a v1 checkpoint
-    (hand-edited, truncated-then-repaired, or from a different tool)."""
-    for key, want in _CHECKPOINT_SCHEMA.items():
+def _check_schema(path: str, state: dict, schema: dict, version: int) -> None:
+    """Reject a version-tagged document whose body is not a checkpoint
+    of that version (hand-edited, truncated-then-repaired, or from a
+    different tool)."""
+    for key, want in schema.items():
         if key not in state:
             raise CheckpointError(
                 f"checkpoint {path} does not match the "
-                f"v{_CHECKPOINT_VERSION} schema: missing field {key!r}")
+                f"v{version} schema: missing field {key!r}")
         value = state[key]
         bad_bool = want is int and isinstance(value, bool)
         if bad_bool or not isinstance(value, want):
             raise CheckpointError(
                 f"checkpoint {path} does not match the "
-                f"v{_CHECKPOINT_VERSION} schema: field {key!r} should be "
+                f"v{version} schema: field {key!r} should be "
                 f"{want.__name__}, got {type(value).__name__}")
+
+
+class _CheckpointWriter:
+    """The v2 checkpoint WAL: header first (atomically, with any
+    already-validated resumed entries), then O(1) appends -- one flushed
+    JSONL entry per finished program."""
+
+    def __init__(self, path: str, header: dict, entries=()):
+        tmp = f"{path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(header) + "\n")
+            for entry in entries:
+                fh.write(json.dumps(entry) + "\n")
+        os.replace(tmp, path)
+        self._fh = open(path, "a", encoding="utf-8")
+
+    def append(self, entry: dict) -> None:
+        self._fh.write(json.dumps(entry) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        self._fh.close()
+
+
+def _entries_from_state(state: dict) -> list[dict]:
+    """Reconstruct the per-program v2 entries of a validated checkpoint
+    state (seeds the rewrite a resumed campaign starts from)."""
+    failures = {f["index"]: f for f in state["failures"]}
+    quarantined = {q["index"]: q for q in state["quarantined"]}
+    metrics = {s["index"]: s for s in state["metric_summaries"]}
+    return [{"done": index,
+             "failure": failures.get(index),
+             "quarantined": quarantined.get(index),
+             "metrics": metrics.get(index)}
+            for index in sorted(state["done"])]
+
+
+def _load_v1(path: str, text: str) -> dict:
+    """A legacy single-document checkpoint: the whole file is one JSON
+    object carrying the result lists inline."""
+    try:
+        state = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(f"corrupt checkpoint {path}: {exc}") from exc
+    _check_schema(path, state, _V1_SCHEMA, 1)
+    return state
+
+
+def _load_v2(path: str, header: dict, lines: list[str]) -> dict:
+    """The JSONL WAL: validate the header, fold the entry lines.  A torn
+    *final* line (the crash the format exists for) is dropped -- its
+    index just re-runs; damage anywhere else is corruption."""
+    _check_schema(path, header, _HEADER_SCHEMA, 2)
+    while lines and not lines[-1].strip():
+        lines.pop()
+    done: set[int] = set()
+    failures: list[dict] = []
+    quarantined: list[dict] = []
+    metric_summaries: list[dict] = []
+    for pos, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if pos == len(lines) - 1:
+                break  # torn tail: that program will simply re-run
+            raise CheckpointError(
+                f"corrupt checkpoint {path}: line {pos + 2}: "
+                f"{exc.msg}") from exc
+        index = entry.get("done") if isinstance(entry, dict) else None
+        if not isinstance(index, int) or isinstance(index, bool):
+            raise CheckpointError(
+                f"checkpoint {path} does not match the v2 schema: "
+                f"line {pos + 2} is not a program entry")
+        if index in done:
+            continue
+        done.add(index)
+        if entry.get("failure") is not None:
+            failures.append(entry["failure"])
+        if entry.get("quarantined") is not None:
+            quarantined.append(entry["quarantined"])
+        if entry.get("metrics") is not None:
+            metric_summaries.append(entry["metrics"])
+    return {**{key: header[key] for key in _HEADER_SCHEMA},
+            "version": 2, "done": sorted(done), "failures": failures,
+            "quarantined": quarantined,
+            "metric_summaries": metric_summaries}
 
 
 def _load_checkpoint(path: str, *, n: int, seed: int,
@@ -239,19 +318,28 @@ def _load_checkpoint(path: str, *, n: int, seed: int,
                      collect_metrics: bool) -> dict:
     try:
         with open(path, encoding="utf-8") as fh:
-            state = json.load(fh)
+            text = fh.read()
     except OSError as exc:
         raise CheckpointError(f"cannot read checkpoint {path}: {exc}") \
             from exc
+    first, _, _rest = text.partition("\n")
+    try:
+        header = json.loads(first)
     except json.JSONDecodeError as exc:
+        # includes the torn-header case: a v2 WAL whose *first* line is
+        # damaged pins nothing, so nothing of it can be trusted
         raise CheckpointError(f"corrupt checkpoint {path}: {exc}") from exc
-    if not isinstance(state, dict) \
-            or state.get("version") != _CHECKPOINT_VERSION:
+    if not isinstance(header, dict):
         raise CheckpointError(
-            f"checkpoint {path} has unsupported version "
-            f"{state.get('version')!r}" if isinstance(state, dict)
-            else f"corrupt checkpoint {path}: not a JSON object")
-    _check_schema(path, state)
+            f"corrupt checkpoint {path}: not a JSON object")
+    version = header.get("version")
+    if version == 1:
+        state = _load_v1(path, text)
+    elif version == _CHECKPOINT_VERSION:
+        state = _load_v2(path, header, _rest.split("\n"))
+    else:
+        raise CheckpointError(
+            f"checkpoint {path} has unsupported version {version!r}")
     expected = {"master_seed": seed, "n": n, "machines": list(machines),
                 "shrink": shrink, "collect_metrics": collect_metrics}
     for key, want in expected.items():
@@ -328,9 +416,11 @@ def fuzz(
 
     ``timeout_s`` bounds each program's harness run; ``quarantine``
     (default) parks repeat offenders instead of aborting.
-    ``checkpoint_path`` saves the campaign state atomically after every
-    program; ``resume_path`` seeds the campaign from such a file and only
-    runs the remaining indices -- the finished report is identical to an
+    ``checkpoint_path`` keeps an append-only JSONL WAL of finished
+    programs (flushed per entry, so at most the final line can be torn
+    by a crash); ``resume_path`` seeds the campaign from such a file --
+    torn tail tolerated, that index re-runs -- and only runs the
+    remaining indices; the finished report is identical to an
     uninterrupted run's.  ``interrupt_after`` stops the campaign after
     that many programs *this run* (exercises the checkpoint/resume path).
     """
@@ -338,6 +428,7 @@ def fuzz(
         raise ValueError(f"jobs must be a positive integer, got {jobs}")
     report = FuzzReport(master_seed=seed)
     done: set[int] = set()
+    state: dict | None = None
     if resume_path is not None:
         state = _load_checkpoint(resume_path, n=n, seed=seed,
                                  machines=machines, shrink=shrink,
@@ -348,6 +439,14 @@ def fuzz(
         report.quarantined = [QuarantinedProgram(**q)
                               for q in state["quarantined"]]
         report.metric_summaries = list(state["metric_summaries"])
+    writer: _CheckpointWriter | None = None
+    if checkpoint_path is not None:
+        header = {"version": _CHECKPOINT_VERSION, "master_seed": seed,
+                  "n": n, "machines": list(machines), "shrink": shrink,
+                  "collect_metrics": collect_metrics}
+        writer = _CheckpointWriter(
+            checkpoint_path, header,
+            _entries_from_state(state) if state is not None else ())
     pending = [index for index in range(n) if index not in done]
 
     completed_this_run = 0
@@ -366,10 +465,13 @@ def fuzz(
             report.quarantined.append(quarantined)
         if summary is not None:
             report.metric_summaries.append(summary)
-        if checkpoint_path is not None:
-            _save_checkpoint(checkpoint_path, _checkpoint_state(
-                report, n=n, machines=machines, shrink=shrink,
-                collect_metrics=collect_metrics, done=done))
+        if writer is not None:
+            writer.append({
+                "done": index,
+                "failure": asdict(failure) if failure is not None else None,
+                "quarantined": (asdict(quarantined)
+                                if quarantined is not None else None),
+                "metrics": summary})
         if on_progress is not None:
             on_progress(report.attempted, len(report.failures))
         if stop_after is not None and len(report.failures) >= stop_after:
@@ -385,41 +487,46 @@ def fuzz(
         report.metric_summaries.sort(key=lambda s: s["index"])
         return report
 
-    if jobs == 1 and not quarantine:
-        # legacy fail-fast: exceptions propagate to the caller raw
-        for index in pending:
-            failure, summary = _attempt(seed, index, machines, shrink,
-                                        collect_metrics, timeout_s)
-            if not complete(index, failure, None, None, summary):
-                break
+    try:
+        if jobs == 1 and not quarantine:
+            # legacy fail-fast: exceptions propagate to the caller raw
+            for index in pending:
+                failure, summary = _attempt(seed, index, machines, shrink,
+                                            collect_metrics, timeout_s)
+                if not complete(index, failure, None, None, summary):
+                    break
+            return finish()
+
+        from ..service.jobs import (
+            CRASHED, OK, QUARANTINED, JobPool, JobSpec)
+
+        specs = [JobSpec(id=index,
+                         payload=(seed, index, machines, shrink,
+                                  collect_metrics))
+                 for index in pending]
+        with JobPool(_fuzz_job, jobs=jobs, queue_size=max(16, 4 * jobs),
+                     timeout_s=timeout_s, quarantine=quarantine,
+                     max_attempts=_MAX_ATTEMPTS,
+                     retry_backoff_s=_RETRY_BACKOFF_S) as pool:
+            for result in pool.run(specs):
+                index = result.id
+                failure = parked = error = summary = None
+                if result.status == OK:
+                    failure, summary = result.value
+                elif result.status == QUARANTINED:
+                    parked = QuarantinedProgram(
+                        index=index, seed=derive_seed(seed, index),
+                        attempts=result.attempts, reason=result.reason,
+                        detail=result.detail)
+                elif result.status == CRASHED:
+                    error = result.detail
+                if not complete(index, failure, parked, error, summary):
+                    break
+            # leaving the with-block terminates still-running workers
         return finish()
-
-    from ..service.jobs import CRASHED, OK, QUARANTINED, JobPool, JobSpec
-
-    specs = [JobSpec(id=index,
-                     payload=(seed, index, machines, shrink,
-                              collect_metrics))
-             for index in pending]
-    with JobPool(_fuzz_job, jobs=jobs, queue_size=max(16, 4 * jobs),
-                 timeout_s=timeout_s, quarantine=quarantine,
-                 max_attempts=_MAX_ATTEMPTS,
-                 retry_backoff_s=_RETRY_BACKOFF_S) as pool:
-        for result in pool.run(specs):
-            index = result.id
-            failure = parked = error = summary = None
-            if result.status == OK:
-                failure, summary = result.value
-            elif result.status == QUARANTINED:
-                parked = QuarantinedProgram(
-                    index=index, seed=derive_seed(seed, index),
-                    attempts=result.attempts, reason=result.reason,
-                    detail=result.detail)
-            elif result.status == CRASHED:
-                error = result.detail
-            if not complete(index, failure, parked, error, summary):
-                break
-        # leaving the with-block terminates any still-running workers
-    return finish()
+    finally:
+        if writer is not None:
+            writer.close()
 
 
 def _build_failure(

@@ -312,6 +312,60 @@ class TestBadCheckpointResume:
         self._expect_one_line_error(capsys, "different campaign",
                                     "master_seed")
 
+    def _v2_header(self):
+        return {"version": 2, "master_seed": 7, "n": 2,
+                "machines": ["rs6k", "scalar", "ss2"], "shrink": False,
+                "collect_metrics": False}
+
+    def test_torn_final_wal_line_is_tolerated(self, tmp_path, capsys):
+        """ISSUE satellite: a v2 checkpoint whose *final* entry was torn
+        by a crash resumes cleanly -- the torn index just re-runs."""
+        entry = {"done": 0, "failure": None, "quarantined": None,
+                 "metrics": None}
+        path = tmp_path / "campaign.json"
+        path.write_text(json.dumps(self._v2_header()) + "\n"
+                        + json.dumps(entry) + "\n"
+                        + '{"done": 1, "fail')  # torn by kill -9
+        assert main(self._resume(path)) == 0
+        assert "Traceback" not in capsys.readouterr().err
+
+    def test_torn_nonfinal_wal_line_stays_exit_2(self, tmp_path, capsys):
+        entry = {"done": 1, "failure": None, "quarantined": None,
+                 "metrics": None}
+        path = tmp_path / "campaign.json"
+        path.write_text(json.dumps(self._v2_header()) + "\n"
+                        + '{"done": 0, "fail\n'
+                        + json.dumps(entry) + "\n")
+        assert main(self._resume(path)) == 2
+        self._expect_one_line_error(capsys, "corrupt checkpoint",
+                                    "line 2")
+
+    def test_wal_entry_wrong_shape_is_a_schema_error(self, tmp_path,
+                                                     capsys):
+        path = tmp_path / "campaign.json"
+        path.write_text(json.dumps(self._v2_header()) + "\n"
+                        + '{"index": 0}\n')
+        assert main(self._resume(path)) == 2
+        self._expect_one_line_error(capsys, "does not match the v2 schema",
+                                    "not a program entry")
+
+    def test_v2_header_missing_field(self, tmp_path, capsys):
+        header = self._v2_header()
+        del header["machines"]
+        path = tmp_path / "campaign.json"
+        path.write_text(json.dumps(header) + "\n")
+        assert main(self._resume(path)) == 2
+        self._expect_one_line_error(capsys, "does not match the v2 schema",
+                                    "'machines'")
+
+    def test_unsupported_version(self, tmp_path, capsys):
+        header = self._v2_header()
+        header["version"] = 3
+        path = tmp_path / "campaign.json"
+        path.write_text(json.dumps(header) + "\n")
+        assert main(self._resume(path)) == 2
+        self._expect_one_line_error(capsys, "unsupported version", "3")
+
 
 class TestUnknownMachine:
     """Satellite fix (PR 8): ``--machine``/``--machines`` with an unknown

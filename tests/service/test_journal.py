@@ -1,0 +1,252 @@
+"""Write-ahead journal: unit coverage plus the crash-recovery property.
+
+ISSUE 9 acceptance criterion, tested against the real CLI: ``kill -9``
+a ``repro serve --journal`` process mid-batch, restart it with
+``--resume-journal``, feed it the never-accepted tail of the request
+file, and the union of responses (pre-kill, replayed, post-restart) is
+**byte-identical** per id to an uninterrupted run's -- for ``--jobs 1``
+and ``--jobs 4``.  The unit half pins the WAL format itself: torn final
+lines are dropped, damage before the tail is a typed
+:class:`~repro.service.journal.JournalError`, and completed ``ok``
+records carry the artifact that re-seeds the cache on resume.
+"""
+
+import io
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.service import Daemon, ServeConfig
+from repro.service.journal import Journal, JournalError, load_journal
+
+_SRC_DIR = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir,
+                        "src")
+
+
+def _request(i, source=None):
+    source = source or f"int g{i}(int x) {{ return x * {i + 2} + {i}; }}"
+    return json.dumps({"id": i, "source": source})
+
+
+# -- unit: the WAL format -----------------------------------------------------
+
+class TestJournalFormat:
+    def test_roundtrip_and_incomplete(self, tmp_path):
+        path = str(tmp_path / "serve.wal")
+        journal = Journal(path)
+        journal.record_request(0, _request(0))
+        journal.record_done(0, 0, "ok", key="k0", artifact={"ir": "..."})
+        journal.record_request(1, _request(1))
+        journal.close()
+        state = load_journal(path)
+        assert state.max_seq == 1
+        assert not state.torn_tail
+        assert [seq for seq, _ in state.incomplete()] == [1]
+        assert state.artifacts == [("k0", {"ir": "..."})]
+
+    def test_torn_final_line_is_dropped(self, tmp_path):
+        path = str(tmp_path / "serve.wal")
+        journal = Journal(path)
+        journal.record_request(0, _request(0))
+        journal.record_request(1, _request(1))
+        journal.close()
+        raw = open(path, "rb").read()
+        open(path, "wb").write(raw[:-5])  # crash mid-write of seq 1
+        state = load_journal(path)
+        assert state.torn_tail
+        assert [seq for seq, _ in state.incomplete()] == [0]
+        # resuming truncates the torn bytes before appending
+        journal = Journal(path, resume_from=state)
+        journal.record_request(2, _request(2))
+        journal.close()
+        reloaded = load_journal(path)
+        assert not reloaded.torn_tail
+        assert [seq for seq, _ in reloaded.incomplete()] == [0, 2]
+
+    def test_damage_before_the_tail_is_a_typed_error(self, tmp_path):
+        path = str(tmp_path / "serve.wal")
+        journal = Journal(path)
+        journal.record_request(0, _request(0))
+        journal.record_request(1, _request(1))
+        journal.close()
+        lines = open(path, "rb").read().splitlines()
+        lines[0] = lines[0][:8]  # tear a *non-final* record
+        open(path, "wb").write(b"\n".join(lines) + b"\n")
+        with pytest.raises(JournalError):
+            load_journal(path)
+
+    def test_missing_journal_is_a_typed_error(self, tmp_path):
+        with pytest.raises(JournalError):
+            load_journal(str(tmp_path / "nope.wal"))
+
+
+# -- in-process resume --------------------------------------------------------
+
+class TestResumeReplay:
+    def _serve(self, tmp_path, lines, **kwargs):
+        path = str(tmp_path / "serve.wal")
+        config = ServeConfig(jobs=1, journal_path=path, **kwargs)
+        out = io.StringIO()
+        with Daemon(config) as daemon:
+            daemon.start_journal()
+            daemon.serve_stream(
+                io.StringIO("".join(l + "\n" for l in lines)), out)
+        return path, [json.loads(l) for l in out.getvalue().splitlines()]
+
+    def test_clean_journal_replays_nothing(self, tmp_path):
+        path, responses = self._serve(tmp_path, [_request(0)])
+        assert [r["status"] for r in responses] == ["ok"]
+        config = ServeConfig(jobs=1, journal_path=path,
+                             resume_journal=True)
+        out = io.StringIO()
+        with Daemon(config) as daemon:
+            assert daemon.resume_from_journal(out) == 0
+        assert out.getvalue() == ""
+
+    def test_incomplete_request_is_replayed(self, tmp_path):
+        path, responses = self._serve(tmp_path, [_request(0)])
+        # erase the done record: the crash landed between accept and done
+        kept = [l for l in open(path, "rb").read().splitlines()
+                if json.loads(l)["j"] == "req"]
+        open(path, "wb").write(b"\n".join(kept) + b"\n")
+        config = ServeConfig(jobs=1, journal_path=path,
+                             resume_journal=True)
+        out = io.StringIO()
+        with Daemon(config) as daemon:
+            assert daemon.resume_from_journal(out) == 1
+        replayed = [json.loads(l) for l in out.getvalue().splitlines()]
+        assert [(r["id"], r["status"]) for r in replayed] == [(0, "ok")]
+        # the replay is byte-identical to the original answer
+        assert json.dumps(replayed[0], sort_keys=True) \
+            == json.dumps(responses[0], sort_keys=True)
+
+    def test_done_artifacts_seed_the_cache(self, tmp_path):
+        """A completed compile's artifact rides in its done record, so a
+        replayed duplicate becomes a cache hit -- exactly what the
+        uninterrupted run would have answered."""
+        source = "int dup(int x) { return x + 41; }"
+        lines = [_request(0, source), _request(1, source)]
+        path, responses = self._serve(tmp_path, lines)
+        assert [r["status"] for r in responses] == ["ok", "cache-hit"]
+        # keep seq 0's done record, drop seq 1's: the dup was in flight
+        kept = [l for l in open(path, "rb").read().splitlines()
+                if json.loads(l).get("seq") == 0
+                or json.loads(l)["j"] == "req"]
+        open(path, "wb").write(b"\n".join(kept) + b"\n")
+        config = ServeConfig(jobs=1, journal_path=path,
+                             resume_journal=True)
+        out = io.StringIO()
+        with Daemon(config) as daemon:
+            assert daemon.resume_from_journal(out) == 1
+            assert daemon.metrics.counters["service.cache.hit"] >= 1
+        replayed = [json.loads(l) for l in out.getvalue().splitlines()]
+        assert [(r["id"], r["status"]) for r in replayed] \
+            == [(1, "cache-hit")]
+
+
+# -- the acceptance property: kill -9 mid-batch, resume, byte-diff ------------
+
+def _spawn_serve(argv, stdin, **kwargs):
+    env = dict(os.environ, PYTHONPATH=_SRC_DIR)
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", *argv],
+        stdin=stdin, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+        text=True, env=env, **kwargs)
+
+
+def _wait_for_done_records(path, want, deadline_s=60.0):
+    start = time.monotonic()
+    while time.monotonic() - start < deadline_s:
+        try:
+            raw = open(path, "rb").read()
+        except OSError:
+            raw = b""
+        done = sum(1 for l in raw.splitlines() if b'"j": "done"' in l
+                   or b'"j":"done"' in l)
+        if done >= want:
+            return
+        time.sleep(0.05)
+    raise AssertionError(f"journal never reached {want} done records")
+
+
+class TestKillNineResume:
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_kill_mid_batch_then_resume_is_byte_identical(self, tmp_path,
+                                                          jobs):
+        lines = [_request(i) for i in range(10)]
+        lines.append(_request(10, json.loads(lines[0])["source"]))  # dup
+        requests = "".join(l + "\n" for l in lines)
+        (tmp_path / "reqs.jsonl").write_text(requests)
+
+        # the uninterrupted reference run
+        clean = subprocess.run(
+            [sys.executable, "-m", "repro", "serve", "--jobs", str(jobs)],
+            input=requests, capture_output=True, text=True,
+            env=dict(os.environ, PYTHONPATH=_SRC_DIR), timeout=300)
+        clean_by_id = {json.loads(l)["id"]: l.strip()
+                       for l in clean.stdout.splitlines() if l.strip()}
+        assert sorted(clean_by_id) == list(range(11))
+
+        # run 1: feed 6 requests, kill -9 once a batch is mid-completion
+        wal = str(tmp_path / "crash.wal")
+        proc = _spawn_serve(["--jobs", str(jobs), "--journal", wal],
+                            subprocess.PIPE)
+        proc.stdin.write("".join(l + "\n" for l in lines[:6]))
+        proc.stdin.flush()
+        _wait_for_done_records(wal, 2)
+        os.kill(proc.pid, signal.SIGKILL)
+        out1, _ = proc.communicate(timeout=60)
+        got = {}
+        for line in out1.splitlines():
+            try:
+                doc = json.loads(line)
+            except ValueError:
+                continue  # the response stream itself may be torn
+            got[doc["id"]] = line.strip()
+
+        # requests the WAL never accepted are the client's to resend
+        state = load_journal(wal)
+        accepted = {json.loads(d["line"])["id"] for d in _req_records(wal)}
+        tail = "".join(l + "\n" for l in lines
+                       if json.loads(l)["id"] not in accepted)
+        (tmp_path / "tail.jsonl").write_text(tail)
+        assert state.max_seq >= 0  # the WAL saw real traffic
+
+        # run 2: resume the WAL, then serve the resent tail
+        with open(tmp_path / "tail.jsonl") as fh:
+            resume = subprocess.run(
+                [sys.executable, "-m", "repro", "serve", "--jobs",
+                 str(jobs), "--journal", wal, "--resume-journal"],
+                stdin=fh, capture_output=True, text=True,
+                env=dict(os.environ, PYTHONPATH=_SRC_DIR), timeout=300)
+        assert resume.returncode == 0
+        for line in resume.stdout.splitlines():
+            if not line.strip():
+                continue
+            doc = json.loads(line)
+            if doc["id"] in got:  # a replayed duplicate must not drift
+                assert got[doc["id"]] == line.strip()
+            got[doc["id"]] = line.strip()
+
+        # the union answers every request, byte-identical to the
+        # uninterrupted run
+        assert sorted(got) == sorted(clean_by_id)
+        for rid, line in clean_by_id.items():
+            assert got[rid] == line, f"response {rid} drifted"
+
+
+def _req_records(path):
+    out = []
+    for raw in open(path, "rb").read().splitlines():
+        try:
+            doc = json.loads(raw)
+        except ValueError:
+            continue
+        if doc.get("j") == "req":
+            out.append(doc)
+    return out

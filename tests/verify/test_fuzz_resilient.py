@@ -135,8 +135,11 @@ class TestCheckpointResume:
         assert resumed.attempted == CAMPAIGN_N
         assert _keys(resumed) == _keys(straight)
         assert resumed.metric_summaries == straight.metric_summaries
-        state = json.loads((tmp_path / "campaign.json").read_text())
-        assert state["done"] == list(range(CAMPAIGN_N))
+        lines = (tmp_path / "campaign.json").read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["version"] == 2
+        assert sorted(json.loads(l)["done"] for l in lines[1:]) \
+            == list(range(CAMPAIGN_N))
 
     def test_resume_with_mismatched_params_is_a_typed_error(self, tmp_path):
         path = str(tmp_path / "campaign.json")
@@ -165,6 +168,50 @@ class TestCheckpointResume:
 
         monkeypatch.setattr(fuzz_module, "generate_program", no_generate)
         resumed = fuzz(3, CAMPAIGN_SEED, shrink=False, resume_path=path)
+        assert resumed.attempted == 3
+        assert _keys(resumed) == _keys(first)
+
+    def test_torn_final_line_is_tolerated_and_rerun(self, tmp_path):
+        """ISSUE satellite: the v2 checkpoint is a JSONL WAL, so a
+        ``kill -9`` can tear at most the final entry -- resume drops it,
+        re-runs that index, and still matches the straight-through run."""
+        straight = fuzz(CAMPAIGN_N, CAMPAIGN_SEED, shrink=False)
+        path = tmp_path / "campaign.json"
+        fuzz(CAMPAIGN_N, CAMPAIGN_SEED, shrink=False,
+             checkpoint_path=str(path), interrupt_after=3)
+        torn = path.read_text()[:-7]  # cut into the final entry
+        assert not torn.endswith("\n")
+        path.write_text(torn)
+        resumed = fuzz(CAMPAIGN_N, CAMPAIGN_SEED, shrink=False,
+                       checkpoint_path=str(path), resume_path=str(path))
+        assert resumed.attempted == CAMPAIGN_N
+        assert _keys(resumed) == _keys(straight)
+        # and the rewritten WAL is whole again
+        lines = path.read_text().splitlines()
+        assert sorted(json.loads(l)["done"] for l in lines[1:]) \
+            == list(range(CAMPAIGN_N))
+
+    def test_damage_before_the_tail_is_a_typed_error(self, tmp_path):
+        path = tmp_path / "campaign.json"
+        fuzz(3, CAMPAIGN_SEED, shrink=False, checkpoint_path=str(path))
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][:10]  # tear a *non-final* entry
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(CheckpointError, match="corrupt checkpoint"):
+            fuzz(3, CAMPAIGN_SEED, shrink=False, resume_path=str(path))
+
+    def test_v1_single_document_checkpoint_still_resumes(self, tmp_path):
+        """Checkpoints written by earlier releases load unchanged."""
+        first = fuzz(3, CAMPAIGN_SEED, shrink=False)
+        state = {"version": 1, "master_seed": CAMPAIGN_SEED, "n": 3,
+                 "machines": ["rs6k", "scalar", "ss2"], "shrink": False,
+                 "collect_metrics": False, "done": [0, 1, 2],
+                 "failures": [dataclasses.asdict(f) for f in first.failures],
+                 "quarantined": [], "metric_summaries": []}
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps(state))
+        resumed = fuzz(3, CAMPAIGN_SEED, shrink=False,
+                       resume_path=str(path))
         assert resumed.attempted == 3
         assert _keys(resumed) == _keys(first)
 
