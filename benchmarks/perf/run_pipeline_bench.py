@@ -7,25 +7,37 @@ scorecard, ``BENCH_pipeline.json``, that CI uploads on every push::
     PYTHONPATH=src python benchmarks/perf/run_pipeline_bench.py
     PYTHONPATH=src python benchmarks/perf/run_pipeline_bench.py --quick
 
-Four metrics, all on a fixed-seed generated corpus (fully reproducible):
+Seven metrics, all on a fixed-seed generated corpus (fully reproducible):
 
 * ``region_ddg``   -- region-DDG construction (incl. transitive reduction)
   on the largest region of the largest corpus program: per-block summaries
   + shared-table reduction vs the seed's per-pair rescans + per-source
   heap sweeps.  Gate: >= 2.0x.
+* ``analysis``     -- the pre-scheduling analyses alone on the largest
+  corpus function, timed as whole *epochs* mirroring the pipeline's
+  protocol: the dense arm runs one shared :class:`AnalysisCache` per
+  epoch (one CFG, one CSR snapshot, one ``RegTable`` interning pass
+  feeding dominators + loop nest, bitmask liveness, mask-native
+  reaching queries and bitset interference rows), the reference arm
+  recomputes per consumer exactly as the seed pipeline did (each stage
+  builds its own ``ControlFlowGraph``; interference re-solves
+  liveness).  Gate: aggregate >= 3.0x.
 * ``compile``      -- end-to-end ``compile_c`` over a corpus sample, new
   pipeline vs ``seed_pipeline()`` (reference DDG, per-query readiness,
-  uncached analyses, eager verifier formatting).
+  uncached analyses, seed analysis implementations, the dict-state
+  rescan block scheduler, eager verifier formatting).  Gate: >= 3.0x.
 * ``schedule``     -- ``global_schedule`` alone on the largest program's
   entry function, same two arms: the event-driven ready queue + bitset
   liveness tracker vs the seed's full-rescan scheduler loop.
-  Gate: >= 2.5x.
+  Gate: >= 2.6x.
 * ``fuzz``         -- differential fuzz-campaign throughput: optimized
   pipeline with ``--jobs 4`` vs the seed pipeline serially.
   Gate: >= 1.5x.
 * ``service_throughput`` -- ``repro serve`` batch throughput with a warm
   content-addressed artifact cache vs compiling the same requests cold
   and serially.  Gate: >= 5.0x.
+* ``resilience``   -- overhead of the supervision layer on the inert
+  path (no budgets, no fault plan).  Gate: < 2.0% slowdown.
 
 The suite also replays the largest corpus program through both arms at
 every scheduling level on every default machine and asserts byte-identical
@@ -67,6 +79,8 @@ MASTER_SEED = 1991
 
 #: acceptance gates (mirrored in ``thresholds`` of the JSON output)
 REGION_DDG_MIN_SPEEDUP = 2.0
+ANALYSIS_MIN_SPEEDUP = 3.0
+COMPILE_MIN_SPEEDUP = 3.0
 SCHEDULE_MIN_SPEEDUP = 2.6
 FUZZ_MIN_SPEEDUP = 1.5
 #: a warm artifact cache answers a batch at least this much faster than
@@ -149,6 +163,109 @@ def bench_region_ddg(func, repeats: int) -> dict:
         "reference_ms": ref_s * 1e3,
         "speedup": ref_s / new_s,
     }
+
+
+def bench_analysis(func, repeats: int) -> dict:
+    """Dense vs seed pre-scheduling analysis epoch on one function.
+
+    One *epoch* is the analysis work of one compile of ``func``:
+    dominators + loop nest, liveness (materialized to ``live_out_map``,
+    what the scheduler takes), reaching definitions queried at every
+    block, and the interference graph down to what the allocator
+    colours.  Each arm runs its own end-to-end protocol and delivers
+    each fact in its native representation.  The dense arm threads one
+    ``AnalysisCache`` through the epoch -- one CFG build, one interning
+    pass, one liveness solve shared into interference -- exactly as the
+    shipped pipeline and ``allocate_registers`` do, reads reaching facts
+    as masks (``reaching_in_mask``) and hands the allocator bitset rows
+    (coloring consumes them directly; the adjacency sets never
+    materialize).  The reference arm re-derives each consumer's
+    prerequisites from the function exactly as the seed pipeline did
+    (every stage built its own ``ControlFlowGraph``; interference
+    re-solved liveness internally) and delivers its native frozensets
+    and adjacency sets.  The equivalence suite pins the two
+    representations to each other, so the arms are computing the same
+    facts.  Epochs interleave and the gate ratio is best-of epoch
+    totals; per-stage numbers are best-of per stage, for the breakdown
+    line.
+    """
+    from repro.cfg.graph import ENTRY, ControlFlowGraph
+    from repro.cfg.reference import (
+        DominatorTreeReference,
+        LoopNestReference,
+    )
+    from repro.dataflow.cache import AnalysisCache
+    from repro.dataflow.reaching import ReachingDefinitions
+    from repro.dataflow.reference import (
+        ReachingDefinitionsReference,
+        compute_liveness_reference,
+    )
+    from repro.regalloc.interference import build_interference
+    from repro.regalloc.reference import build_interference_reference
+
+    repeats = max(repeats, 10)
+    labels = [b.label for b in func.blocks]
+    none = frozenset()
+    perf = time.perf_counter
+
+    def epoch_new() -> list[float]:
+        t0 = perf()
+        cache = AnalysisCache(func)
+        cache.loop_nest()  # builds the CFG and dominator tree too
+        t1 = perf()
+        cache.liveness(none).live_out_map()
+        t2 = perf()
+        rd = ReachingDefinitions(func, cache.cfg(), dense=cache.dense_cfg())
+        for label in labels:
+            rd.reaching_in_mask(label)
+        t3 = perf()
+        build_interference(func, analyses=cache)
+        t4 = perf()
+        return [t1 - t0, t2 - t1, t3 - t2, t4 - t3]
+
+    def epoch_ref() -> list[float]:
+        t0 = perf()
+        cfg = ControlFlowGraph(func)
+        LoopNestReference(cfg.graph,
+                          DominatorTreeReference(cfg.graph, ENTRY))
+        t1 = perf()
+        compute_liveness_reference(func, none,
+                                   ControlFlowGraph(func)).live_out_map()
+        t2 = perf()
+        rd = ReachingDefinitionsReference(func, ControlFlowGraph(func))
+        for label in labels:
+            rd.reaching_in(label)
+        t3 = perf()
+        build_interference_reference(func)  # derives its own CFG + liveness
+        t4 = perf()
+        return [t1 - t0, t2 - t1, t3 - t2, t4 - t3]
+
+    stages = ("dominators", "liveness", "reaching", "interference")
+    best_new = [float("inf")] * len(stages)
+    best_ref = [float("inf")] * len(stages)
+    total_new = total_ref = float("inf")
+    for _ in range(repeats):
+        # interleaved best-of, same rationale as bench_schedule
+        ts = epoch_new()
+        total_new = min(total_new, sum(ts))
+        best_new = [min(a, b) for a, b in zip(best_new, ts)]
+        ts = epoch_ref()
+        total_ref = min(total_ref, sum(ts))
+        best_ref = [min(a, b) for a, b in zip(best_ref, ts)]
+    out: dict = {
+        "instrs": sum(len(b.instrs) for b in func.blocks),
+        "blocks": len(func.blocks),
+    }
+    for name, new_s, ref_s in zip(stages, best_new, best_ref):
+        out[name] = {
+            "new_ms": new_s * 1e3,
+            "reference_ms": ref_s * 1e3,
+            "speedup": ref_s / new_s,
+        }
+    out["new_ms"] = total_new * 1e3
+    out["reference_ms"] = total_ref * 1e3
+    out["speedup"] = total_ref / total_new
+    return out
 
 
 def bench_compile(corpus, sample: int, repeats: int) -> dict:
@@ -418,6 +535,14 @@ def run(quick: bool, jobs: int) -> dict:
           f"{region_ddg['new_ms']:.1f} ms "
           f"({region_ddg['speedup']:.2f}x)")
 
+    print("benchmarking dense analyses ...", flush=True)
+    analysis = bench_analysis(func, repeats)
+    print(f"  {analysis['reference_ms']:.1f} ms -> "
+          f"{analysis['new_ms']:.1f} ms ({analysis['speedup']:.2f}x)  "
+          + "  ".join(f"{name} {analysis[name]['speedup']:.1f}x"
+                      for name in ("dominators", "liveness", "reaching",
+                                   "interference")))
+
     print("benchmarking end-to-end compile ...", flush=True)
     compile_res = bench_compile(corpus, sample=3 if quick else 5,
                                 repeats=repeats)
@@ -452,11 +577,15 @@ def run(quick: bool, jobs: int) -> dict:
 
     thresholds = {
         "region_ddg_min_speedup": REGION_DDG_MIN_SPEEDUP,
+        "analysis_min_speedup": ANALYSIS_MIN_SPEEDUP,
+        "compile_min_speedup": COMPILE_MIN_SPEEDUP,
         "schedule_min_speedup": SCHEDULE_MIN_SPEEDUP,
         "fuzz_min_speedup": FUZZ_MIN_SPEEDUP,
         "service_min_speedup": SERVICE_MIN_SPEEDUP,
         "resilience_max_overhead_pct": RESILIENCE_MAX_OVERHEAD_PCT,
         "region_ddg_ok": region_ddg["speedup"] >= REGION_DDG_MIN_SPEEDUP,
+        "analysis_ok": analysis["speedup"] >= ANALYSIS_MIN_SPEEDUP,
+        "compile_ok": compile_res["speedup"] >= COMPILE_MIN_SPEEDUP,
         "schedule_ok": schedule["speedup"] >= SCHEDULE_MIN_SPEEDUP,
         "fuzz_ok": fuzz_res["speedup"] >= FUZZ_MIN_SPEEDUP,
         "service_ok": service["speedup"] >= SERVICE_MIN_SPEEDUP,
@@ -476,6 +605,7 @@ def run(quick: bool, jobs: int) -> dict:
         },
         "identity": identity,
         "region_ddg": region_ddg,
+        "analysis": analysis,
         "compile": compile_res,
         "schedule": schedule,
         "fuzz": fuzz_res,
@@ -504,10 +634,15 @@ def main(argv: list[str] | None = None) -> int:
     print(f"\nwrote {out}")
 
     ok = all(results["thresholds"][k]
-             for k in ("region_ddg_ok", "schedule_ok", "fuzz_ok",
-                       "service_ok", "resilience_ok"))
+             for k in ("region_ddg_ok", "analysis_ok", "compile_ok",
+                       "schedule_ok", "fuzz_ok", "service_ok",
+                       "resilience_ok"))
     print(f"region_ddg: {results['region_ddg']['speedup']:.2f}x "
           f"(gate {REGION_DDG_MIN_SPEEDUP}x)  "
+          f"analysis: {results['analysis']['speedup']:.2f}x "
+          f"(gate {ANALYSIS_MIN_SPEEDUP}x)  "
+          f"compile: {results['compile']['speedup']:.2f}x "
+          f"(gate {COMPILE_MIN_SPEEDUP}x)  "
           f"schedule: {results['schedule']['speedup']:.2f}x "
           f"(gate {SCHEDULE_MIN_SPEEDUP}x)  "
           f"fuzz: {results['fuzz']['speedup']:.2f}x "

@@ -1,0 +1,71 @@
+"""A CSR (compressed-sparse-row) snapshot of a function CFG.
+
+The dense dataflow solvers (:mod:`repro.dataflow.engine`) and the
+use/def-mask cache (:class:`repro.dataflow.cache.AnalysisCache`) work on
+int block indices: every node of the label-keyed
+:class:`repro.cfg.graph.ControlFlowGraph` is interned once, successor and
+predecessor lists are flattened into shared CSR index rows, and each
+analysis addresses blocks by index for the rest of the function's
+pipeline run.  The snapshot is immutable; the owning ``AnalysisCache``
+drops it when the block structure changes (its existing two-tier
+invalidation contract).
+"""
+
+from __future__ import annotations
+
+from ..ir.basic_block import BasicBlock
+from .graph import ControlFlowGraph
+
+
+class DenseCFG:
+    """Int-indexed CSR view of a :class:`ControlFlowGraph`.
+
+    Node order is the graph's deterministic insertion order, so index 0 is
+    always ENTRY and index 1 always EXIT (see ``ControlFlowGraph``), with
+    the function's blocks following in program order.
+    """
+
+    __slots__ = ("cfg", "nodes", "index", "blocks",
+                 "succ_off", "succ_idx", "pred_off", "pred_idx")
+
+    def __init__(self, cfg: ControlFlowGraph):
+        self.cfg = cfg
+        succ_map, pred_map = cfg.graph.adjacency()
+        nodes = self.nodes = list(succ_map)
+        index = self.index = {label: i for i, label in enumerate(nodes)}
+
+        # CSR rows as plain lists: built with one extend per node and
+        # indexed without the per-element boxing of ``array('i')``
+        succ_idx: list[int] = []
+        succ_off = [0]
+        pred_idx: list[int] = []
+        pred_off = [0]
+        for label in nodes:
+            succ_idx.extend([index[s] for s in succ_map[label]])
+            succ_off.append(len(succ_idx))
+            pred_idx.extend([index[p] for p in pred_map[label]])
+            pred_off.append(len(pred_idx))
+        self.succ_off = succ_off
+        self.succ_idx = succ_idx
+        self.pred_off = pred_off
+        self.pred_idx = pred_idx
+
+        #: the BasicBlock at each index (None for the virtual ENTRY/EXIT)
+        by_label = {b.label: b for b in cfg.func.blocks}
+        self.blocks: list[BasicBlock | None] = [
+            by_label.get(label) for label in nodes
+        ]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def succs(self, i: int) -> list[int]:
+        return self.succ_idx[self.succ_off[i]:self.succ_off[i + 1]]
+
+    def preds(self, i: int) -> list[int]:
+        return self.pred_idx[self.pred_off[i]:self.pred_off[i + 1]]
+
+    def block_indices(self) -> list[int]:
+        """Indices of the real blocks, in program order."""
+        index = self.index
+        return [index[b.label] for b in self.cfg.func.blocks]

@@ -58,6 +58,16 @@ class Digraph:
     def preds(self, node: Node) -> list[Node]:
         return list(self._preds[node])
 
+    def adjacency(self) -> tuple[dict[Node, list[Node]],
+                                 dict[Node, list[Node]]]:
+        """The internal ``(succs, preds)`` adjacency dicts.
+
+        A zero-copy view for the dense snapshot builders (``succs()`` /
+        ``preds()`` copy their row on every call, which dominates tight
+        interning loops).  Callers must not mutate the returned dicts.
+        """
+        return self._succs, self._preds
+
     def edges(self) -> Iterator[tuple[Node, Node]]:
         for src, dsts in self._succs.items():
             for dst in dsts:

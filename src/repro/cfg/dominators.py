@@ -13,6 +13,15 @@ The implementation is the Cooper-Harvey-Kennedy iterative algorithm ("A
 Simple, Fast Dominance Algorithm"), which runs in near-linear time on
 reducible CFGs and is correct on arbitrary graphs.  Postdominators are
 dominators of the reverse graph rooted at EXIT.
+
+CHK is designed for exactly the dense form used here: nodes are interned
+to their reverse-postorder index once, predecessor lists become flat int
+rows, and the idom/depth relations are int lists indexed by RPO position
+-- the two-finger ``intersect`` walk then compares machine ints instead
+of hashing node objects.  The
+seed dict-based implementation is preserved verbatim as
+:class:`repro.cfg.reference.DominatorTreeReference` (the equivalence
+oracle and measured baseline).
 """
 
 from __future__ import annotations
@@ -27,47 +36,56 @@ Node = Hashable
 class DominatorTree:
     """Immediate-dominator tree of the subgraph reachable from ``root``."""
 
+    __slots__ = ("root", "_rpo", "_index", "_idom_arr", "_depth_arr",
+                 "_children_idx")
+
     def __init__(self, graph: Digraph, root: Node):
         self.root = root
-        self._rpo = graph.rpo(root)
-        self._index = {node: i for i, node in enumerate(self._rpo)}
-        self._idom: dict[Node, Node] = {root: root}
-        self._compute(graph)
-        self._children: dict[Node, list[Node]] = {n: [] for n in self._rpo}
-        for node in self._rpo:
-            if node != root:
-                self._children[self._idom[node]].append(node)
-        # depth of each node in the dominator tree, for O(depth) queries
-        self._depth: dict[Node, int] = {root: 0}
-        for node in self._rpo[1:]:
-            self._depth[node] = self._depth[self._idom[node]] + 1
+        rpo = self._rpo = graph.rpo(root)
+        index = self._index = {node: i for i, node in enumerate(rpo)}
+        n = len(rpo)
 
-    def _compute(self, graph: Digraph) -> None:
-        index = self._index
-        idom = self._idom
+        # reachable predecessors by RPO index (zero-copy adjacency view;
+        # plain int lists index faster than array('i') in the CHK loop)
+        _, pred_map = graph.adjacency()
+        get = index.get
+        pred_rows = [
+            [i for p in pred_map[node] if (i := get(p)) is not None]
+            for node in rpo
+        ]
 
-        def intersect(a: Node, b: Node) -> Node:
-            while a != b:
-                while index[a] > index[b]:
-                    a = idom[a]
-                while index[b] > index[a]:
-                    b = idom[b]
-            return a
-
-        changed = True
+        idom = self._idom_arr = [-1] * n
+        if n:
+            idom[0] = 0
+        changed = n > 1
         while changed:
             changed = False
-            for node in self._rpo[1:]:
-                processed = [p for p in graph.preds(node)
-                             if p in idom and p in index]
-                if not processed:
-                    continue
-                new_idom = processed[0]
-                for pred in processed[1:]:
-                    new_idom = intersect(pred, new_idom)
-                if idom.get(node) != new_idom:
-                    idom[node] = new_idom
+            for v in range(1, n):
+                new_idom = -1
+                for p in pred_rows[v]:
+                    if idom[p] < 0:
+                        continue  # predecessor not processed yet
+                    if new_idom < 0:
+                        new_idom = p
+                    elif p != new_idom:
+                        # two-finger intersect on RPO indices
+                        a, b = p, new_idom
+                        while a != b:
+                            while a > b:
+                                a = idom[a]
+                            while b > a:
+                                b = idom[b]
+                        new_idom = a
+                if new_idom >= 0 and idom[v] != new_idom:
+                    idom[v] = new_idom
                     changed = True
+
+        # the idom of a node always precedes it in RPO, so depth fills in
+        # one forward pass
+        depth = self._depth_arr = [0] * n
+        for v in range(1, n):
+            depth[v] = depth[idom[v]] + 1
+        self._children_idx: list[list[int]] | None = None
 
     # -- queries ----------------------------------------------------------
 
@@ -80,37 +98,61 @@ class DominatorTree:
         """Immediate dominator (``None`` for the root)."""
         if node == self.root:
             return None
-        return self._idom[node]
+        return self._rpo[self._idom_arr[self._index[node]]]
+
+    def _children_rows(self) -> list[list[int]]:
+        rows = self._children_idx
+        if rows is None:
+            rows = self._children_idx = [[] for _ in self._rpo]
+            idom = self._idom_arr
+            for v in range(1, len(self._rpo)):
+                rows[idom[v]].append(v)
+        return rows
 
     def children(self, node: Node) -> list[Node]:
-        return list(self._children[node])
+        rpo = self._rpo
+        return [rpo[c] for c in self._children_rows()[self._index[node]]]
 
     def depth(self, node: Node) -> int:
-        return self._depth[node]
+        return self._depth_arr[self._index[node]]
 
     def dominates(self, a: Node, b: Node) -> bool:
         """Does ``a`` dominate ``b``?  (Reflexive: a node dominates itself.)"""
-        if a not in self._depth or b not in self._depth:
+        index = self._index
+        ia = index.get(a)
+        ib = index.get(b)
+        if ia is None or ib is None:
             return False
-        while self._depth[b] > self._depth[a]:
-            b = self._idom[b]
-        return a == b
+        depth = self._depth_arr
+        idom = self._idom_arr
+        da = depth[ia]
+        while depth[ib] > da:
+            ib = idom[ib]
+        return ia == ib
 
     def strictly_dominates(self, a: Node, b: Node) -> bool:
         return a != b and self.dominates(a, b)
 
     def dominators_of(self, node: Node) -> list[Node]:
         """All dominators of ``node``, from the node up to the root."""
-        out = [node]
-        while node != self.root:
-            node = self._idom[node]
-            out.append(node)
+        rpo = self._rpo
+        idom = self._idom_arr
+        v = self._index[node]
+        out = [rpo[v]]
+        while v != 0:
+            v = idom[v]
+            out.append(rpo[v])
         return out
+
+
+#: Implementation selected by the constructors below; the reference
+#: context managers patch this to the seed class.
+_IMPL = DominatorTree
 
 
 def dominator_tree(graph: Digraph, entry: Node) -> DominatorTree:
     """Dominator tree of ``graph`` rooted at ``entry``."""
-    return DominatorTree(graph, entry)
+    return _IMPL(graph, entry)
 
 
 def postdominator_tree(graph: Digraph, exit_node: Node) -> DominatorTree:
@@ -118,4 +160,4 @@ def postdominator_tree(graph: Digraph, exit_node: Node) -> DominatorTree:
 
     ``tree.dominates(b, a)`` then answers "``b`` postdominates ``a``".
     """
-    return DominatorTree(graph.reversed(), exit_node)
+    return _IMPL(graph.reversed(), exit_node)

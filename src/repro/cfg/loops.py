@@ -11,6 +11,12 @@ A *back edge* is an edge ``u -> h`` whose target dominates its source; the
 *natural loop* of the back edge is ``h`` plus every node that can reach ``u``
 without passing through ``h``.  Loops sharing a header are merged.  The CFG
 is reducible iff deleting all back edges leaves an acyclic graph.
+
+Like the dominator tree, the detectors run dense: nodes are interned to
+int indices once, loop bodies accumulate as int bitmasks (one OR per
+merged back edge) and the reducibility DFS walks flattened int successor
+rows instead of copying the graph.  The seed set-per-loop implementations
+are preserved in :mod:`repro.cfg.reference` as the equivalence oracles.
 """
 
 from __future__ import annotations
@@ -80,18 +86,67 @@ def natural_loop(graph: Digraph, latch: Node, header: Node) -> set[Node]:
 
 
 def is_reducible(graph: Digraph, dom: DominatorTree) -> bool:
-    """Is the graph reducible (all cycles entered through their headers)?"""
-    backs = set(back_edges(graph, dom))
-    forward = Digraph()
-    for node in graph.nodes:
-        forward.add_node(node)
-    for edge in graph.edges():
-        if edge not in backs:
-            forward.add_edge(*edge)
-    try:
-        forward.topological_order(dom.root)
-    except ValueError:
-        return False
+    """Is the graph reducible (all cycles entered through their headers)?
+
+    Equivalent to the seed's copy-the-graph-and-toposort
+    (:func:`repro.cfg.reference.is_reducible_reference`): drop every back
+    edge, then look for a retreating edge w.r.t. a DFS reverse postorder
+    from the root -- one exists iff a cycle survived.  Runs on int
+    successor rows; only dense dominator trees carry the arrays, so a
+    reference tree (from the oracle context managers) takes the seed path.
+    """
+    idom = getattr(dom, "_idom_arr", None)
+    if idom is None:
+        from .reference import is_reducible_reference
+        return is_reducible_reference(graph, dom)
+    index = dom._index
+    depth = dom._depth_arr
+    rpo = dom._rpo
+    n = len(rpo)
+    if n == 0:
+        return True
+    succ_map, _ = graph.adjacency()
+    succs_f: list[list[int]] = []
+    for v, node in enumerate(rpo):
+        row = []
+        for s in succ_map[node]:
+            j = index.get(s)
+            if j is None:
+                continue  # edge into an unreachable node: never on a cycle
+            a, b = j, v
+            da = depth[a]
+            while depth[b] > da:
+                b = idom[b]
+            if a == b:
+                continue  # back edge: dropped
+            row.append(j)
+        succs_f.append(row)
+    # DFS reverse postorder over the filtered rows (removing back edges
+    # preserves reachability: any walk through u->h has already visited h)
+    seen = bytearray(n)
+    seen[0] = 1
+    order: list[int] = []
+    stack: list = [(0, iter(succs_f[0]))]
+    while stack:
+        v, it = stack[-1]
+        advanced = False
+        for s in it:
+            if not seen[s]:
+                seen[s] = 1
+                stack.append((s, iter(succs_f[s])))
+                advanced = True
+                break
+        if not advanced:
+            order.append(v)
+            stack.pop()
+    pos = [n] * n
+    for i, v in enumerate(reversed(order)):
+        pos[v] = i
+    for v in order:
+        pv = pos[v]
+        for d in succs_f[v]:
+            if pos[d] <= pv:
+                return False  # retreating edge: a cycle survived
     return True
 
 
@@ -106,17 +161,49 @@ class LoopNest:
         self._build()
 
     def _build(self) -> None:
+        dom = self.dom
+        graph = self.graph
+        # all graph nodes (not just reachable ones): the backward body
+        # walk must run through forward-unreachable predecessors exactly
+        # like the seed's, and only then clamp to the reachable set
+        succ_map, pred_map = graph.adjacency()
+        nodes_all = list(succ_map)
+        gindex = {node: i for i, node in enumerate(nodes_all)}
+        preds_idx = [
+            [gindex[p] for p in pred_map[node]] for node in nodes_all
+        ]
+        reachable_mask = 0
+        for node in dom.nodes:
+            reachable_mask |= 1 << gindex[node]
+
         by_header: dict[Node, Loop] = {}
-        # the backward body walk can pull in forward-unreachable
-        # predecessors; clamp to nodes the dominator tree knows about
-        reachable = set(self.dom.nodes)
-        for latch, header in back_edges(self.graph, self.dom):
-            body = natural_loop(self.graph, latch, header) & reachable
+        masks: dict[Node, int] = {}
+        for latch, header in back_edges(graph, dom):
+            h = gindex[header]
+            l = gindex[latch]
+            seed = masks.get(header, 0)
+            mask = seed | (1 << h) | (1 << l)
+            stack = [l] if l != h else []
+            while stack:
+                v = stack.pop()
+                for p in preds_idx[v]:
+                    bit = 1 << p
+                    if not mask & bit:
+                        mask |= bit
+                        stack.append(p)
             if header in by_header:
-                by_header[header].body |= body
+                masks[header] = mask
                 by_header[header].latches.append(latch)
             else:
-                by_header[header] = Loop(header, body, [latch])
+                by_header[header] = Loop(header, set(), [latch])
+                masks[header] = mask
+        for header, loop in by_header.items():
+            m = masks[header] & reachable_mask
+            body = loop.body
+            while m:
+                low = m & -m
+                body.add(nodes_all[low.bit_length() - 1])
+                m ^= low
         self.loops = sorted(by_header.values(), key=lambda l: len(l.body))
         self._loop_of_header = by_header
         # nest: each loop's parent is the smallest strictly-containing loop

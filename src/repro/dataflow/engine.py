@@ -1,14 +1,31 @@
-"""A generic worklist solver for forward/backward set-based dataflow.
+"""Worklist solvers for forward/backward may-dataflow.
 
-Both liveness (backward, may) and reaching definitions (forward, may) are
+Both liveness (backward) and reaching definitions (forward) are
 instances; writing the fixed-point loop once keeps the two analyses small
 and obviously correct.
+
+Two dialects share the file:
+
+* :func:`solve_backward_masks` / :func:`solve_forward_masks` -- the dense
+  engine the compiler runs on.  Facts are int bitmasks (registers or
+  definition sites interned to bit positions), blocks are int indices
+  into a :class:`repro.cfg.dense.DenseCFG` CSR snapshot, and gen/kill
+  transfer is two machine-int ops; the meet is a big-int OR.
+* :func:`solve_backward` / :func:`solve_forward` -- the seed's generic
+  set-based engine, kept as the public API for arbitrary transfer
+  functions (and as the substrate of the reference oracles in
+  :mod:`repro.dataflow.reference`).
+
+Both dialects visit *every* node (the mask solvers sweep, the set solvers
+run a worklist), so forward-unreachable blocks still reach the same fixed
+point, and a unique least fixed point makes the two provably
+order-insensitive -- the property the equivalence suite pins down.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Hashable, Iterable, TypeVar
+from typing import Callable, Hashable, Iterable, Sequence, TypeVar
 
 from ..cfg.digraph import Digraph
 
@@ -91,3 +108,97 @@ def solve_forward(
                     work.append(succ)
                     in_work.add(succ)
     return in_sets
+
+
+def solve_backward_masks(
+    dense,
+    nodes: Sequence[int],
+    gen: Sequence[int],
+    kill: Sequence[int],
+    boundary: int = 0,
+) -> list[int]:
+    """Dense backward may-analysis: ``in = gen | (out & ~kill)``.
+
+    ``dense`` is a CSR snapshot (:class:`repro.cfg.dense.DenseCFG`);
+    ``nodes`` lists the active int indices (the seed solved the induced
+    subgraph -- here inactive neighbours are simply filtered out once, up
+    front).  Returns the *out* mask of every index (inactive entries stay
+    0); ``boundary`` seeds active nodes with no active successors.
+
+    The fixed point is unique, so iteration order affects convergence
+    speed only, never the answer (the property the equivalence suite
+    leans on).  Round-robin sweeps in *reverse* node order exploit that:
+    backward facts flow from successors, so visiting later blocks first
+    settles a loop-free region in one sweep and each extra sweep closes
+    one level of loop nesting -- versus a worklist seeded in layout order
+    re-queueing most of the function per change.
+    """
+    succ_off, succ_idx = dense.succ_off, dense.succ_idx
+    active = bytearray(len(dense.nodes))
+    for v in nodes:
+        active[v] = 1
+    sweep = []
+    for v in reversed(nodes):
+        row = [s for s in succ_idx[succ_off[v]:succ_off[v + 1]] if active[s]]
+        sweep.append((v, row or None, gen[v], ~kill[v]))
+    out = [0] * len(active)
+    inm = [0] * len(active)
+    changed = True
+    while changed:
+        changed = False
+        for v, row, g, not_kill in sweep:
+            if row is None:
+                new_out = boundary
+            else:
+                new_out = 0
+                for s in row:
+                    new_out |= inm[s]
+            out[v] = new_out
+            new_in = g | (new_out & not_kill)
+            if new_in != inm[v]:
+                inm[v] = new_in
+                changed = True
+    return out
+
+
+def solve_forward_masks(
+    dense,
+    nodes: Sequence[int],
+    gen: Sequence[int],
+    kill: Sequence[int],
+    entry: int,
+    boundary: int = 0,
+) -> list[int]:
+    """Dense forward may-analysis: ``out = gen | (in & ~kill)``.
+
+    Returns the *in* mask of every index; ``entry`` additionally receives
+    ``boundary``.  Same sweep scheme as :func:`solve_backward_masks`,
+    mirrored: forward facts flow from predecessors, so the sweeps run in
+    the given (layout) node order.
+    """
+    pred_off, pred_idx = dense.pred_off, dense.pred_idx
+    active = bytearray(len(dense.nodes))
+    for v in nodes:
+        active[v] = 1
+    sweep = []
+    for v in nodes:
+        row = [p for p in pred_idx[pred_off[v]:pred_off[v + 1]] if active[p]]
+        sweep.append((v, row or None, gen[v], ~kill[v]))
+    inm = [0] * len(active)
+    outm = [0] * len(active)
+    if active[entry]:
+        inm[entry] = boundary
+    changed = True
+    while changed:
+        changed = False
+        for v, row, g, not_kill in sweep:
+            new_in = boundary if v == entry else 0
+            if row is not None:
+                for p in row:
+                    new_in |= outm[p]
+            inm[v] = new_in
+            new_out = g | (new_in & not_kill)
+            if new_out != outm[v]:
+                outm[v] = new_out
+                changed = True
+    return inm

@@ -5,25 +5,44 @@ a block contains every definition that may reach the block's entry.  The
 register-renaming transformation uses this to prove that a def's live range
 is confined to one block (a precondition for safe local renaming), and the
 test suite uses it to cross-check liveness.
+
+Definition sites are interned to their own dense bit space (they are
+facts about instructions, not registers, so they do not share the
+``RegTable``); gen masks hold each block's downward-exposed defs, kill
+masks every def of a redefined register, and the fixed point runs on int
+masks in :func:`repro.dataflow.engine.solve_forward_masks`.  The seed
+frozenset implementation is preserved as
+:class:`repro.dataflow.reference.ReachingDefinitionsReference`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
+from ..cfg.dense import DenseCFG
 from ..cfg.graph import ControlFlowGraph
 from ..ir.function import Function
 from ..ir.instruction import Instruction
 from ..ir.operand import Reg
-from .engine import solve_forward
+from .dense import BYTE_BITS, bits_of
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Definition:
     """One register definition site (identified by instruction uid)."""
 
     uid: int
     reg: Reg
+    #: cached ``hash((uid, reg))`` -- materializing a reaching set hashes
+    #: every member into a frozenset, and the generated tuple hash
+    #: dominated those queries in pipeline profiles (same trick as ``Reg``)
+    _hash: int = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((self.uid, self.reg)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __repr__(self) -> str:
         return f"Def(I{self.uid}:{self.reg})"
@@ -32,50 +51,137 @@ class Definition:
 class ReachingDefinitions:
     """Solved reaching definitions for one function."""
 
-    def __init__(self, func: Function, cfg: ControlFlowGraph | None = None):
+    def __init__(self, func: Function, cfg: ControlFlowGraph | None = None,
+                 *, dense: DenseCFG | None = None):
         self.func = func
         self.cfg = cfg or ControlFlowGraph(func)
-        self._gen: dict[str, frozenset[Definition]] = {}
-        self._kill_regs: dict[str, frozenset[Reg]] = {}
-        self._all_defs: dict[Reg, set[Definition]] = {}
-        for block in func.blocks:
-            last_def: dict[Reg, Definition] = {}
+        self._dense = dense if dense is not None else DenseCFG(self.cfg)
+        #: Reg -> mask over the definition-bit space (defs_of decodes it)
+        self._all_def_masks: dict[Reg, int] = {}
+        #: (uid, reg) site key -> bit position, in first-sight order.
+        #: Sites stay raw tuples through the solve; Definition objects
+        #: only exist where a set-view query materializes them.
+        self._def_bit: dict[tuple[int, Reg], int] = {}
+        self._sites_row: list[tuple[int, Reg]] = []
+        self._defs_row: list[Definition | None] = []
+        n = len(self._dense.nodes)
+        gen = [0] * n
+        kill = [0] * n
+        #: every def bit of a register, grown as sites are interned
+        by_reg_mask = self._all_def_masks
+        def_bit = self._def_bit
+        sites_row = self._sites_row
+        defined: list[tuple[int, dict[Reg, int]]] = []
+        for i, block in enumerate(self._dense.blocks):
+            if block is None:
+                continue
+            last_def: dict[Reg, int] = {}
             for ins in block.instrs:
-                for reg in ins.reg_defs():
-                    d = Definition(ins.uid, reg)
-                    last_def[reg] = d
-                    self._all_defs.setdefault(reg, set()).add(d)
-            self._gen[block.label] = frozenset(last_def.values())
-            self._kill_regs[block.label] = frozenset(last_def)
-        self._in_sets = self._solve()
+                uid = ins.uid
+                for reg in ins.defs:
+                    # uids are unique, so every (uid, reg) is a fresh site
+                    b = len(def_bit)
+                    def_bit[(uid, reg)] = b
+                    sites_row.append((uid, reg))
+                    by_reg_mask[reg] = by_reg_mask.get(reg, 0) | (1 << b)
+                    last_def[reg] = b
+            gen[i] = 0
+            for b in last_def.values():
+                gen[i] |= 1 << b
+            defined.append((i, last_def))
+        self._defs_row = [None] * len(sites_row)
+        # kill needs the *complete* per-register masks, so a second pass
+        # over each block's defined-register set (a block kills every def
+        # of every register it defines)
+        for i, last_def in defined:
+            killed = 0
+            for reg in last_def:
+                killed |= by_reg_mask[reg]
+            kill[i] = killed
+        self._in_m = self._solve(gen, kill)
+        self._in_memo: dict[str, frozenset[Definition]] = {}
+        #: mask -> materialized frozenset; straight-line chains share in
+        #: masks verbatim, so keying on the mask dedups across blocks
+        self._mask_memo: dict[int, frozenset[Definition]] = {}
+        #: (byte offset << 8 | byte value) -> defs of that mask byte; the
+        #: in sets of neighbouring blocks overlap almost entirely, so the
+        #: byte-sized chunks they are assembled from recur constantly
+        self._byte_memo: dict[int, list[Definition]] = {}
 
-    def _solve(self) -> dict[str, frozenset[Definition]]:
-        labels = [b.label for b in self.func.blocks]
+    def _solve(self, gen: list[int], kill: list[int]) -> list[int]:
+        from .engine import solve_forward_masks
+        dense = self._dense
+        nodes = dense.block_indices()
+        entry = dense.index[self.func.entry.label]
+        return solve_forward_masks(dense, nodes, gen, kill, entry)
 
-        def transfer(label: str, in_set: frozenset) -> frozenset:
-            killed = self._kill_regs[label]
-            surviving = frozenset(d for d in in_set if d.reg not in killed)
-            return surviving | self._gen[label]
-
-        graph = self.cfg.graph.subgraph(labels)
-        return solve_forward(graph, labels, transfer,
-                             entry=self.func.entry.label)
+    def _materialize(self, mask: int) -> frozenset[Definition]:
+        memo = self._mask_memo
+        defs = memo.get(mask)
+        if defs is None:
+            definition = self.definition
+            parts = self._byte_memo
+            out: list[Definition] = []
+            data = mask.to_bytes((mask.bit_length() + 7) >> 3, "little")
+            for base, byte in enumerate(data):
+                if byte:
+                    key = (base << 8) | byte
+                    chunk = parts.get(key)
+                    if chunk is None:
+                        base8 = base << 3
+                        chunk = parts[key] = [definition(base8 + b)
+                                              for b in BYTE_BITS[byte]]
+                    out += chunk
+            defs = memo[mask] = frozenset(out)
+        return defs
 
     # -- queries ------------------------------------------------------------
 
     def reaching_in(self, label: str) -> frozenset[Definition]:
         """Definitions that may reach the entry of block ``label``."""
-        return self._in_sets[label]
+        defs = self._in_memo.get(label)
+        if defs is None:
+            i = self._dense.index[label]
+            if self._dense.blocks[i] is None:
+                raise KeyError(label)
+            defs = self._materialize(self._in_m[i])
+            self._in_memo[label] = defs
+        return defs
+
+    def reaching_in_mask(self, label: str) -> int:
+        """:meth:`reaching_in` as the raw definition-bit mask.
+
+        The dense-native view of the same fact: bit ``b`` set means the
+        site ``definition(b)`` may reach the block's entry.  Mask-dialect
+        consumers (and the perf gate's dense arm) read this directly and
+        skip the frozenset materialization; the equivalence suite pins
+        the two views to each other.
+        """
+        i = self._dense.index[label]
+        if self._dense.blocks[i] is None:
+            raise KeyError(label)
+        return self._in_m[i]
+
+    def definition(self, bit: int) -> Definition:
+        """The definition site interned at ``bit`` (mask-view decoder)."""
+        d = self._defs_row[bit]
+        if d is None:
+            uid, reg = self._sites_row[bit]
+            d = self._defs_row[bit] = Definition(uid, reg)
+        return d
 
     def defs_of(self, reg: Reg) -> frozenset[Definition]:
         """All definition sites of ``reg`` in the function."""
-        return frozenset(self._all_defs.get(reg, ()))
+        definition = self.definition
+        return frozenset(definition(b)
+                         for b in bits_of(self._all_def_masks.get(reg, 0)))
 
-    def reaching_before(self, label: str, ins: Instruction) -> frozenset[Definition]:
+    def reaching_before(self, label: str,
+                        ins: Instruction) -> frozenset[Definition]:
         """Definitions that may reach the program point just before ``ins``."""
         block = self.func.block(label)
         live: dict[Reg, set[Definition]] = {}
-        for d in self._in_sets[label]:
+        for d in self.reaching_in(label):
             live.setdefault(d.reg, set()).add(d)
         for candidate in block.instrs:
             if candidate is ins:

@@ -35,34 +35,72 @@ def _check_ins(cond: bool, where: str, ins, problem: str) -> None:
         raise VerificationError(f"{where}: {ins!r} {problem}")
 
 
+# per-opcode requirement bits, derived once from the opcode table -- the
+# verifier runs over every instruction after every pass, and re-testing
+# six tuple memberships per instruction dominated its cost
+_MEM_OP = 1        # loads/stores carry a memory operand, nothing else does
+_TEST_CR = 2       # BT/BF: single LT/GT/EQ mask bit, one CR use
+_NEED_TARGET = 4   # BT/BF/B/BDNZ: branch target present
+_DEF_CR = 8        # compares define exactly one CR
+_FIXED_MEM = 16    # L/LU/ST/STU: every register operand is a GPR
+_NEED_IMM = 32     # immediate-form ops carry their immediate
+_LOAD_DEFS = 64    # loads define at least one register
+_CALL_NAME = 128   # CALL names its callee
+
+_RULES: dict[Opcode, int] = {}
+for _op in Opcode:
+    _f = 0
+    if _op.is_load or _op.is_store:
+        _f |= _MEM_OP
+    if _op in (Opcode.BT, Opcode.BF):
+        _f |= _TEST_CR | _NEED_TARGET
+    if _op in (Opcode.B, Opcode.BDNZ):
+        _f |= _NEED_TARGET
+    if _op.is_compare:
+        _f |= _DEF_CR
+    if _op in (Opcode.L, Opcode.LU, Opcode.ST, Opcode.STU):
+        _f |= _FIXED_MEM
+    if _op in (Opcode.LI, Opcode.AI, Opcode.SI, Opcode.ANDI, Opcode.ORI,
+               Opcode.XORI, Opcode.SL, Opcode.SR, Opcode.SRA, Opcode.CI):
+        _f |= _NEED_IMM
+    if _op.is_load:
+        _f |= _LOAD_DEFS
+    if _op is Opcode.CALL:
+        _f |= _CALL_NAME
+    _RULES[_op] = _f
+del _op, _f
+
+
 def _verify_instruction(ins, where: str) -> None:
-    op = ins.opcode
-    _check_ins((ins.mem is not None) == (op.is_load or op.is_store),
+    flags = _RULES[ins.opcode]
+    if not flags:
+        # plain computation op: only the no-memory-operand rule applies
+        if ins.mem is not None:
+            raise VerificationError(
+                f"{where}: {ins!r} memory operand mismatch")
+        return
+    _check_ins((ins.mem is not None) == bool(flags & _MEM_OP),
                where, ins, "memory operand mismatch")
-    if op in (Opcode.BT, Opcode.BF):
+    if flags & _TEST_CR:
         _check_ins(ins.mask in (CR_LT, CR_GT, CR_EQ),
                    where, ins, "mask must be a single LT/GT/EQ bit")
         _check_ins(len(ins.uses) == 1 and ins.uses[0].rclass is RegClass.CR,
                    where, ins, "must test a condition register")
+    if flags & _NEED_TARGET:
         _check_ins(ins.target is not None, where, ins, "missing target")
-    if op in (Opcode.B, Opcode.BDNZ):
-        _check_ins(ins.target is not None, where, ins, "missing target")
-    if op.is_compare:
+    if flags & _DEF_CR:
         _check_ins(len(ins.defs) == 1 and ins.defs[0].rclass is RegClass.CR,
                    where, ins, "must define a condition register")
-    if op in (Opcode.L, Opcode.LU, Opcode.ST, Opcode.STU):
+    if flags & _FIXED_MEM:
         for reg in ins.defs + ins.uses:
             if reg.rclass is not RegClass.GPR:
                 raise VerificationError(
                     f"{where}: {ins!r} fixed-point memory op uses {reg}")
-    if op is Opcode.LI:
+    if flags & _NEED_IMM:
         _check_ins(ins.imm is not None, where, ins, "missing immediate")
-    if op in (Opcode.AI, Opcode.SI, Opcode.ANDI, Opcode.ORI, Opcode.XORI,
-              Opcode.SL, Opcode.SR, Opcode.SRA, Opcode.CI):
-        _check_ins(ins.imm is not None, where, ins, "missing immediate")
-    if op.is_load:
+    if flags & _LOAD_DEFS:
         _check_ins(len(ins.defs) >= 1, where, ins, "load defines nothing")
-    if op is Opcode.CALL:
+    if flags & _CALL_NAME:
         _check_ins(bool(ins.target), where, ins, "call needs a callee name")
 
 
@@ -78,13 +116,16 @@ def verify_function(func: Function) -> None:
         where = f"{func.name}/{block.label}"
         last = len(block.instrs) - 1
         for i, ins in enumerate(block.instrs):
-            _check_ins(ins.uid >= 0, where, ins, "has no uid")
-            if ins.uid in seen_uids:
+            uid = ins.uid
+            if uid < 0:
+                raise VerificationError(f"{where}: {ins!r} has no uid")
+            if uid in seen_uids:
                 raise VerificationError(
-                    f"{where}: duplicate uid I{ins.uid}")
-            seen_uids.add(ins.uid)
-            _check_ins(not ins.is_branch or i == last,
-                       where, ins, "branch is not the block terminator")
+                    f"{where}: duplicate uid I{uid}")
+            seen_uids.add(uid)
+            if ins.is_branch and i != last:
+                raise VerificationError(
+                    f"{where}: {ins!r} branch is not the block terminator")
             _verify_instruction(ins, where)
             if ins.target is not None and not ins.is_call:
                 _check(ins.target in labels,

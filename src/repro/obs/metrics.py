@@ -230,6 +230,24 @@ def format_stats(title: str, machine_name: str, level_name: str,
                              f"{interns[0]:>6}  "
                              f"({interns[1]:.2f} ms total, "
                              f"max {interns[2]:.2f} ms)")
+        tables = c.get("analysis.dense.tables", 0)
+        if tables:
+            dense_rows = (
+                ("register interning tables", tables),
+                ("registers interned", c.get("analysis.dense.regs_interned",
+                                             0)),
+                ("CSR CFG snapshots", c.get("analysis.dense.cfg_builds", 0)),
+                ("use/def mask builds", c.get("analysis.dense.usedef_builds",
+                                              0)),
+                ("use/def mask cache hits",
+                 c.get("analysis.dense.usedef_hits", 0)),
+                ("liveness bitmask solves",
+                 c.get("analysis.dense.liveness_solves", 0)),
+            )
+            lines.append("")
+            lines.append("dense analysis core")
+            for label, count in dense_rows:
+                lines.append(f"  {label:<33}{count:>6}")
         resilience = {name: count for name, count in sorted(c.items())
                       if name.startswith("resilience.") and count}
         if resilience:

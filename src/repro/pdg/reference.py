@@ -378,7 +378,18 @@ def _make_uncached_analyses():
         def liveness(self, live_at_exit):
             self._cfg = None
             self._liveness.clear()
+            self._dense = None
+            self._use_def = None
             return super().liveness(live_at_exit)
+
+        def dense_cfg(self):
+            self._cfg = None
+            self._dense = None
+            return super().dense_cfg()
+
+        def block_use_def_masks(self):
+            self._use_def = None
+            return super().block_use_def_masks()
 
     return UncachedAnalyses
 
@@ -394,7 +405,12 @@ def seed_pipeline():
     * :func:`verify_function_reference` -- eager error-message formatting
       in the post-pass IR verifier (``xform.pipeline`` call sites);
     * an uncached analysis bundle -- CFG/dominators/loop-nest/liveness
-      rebuilt at every use site.
+      rebuilt at every use site;
+    * the seed analysis implementations themselves
+      (:func:`repro.dataflow.reference._analysis_reference_patches`):
+      dict-based dominators/loops/reducibility, frozenset liveness,
+      set-adjacency interference, and the dict-state rescan basic-block
+      scheduler.
 
     This is the fuzz-throughput baseline of ``benchmarks/perf``.  The
     reference DDG builder itself also restores the seed's copy-returning
@@ -404,6 +420,7 @@ def seed_pipeline():
     speedups understate the full gain): the cached ``Reg.__hash__`` and
     the flattened ``Opcode`` flag attributes.
     """
+    from ..dataflow.reference import _analysis_reference_patches
     from ..ir import verify as ir_verify
     from ..lang import lower as lang_lower
     from ..sched import bb_sched, driver, global_sched
@@ -413,6 +430,7 @@ def seed_pipeline():
 
     uncached = _make_uncached_analyses()
     patches = [
+        *_analysis_reference_patches(),
         (global_sched, "_ENGINE", "scan"),
         (global_sched, "DependenceState", DependenceStateReference),
         (bb_sched, "DependenceState", DependenceStateReference),

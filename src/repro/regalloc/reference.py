@@ -1,0 +1,63 @@
+"""Reference (seed) interference-graph construction.
+
+The dense builder (:func:`repro.regalloc.interference.build_interference`)
+accumulates bitset rows over the shared :class:`repro.dataflow.dense.RegTable`;
+this preserves the seed's per-block ``set`` scan verbatim as the
+equivalence oracle and measured baseline.
+"""
+
+from __future__ import annotations
+
+from ..cfg.graph import ControlFlowGraph
+from ..dataflow.reference import compute_liveness_reference
+from ..ir.function import Function
+from ..ir.opcodes import Opcode
+from ..ir.operand import Reg, RegClass
+from .interference import InterferenceGraph
+
+
+def build_interference_reference(
+    func: Function,
+    *,
+    live_at_exit: frozenset[Reg] = frozenset(),
+    liveness=None,
+    analyses=None,
+) -> InterferenceGraph:
+    """Build the interference graph of ``func`` (seed set-scan).
+
+    ``analyses`` mirrors the dense builder's keyword so the oracle arms
+    can patch this function in behind the allocator unchanged; under the
+    reference patches the cache's ``compute_liveness`` is already the
+    seed solver, so sharing through it stays bit-identical.
+    """
+    if liveness is None:
+        if analyses is not None:
+            liveness = analyses.liveness(live_at_exit)
+        else:
+            liveness = compute_liveness_reference(func, live_at_exit,
+                                                  ControlFlowGraph(func))
+    graph = InterferenceGraph()
+    for ins in func.instructions():
+        for reg in (*ins.reg_defs(), *ins.reg_uses()):
+            if reg.rclass is not RegClass.CTR:
+                graph.add_node(reg)
+
+    for block in func.blocks:
+        live: set[Reg] = set(liveness.live_out(block))
+        for ins in reversed(block.instrs):
+            defs = [r for r in ins.reg_defs() if r.rclass is not RegClass.CTR]
+            uses = [r for r in ins.reg_uses() if r.rclass is not RegClass.CTR]
+            is_move = ins.opcode in (Opcode.LR, Opcode.FMR)
+            if is_move and defs and uses:
+                graph.moves.add((defs[0], uses[0]))
+            for d in defs:
+                for other in live:
+                    if is_move and uses and other == uses[0]:
+                        continue  # LR rd=rs: rd and rs may share a colour
+                    graph.add_edge(d, other)
+                # simultaneous definitions (LU) interfere with each other
+                for d2 in defs:
+                    graph.add_edge(d, d2)
+            live.difference_update(defs)
+            live.update(uses)
+    return graph

@@ -117,8 +117,13 @@ def global_schedule(
     live_out_map = analyses.liveness(live_at_exit).live_out_map()
     # one interning cache for the whole function: every region's tracker
     # shares the same live-out store, so label masks built for one region
-    # stay valid for the next (the dual-write invariant is store-wide)
-    intern_cache = ({}, {})
+    # stay valid for the next (the dual-write invariant is store-wide).
+    # The register half is the AnalysisCache's RegTable dict -- liveness,
+    # interference and the trackers then agree on bit positions and the
+    # function is interned once per lifetime, not once per sweep; the
+    # label-mask half must stay per-sweep (live_out_map is a fresh
+    # mutable copy each sweep)
+    intern_cache = (analyses.reg_table().bit, {})
 
     for spec in regions:
         if region_filter is not None and not region_filter(spec):

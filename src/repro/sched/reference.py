@@ -369,3 +369,81 @@ def _ready_candidates(
                     metrics.inc("sched.speculation.renamed")
         ready.append(cand)
     return ready
+
+
+def schedule_block_reference(block, machine) -> int:
+    """The seed basic-block list scheduler, verbatim: every inner
+    iteration of every cycle rescans all pending instructions and re-sorts
+    the ready list.  ``repro.sched.bb_sched.schedule_block`` re-hosted the
+    pass on the dense substrate (CSR DDG, packed int keys, incremental
+    readiness); this copy is the equivalence oracle and the measured
+    baseline of the ``analysis``/``compile`` perf sections.
+
+    ``DependenceState`` is resolved through the :mod:`~repro.sched.bb_sched`
+    module at call time, so ``seed_pipeline()``'s state patch composes.
+    """
+    from ..pdg.data_deps import build_block_ddg
+    from . import bb_sched
+    from .heuristics import local_priorities
+
+    if not block.instrs:
+        return 0
+    if len(block.instrs) == 1:
+        return machine.exec_time(block.instrs[0])
+
+    ddg = build_block_ddg(block, machine)
+    priorities = local_priorities(block, ddg, machine)
+    state = bb_sched.DependenceState(ddg, machine)
+    state.begin_block()
+    position = {id(ins): i for i, ins in enumerate(block.instrs)}
+
+    def sort_key(ins):
+        d, cp = priorities.get(id(ins), (0, 0))
+        return (-d, -cp, position[id(ins)])
+
+    terminator = block.terminator
+    remaining = {id(ins) for ins in block.instrs}
+    issued: list[Instruction] = []
+
+    cycle = 0
+    stall = 0
+    while remaining:
+        free = {unit: machine.unit_count(unit) for unit in UnitType}
+        budget = machine.total_issue_width
+        progress = True
+        issued_this_cycle = False
+        while progress and budget > 0:
+            progress = False
+            ready = []
+            for ins in block.instrs:
+                if id(ins) not in remaining:
+                    continue
+                if ins is terminator and remaining != {id(ins)}:
+                    continue
+                if not state.deps_satisfied(ins):
+                    continue
+                if state.earliest_start(ins) > cycle:
+                    continue
+                ready.append(ins)
+            ready.sort(key=sort_key)
+            for ins in ready:
+                if free.get(ins.unit, 0) <= 0:
+                    continue
+                free[ins.unit] -= 1
+                budget -= 1
+                state.mark_issued(ins, cycle)
+                issued.append(ins)
+                remaining.discard(id(ins))
+                progress = True
+                issued_this_cycle = True
+                break
+        if not remaining:
+            break
+        stall = 0 if issued_this_cycle else stall + 1
+        if stall > bb_sched._MAX_STALL:
+            raise RuntimeError(
+                f"basic-block scheduler stalled in {block.label}")
+        cycle += 1
+
+    block.instrs = issued
+    return cycle + 1

@@ -218,7 +218,7 @@ def _optimize_once(
     # wholesale; scheduling sweeps move instructions between existing
     # blocks (terminators stay put), which keeps the CFG-shape analyses
     # valid and invalidates only liveness.
-    analyses = AnalysisCache(func)
+    analyses = AnalysisCache(func, metrics=metrics)
 
     def snapshot() -> Function | None:
         return func.clone() if config.verify else None

@@ -165,9 +165,15 @@ def test_mutated_liveness_rule_is_caught(monkeypatch):
 
 def test_mutated_dependence_rule_is_caught(monkeypatch):
     """A scheduler that believes every instruction is always ready emits
-    dependence-inverted code; the verifier must reject it."""
+    dependence-inverted code; the verifier must reject it.  Both readiness
+    authorities are broken: the dict state (scan/reference engines) and
+    the dense block pass's predecessor counters."""
+    from repro.sched import bb_sched
+
     monkeypatch.setattr(DependenceState, "deps_satisfied",
                         lambda self, ins: True)
+    monkeypatch.setattr(bb_sched, "_initial_blocked",
+                        lambda dense: [0] * dense.n)
     with pytest.raises(ScheduleVerificationError) as exc:
         compile_c(CHAIN, level=ScheduleLevel.SPECULATIVE,
                   config=verified_config(ScheduleLevel.SPECULATIVE))
